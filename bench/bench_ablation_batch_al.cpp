@@ -1,0 +1,80 @@
+// Ablation A4: batch (parallel-experiment) selection — the paper's
+// Sec. VI future work: "some experiments could reasonably be run in
+// parallel which ... may indicate a less greedy selection strategy".
+//
+// Compares, at equal numbers of *experiments consumed*:
+//   one-at-a-time greedy (batch 1, the paper's loop),
+//   naive top-k by variance (batch 4) — picks redundant neighbours,
+//   fantasy-batch (batch 4) — conditions the GP variance on each pick
+//   before making the next, avoiding redundancy.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/batch.hpp"
+
+namespace al = alperf::al;
+namespace bench = alperf::bench;
+
+namespace {
+
+al::BatchResult runBatchSize(const al::RegressionProblem& problem,
+                             std::size_t batchSize, bool fantasy) {
+  al::BatchConfig cfg;
+  cfg.replicates = 8;
+  cfg.seed = 37;
+  cfg.al.batchSize = batchSize;
+  cfg.al.maxIterations = static_cast<int>(48 / batchSize);
+  cfg.al.refitEvery = 1;
+  return al::runBatch(
+      problem, bench::makeGp(2, 1e-1, 1, 30),
+      [fantasy]() -> al::StrategyPtr {
+        if (fantasy) return std::make_unique<al::FantasyBatch>();
+        return std::make_unique<al::VarianceReduction>();
+      },
+      cfg);
+}
+
+double finalRmse(const al::BatchResult& b) {
+  return b.meanSeries(&al::IterationRecord::rmse).back();
+}
+
+}  // namespace
+
+int main() {
+  const auto problem = bench::fig6Problem();
+  std::printf("2-D subset: %zu jobs; 8 partitions; 48 experiments per run\n",
+              problem.size());
+
+  bench::section("A4: batch selection at equal experiment budgets");
+  const auto greedy = runBatchSize(problem, 1, false);
+  const auto naive4 = runBatchSize(problem, 4, false);
+  const auto fantasy4 = runBatchSize(problem, 4, true);
+
+  std::printf("  %-28s %-12s %-14s\n", "policy", "final RMSE",
+              "GP refits used");
+  std::printf("  %-28s %-12s %-14d\n", "greedy (batch=1)",
+              bench::fmt(finalRmse(greedy)).c_str(), 48);
+  std::printf("  %-28s %-12s %-14d\n", "top-k variance (batch=4)",
+              bench::fmt(finalRmse(naive4)).c_str(), 12);
+  std::printf("  %-28s %-12s %-14d\n", "fantasy batch (batch=4)",
+              bench::fmt(finalRmse(fantasy4)).c_str(), 12);
+
+  bench::paperVs("greedy one-at-a-time is the reference quality",
+                 "implied (most information per pick)",
+                 "RMSE " + bench::fmt(finalRmse(greedy)));
+  // On this discrete 99-job pool the candidates are spread widely, so
+  // naive top-k rarely picks redundant neighbours and both batch
+  // policies track the greedy reference closely; fantasy batching's
+  // advantage appears on pools with clustered repeats.
+  const double worstBatch =
+      std::max(finalRmse(naive4), finalRmse(fantasy4));
+  bench::paperVs("batched selection stays close to greedy quality",
+                 "hoped for (Sec. VI 'run in parallel')",
+                 "worst batch RMSE " + bench::fmt(worstBatch) + " vs greedy " +
+                     bench::fmt(finalRmse(greedy)));
+  bench::paperVs("batch mode cuts GP refits 4x (parallel experiments)",
+                 "the motivation for batching", "12 vs 48 refits");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Ablation A8: continuous-candidate online AL (paper Sec. VI future
+// work) against the HPGMG-FE runtime model as a live oracle.
+//
+// The pool-free learner proposes arbitrary (log size, freq) points via
+// continuous acquisition optimization; the oracle "runs the experiment"
+// by sampling the calibrated runtime model. Compared against pool-based
+// AL restricted to the factorial grid at the same experiment budget, both
+// evaluated on a dense held-out grid of model truths.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/perf_model.hpp"
+#include "core/continuous.hpp"
+#include "core/learner.hpp"
+#include "stats/descriptive.hpp"
+
+namespace al = alperf::al;
+namespace bench = alperf::bench;
+namespace cl = alperf::cluster;
+namespace la = alperf::la;
+namespace st = alperf::stats;
+namespace opt = alperf::opt;
+using alperf::stats::Rng;
+
+namespace {
+
+constexpr int kNp = 32;
+
+cl::JobRequest requestAt(double logSize, double freq) {
+  return {cl::Operator::Poisson1, std::pow(10.0, logSize), kNp, freq};
+}
+
+/// Dense evaluation grid of noise-free model truths.
+struct TruthGrid {
+  la::Matrix x;
+  la::Vector y;
+};
+
+TruthGrid makeTruthGrid(const cl::PerfModel& model) {
+  TruthGrid grid;
+  const int ns = 25, nf = 13;
+  grid.x = la::Matrix(ns * nf, 2);
+  grid.y.resize(ns * nf);
+  int r = 0;
+  for (int i = 0; i < ns; ++i)
+    for (int j = 0; j < nf; ++j, ++r) {
+      const double logSize = 3.3 + (9.0 - 3.3) * i / (ns - 1);
+      const double freq = 1.2 + (2.4 - 1.2) * j / (nf - 1);
+      grid.x(r, 0) = logSize;
+      grid.x(r, 1) = freq;
+      grid.y[r] = std::log10(model.meanRuntime(requestAt(logSize, freq)));
+    }
+  return grid;
+}
+
+double gridRmse(const alperf::gp::GaussianProcess& g, const TruthGrid& t) {
+  const auto pred = g.predict(t.x);
+  return st::rmse(pred.mean, t.y);
+}
+
+}  // namespace
+
+int main() {
+  const cl::PerfModel model;
+  const TruthGrid truth = makeTruthGrid(model);
+  const int budget = 30;
+  std::printf("online oracle: calibrated HPGMG-FE runtime model "
+              "(poisson1, NP=%d); budget %d experiments\n",
+              kNp, budget);
+
+  bench::section("A8: continuous suggestions vs grid-pool AL (online)");
+
+  // --- Continuous learner over the full box.
+  Rng contRng(3);
+  Rng oracleRng(11);
+  const opt::BoxBounds box({3.3, 1.2}, {9.0, 2.4});
+  al::ContinuousAlConfig ccfg;
+  ccfg.iterations = budget;
+  ccfg.nStarts = 8;
+  ccfg.refitEvery = 3;
+  la::Matrix seedX(1, 2);
+  seedX(0, 0) = 6.0;
+  seedX(0, 1) = 1.8;
+  la::Vector seedY{
+      std::log10(model.sampleRuntime(requestAt(6.0, 1.8), oracleRng))};
+  const auto contResult = al::runContinuousAl(
+      bench::makeGp(2, 1e-3, 1, 30), seedX, seedY, box,
+      [&](std::span<const double> x) {
+        return std::log10(
+            model.sampleRuntime(requestAt(x[0], x[1]), oracleRng));
+      },
+      al::varianceAcquisition(), ccfg, contRng);
+  const double contRmse = gridRmse(contResult.finalGp, truth);
+
+  // Distinct locations visited (continuous picks are all distinct).
+  std::printf("  continuous: %zu suggestions, e.g. first five:\n",
+              contResult.history.size());
+  for (std::size_t i = 0; i < 5; ++i)
+    std::printf("    (logN=%s, f=%s) sd=%s\n",
+                bench::fmt(contResult.history[i].x[0]).c_str(),
+                bench::fmt(contResult.history[i].x[1]).c_str(),
+                bench::fmt(contResult.history[i].sdAtPick).c_str());
+
+  // --- Pool learner restricted to the Table-I factorial grid.
+  al::RegressionProblem pool;
+  {
+    const auto sizes = cl::defaultSizeLadder();
+    const double freqs[] = {1.2, 1.5, 1.8, 2.1, 2.4};
+    pool.x = la::Matrix(sizes.size() * 5, 2);
+    pool.y.resize(pool.x.rows());
+    pool.cost.assign(pool.x.rows(), 1.0);
+    int r = 0;
+    Rng poolNoise(13);
+    for (double s : sizes)
+      for (double f : freqs) {
+        pool.x(r, 0) = std::log10(s);
+        pool.x(r, 1) = f;
+        pool.y[r] = std::log10(model.sampleRuntime(
+            {cl::Operator::Poisson1, s, kNp, f}, poolNoise));
+        ++r;
+      }
+    pool.featureNames = {"logSize", "freq"};
+    pool.responseName = "logRuntime";
+  }
+  al::AlConfig pcfg;
+  pcfg.maxIterations = budget;
+  pcfg.activeFraction = 0.95;
+  al::ActiveLearner learner(pool, bench::makeGp(2, 1e-3, 1, 30),
+                            std::make_unique<al::VarianceReduction>(), pcfg);
+  Rng poolRng(5);
+  const auto poolResult = learner.run(poolRng);
+  const double poolRmse = gridRmse(poolResult.finalGp, truth);
+
+  std::printf("\n  dense-grid RMSE after %d experiments: continuous %s vs "
+              "grid-pool %s (log10 s)\n",
+              budget, bench::fmt(contRmse).c_str(),
+              bench::fmt(poolRmse).c_str());
+  bench::paperVs("continuous optimization handles non-finite active sets",
+                 "proposed (Sec. VI)",
+                 "works; RMSE " + bench::fmt(contRmse) + " with " +
+                     std::to_string(budget) + " oracle runs");
+  bench::paperVs("continuous at least matches the factorial-grid pool",
+                 "hoped-for benefit",
+                 contRmse <= 1.3 * poolRmse
+                     ? "yes (within 30%)"
+                     : "NO (grid wins here)");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation A10: scheduler resilience under failure injection — how job
+// crashes degrade the campaign that produces the paper's datasets. Not a
+// paper experiment (their CloudLab runs were clean); this characterizes
+// the substrate itself: wasted core-time, makespan inflation, and retry
+// distribution as the per-attempt failure probability grows.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/scheduler.hpp"
+
+namespace bench = alperf::bench;
+namespace cl = alperf::cluster;
+
+int main() {
+  bench::section("A10: campaign resilience vs failure probability");
+  std::printf("  120-job workload (mixed sizes/NP), maxRetries = 5\n");
+  std::printf("  %-8s %-12s %-12s %-12s %-12s %-10s\n", "p(fail)",
+              "makespan s", "wasted s", "mean tries", "max tries",
+              "failed");
+
+  double cleanMakespan = 0.0;
+  for (double p : {0.0, 0.1, 0.25, 0.5}) {
+    cl::ClusterConfig cfg;
+    cfg.failureProbability = p;
+    cfg.maxRetries = 5;
+    cl::PerfModelParams params;
+    params.noiseSigma = 0.02;
+    cl::ClusterSim sim(cfg, cl::PerfModel(params), 31);
+    const auto sizes = cl::defaultSizeLadder();
+    for (int i = 0; i < 120; ++i) {
+      cl::JobRequest req;
+      req.op = cl::kAllOperators[i % 3];
+      req.globalSize = sizes[(i * 5) % 10];  // skip the largest sizes
+      req.np = 1 << (i % 7);
+      req.freqGhz = 1.2 + 0.3 * (i % 5);
+      sim.submit(req, i * 2.0);
+    }
+    sim.run();
+
+    double wasted = 0.0, tries = 0.0;
+    int maxTries = 0, failed = 0;
+    for (const auto& rec : sim.records()) {
+      wasted += rec.wastedSeconds;
+      tries += rec.attempts;
+      maxTries = std::max(maxTries, rec.attempts);
+      if (rec.failed) ++failed;
+    }
+    if (p == 0.0) cleanMakespan = sim.makespan();
+    std::printf("  %-8s %-12s %-12s %-12s %-12d %-10d\n",
+                bench::fmt(p).c_str(), bench::fmt(sim.makespan()).c_str(),
+                bench::fmt(wasted).c_str(),
+                bench::fmt(tries / 120.0).c_str(), maxTries, failed);
+    if (p == 0.5)
+      bench::paperVs("makespan inflation at 50% failure rate",
+                     "(substrate characterization)",
+                     bench::fmt(sim.makespan() / cleanMakespan) + "x clean");
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Ablation A9: characterization vs optimization — the paper's Sec. II-C
+// distinction made quantitative. "We seek to characterize the entire
+// problem space with reasonably high accuracy, while RSM is designed to
+// search for combinations of factors that allow reaching specified
+// goals."
+//
+// On the same 2-D subset and budget, runs (a) the paper's Variance
+// Reduction characterization and (b) Expected-Improvement Bayesian
+// optimization hunting the *fastest* configuration, then scores both on
+// both goals: best runtime found, and space-wide model RMSE.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/learner.hpp"
+#include "core/optimize.hpp"
+#include "stats/descriptive.hpp"
+
+namespace al = alperf::al;
+namespace bench = alperf::bench;
+namespace la = alperf::la;
+namespace st = alperf::stats;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Space-wide RMSE of a GP trained on the given rows, over all others.
+double spaceRmse(const al::RegressionProblem& problem,
+                 const std::vector<std::size_t>& rows, Rng& rng) {
+  la::Matrix x(rows.size(), problem.dim());
+  la::Vector y(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = problem.x.row(rows[i]);
+    std::copy(src.begin(), src.end(), x.row(i).begin());
+    y[i] = problem.y[rows[i]];
+  }
+  auto g = bench::makeGp(problem.dim(), 1e-2, 1, 30);
+  g.fit(std::move(x), std::move(y), rng);
+  const std::set<std::size_t> taken(rows.begin(), rows.end());
+  std::vector<double> pred, truth;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    if (taken.count(i)) continue;
+    pred.push_back(g.predictOne(problem.x.row(i)).first);
+    truth.push_back(problem.y[i]);
+  }
+  return st::rmse(pred, truth);
+}
+
+}  // namespace
+
+int main() {
+  const auto problem = bench::fig6Problem();
+  const double trueMin =
+      *std::min_element(problem.y.begin(), problem.y.end());
+  const int budget = 20;
+  const int reps = 8;
+  std::printf("2-D subset: %zu jobs; budget %d experiments, %d replicates;"
+              " true min log10(runtime) = %s\n",
+              problem.size(), budget, reps, bench::fmt(trueMin).c_str());
+
+  bench::section("A9: characterization (VR) vs optimization (EI)");
+
+  double vrBestSum = 0.0, eiBestSum = 0.0;
+  double vrRmseSum = 0.0, eiRmseSum = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    // (a) Characterization.
+    al::AlConfig cfg;
+    cfg.maxIterations = budget - 1;
+    al::ActiveLearner learner(problem, bench::makeGp(2, 1e-2, 1, 30),
+                              std::make_unique<al::VarianceReduction>(), cfg);
+    Rng vrRng(100 + rep);
+    const auto vr = learner.run(vrRng);
+    std::vector<std::size_t> vrRows = vr.partition.initial;
+    double vrBest = 1e300;
+    for (const auto& rec : vr.history) {
+      vrRows.push_back(rec.chosenRow);
+      vrBest = std::min(vrBest, problem.y[rec.chosenRow]);
+    }
+    for (std::size_t r : vr.partition.initial)
+      vrBest = std::min(vrBest, problem.y[r]);
+    Rng s1(200 + rep);
+    vrRmseSum += spaceRmse(problem, vrRows, s1);
+    vrBestSum += vrBest;
+
+    // (b) Optimization.
+    al::ExpectedImprovement ei;
+    Rng eiRng(100 + rep);
+    const auto opt = al::minimizeResponse(
+        problem, bench::makeGp(2, 1e-2, 1, 30), ei, 1, budget - 1, eiRng);
+    std::vector<std::size_t> eiRows;
+    for (const auto& rec : opt.history) eiRows.push_back(rec.chosenRow);
+    eiRows.push_back(opt.bestRow);  // ensure the seed is included
+    std::sort(eiRows.begin(), eiRows.end());
+    eiRows.erase(std::unique(eiRows.begin(), eiRows.end()), eiRows.end());
+    Rng s2(200 + rep);
+    eiRmseSum += spaceRmse(problem, eiRows, s2);
+    eiBestSum += opt.bestValue;
+  }
+
+  std::printf("  %-28s %-22s %-20s\n", "mode",
+              "best log10(runtime) found", "space-wide RMSE");
+  std::printf("  %-28s %-22s %-20s\n", "characterize (VR AL)",
+              bench::fmt(vrBestSum / reps).c_str(),
+              bench::fmt(vrRmseSum / reps).c_str());
+  std::printf("  %-28s %-22s %-20s\n", "optimize (EI BO)",
+              bench::fmt(eiBestSum / reps).c_str(),
+              bench::fmt(eiRmseSum / reps).c_str());
+
+  bench::paperVs("optimization reaches the goal faster",
+                 "RSM 'resembles an optimization process'",
+                 "EI best " + bench::fmt(eiBestSum / reps) + " vs VR " +
+                     bench::fmt(vrBestSum / reps) + " (true " +
+                     bench::fmt(trueMin) + ")");
+  bench::paperVs("characterization knows the whole space better",
+                 "the paper's design goal (Sec. II-C)",
+                 "VR RMSE " + bench::fmt(vrRmseSum / reps) + " vs EI " +
+                     bench::fmt(eiRmseSum / reps));
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "gp/kernels.hpp"
+#include <sstream>
+
+namespace alperf::bench {
+
+void section(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void paperVs(const std::string& metric, const std::string& paper,
+             const std::string& measured) {
+  std::printf("  %-52s paper: %-18s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+const cluster::GeneratedDataset& tableOneDataset() {
+  static const cluster::GeneratedDataset ds = [] {
+    std::printf("[generating Table-I-scale campaign: 3246 jobs, seed 42]\n");
+    return cluster::DatasetGenerator().generate();
+  }();
+  return ds;
+}
+
+data::Table subsetByOperatorNp(const data::Table& performance,
+                               const std::string& op, double np) {
+  auto sub = performance.filter([&](std::size_t i) {
+    return performance.categorical("Operator")[i] == op &&
+           performance.numeric("NP")[i] == np;
+  });
+  std::vector<double> cost(sub.numRows());
+  for (std::size_t i = 0; i < sub.numRows(); ++i)
+    cost[i] = sub.numeric("RuntimeS")[i] * sub.numeric("CoresUsed")[i];
+  sub.addNumeric("CostCoreS", std::move(cost));
+  return sub;
+}
+
+al::RegressionProblem fig6Problem() {
+  const auto sub =
+      subsetByOperatorNp(tableOneDataset().performance, "poisson1", 32.0);
+  return al::makeProblem(sub, {"GlobalSize", "FreqGHz"}, "RuntimeS",
+                         "CostCoreS", {"GlobalSize", "RuntimeS"});
+}
+
+al::RegressionProblem fig3Problem() {
+  const auto& perf = tableOneDataset().performance;
+  auto sub = perf.filter([&](std::size_t i) {
+    return perf.categorical("Operator")[i] == "poisson1" &&
+           perf.numeric("NP")[i] == 32.0 && perf.numeric("FreqGHz")[i] == 2.4;
+  });
+  std::vector<double> cost(sub.numRows());
+  for (std::size_t i = 0; i < sub.numRows(); ++i)
+    cost[i] = sub.numeric("RuntimeS")[i] * sub.numeric("CoresUsed")[i];
+  sub.addNumeric("CostCoreS", std::move(cost));
+  return al::makeProblem(sub, {"GlobalSize"}, "RuntimeS", "CostCoreS",
+                         {"GlobalSize", "RuntimeS"});
+}
+
+gp::GaussianProcess makeGp(std::size_t dims, double noiseLo, int restarts,
+                           int optIterations) {
+  gp::GpConfig cfg;
+  cfg.nRestarts = restarts;
+  cfg.noise.lo = noiseLo;
+  cfg.noise.initial = std::max(1e-2, noiseLo);
+  cfg.optStop.maxIterations = optIterations;
+  return gp::GaussianProcess(
+      gp::makeSquaredExponentialArd(1.0, std::vector<double>(dims, 1.0)),
+      cfg);
+}
+
+}  // namespace alperf::bench

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared helpers for the paper-reproduction benchmark binaries: report
+/// formatting, the cached Table-I-scale dataset, and the standard problem
+/// subsets / GP prototypes the figures use.
+
+#include <string>
+
+#include "cluster/dataset.hpp"
+#include "core/problem.hpp"
+#include "gp/gp.hpp"
+
+namespace alperf::bench {
+
+/// Prints a prominent section header.
+void section(const std::string& title);
+
+/// Prints a "paper vs measured" comparison line.
+void paperVs(const std::string& metric, const std::string& paper,
+             const std::string& measured);
+
+/// Formats a double compactly (4 significant digits).
+std::string fmt(double v);
+
+/// The full Table-I-scale campaign (3246 jobs, seed 42), generated once
+/// per process and cached.
+const cluster::GeneratedDataset& tableOneDataset();
+
+/// Rows of `performance` with the given operator and NP (the paper's
+/// Fig. 6 subset is poisson1 / NP = 32), with a CostCoreS column
+/// (runtime × cores) appended.
+data::Table subsetByOperatorNp(const data::Table& performance,
+                               const std::string& op, double np);
+
+/// The Fig. 6 regression problem: features (log10 GlobalSize, FreqGHz),
+/// response log10 RuntimeS, cost = runtime · cores (core-seconds).
+al::RegressionProblem fig6Problem();
+
+/// The Fig. 3 1-D problem: poisson1, NP = 32, Freq = 2.4; feature
+/// log10 GlobalSize, response log10 RuntimeS.
+al::RegressionProblem fig3Problem();
+
+/// Standard GP prototype for d-dimensional inputs: Constant * ARD-RBF,
+/// noise variance bounded below by `noiseLo`.
+gp::GaussianProcess makeGp(std::size_t dims, double noiseLo = 1e-8,
+                           int restarts = 2, int optIterations = 40);
+
+}  // namespace alperf::bench

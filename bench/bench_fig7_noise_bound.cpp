@@ -1,0 +1,164 @@
+// Reproduces Figure 7: the strong influence of the σ_n lower bound on AL
+// quality, tracked with the paper's three progress metrics over 10 random
+// partitions:
+//   σ_f(x)  — predictive SD at the selected candidate,
+//   AMSD    — arithmetic mean SD over the Active pool,
+//   RMSE    — test-set error.
+//
+// (a) σ_n² >= 1e-8: overfitting — σ_f(x) collapses to negligible values
+//     before the 5th iteration and AMSD dives far below its stable value.
+// (b) σ_n² >= 1e-1: the pathology disappears; all three metrics converge
+//     after ~25 iterations, making AMSD a usable stopping signal.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/batch.hpp"
+#include "core/calibration.hpp"
+
+namespace al = alperf::al;
+namespace bench = alperf::bench;
+namespace la = alperf::la;
+
+namespace {
+
+al::BatchResult runWithBound(const al::RegressionProblem& problem,
+                             double noiseLo) {
+  al::BatchConfig cfg;
+  cfg.replicates = 10;
+  cfg.seed = 17;  // same partitions for both bounds
+  cfg.al.maxIterations = 60;
+  cfg.al.nInitial = 1;
+  cfg.al.activeFraction = 0.8;
+  return al::runBatch(
+      problem, bench::makeGp(2, noiseLo, 1),
+      [] { return std::make_unique<al::VarianceReduction>(); }, cfg);
+}
+
+void printCurves(const al::BatchResult& batch) {
+  const auto sd = batch.meanSeries(&al::IterationRecord::sigmaAtPick);
+  const auto amsd = batch.meanSeries(&al::IterationRecord::amsd);
+  const auto rmse = batch.meanSeries(&al::IterationRecord::rmse);
+  std::printf("  %-5s %-12s %-12s %-12s\n", "iter", "sigma(pick)", "AMSD",
+              "RMSE");
+  for (std::size_t i = 0; i < sd.size();
+       i += (i < 10 ? 1 : 5))
+    std::printf("  %-5zu %-12s %-12s %-12s\n", i, bench::fmt(sd[i]).c_str(),
+                bench::fmt(amsd[i]).c_str(), bench::fmt(rmse[i]).c_str());
+}
+
+/// First iteration after which the AMSD mean curve stays within relTol
+/// relative change for 5 consecutive steps.
+int convergenceIteration(const std::vector<double>& amsd, double relTol) {
+  for (std::size_t i = 1; i + 5 <= amsd.size(); ++i) {
+    bool stable = true;
+    for (std::size_t j = i; j < i + 5; ++j) {
+      if (amsd[j - 1] <= 0.0 ||
+          std::abs(amsd[j] - amsd[j - 1]) / amsd[j - 1] > relTol) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  const auto problem = bench::fig6Problem();
+  std::printf("2-D subset: %zu jobs; 10 random partitions per bound\n",
+              problem.size());
+
+  bench::section("Fig. 7a: sigma_n^2 >= 1e-8 (overfitting admitted)");
+  const auto loose = runWithBound(problem, 1e-8);
+  printCurves(loose);
+  // The paper's pathology: in many trajectories the early AMSD dips
+  // *below* its own eventual stable value (a tiny-variance model fitted
+  // from a handful of agreeing points), and the fitted noise collapses
+  // toward machine precision.
+  const auto minNoise = [](const al::BatchResult& batch) {
+    double m = 1e300;
+    for (const auto& run : batch.runs)
+      for (std::size_t i = 0; i < std::min<std::size_t>(8,
+                                                        run.history.size());
+           ++i)
+        m = std::min(m, run.history[i].noiseVariance);
+    return m;
+  };
+  // Calibration: how the model's claimed uncertainty (AMSD) compares to
+  // its actual test error (RMSE) at the end of the run. An overfit GP
+  // reports far less uncertainty than its real error.
+  const auto finalRatio = [](const al::BatchResult& batch) {
+    const auto amsd = batch.meanSeries(&al::IterationRecord::amsd);
+    const auto rmse = batch.meanSeries(&al::IterationRecord::rmse);
+    return amsd.back() / rmse.back();
+  };
+  bench::paperVs("fitted noise level approaches machine precision",
+                 "yes (Sec. V-B1)",
+                 "min sigma_n^2 in first 8 iters = " +
+                     bench::fmt(minNoise(loose)));
+  bench::paperVs("AMSD sinks far below the honest uncertainty level",
+                 "yes (below its stable ~1e-2)",
+                 "final AMSD/RMSE = " + bench::fmt(finalRatio(loose)) +
+                     " (model claims much less uncertainty than its error)");
+
+  bench::section("Fig. 7b: sigma_n^2 >= 1e-1 (overfitting eliminated)");
+  const auto tight = runWithBound(problem, 1e-1);
+  printCurves(tight);
+  bench::paperVs("fitted noise held at the bound", "sigma_n^2 >= 1e-1",
+                 "min sigma_n^2 = " + bench::fmt(minNoise(tight)));
+  bench::paperVs("AMSD stays consistent with the actual error",
+                 "yes (usable stop signal)",
+                 "final AMSD/RMSE = " + bench::fmt(finalRatio(tight)));
+
+  const auto amsdTight = tight.meanSeries(&al::IterationRecord::amsd);
+  const auto rmseTight = tight.meanSeries(&al::IterationRecord::rmse);
+  const int convAmsd = convergenceIteration(amsdTight, 0.03);
+  const int convRmse = convergenceIteration(rmseTight, 0.05);
+  // Formal calibration check where the pathology lives: the model after
+  // only 6 experiments. With plenty of data even the loose bound fits an
+  // honest noise level, but early on it is badly overconfident.
+  const auto earlyCoverage = [&](double noiseLo) {
+    al::BatchConfig cfg;
+    cfg.replicates = 10;
+    cfg.seed = 17;
+    cfg.al.maxIterations = 6;
+    const auto batch = al::runBatch(
+        problem, bench::makeGp(2, noiseLo, 1),
+        [] { return std::make_unique<al::VarianceReduction>(); }, cfg);
+    double cov = 0.0;
+    for (const auto& run : batch.runs) {
+      la::Matrix tx(run.partition.test.size(), problem.dim());
+      la::Vector ty(run.partition.test.size());
+      for (std::size_t i = 0; i < run.partition.test.size(); ++i) {
+        const auto row = problem.x.row(run.partition.test[i]);
+        std::copy(row.begin(), row.end(), tx.row(i).begin());
+        ty[i] = problem.y[run.partition.test[i]];
+      }
+      cov += al::assessCalibration(run.finalGp, tx, ty, 0.95).coverage;
+    }
+    return cov / static_cast<double>(batch.runs.size());
+  };
+  bench::paperVs("95% CI coverage after only 6 experiments",
+                 "raised bound => trustworthy intervals",
+                 "loose " + bench::fmt(100.0 * earlyCoverage(1e-8)) +
+                     "% vs tight " + bench::fmt(100.0 * earlyCoverage(1e-1)) +
+                     "% (ideal ~95%)");
+
+  bench::paperVs("metrics converge after ~25 iterations",
+                 "~25 (Fig. 7)",
+                 "AMSD at iter " + std::to_string(convAmsd) +
+                     ", RMSE at iter " + std::to_string(convRmse));
+  bench::paperVs("AMSD convergence implies RMSE convergence",
+                 "yes (practical stop rule)",
+                 (convAmsd >= 0 && convRmse >= 0 &&
+                  std::abs(convAmsd - convRmse) <= 15)
+                     ? "yes (within 15 iterations of each other)"
+                     : "inconclusive on this subset");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels — the
+// paper's planned "computational requirements of competing GPR and AL
+// algorithms" study (Sec. VI): Cholesky factorization, kernel Gram
+// matrices, GP fit/predict scaling with training-set size, acquisition
+// scoring, and the mini-HPGMG V-cycle.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "gp/gp.hpp"
+#include "gp/kernels.hpp"
+#include "gp/sparse.hpp"
+#include "hpgmg/multigrid.hpp"
+#include "la/cholesky.hpp"
+#include "stats/rng.hpp"
+
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+namespace hp = alperf::hpgmg;
+using alperf::stats::Rng;
+
+namespace {
+
+la::Matrix randomPoints(std::size_t n, std::size_t d, Rng& rng) {
+  la::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniformReal(-3.0, 3.0);
+  return x;
+}
+
+la::Vector smoothResponse(const la::Matrix& x, Rng& rng) {
+  la::Vector y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    y[i] = std::sin(x(i, 0)) + 0.1 * la::dot(x.row(i), x.row(i)) +
+           rng.normal(0.0, 0.05);
+  return y;
+}
+
+}  // namespace
+
+static void BM_Cholesky(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(1);
+  la::Matrix a = randomPoints(n, n, rng);
+  la::Matrix spd = la::gram(a);
+  spd.addToDiagonal(static_cast<double>(n));
+  for (auto _ : state) {
+    la::Cholesky chol(spd);
+    benchmark::DoNotOptimize(chol.logDet());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Cholesky)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+static void BM_KernelGram(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(2);
+  const la::Matrix x = randomPoints(n, 2, rng);
+  const auto k = gp::makeSquaredExponentialArd(1.0, {1.0, 1.0});
+  for (auto _ : state) benchmark::DoNotOptimize(k->gram(x).maxAbs());
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_KernelGram)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+static void BM_LmlGradient(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(3);
+  const la::Matrix x = randomPoints(n, 2, rng);
+  const la::Vector y = smoothResponse(x, rng);
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                        cfg);
+  g.fit(x, y, rng);
+  const auto theta = g.thetaFull();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(g.logMarginalLikelihoodGradientAt(theta));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LmlGradient)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+static void BM_GpFit(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(4);
+  const la::Matrix x = randomPoints(n, 2, rng);
+  const la::Vector y = smoothResponse(x, rng);
+  for (auto _ : state) {
+    gp::GpConfig cfg;
+    cfg.nRestarts = 1;
+    cfg.optStop.maxIterations = 25;
+    gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                          cfg);
+    Rng fitRng(5);
+    g.fit(x, y, fitRng);
+    benchmark::DoNotOptimize(g.logMarginalLikelihood());
+  }
+}
+BENCHMARK(BM_GpFit)->RangeMultiplier(2)->Range(16, 128)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_GpPredict(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(6);
+  const la::Matrix x = randomPoints(n, 2, rng);
+  const la::Vector y = smoothResponse(x, rng);
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                        cfg);
+  g.fit(x, y, rng);
+  const la::Matrix query = randomPoints(200, 2, rng);
+  for (auto _ : state) {
+    const auto pred = g.predict(query);
+    benchmark::DoNotOptimize(pred.mean[0]);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GpPredict)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+static void BM_SparseGpFitPredict(benchmark::State& state) {
+  // DTC sparse GP with 32 inducing points: fit O(n·m²) + 200 predictions,
+  // vs BM_GpPredict's exact O(n³)+O(n²) path.
+  const std::size_t n = state.range(0);
+  Rng rng(7);
+  const la::Matrix x = randomPoints(n, 2, rng);
+  const la::Vector y = smoothResponse(x, rng);
+  const la::Matrix query = randomPoints(200, 2, rng);
+  for (auto _ : state) {
+    gp::SparseGpConfig cfg;
+    cfg.numInducing = 32;
+    gp::SparseGaussianProcess sparse(
+        gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), cfg);
+    Rng fitRng(8);
+    sparse.fit(x, y, fitRng);
+    const auto pred = sparse.predict(query);
+    benchmark::DoNotOptimize(pred.mean[0]);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SparseGpFitPredict)
+    ->RangeMultiplier(2)
+    ->Range(64, 1024)
+    ->Complexity(benchmark::oN);
+
+static void BM_HpgmgVcycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  hp::Multigrid mg(hp::StencilType::Poisson2, n);
+  hp::Field b(n), x(n);
+  hp::setInterior(b, [](double px, double py, double pz) {
+    return px * py * pz;
+  });
+  for (auto _ : state) {
+    mg.vcycle(b, x);
+    benchmark::DoNotOptimize(x.normInf());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_HpgmgVcycle)->Arg(15)->Arg(31)->Arg(63)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_HpgmgStencilApply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const hp::Stencil s(hp::StencilType::Poisson2, 1.0 / (n + 1));
+  hp::Field in(n), out(n);
+  hp::setInterior(in, [](double px, double, double) { return px; });
+  for (auto _ : state) {
+    s.apply(in, out);
+    benchmark::DoNotOptimize(out.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_HpgmgStencilApply)->Arg(31)->Arg(63);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,211 @@
+// alperf_tool — command-line driver for the library's main workflows, so
+// a measurement campaign can be analyzed without writing C++:
+//
+//   alperf_tool generate --out DIR [--jobs N] [--seed S]
+//       Run the simulated Table-I campaign and write performance.csv /
+//       power.csv job databases.
+//
+//   alperf_tool learn --data CSV --features A,B --response R
+//                     [--cost C] [--log A,R] [--strategy vr|ce|random]
+//                     [--iterations N] [--noise-lo X] [--seed S]
+//                     [--trace OUT.csv]
+//       Run GPR-driven active learning over the job database and report
+//       the learning trace and final model quality.
+//
+//   alperf_tool tradeoff --data CSV --features A,B --response R --cost C
+//                        [--log ...] [--replicates R] [--seed S]
+//       Paired Variance-Reduction vs Cost-Efficiency comparison with the
+//       cost-error crossover report (the paper's Fig. 8b as a tool).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alperf.hpp"
+
+namespace al = alperf::al;
+namespace cl = alperf::cluster;
+namespace data = alperf::data;
+namespace gp = alperf::gp;
+using alperf::stats::Rng;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0)
+      throw std::invalid_argument("expected --option, got '" + key + "'");
+    args.options[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+std::vector<std::string> splitCsvList(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+void usage() {
+  std::printf(
+      "usage:\n"
+      "  alperf_tool generate --out DIR [--jobs N] [--seed S]\n"
+      "  alperf_tool learn --data CSV --features A,B --response R\n"
+      "                    [--cost C] [--log A,R] [--strategy vr|ce|random]\n"
+      "                    [--iterations N] [--noise-lo X] [--seed S]\n"
+      "                    [--trace OUT.csv]\n"
+      "  alperf_tool tradeoff --data CSV --features A,B --response R\n"
+      "                    --cost C [--log ...] [--replicates R] [--seed S]\n");
+}
+
+al::RegressionProblem loadProblem(const Args& args) {
+  const data::Table table = data::readCsv(args.get("data", ""));
+  const auto features = splitCsvList(args.get("features", ""));
+  const std::string response = args.get("response", "");
+  if (features.empty() || response.empty())
+    throw std::invalid_argument("learn/tradeoff need --features and "
+                                "--response");
+  return al::makeProblem(table, features, response, args.get("cost", ""),
+                         splitCsvList(args.get("log", "")));
+}
+
+gp::GaussianProcess makePrototype(const Args& args, std::size_t dims) {
+  gp::GpConfig cfg;
+  cfg.noise.lo = std::stod(args.get("noise-lo", "1e-1"));
+  cfg.noise.initial = std::max(cfg.noise.initial, cfg.noise.lo);
+  cfg.nRestarts = 1;
+  return gp::GaussianProcess(
+      gp::makeSquaredExponentialArd(1.0, std::vector<double>(dims, 1.0)),
+      cfg);
+}
+
+al::StrategyPtr makeStrategy(const std::string& name) {
+  if (name == "vr") return std::make_unique<al::VarianceReduction>();
+  if (name == "ce") return std::make_unique<al::CostEfficiency>();
+  if (name == "random") return std::make_unique<al::RandomSelection>();
+  throw std::invalid_argument("unknown strategy '" + name +
+                              "' (use vr, ce or random)");
+}
+
+int cmdGenerate(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) throw std::invalid_argument("generate needs --out DIR");
+  cl::DatasetConfig cfg;
+  cfg.targetJobs = static_cast<std::size_t>(
+      std::stoul(args.get("jobs", "3246")));
+  cfg.seed = std::stoull(args.get("seed", "42"));
+  std::printf("generating %zu-job campaign (seed %llu)...\n", cfg.targetJobs,
+              static_cast<unsigned long long>(cfg.seed));
+  const auto ds = cl::DatasetGenerator(cfg).generate();
+  data::writeCsv(ds.performance, out + "/performance.csv");
+  data::writeCsv(ds.power, out + "/power.csv");
+  std::printf("wrote %s/performance.csv (%zu jobs) and %s/power.csv "
+              "(%zu jobs with energy)\n",
+              out.c_str(), ds.performance.numRows(), out.c_str(),
+              ds.power.numRows());
+  return 0;
+}
+
+int cmdLearn(const Args& args) {
+  const auto problem = loadProblem(args);
+  std::printf("loaded %zu jobs, %zu features\n", problem.size(),
+              problem.dim());
+
+  al::AlConfig cfg;
+  cfg.maxIterations = std::stoi(args.get("iterations", "50"));
+  cfg.amsdWindow = 8;
+  cfg.amsdRelTol = 0.01;
+  al::ActiveLearner learner(problem, makePrototype(args, problem.dim()),
+                            makeStrategy(args.get("strategy", "ce")), cfg);
+  Rng rng(std::stoull(args.get("seed", "7")));
+  const auto result = learner.run(rng);
+
+  std::printf("stopped after %zu experiments (%s)\n", result.history.size(),
+              al::toString(result.stopReason).c_str());
+  if (!result.history.empty()) {
+    const auto& last = result.history.back();
+    std::printf("final test RMSE %.5f, AMSD %.5f, total cost %.3f\n",
+                last.rmse, last.amsd, last.cumulativeCost);
+  }
+  std::printf("final kernel: %s, sigma_n^2 = %.4g\n",
+              result.finalGp.kernel().describe().c_str(),
+              result.finalGp.noiseVariance());
+  if (args.has("trace")) {
+    data::writeCsv(al::historyToTable(result), args.get("trace", ""));
+    std::printf("trace written to %s\n", args.get("trace", "").c_str());
+  }
+  return 0;
+}
+
+int cmdTradeoff(const Args& args) {
+  const auto problem = loadProblem(args);
+  if (!args.has("cost"))
+    throw std::invalid_argument("tradeoff needs --cost COLUMN");
+  std::printf("loaded %zu jobs; paired VR vs CE comparison\n",
+              problem.size());
+
+  al::BatchConfig cfg;
+  cfg.replicates = std::stoi(args.get("replicates", "10"));
+  cfg.seed = std::stoull(args.get("seed", "7"));
+  cfg.al.refitEvery = 3;
+  const auto results = al::runPairedBatch(
+      problem, makePrototype(args, problem.dim()),
+      {[] { return std::make_unique<al::VarianceReduction>(); },
+       [] { return std::make_unique<al::CostEfficiency>(); }},
+      cfg);
+
+  const auto vr = al::aggregateTradeoff(results[0]);
+  const auto ce = al::aggregateTradeoff(results[1]);
+  std::printf("%-14s %-14s %-14s\n", "budget", "VR error", "CE error");
+  for (double c = vr.cost.front(); c <= vr.cost.back(); c *= 2.0)
+    std::printf("%-14.2f %-14.5f %-14.5f\n", c, vr.errorAt(c),
+                ce.errorAt(c));
+  const auto report = al::compareTradeoffs(vr, ce);
+  if (report.found) {
+    std::printf("\nCost Efficiency dominates beyond budget %.2f "
+                "(max error reduction %.0f%% at %.2f)\n",
+                report.crossoverCost, 100.0 * report.maxReduction,
+                report.maxReductionCost);
+  } else {
+    std::printf("\nno crossover: Variance Reduction preferable over the "
+                "covered budget range\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "generate") return cmdGenerate(args);
+    if (args.command == "learn") return cmdLearn(args);
+    if (args.command == "tradeoff") return cmdTradeoff(args);
+    usage();
+    return args.command.empty() ? 1 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
+    return 1;
+  }
+}

@@ -1,0 +1,92 @@
+// Energy modeling from IPMI power traces — the paper's second response
+// variable (total consumed energy in Joules).
+//
+// Walks the full power pipeline: simulate a job campaign, sample gappy
+// IPMI node traces, integrate per-job energy with the exclusion rule,
+// then build a cost-aware GP model of log-energy over (size, NP, freq)
+// with active learning, and use it to answer a practical question: which
+// DVFS frequency minimizes predicted energy for a given problem size?
+//
+//   ./build/examples/energy_model
+
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/dataset.hpp"
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace cl = alperf::cluster;
+namespace gp = alperf::gp;
+using alperf::stats::Rng;
+
+int main() {
+  // 1. Campaign + power pipeline (reduced size for a quick demo).
+  cl::DatasetConfig dcfg;
+  dcfg.sizes = {13824.0,     110592.0,    884736.0,   7.077888e6,
+                5.6623104e7, 4.52984832e8};
+  dcfg.npLevels = {1, 4, 16, 32, 64};
+  dcfg.targetJobs = 800;
+  dcfg.seed = 5;
+  const auto ds = cl::DatasetGenerator(dcfg).generate();
+  std::printf("campaign: %zu jobs, %zu with valid IPMI energy estimates "
+              "(%.0f%% excluded for trace gaps)\n",
+              ds.performance.numRows(), ds.power.numRows(),
+              100.0 * (1.0 - static_cast<double>(ds.power.numRows()) /
+                                 static_cast<double>(
+                                     ds.performance.numRows())));
+
+  // 2. Energy problem over the poisson2 jobs: features (log size, NP,
+  //    freq), response log energy, cost = runtime (waiting time to learn).
+  auto sub = ds.power.filter([&](std::size_t i) {
+    return ds.power.categorical("Operator")[i] == "poisson2";
+  });
+  std::printf("modeling %zu poisson2 jobs with energy labels\n",
+              sub.numRows());
+  const auto problem = al::makeProblem(
+      sub, {"GlobalSize", "NP", "FreqGHz"}, "EnergyJ", "RuntimeS",
+      {"GlobalSize", "EnergyJ"});
+
+  // 3. Cost-aware AL on the energy response.
+  gp::GpConfig gpCfg;
+  gpCfg.noise.lo = 1e-2;  // energy estimates are noisy (sensor bias)
+  gpCfg.nRestarts = 1;
+  gp::GaussianProcess proto(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0, 1.0}), gpCfg);
+  al::AlConfig alCfg;
+  alCfg.maxIterations = 50;
+  al::ActiveLearner learner(problem, proto,
+                            std::make_unique<al::CostEfficiency>(), alCfg);
+  Rng rng(3);
+  const auto result = learner.run(rng);
+  std::printf("after %zu adaptively chosen experiments: test RMSE %.3f "
+              "log10-Joules (%.0f core-agnostic seconds of experiments)\n",
+              result.history.size(), result.history.back().rmse,
+              result.history.back().cumulativeCost);
+
+  // 4. Practical query: energy-optimal frequency for a long compute-
+  //    dominated job (size 4.5e8 at NP = 4). For short jobs the idle
+  //    draw over the fixed allocation window dominates and frequency is
+  //    irrelevant; here the race-to-idle effect is visible.
+  std::printf("\npredicted energy for size 4.5e8, NP=4 (95%% CI):\n");
+  std::printf("%-10s %-14s %-24s\n", "freq GHz", "energy J", "CI");
+  double bestFreq = 0.0, bestEnergy = 1e300;
+  for (double f : {1.2, 1.5, 1.8, 2.1, 2.4}) {
+    const std::vector<double> x{std::log10(4.52984832e8), 4.0, f};
+    const auto [mean, var] = result.finalGp.predictOne(x);
+    const double e = std::pow(10.0, mean);
+    std::printf("%-10.1f %-14.1f [%.1f .. %.1f]\n", f, e,
+                std::pow(10.0, mean - 2.0 * std::sqrt(var)),
+                std::pow(10.0, mean + 2.0 * std::sqrt(var)));
+    if (e < bestEnergy) {
+      bestEnergy = e;
+      bestFreq = f;
+    }
+  }
+  std::printf("\n=> predicted energy-optimal frequency: %.1f GHz (on this "
+              "idle-heavy machine, racing to idle wins; differences shrink "
+              "for short jobs where the allocation window dominates)\n",
+              bestFreq);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Online active learning driving the real mini-HPGMG solver — the
+// paper's target use case (Sec. VI): "the target use case is 'online'
+// where the next experiment must be scheduled".
+//
+// The candidate space is (grid size, operator, smoother sweeps). Each AL
+// iteration the GP proposes the configuration with the highest predictive
+// uncertainty about log-runtime, the solver ACTUALLY RUNS, and the
+// measured wall time feeds back into the model. No pre-recorded dataset
+// is involved.
+//
+//   ./build/examples/online_hpgmg
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "gp/gp.hpp"
+#include "gp/kernels.hpp"
+#include "hpgmg/benchmark.hpp"
+
+namespace gp = alperf::gp;
+namespace hp = alperf::hpgmg;
+namespace la = alperf::la;
+using alperf::stats::Rng;
+
+namespace {
+
+struct Config {
+  int n;                  // grid points per dimension (2^k - 1)
+  hp::StencilType type;
+  int smooth;             // pre/post smoothing sweeps
+
+  std::vector<double> features() const {
+    return {std::log10(static_cast<double>(n) * n * n),
+            type == hp::StencilType::Poisson1 ? 0.0 : 1.0,
+            static_cast<double>(smooth)};
+  }
+};
+
+double runOnce(const Config& c) {
+  hp::MgOptions opt;
+  opt.preSmooth = c.smooth;
+  opt.postSmooth = c.smooth;
+  const auto result = hp::runBenchmark(c.type, c.n, opt);
+  return result.seconds;
+}
+
+}  // namespace
+
+int main() {
+  // Candidate pool: the cross product of sizes, operators and smoothing.
+  std::vector<Config> pool;
+  for (int n : {7, 15, 31})
+    for (auto t : {hp::StencilType::Poisson1, hp::StencilType::Poisson2,
+                   hp::StencilType::Poisson2Affine})
+      for (int smooth : {1, 2, 3}) pool.push_back({n, t, smooth});
+  std::printf("online AL over %zu runnable HPGMG configurations\n",
+              pool.size());
+
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-3;  // wall-clock timing is noisy
+  gp::GaussianProcess model(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0, 1.0}), cfg);
+  Rng rng(1);
+
+  // Seed: run the first configuration once ("verify correctness" run).
+  std::vector<std::vector<double>> xs{pool.front().features()};
+  std::vector<double> ys{std::log10(std::max(runOnce(pool.front()), 1e-7))};
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = 1; i < pool.size(); ++i) remaining.push_back(i);
+
+  std::printf("%-5s %-6s %-16s %-7s %-12s %-10s\n", "iter", "grid",
+              "operator", "smooth", "measured(s)", "sigma");
+  const int budget = 12;  // run only 12 of the 26 remaining configs
+  double totalMeasureTime = ys.empty() ? 0.0 : std::pow(10.0, ys[0]);
+  for (int iter = 0; iter < budget && !remaining.empty(); ++iter) {
+    // Refit on everything measured so far.
+    la::Matrix trainX(xs.size(), 3);
+    la::Vector trainY(ys.begin(), ys.end());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      std::copy(xs[i].begin(), xs[i].end(), trainX.row(i).begin());
+    model.fit(std::move(trainX), std::move(trainY), rng);
+
+    // Acquisition: variance reduction over the remaining configs.
+    std::size_t best = 0;
+    double bestVar = -1.0;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const auto [m, v] =
+          model.predictOne(pool[remaining[i]].features());
+      if (v > bestVar) {
+        bestVar = v;
+        best = i;
+      }
+    }
+    const Config& chosen = pool[remaining[best]];
+
+    // Actually run the benchmark.
+    const double seconds = runOnce(chosen);
+    totalMeasureTime += seconds;
+    std::printf("%-5d %-6d %-16s %-7d %-12.5f %-10.4f\n", iter, chosen.n,
+                chosen.type == hp::StencilType::Poisson1 ? "poisson1"
+                : chosen.type == hp::StencilType::Poisson2
+                    ? "poisson2"
+                    : "poisson2affine",
+                chosen.smooth, seconds, std::sqrt(bestVar));
+    xs.push_back(chosen.features());
+    ys.push_back(std::log10(std::max(seconds, 1e-7)));
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+
+  // Validate the learned model on the configurations never run.
+  la::Matrix trainX(xs.size(), 3);
+  la::Vector trainY(ys.begin(), ys.end());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    std::copy(xs[i].begin(), xs[i].end(), trainX.row(i).begin());
+  model.fit(std::move(trainX), std::move(trainY), rng);
+
+  double err = 0.0;
+  for (std::size_t i : remaining) {
+    const double actual = runOnce(pool[i]);
+    const auto [m, v] = model.predictOne(pool[i].features());
+    const double e = m - std::log10(std::max(actual, 1e-7));
+    err += e * e;
+  }
+  std::printf("\nmodel built from %zu measured runs (%.3f s of benchmark "
+              "time); held-out log10-RMSE over the %zu never-run configs: "
+              "%.3f\n",
+              xs.size(), totalMeasureTime, remaining.size(),
+              remaining.empty() ? 0.0
+                                : std::sqrt(err / remaining.size()));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: the whole alperf pipeline on a toy 1-D problem in ~80
+// lines — build a job database, wrap it as a RegressionProblem, run
+// GPR-driven active learning, and inspect the learning trace.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+using alperf::stats::Rng;
+
+int main() {
+  // 1. A synthetic "benchmark": runtime grows exponentially with the
+  //    problem-scale knob x, with 3% multiplicative noise. In real use
+  //    this would come from your measurement campaign (see the other
+  //    examples for the full cluster pipeline).
+  const std::size_t nJobs = 60;
+  Rng dataRng(1);
+  al::RegressionProblem problem;
+  problem.x = alperf::la::Matrix(nJobs, 1);
+  problem.y.resize(nJobs);
+  problem.cost.resize(nJobs);
+  for (std::size_t i = 0; i < nJobs; ++i) {
+    const double x = 10.0 * static_cast<double>(i) / (nJobs - 1);
+    const double runtime =
+        0.01 * std::pow(10.0, 0.25 * x) * dataRng.lognormal(0.0, 0.03);
+    problem.x(i, 0) = x;
+    problem.y[i] = std::log10(runtime);  // model log-runtime
+    problem.cost[i] = runtime;           // pay linear runtime per query
+  }
+  problem.featureNames = {"scale"};
+  problem.responseName = "log10(runtime)";
+
+  // 2. A GP prior: squared-exponential kernel (the paper's eq. 11) with
+  //    a conservative noise floor (the paper's Fig. 7 lesson).
+  gp::GpConfig gpCfg;
+  gpCfg.noise.lo = 1e-2;
+  gpCfg.nRestarts = 2;
+  gp::GaussianProcess prototype(gp::makeSquaredExponential(1.0, 1.0),
+                                gpCfg);
+
+  // 3. Active learning: seed with 1 job, let Cost Efficiency (eq. 14)
+  //    choose the rest, stop when the pool's mean predictive SD (AMSD)
+  //    plateaus.
+  al::AlConfig alCfg;
+  alCfg.nInitial = 1;
+  alCfg.activeFraction = 0.8;
+  alCfg.amsdWindow = 5;
+  alCfg.amsdRelTol = 0.02;
+  al::ActiveLearner learner(problem, prototype,
+                            std::make_unique<al::CostEfficiency>(), alCfg);
+
+  Rng rng(7);
+  const al::AlResult result = learner.run(rng);
+
+  // 4. Inspect the trace.
+  std::printf("%-5s %-10s %-10s %-10s %-12s\n", "iter", "sigma", "AMSD",
+              "RMSE", "cum. cost");
+  for (const auto& rec : result.history)
+    std::printf("%-5d %-10.4f %-10.4f %-10.4f %-12.4f\n", rec.iteration,
+                rec.sigmaAtPick, rec.amsd, rec.rmse, rec.cumulativeCost);
+
+  const char* reason =
+      result.stopReason == al::StopReason::AmsdConverged ? "AMSD converged"
+      : result.stopReason == al::StopReason::PoolExhausted
+          ? "pool exhausted"
+          : "iteration/budget limit";
+  std::printf("\nstopped after %zu experiments (%s); final test RMSE %.4f "
+              "log10-seconds for %.2f seconds of total experiment cost\n",
+              result.history.size(), reason, result.history.back().rmse,
+              result.history.back().cumulativeCost);
+
+  // 5. The final model is a regular GP: query it anywhere.
+  const auto [mean, var] =
+      result.finalGp.predictOne(std::vector<double>{5.5});
+  std::printf("predicted runtime at scale 5.5: %.4f s (95%% CI %.4f .. "
+              "%.4f)\n",
+              std::pow(10.0, mean),
+              std::pow(10.0, mean - 2.0 * std::sqrt(var)),
+              std::pow(10.0, mean + 2.0 * std::sqrt(var)));
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file alperf.hpp
+/// Umbrella header: pulls in the full public API. Downstream users who
+/// prefer granular includes can include the per-module headers directly
+/// (each module's header set is self-contained).
+
+// Substrates.
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/integrate.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+
+// Optimization.
+#include "opt/gradient.hpp"
+#include "opt/multistart.hpp"
+#include "opt/neldermead.hpp"
+#include "opt/objective.hpp"
+
+// Data handling.
+#include "data/csv.hpp"
+#include "data/doe.hpp"
+#include "data/groupby.hpp"
+#include "data/partition.hpp"
+#include "data/table.hpp"
+#include "data/transform.hpp"
+
+// Gaussian processes.
+#include "gp/gp.hpp"
+#include "gp/kernels.hpp"
+#include "gp/sparse.hpp"
+
+// Active learning (the paper's contribution).
+#include "core/batch.hpp"
+#include "core/calibration.hpp"
+#include "core/continuous.hpp"
+#include "core/learner.hpp"
+#include "core/multi.hpp"
+#include "core/optimize.hpp"
+#include "core/problem.hpp"
+#include "core/strategy.hpp"
+#include "core/tradeoff.hpp"
+
+// Measurement substrates.
+#include "cluster/dataset.hpp"
+#include "cluster/records.hpp"
+#include "cluster/scheduler.hpp"
+#include "hpgmg/benchmark.hpp"
+#include "hpgmg/multigrid.hpp"

@@ -1,0 +1,129 @@
+#include "cluster/dataset.hpp"
+
+#include "cluster/records.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "stats/sampling.hpp"
+
+namespace alperf::cluster {
+
+std::vector<double> defaultSizeLadder() {
+  const int dims[] = {12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
+                      768, 1024};
+  std::vector<double> sizes;
+  sizes.reserve(std::size(dims));
+  for (int m : dims)
+    sizes.push_back(static_cast<double>(m) * m * m);
+  return sizes;
+}
+
+DatasetGenerator::DatasetGenerator(DatasetConfig config,
+                                   PerfModelParams perfParams,
+                                   PowerModelParams powerParams,
+                                   IpmiSamplerParams samplerParams,
+                                   EnergyEstimatorParams energyParams,
+                                   ClusterConfig clusterConfig)
+    : config_(std::move(config)),
+      perfParams_(perfParams),
+      powerParams_(powerParams),
+      samplerParams_(samplerParams),
+      energyParams_(energyParams),
+      clusterConfig_(clusterConfig) {
+  if (config_.sizes.empty()) config_.sizes = defaultSizeLadder();
+  requireArg(!config_.operators.empty() && !config_.npLevels.empty() &&
+                 !config_.freqLevels.empty(),
+             "DatasetGenerator: empty factor levels");
+  requireArg(config_.maxRepeats >= 1, "DatasetGenerator: maxRepeats >= 1");
+}
+
+std::vector<JobRequest> DatasetGenerator::combinations() const {
+  std::vector<JobRequest> combos;
+  combos.reserve(config_.operators.size() * config_.sizes.size() *
+                 config_.npLevels.size() * config_.freqLevels.size());
+  for (Operator op : config_.operators)
+    for (double size : config_.sizes)
+      for (int np : config_.npLevels)
+        for (double f : config_.freqLevels)
+          combos.push_back({op, size, np, f});
+  return combos;
+}
+
+GeneratedDataset DatasetGenerator::generate() const {
+  const auto combos = combinations();
+  const std::size_t nCombos = combos.size();
+  requireArg(config_.targetJobs >= nCombos,
+             "DatasetGenerator: targetJobs below one run per combination");
+  requireArg(config_.targetJobs <=
+                 nCombos * static_cast<std::size_t>(config_.maxRepeats),
+             "DatasetGenerator: targetJobs exceeds maxRepeats per combo");
+
+  stats::Rng rng(config_.seed);
+
+  // Plan repeats: one run each, then hand out extras by uniform random
+  // draws with replacement (never exceeding maxRepeats per combination),
+  // so some combinations reach the full maxRepeats while others stay at
+  // one — the paper's "up to 3 repeated experiments".
+  std::vector<int> repeats(nCombos, 1);
+  std::size_t total = nCombos;
+  while (total < config_.targetJobs) {
+    const std::size_t c = rng.index(nCombos);
+    if (repeats[c] < config_.maxRepeats) {
+      ++repeats[c];
+      ++total;
+    }
+  }
+
+  // Expand into the submission list and shuffle so repeats interleave.
+  std::vector<JobRequest> jobs;
+  jobs.reserve(total);
+  for (std::size_t c = 0; c < nCombos; ++c)
+    for (int r = 0; r < repeats[c]; ++r) jobs.push_back(combos[c]);
+  stats::shuffle(jobs, rng);
+
+  // Run the campaign.
+  ClusterSim sim(clusterConfig_, PerfModel(perfParams_), rng());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    sim.submit(jobs[i], static_cast<double>(i) * config_.submitStagger);
+  sim.run();
+
+  // Sample per-node IPMI traces over the whole campaign.
+  const IpmiSampler sampler{PowerModel(powerParams_), samplerParams_};
+  std::vector<NodeTrace> traces;
+  traces.reserve(clusterConfig_.nodes);
+  for (int n = 0; n < clusterConfig_.nodes; ++n) {
+    stats::Rng nodeRng = rng.split();
+    traces.push_back(
+        sampler.sample(n, sim.nodeLoad(n), 0.0, sim.makespan(), nodeRng));
+  }
+
+  // Estimate per-job energy and apply the exclusion rule.
+  const EnergyEstimator estimator(energyParams_);
+  auto& records = sim.recordsMutable();
+  for (JobRecord& rec : records) {
+    std::vector<const NodeTrace*> jobTraces;
+    const Placement& p = sim.placements()[rec.id];
+    for (std::size_t n = 0; n < p.cores.size(); ++n)
+      if (p.cores[n] > 0) jobTraces.push_back(&traces[n]);
+    const EnergyEstimate e =
+        estimator.estimate(jobTraces, rec.startTime, rec.endTime);
+    rec.energyJoules = e.joules;
+    rec.energyValid = e.valid;
+    rec.powerSamples = e.samples;
+  }
+
+  // Assemble the tables (shared schema via recordsToTable).
+  GeneratedDataset out;
+  out.makespan = sim.makespan();
+  out.records = records;
+
+  std::vector<JobRecord> valid;
+  for (const JobRecord& r : records)
+    if (r.energyValid) valid.push_back(r);
+  out.performance = recordsToTable(records, /*withEnergy=*/false);
+  out.power = recordsToTable(valid, /*withEnergy=*/true);
+  return out;
+}
+
+}  // namespace alperf::cluster

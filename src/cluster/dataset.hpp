@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file dataset.hpp
+/// End-to-end generation of the paper's two job databases (Table I):
+/// a Performance dataset (3246 jobs; response: runtime) and a Power
+/// dataset (the subset with trustworthy IPMI traces, 640 jobs; responses:
+/// runtime and energy). The generator runs the full pipeline the paper
+/// describes: build a factorial campaign with up to 3 repeats per
+/// combination, submit it in batches to the SLURM-like simulator, sample
+/// per-node IPMI power traces, integrate per-job energy, and exclude jobs
+/// with gappy traces.
+
+#include <cstdint>
+
+#include "cluster/scheduler.hpp"
+#include "data/table.hpp"
+
+namespace alperf::cluster {
+
+struct DatasetConfig {
+  std::vector<Operator> operators{Operator::Poisson1, Operator::Poisson2,
+                                  Operator::Poisson2Affine};
+  /// Global problem sizes (dof). Default: m³ for the paper-like ladder of
+  /// per-dimension sizes 12..1024, spanning 1.7e3 .. 1.1e9.
+  std::vector<double> sizes;
+  std::vector<int> npLevels{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128};
+  std::vector<double> freqLevels{1.2, 1.5, 1.8, 2.1, 2.4};
+
+  /// Total jobs to generate; extra repeats (beyond one run per factor
+  /// combination) are assigned at random, at most maxRepeats per combo.
+  std::size_t targetJobs = 3246;
+  int maxRepeats = 3;
+
+  /// Seconds between consecutive submissions (batched campaign).
+  double submitStagger = 1.0;
+
+  std::uint64_t seed = 42;
+};
+
+/// Returns DatasetConfig's default size ladder (14 cubic sizes).
+std::vector<double> defaultSizeLadder();
+
+struct GeneratedDataset {
+  /// All completed jobs; columns: JobId, Operator, GlobalSize, NP,
+  /// FreqGHz, RuntimeS, SubmitTime, StartTime, EndTime, QueueWaitS,
+  /// NodesUsed, CoresUsed, PowerSamples, EnergyValid.
+  data::Table performance;
+  /// Jobs with a valid energy estimate; adds the EnergyJ column.
+  data::Table power;
+
+  std::vector<JobRecord> records;
+  double makespan = 0.0;
+};
+
+class DatasetGenerator {
+ public:
+  explicit DatasetGenerator(DatasetConfig config = {},
+                            PerfModelParams perfParams = {},
+                            PowerModelParams powerParams = {},
+                            IpmiSamplerParams samplerParams = {},
+                            EnergyEstimatorParams energyParams = {},
+                            ClusterConfig clusterConfig = {});
+
+  /// Runs the full campaign. Deterministic for a fixed config.
+  GeneratedDataset generate() const;
+
+  /// The factor combinations (before repeats) in deterministic order.
+  std::vector<JobRequest> combinations() const;
+
+ private:
+  DatasetConfig config_;
+  PerfModelParams perfParams_;
+  PowerModelParams powerParams_;
+  IpmiSamplerParams samplerParams_;
+  EnergyEstimatorParams energyParams_;
+  ClusterConfig clusterConfig_;
+};
+
+}  // namespace alperf::cluster

@@ -1,0 +1,27 @@
+#include "cluster/job.hpp"
+
+#include "common/error.hpp"
+
+namespace alperf::cluster {
+
+std::string toString(Operator op) {
+  switch (op) {
+    case Operator::Poisson1:
+      return "poisson1";
+    case Operator::Poisson2:
+      return "poisson2";
+    case Operator::Poisson2Affine:
+      return "poisson2affine";
+  }
+  throw std::invalid_argument("toString: unknown Operator");
+}
+
+Operator operatorFromString(const std::string& s) {
+  if (s == "poisson1") return Operator::Poisson1;
+  if (s == "poisson2") return Operator::Poisson2;
+  if (s == "poisson2affine") return Operator::Poisson2Affine;
+  throw std::invalid_argument("operatorFromString: unknown operator '" + s +
+                              "'");
+}
+
+}  // namespace alperf::cluster

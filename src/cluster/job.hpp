@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file job.hpp
+/// Job descriptions and accounting records for the simulated cluster.
+///
+/// A JobRequest mirrors one HPGMG-FE invocation from the paper's campaign:
+/// an operator (the FE discretization variant), a global problem size in
+/// degrees of freedom, an MPI process count, and the DVFS CPU frequency.
+/// A JobRecord is the SLURM-accounting-style result row.
+
+#include <cstddef>
+#include <string>
+
+namespace alperf::cluster {
+
+/// The HPGMG-FE operator variants from Table I.
+enum class Operator {
+  Poisson1,        ///< Q1 elements, 2nd order (cheapest per dof)
+  Poisson2,        ///< Q2 elements (wide stencil, more flops per dof)
+  Poisson2Affine,  ///< Q2 with affine-deformed mesh (extra metric terms)
+};
+
+/// Canonical dataset string ("poisson1", "poisson2", "poisson2affine").
+std::string toString(Operator op);
+
+/// Inverse of toString; throws std::invalid_argument on unknown names.
+Operator operatorFromString(const std::string& s);
+
+/// All operators, in Table I order.
+inline constexpr Operator kAllOperators[] = {
+    Operator::Poisson1, Operator::Poisson2, Operator::Poisson2Affine};
+
+/// One experiment to run.
+struct JobRequest {
+  Operator op = Operator::Poisson1;
+  double globalSize = 0.0;  ///< total degrees of freedom
+  int np = 1;               ///< MPI process count
+  double freqGhz = 2.4;     ///< DVFS CPU frequency
+};
+
+/// SLURM-accounting-style result of a completed job.
+struct JobRecord {
+  std::size_t id = 0;
+  JobRequest request;
+
+  double submitTime = 0.0;  ///< simulated epoch seconds
+  double startTime = 0.0;
+  double endTime = 0.0;
+  int nodesUsed = 0;
+  int coresUsed = 0;
+
+  double runtimeSeconds = 0.0;
+
+  /// Failure-injection accounting: total attempts (1 = clean run), time
+  /// burnt by failed attempts (their full allocation windows), and
+  /// whether the job exhausted its retries without completing.
+  int attempts = 1;
+  double wastedSeconds = 0.0;
+  bool failed = false;
+
+  /// IPMI-trace-derived energy estimate over the accounting window
+  /// (runtime + prolog/epilog) across all allocated nodes. Only meaningful
+  /// when energyValid (the paper excludes jobs with gappy traces).
+  double energyJoules = 0.0;
+  bool energyValid = false;
+  int powerSamples = 0;  ///< samples available in the accounting window
+
+  double queueWait() const { return startTime - submitTime; }
+};
+
+}  // namespace alperf::cluster

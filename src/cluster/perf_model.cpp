@@ -1,0 +1,117 @@
+#include "cluster/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alperf::cluster {
+
+PerfModel::PerfModel(PerfModelParams params) : params_(params) {
+  requireArg(params_.coresPerNode >= 1 && params_.nodes >= 1,
+             "PerfModel: machine must have at least one core");
+  requireArg(params_.coreRate > 0.0 && params_.baseFreqGhz > 0.0,
+             "PerfModel: rates must be positive");
+  requireArg(params_.coarseDof >= 1.0, "PerfModel: coarseDof must be >= 1");
+}
+
+double PerfModel::flopsPerDof(Operator op) const {
+  switch (op) {
+    case Operator::Poisson1:
+      return params_.flopsPerDofPoisson1;
+    case Operator::Poisson2:
+      return params_.flopsPerDofPoisson2;
+    case Operator::Poisson2Affine:
+      return params_.flopsPerDofPoisson2Affine;
+  }
+  throw std::invalid_argument("PerfModel: unknown Operator");
+}
+
+double PerfModel::freqExponent(Operator op) const {
+  switch (op) {
+    case Operator::Poisson1:
+      return params_.freqExponentPoisson1;
+    case Operator::Poisson2:
+      return params_.freqExponentPoisson2;
+    case Operator::Poisson2Affine:
+      return params_.freqExponentPoisson2Affine;
+  }
+  throw std::invalid_argument("PerfModel: unknown Operator");
+}
+
+int PerfModel::levels(double globalSize) const {
+  requireArg(globalSize >= 1.0, "PerfModel::levels: size must be >= 1");
+  if (globalSize <= params_.coarseDof) return 1;
+  // Geometric multigrid coarsens by 8x (2x per dimension) per level.
+  return 1 + static_cast<int>(
+                 std::ceil(std::log2(globalSize / params_.coarseDof) / 3.0));
+}
+
+int PerfModel::coresUsed(int np) const {
+  requireArg(np >= 1, "PerfModel: np must be >= 1");
+  return std::min(np, totalCores());
+}
+
+int PerfModel::nodesUsed(int np) const {
+  const int cores = coresUsed(np);
+  return (cores + params_.coresPerNode - 1) / params_.coresPerNode;
+}
+
+double PerfModel::meanRuntime(const JobRequest& req) const {
+  requireArg(req.globalSize >= 1.0, "PerfModel: globalSize must be >= 1");
+  requireArg(req.freqGhz > 0.0, "PerfModel: frequency must be positive");
+  const int cores = coresUsed(req.np);
+  const int usedNodes = nodesUsed(req.np);
+  const int coresPerUsedNode =
+      (cores + usedNodes - 1) / usedNodes;  // balanced placement
+
+  // Per-core rate after DVFS and per-node memory-bandwidth contention.
+  const double fScale =
+      std::pow(req.freqGhz / params_.baseFreqGhz, freqExponent(req.op));
+  const double contention =
+      params_.coresPerNode > 1
+          ? 1.0 + params_.memContention *
+                      static_cast<double>(coresPerUsedNode - 1) /
+                      static_cast<double>(params_.coresPerNode - 1)
+          : 1.0;
+  const double rate = params_.coreRate * fScale / contention;
+
+  // Bulk computation: perfectly divided work at the contended rate.
+  const double work = flopsPerDof(req.op) * req.globalSize;
+  double t = work / (static_cast<double>(cores) * rate);
+
+  // Oversubscription: ranks beyond the core count time-share with overhead.
+  if (req.np > totalCores()) {
+    const double factor = static_cast<double>(req.np) / totalCores();
+    t *= factor * (1.0 + params_.oversubPenalty * (factor - 1.0));
+  }
+
+  // Halo exchange: surface-to-volume term per rank, summed over levels
+  // (the level sum is a geometric series dominated by the finest level;
+  // approximate with 1.5x the finest-level cost).
+  const int nLevels = levels(req.globalSize);
+  if (cores > 1) {
+    const double dofPerRank = req.globalSize / cores;
+    const double halo = 1.5 * params_.haloBytesPerDof *
+                        std::pow(dofPerRank, 2.0 / 3.0) /
+                        params_.networkBandwidth;
+    t += halo * (usedNodes > 1 ? params_.interNodeCommFactor : 1.0);
+  }
+
+  // Latency floor: every level of every cycle costs a fixed overhead,
+  // growing slowly with rank count (tree reductions).
+  const double latency = params_.latencyPerLevel * nLevels *
+                         (1.0 + 0.15 * std::log2(static_cast<double>(cores)));
+  t += latency + params_.setupSeconds;
+  return t;
+}
+
+double PerfModel::sampleRuntime(const JobRequest& req,
+                                stats::Rng& rng) const {
+  double t = meanRuntime(req) * rng.lognormal(0.0, params_.noiseSigma);
+  if (rng.bernoulli(params_.spikeProbability))
+    t *= 1.0 + rng.exponential(1.0 / params_.spikeScale);
+  return t;
+}
+
+}  // namespace alperf::cluster

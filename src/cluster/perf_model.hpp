@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file perf_model.hpp
+/// Analytic HPGMG-FE runtime model used by the cluster simulator.
+///
+/// The paper's datasets came from real HPGMG-FE runs on CloudLab hardware
+/// we do not have; this model is the substitution documented in DESIGN.md.
+/// It is a standard multigrid cost model — work ∝ N with per-operator
+/// flops/dof, per-node memory-bandwidth contention, a DVFS frequency
+/// exponent below 1 (memory-bound codes scale sublinearly with frequency),
+/// surface-to-volume halo-exchange communication, per-level latency floors,
+/// and an oversubscription penalty for np > total cores — calibrated so the
+/// generated dataset matches Table I's ranges (runtime 0.005–458 s over
+/// N ∈ [1.7e3, 1.1e9], np ∈ [1, 128], f ∈ [1.2, 2.4] GHz).
+///
+/// Observed runtimes are the deterministic mean times multiplicative
+/// lognormal noise, with rare heavy-tail "system jitter" spikes, matching
+/// the low-but-real variance visible in the paper's Performance dataset.
+
+#include "cluster/job.hpp"
+#include "stats/rng.hpp"
+
+namespace alperf::cluster {
+
+/// Tunable constants of the runtime model (defaults are the calibrated
+/// values; tests perturb them).
+struct PerfModelParams {
+  // Machine shape (CloudLab Wisconsin c220g1-like).
+  int coresPerNode = 16;
+  int nodes = 4;
+  double baseFreqGhz = 2.4;
+
+  // Per-operator FMG work in flops per degree of freedom.
+  double flopsPerDofPoisson1 = 150.0;
+  double flopsPerDofPoisson2 = 550.0;
+  double flopsPerDofPoisson2Affine = 700.0;
+
+  // Achieved per-core flop rate at base frequency, one active core.
+  double coreRate = 2.8e9;
+
+  // Runtime ∝ f^-freqExponent; < 1 because the code is partly memory-bound.
+  double freqExponentPoisson1 = 0.65;
+  double freqExponentPoisson2 = 0.80;
+  double freqExponentPoisson2Affine = 0.80;
+
+  // Per-node memory-bandwidth contention: with c active cores on a node the
+  // per-core rate is divided by 1 + contention*(c-1)/(coresPerNode-1).
+  double memContention = 0.6;
+
+  // Halo exchange: bytes per boundary dof over the network bandwidth,
+  // doubled when the job spans multiple nodes.
+  double haloBytesPerDof = 8.0;
+  double networkBandwidth = 1.25e9;  ///< bytes/s (10 GbE)
+  double interNodeCommFactor = 2.0;
+
+  // Per-level, per-cycle latency floor (MPI/kernel launch overhead).
+  double latencyPerLevel = 450e-6;
+
+  // Fixed startup (mesh setup, first touch).
+  double setupSeconds = 3.0e-3;
+
+  // Oversubscription penalty slope for np > nodes*coresPerNode.
+  double oversubPenalty = 0.12;
+
+  // Coarsest-grid size: levels = 1 + log8(N / coarseDof).
+  double coarseDof = 1000.0;
+
+  // Noise: lognormal sigma, plus with probability spikeProbability a spike
+  // factor 1 + Exp(1/spikeScale).
+  double noiseSigma = 0.025;
+  double spikeProbability = 0.02;
+  double spikeScale = 0.08;
+};
+
+/// Deterministic-mean + stochastic-sample runtime model.
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelParams params = {});
+
+  const PerfModelParams& params() const { return params_; }
+
+  int totalCores() const { return params_.coresPerNode * params_.nodes; }
+
+  /// Multigrid level count for a given global size.
+  int levels(double globalSize) const;
+
+  /// Number of nodes a job occupies (ceil(cores/coresPerNode), capped).
+  int nodesUsed(int np) const;
+
+  /// Cores actually allocated (np capped at the machine size; beyond that
+  /// ranks time-share).
+  int coresUsed(int np) const;
+
+  /// Expected (noise-free) runtime in seconds.
+  double meanRuntime(const JobRequest& req) const;
+
+  /// One noisy observation of the runtime.
+  double sampleRuntime(const JobRequest& req, stats::Rng& rng) const;
+
+ private:
+  double flopsPerDof(Operator op) const;
+  double freqExponent(Operator op) const;
+
+  PerfModelParams params_;
+};
+
+}  // namespace alperf::cluster

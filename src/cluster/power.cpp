@@ -1,0 +1,167 @@
+#include "cluster/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "stats/integrate.hpp"
+
+namespace alperf::cluster {
+
+PowerModel::PowerModel(PowerModelParams params) : params_(params) {
+  requireArg(params_.idleWatts >= 0.0 && params_.dynamicWatts >= 0.0,
+             "PowerModel: watts must be non-negative");
+  requireArg(params_.baseFreqGhz > 0.0,
+             "PowerModel: base frequency must be positive");
+}
+
+double PowerModel::nodePower(double utilization, double freqGhz) const {
+  requireArg(utilization >= 0.0 && utilization <= 1.0,
+             "PowerModel: utilization outside [0,1]");
+  requireArg(freqGhz > 0.0, "PowerModel: frequency must be positive");
+  const double fScale =
+      std::pow(freqGhz / params_.baseFreqGhz, params_.freqExponent);
+  return params_.idleWatts + params_.dynamicWatts * utilization * fScale;
+}
+
+double PowerModel::nodePowerAt(double t,
+                               const std::vector<LoadInterval>& load) const {
+  double util = 0.0;
+  double freq = params_.baseFreqGhz;
+  bool any = false;
+  for (const auto& iv : load) {
+    if (t >= iv.begin && t < iv.end) {
+      util += iv.utilization;
+      // With co-scheduled jobs at different DVFS settings the socket runs
+      // at the highest requested frequency.
+      freq = any ? std::max(freq, iv.freqGhz) : iv.freqGhz;
+      any = true;
+    }
+  }
+  util = std::min(util, 1.0);
+  const double wander =
+      params_.wanderWatts *
+      std::sin(2.0 * std::numbers::pi * t / params_.wanderPeriodSeconds);
+  return nodePower(util, any ? freq : params_.baseFreqGhz) + wander;
+}
+
+std::pair<std::size_t, std::size_t> NodeTrace::windowRange(double begin,
+                                                           double end) const {
+  const auto lo = std::lower_bound(
+      samples.begin(), samples.end(), begin,
+      [](const PowerSample& s, double t) { return s.time < t; });
+  const auto hi = std::upper_bound(
+      samples.begin(), samples.end(), end,
+      [](double t, const PowerSample& s) { return t < s.time; });
+  return {static_cast<std::size_t>(lo - samples.begin()),
+          static_cast<std::size_t>(hi - samples.begin())};
+}
+
+IpmiSampler::IpmiSampler(PowerModel model, IpmiSamplerParams params)
+    : model_(std::move(model)), params_(params) {
+  requireArg(params_.periodSeconds > 0.0,
+             "IpmiSampler: period must be positive");
+  requireArg(params_.periodJitterSeconds >= 0.0 &&
+                 params_.periodJitterSeconds < params_.periodSeconds,
+             "IpmiSampler: jitter must be in [0, period)");
+  requireArg(params_.meanUpSeconds > 0.0 && params_.meanDownSeconds >= 0.0,
+             "IpmiSampler: outage process durations invalid");
+}
+
+NodeTrace IpmiSampler::sample(int node,
+                              const std::vector<LoadInterval>& load,
+                              double begin, double end,
+                              stats::Rng& rng) const {
+  requireArg(begin <= end, "IpmiSampler: begin > end");
+  NodeTrace trace;
+  trace.node = node;
+
+  // Sensor outage state machine: alternate exponential up/down episodes.
+  bool up = rng.bernoulli(params_.meanUpSeconds /
+                          (params_.meanUpSeconds + params_.meanDownSeconds));
+  double stateEnd =
+      begin + rng.exponential(1.0 / (up ? params_.meanUpSeconds
+                                        : params_.meanDownSeconds));
+  double bias = rng.normal(0.0, params_.biasSigmaWatts);
+
+  double t = begin + rng.uniformReal(0.0, params_.periodSeconds);
+  while (t <= end) {
+    while (t > stateEnd) {
+      up = !up;
+      stateEnd += rng.exponential(
+          1.0 / (up ? params_.meanUpSeconds : params_.meanDownSeconds));
+      // The sensor recalibrates when it comes back up.
+      if (up) bias = rng.normal(0.0, params_.biasSigmaWatts);
+    }
+    if (up) {
+      double w = model_.nodePowerAt(t, load) + bias +
+                 rng.normal(0.0, params_.measurementNoiseWatts);
+      if (params_.quantizationWatts > 0.0)
+        w = std::round(w / params_.quantizationWatts) *
+            params_.quantizationWatts;
+      trace.samples.push_back({t, std::max(w, 0.0)});
+    }
+    t += params_.periodSeconds +
+         rng.uniformReal(-params_.periodJitterSeconds,
+                         params_.periodJitterSeconds);
+  }
+  return trace;
+}
+
+EnergyEstimator::EnergyEstimator(EnergyEstimatorParams params)
+    : params_(params) {
+  requireArg(params_.requiredPerMinute > 0.0 && params_.maxGapSeconds > 0.0,
+             "EnergyEstimator: params must be positive");
+}
+
+EnergyEstimate EnergyEstimator::estimate(
+    const std::vector<const NodeTrace*>& traces, double begin,
+    double end) const {
+  requireArg(!traces.empty(), "EnergyEstimator: no traces given");
+  requireArg(begin < end, "EnergyEstimator: empty window");
+  EnergyEstimate out;
+  const double duration = end - begin;
+  const auto required = static_cast<std::size_t>(std::max(
+      2.0, std::ceil(params_.requiredPerMinute * duration / 60.0)));
+
+  double total = 0.0;
+  for (const NodeTrace* trace : traces) {
+    ALPERF_ASSERT(trace != nullptr, "EnergyEstimator: null trace");
+    const auto [lo, hi] = trace->windowRange(begin, end);
+    const std::size_t n = hi - lo;
+    out.samples += static_cast<int>(n);
+    if (n < required) return out;  // invalid (too sparse)
+
+    // Gap rule: edges and internal spacing must be within maxGapSeconds.
+    if (trace->samples[lo].time - begin > params_.maxGapSeconds) return out;
+    if (end - trace->samples[hi - 1].time > params_.maxGapSeconds) return out;
+    for (std::size_t i = lo + 1; i < hi; ++i)
+      if (trace->samples[i].time - trace->samples[i - 1].time >
+          params_.maxGapSeconds)
+        return out;
+
+    // Trapezoid over the window with edge extension.
+    std::vector<double> t, w;
+    t.reserve(n + 2);
+    w.reserve(n + 2);
+    if (trace->samples[lo].time > begin) {
+      t.push_back(begin);
+      w.push_back(trace->samples[lo].watts);
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      t.push_back(trace->samples[i].time);
+      w.push_back(trace->samples[i].watts);
+    }
+    if (trace->samples[hi - 1].time < end) {
+      t.push_back(end);
+      w.push_back(trace->samples[hi - 1].watts);
+    }
+    total += stats::trapezoidIrregular(t, w);
+  }
+  out.joules = total;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace alperf::cluster

@@ -1,0 +1,95 @@
+#include "cluster/records.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alperf::cluster {
+
+data::Table recordsToTable(std::span<const JobRecord> records,
+                           bool withEnergy) {
+  const std::size_t n = records.size();
+  std::vector<double> id(n), size(n), np(n), freq(n), runtime(n), submit(n),
+      start(n), end(n), wait(n), nodes(n), cores(n), samples(n), evalid(n),
+      attempts(n), wasted(n), failed(n);
+  std::vector<std::string> op(n);
+  std::vector<double> energy(withEnergy ? n : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRecord& r = records[i];
+    id[i] = static_cast<double>(r.id);
+    op[i] = toString(r.request.op);
+    size[i] = r.request.globalSize;
+    np[i] = r.request.np;
+    freq[i] = r.request.freqGhz;
+    runtime[i] = r.runtimeSeconds;
+    submit[i] = r.submitTime;
+    start[i] = r.startTime;
+    end[i] = r.endTime;
+    wait[i] = r.queueWait();
+    nodes[i] = r.nodesUsed;
+    cores[i] = r.coresUsed;
+    samples[i] = r.powerSamples;
+    evalid[i] = r.energyValid ? 1.0 : 0.0;
+    attempts[i] = r.attempts;
+    wasted[i] = r.wastedSeconds;
+    failed[i] = r.failed ? 1.0 : 0.0;
+    if (withEnergy) energy[i] = r.energyJoules;
+  }
+  data::Table t;
+  t.addNumeric("JobId", std::move(id));
+  t.addCategorical("Operator", std::move(op));
+  t.addNumeric("GlobalSize", std::move(size));
+  t.addNumeric("NP", std::move(np));
+  t.addNumeric("FreqGHz", std::move(freq));
+  t.addNumeric("RuntimeS", std::move(runtime));
+  t.addNumeric("SubmitTime", std::move(submit));
+  t.addNumeric("StartTime", std::move(start));
+  t.addNumeric("EndTime", std::move(end));
+  t.addNumeric("QueueWaitS", std::move(wait));
+  t.addNumeric("NodesUsed", std::move(nodes));
+  t.addNumeric("CoresUsed", std::move(cores));
+  t.addNumeric("PowerSamples", std::move(samples));
+  t.addNumeric("EnergyValid", std::move(evalid));
+  t.addNumeric("Attempts", std::move(attempts));
+  t.addNumeric("WastedSeconds", std::move(wasted));
+  t.addNumeric("Failed", std::move(failed));
+  if (withEnergy) t.addNumeric("EnergyJ", std::move(energy));
+  return t;
+}
+
+std::vector<JobRequest> requestsFromTable(const data::Table& table) {
+  requireArg(table.numRows() > 0, "requestsFromTable: empty table");
+  const auto op = table.categorical("Operator");
+  const auto size = table.numeric("GlobalSize");
+  const auto np = table.numeric("NP");
+  const auto freq = table.numeric("FreqGHz");
+  std::vector<JobRequest> out;
+  out.reserve(table.numRows());
+  for (std::size_t i = 0; i < table.numRows(); ++i) {
+    JobRequest req;
+    req.op = operatorFromString(std::string(op[i]));
+    req.globalSize = size[i];
+    requireArg(np[i] >= 1.0 && np[i] == std::floor(np[i]),
+               "requestsFromTable: NP must be a positive integer");
+    req.np = static_cast<int>(np[i]);
+    req.freqGhz = freq[i];
+    out.push_back(req);
+  }
+  return out;
+}
+
+std::vector<double> submitTimesFromTable(const data::Table& table,
+                                         double stagger) {
+  requireArg(stagger >= 0.0, "submitTimesFromTable: negative stagger");
+  std::vector<double> times(table.numRows());
+  if (table.hasColumn("SubmitTime")) {
+    const auto col = table.numeric("SubmitTime");
+    times.assign(col.begin(), col.end());
+  } else {
+    for (std::size_t i = 0; i < times.size(); ++i)
+      times[i] = static_cast<double>(i) * stagger;
+  }
+  return times;
+}
+
+}  // namespace alperf::cluster

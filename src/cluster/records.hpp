@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file records.hpp
+/// Conversions between JobRecord/JobRequest collections and data Tables —
+/// the interchange that lets campaigns be archived as CSV (like the
+/// paper's published dataset) and replayed through the simulator.
+
+#include <span>
+
+#include "cluster/job.hpp"
+#include "data/table.hpp"
+
+namespace alperf::cluster {
+
+/// Renders accounting records as a table. Columns: JobId, Operator,
+/// GlobalSize, NP, FreqGHz, RuntimeS, SubmitTime, StartTime, EndTime,
+/// QueueWaitS, NodesUsed, CoresUsed, PowerSamples, EnergyValid, Attempts,
+/// WastedSeconds, Failed, and EnergyJ when withEnergy is set.
+data::Table recordsToTable(std::span<const JobRecord> records,
+                           bool withEnergy);
+
+/// Reads a workload back out of a table with the Operator / GlobalSize /
+/// NP / FreqGHz columns (e.g. a previously exported campaign, or a
+/// hand-written experiment plan). Other columns are ignored.
+std::vector<JobRequest> requestsFromTable(const data::Table& table);
+
+/// Submit times for a replayed workload: the table's SubmitTime column
+/// when present, else `stagger`-spaced arrivals starting at 0.
+std::vector<double> submitTimesFromTable(const data::Table& table,
+                                         double stagger = 1.0);
+
+}  // namespace alperf::cluster

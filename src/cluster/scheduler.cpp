@@ -1,0 +1,296 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace alperf::cluster {
+
+int Placement::totalCores() const {
+  return std::accumulate(cores.begin(), cores.end(), 0);
+}
+
+int Placement::nodesUsed() const {
+  int n = 0;
+  for (int c : cores)
+    if (c > 0) ++n;
+  return n;
+}
+
+ClusterSim::ClusterSim(ClusterConfig config, PerfModel model,
+                       std::uint64_t seed)
+    : config_(config), model_(std::move(model)), rng_(seed) {
+  requireArg(config_.nodes >= 1 && config_.coresPerNode >= 1,
+             "ClusterSim: machine must have at least one core");
+  requireArg(config_.nodes == model_.params().nodes &&
+                 config_.coresPerNode == model_.params().coresPerNode,
+             "ClusterSim: config and perf model disagree on machine shape");
+  requireArg(config_.prologSeconds >= 0.0 && config_.epilogSeconds >= 0.0,
+             "ClusterSim: overheads must be non-negative");
+  freeCores_.assign(config_.nodes, config_.coresPerNode);
+  loadPerNode_.resize(config_.nodes);
+}
+
+std::size_t ClusterSim::submit(const JobRequest& request, double submitTime) {
+  requireArg(!started_, "ClusterSim::submit: simulation already ran");
+  requireArg(submitTime >= 0.0, "ClusterSim: submitTime must be >= 0");
+  const std::size_t id = records_.size();
+  JobRecord rec;
+  rec.id = id;
+  rec.request = request;
+  rec.submitTime = submitTime;
+  records_.push_back(rec);
+  placements_.emplace_back();
+
+  PendingJob job;
+  job.id = id;
+  job.request = request;
+  job.submitTime = submitTime;
+  job.estimatedWindow = config_.walltimeMargin * model_.meanRuntime(request) +
+                        config_.prologSeconds + config_.epilogSeconds;
+  queue_.push_back(job);
+  return id;
+}
+
+bool ClusterSim::tryPlace(int cores, Placement& placement) const {
+  // Greedy descending-free-cores placement (spreads jobs while tolerating
+  // fragmentation, like SLURM's block distribution over least-loaded nodes).
+  std::vector<int> order(freeCores_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return freeCores_[a] > freeCores_[b];
+  });
+  placement.cores.assign(freeCores_.size(), 0);
+  int remaining = cores;
+  for (int node : order) {
+    if (remaining == 0) break;
+    const int take = std::min(remaining, freeCores_[node]);
+    placement.cores[node] = take;
+    remaining -= take;
+  }
+  return remaining == 0;
+}
+
+void ClusterSim::startJob(const PendingJob& job, double now) {
+  Placement placement;
+  const int cores = model_.coresUsed(job.request.np);
+  ALPERF_ASSERT(tryPlace(cores, placement), "startJob: placement must fit");
+  for (std::size_t n = 0; n < freeCores_.size(); ++n)
+    freeCores_[n] -= placement.cores[n];
+
+  double runtime = model_.sampleRuntime(job.request, rng_);
+  // Failure injection: the attempt may crash part-way through its run.
+  const bool crashes = config_.failureProbability > 0.0 &&
+                       rng_.bernoulli(config_.failureProbability);
+  const bool retriesLeft = job.attempt <= config_.maxRetries;
+  if (crashes) runtime *= rng_.uniformReal(0.05, 0.95);
+
+  const double computeBegin = now + config_.prologSeconds;
+  const double computeEnd = computeBegin + runtime;
+  const double windowEnd = computeEnd + config_.epilogSeconds;
+
+  JobRecord& rec = records_[job.id];
+  rec.attempts = job.attempt;
+  if (crashes && retriesLeft) {
+    // Burnt window; the final (successful or terminal) attempt will fill
+    // in the definitive start/end/runtime.
+    rec.wastedSeconds += windowEnd - now;
+  } else {
+    rec.startTime = now;
+    rec.endTime = windowEnd;
+    rec.runtimeSeconds = runtime;
+    rec.nodesUsed = placement.nodesUsed();
+    rec.coresUsed = cores;
+    rec.failed = crashes;
+    placements_[job.id] = placement;
+  }
+
+  for (std::size_t n = 0; n < placement.cores.size(); ++n) {
+    if (placement.cores[n] == 0) continue;
+    LoadInterval iv;
+    iv.begin = computeBegin;
+    iv.end = computeEnd;
+    iv.utilization = static_cast<double>(placement.cores[n]) /
+                     static_cast<double>(config_.coresPerNode);
+    iv.freqGhz = job.request.freqGhz;
+    loadPerNode_[n].push_back(iv);
+  }
+
+  Running run;
+  run.windowEnd = windowEnd;
+  run.id = job.id;
+  run.crashed = crashes && retriesLeft;
+  run.attempt = job.attempt;
+  if (crashes && retriesLeft) {
+    // The crashed attempt must free the right cores at completion even
+    // though the record's placement belongs to the final attempt, so
+    // remember this attempt's placement for the interim.
+    placements_[job.id] = placement;
+  }
+  running_.push_back(run);
+  makespan_ = std::max(makespan_, windowEnd);
+}
+
+void ClusterSim::enqueueRetry(const Running& r, double now) {
+  PendingJob retry;
+  retry.id = r.id;
+  retry.request = records_[r.id].request;
+  retry.submitTime = now;
+  retry.estimatedWindow =
+      config_.walltimeMargin * model_.meanRuntime(retry.request) +
+      config_.prologSeconds + config_.epilogSeconds;
+  retry.attempt = r.attempt + 1;
+  // Keep the queue sorted by submit time (retries arrive "now", before
+  // any future submissions).
+  const auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), retry,
+      [](const PendingJob& a, const PendingJob& b) {
+        return a.submitTime < b.submitTime;
+      });
+  queue_.insert(pos, std::move(retry));
+}
+
+void ClusterSim::schedule(double now) {
+  // FIFO: start queue heads while they fit.
+  while (!queue_.empty()) {
+    const PendingJob& head = queue_.front();
+    if (head.submitTime > now) return;  // not yet arrived
+    Placement p;
+    if (!tryPlace(model_.coresUsed(head.request.np), p)) break;
+    PendingJob job = head;
+    queue_.erase(queue_.begin());
+    startJob(job, now);
+  }
+  if (queue_.empty() || queue_.front().submitTime > now) return;
+
+  // EASY backfill: reserve for the blocked head, let later jobs jump the
+  // queue only if they cannot delay it. Shadow time is computed on
+  // aggregate core counts (a documented approximation of per-node
+  // feasibility).
+  const int headCores = model_.coresUsed(queue_.front().request.np);
+  std::vector<Running> byEnd(running_.begin(), running_.end());
+  std::sort(byEnd.begin(), byEnd.end(),
+            [](const Running& a, const Running& b) {
+              return a.windowEnd < b.windowEnd;
+            });
+  int avail = std::accumulate(freeCores_.begin(), freeCores_.end(), 0);
+  double shadowTime = std::numeric_limits<double>::infinity();
+  int extraCores = 0;
+  for (const Running& r : byEnd) {
+    avail += placements_[r.id].totalCores();
+    if (avail >= headCores) {
+      shadowTime = r.windowEnd;
+      extraCores = avail - headCores;
+      break;
+    }
+  }
+
+  for (std::size_t i = 1; i < queue_.size();) {
+    const PendingJob& cand = queue_[i];
+    if (cand.submitTime > now) {
+      ++i;
+      continue;
+    }
+    const int cores = model_.coresUsed(cand.request.np);
+    Placement p;
+    const bool fitsNow = tryPlace(cores, p);
+    const bool safe =
+        now + cand.estimatedWindow <= shadowTime || cores <= extraCores;
+    if (fitsNow && safe) {
+      PendingJob job = cand;
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      startJob(job, now);
+      if (cores <= extraCores) extraCores -= cores;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ClusterSim::run() {
+  requireArg(!started_, "ClusterSim::run: already ran");
+  started_ = true;
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const PendingJob& a, const PendingJob& b) {
+                     return a.submitTime < b.submitTime;
+                   });
+
+  double now = 0.0;
+  while (!queue_.empty() || !running_.empty()) {
+    schedule(now);
+    // Advance to the next event: a completion or an arrival. Any queued
+    // job's arrival is an event — not just the head's — because later
+    // arrivals may be eligible for backfill.
+    double next = std::numeric_limits<double>::infinity();
+    for (const Running& r : running_) next = std::min(next, r.windowEnd);
+    for (const PendingJob& j : queue_) {
+      if (j.submitTime > now) {
+        next = std::min(next, j.submitTime);
+        break;  // queue is sorted by submit time
+      }
+    }
+    ALPERF_ASSERT(std::isfinite(next),
+                  "ClusterSim: deadlock — nothing running, queue blocked");
+    now = next;
+    // Free everything that completes at `now`; crashed attempts requeue.
+    for (std::size_t i = 0; i < running_.size();) {
+      if (running_[i].windowEnd <= now) {
+        const Running done = running_[i];
+        const Placement& p = placements_[done.id];
+        for (std::size_t n = 0; n < freeCores_.size(); ++n)
+          freeCores_[n] += p.cores[n];
+        running_[i] = running_.back();
+        running_.pop_back();
+        if (done.crashed) enqueueRetry(done, now);
+      } else {
+        ++i;
+      }
+    }
+  }
+  finished_ = true;
+}
+
+const std::vector<JobRecord>& ClusterSim::records() const {
+  requireArg(finished_, "ClusterSim: simulation has not run");
+  return records_;
+}
+
+std::vector<JobRecord>& ClusterSim::recordsMutable() {
+  requireArg(finished_, "ClusterSim: simulation has not run");
+  return records_;
+}
+
+const std::vector<LoadInterval>& ClusterSim::nodeLoad(int node) const {
+  requireArg(node >= 0 && node < config_.nodes,
+             "ClusterSim::nodeLoad: bad node index");
+  return loadPerNode_[node];
+}
+
+const std::vector<Placement>& ClusterSim::placements() const {
+  return placements_;
+}
+
+double ClusterSim::makespan() const { return makespan_; }
+
+double ClusterSim::coreUtilization() const {
+  requireArg(finished_, "ClusterSim: simulation has not run");
+  if (makespan_ <= 0.0) return 0.0;
+  double busyCoreSeconds = 0.0;
+  for (const JobRecord& r : records_)
+    busyCoreSeconds += (r.endTime - r.startTime) * r.coresUsed;
+  return busyCoreSeconds /
+         (static_cast<double>(config_.nodes) * config_.coresPerNode *
+          makespan_);
+}
+
+double ClusterSim::meanQueueWait() const {
+  requireArg(finished_, "ClusterSim: simulation has not run");
+  if (records_.empty()) return 0.0;
+  double total = 0.0;
+  for (const JobRecord& r : records_) total += r.queueWait();
+  return total / static_cast<double>(records_.size());
+}
+
+}  // namespace alperf::cluster

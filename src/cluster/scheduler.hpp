@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Discrete-event cluster simulator with a SLURM-like FIFO + EASY-backfill
+/// scheduler — the stand-in for the paper's 4-node CloudLab cluster running
+/// SLURM 15.08 (Sec. IV). Jobs are submitted in batches, queued, placed on
+/// nodes, and produce SLURM-accounting-style JobRecords plus per-node load
+/// schedules that feed the IPMI power sampler.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "cluster/perf_model.hpp"
+#include "cluster/power.hpp"
+
+namespace alperf::cluster {
+
+/// Machine shape and job-lifecycle overheads.
+struct ClusterConfig {
+  int nodes = 4;
+  int coresPerNode = 16;
+  /// SLURM prolog (node prep, NFS mounts) before the application starts.
+  double prologSeconds = 20.0;
+  /// Epilog (cleanup, accounting flush) after it ends.
+  double epilogSeconds = 20.0;
+  /// Multiplier on the model's mean runtime used as the requested
+  /// walltime for backfill planning.
+  double walltimeMargin = 1.5;
+
+  /// Failure injection: probability that any given attempt crashes
+  /// part-way through (node fault, OOM). A failed attempt occupies its
+  /// cores until the crash point, then the job is requeued, up to
+  /// maxRetries extra attempts before it is marked failed for good.
+  double failureProbability = 0.0;
+  int maxRetries = 3;
+};
+
+/// Where a job's ranks were placed: `cores[i]` ranks on node i.
+struct Placement {
+  std::vector<int> cores;  ///< size = cluster nodes; zero where unused
+
+  int totalCores() const;
+  int nodesUsed() const;
+};
+
+/// Event-driven simulation of a job batch on the cluster.
+///
+/// Usage: submit() all jobs, then run(), then read records() and
+/// nodeLoad() / makespan() to generate power traces.
+class ClusterSim {
+ public:
+  ClusterSim(ClusterConfig config, PerfModel model, std::uint64_t seed);
+
+  /// Enqueues a job; returns its id. Must be called before run().
+  std::size_t submit(const JobRequest& request, double submitTime);
+
+  /// Runs the simulation to completion (all submitted jobs finish).
+  void run();
+
+  bool finished() const { return finished_; }
+
+  /// Accounting records, indexed by job id. startTime/endTime span the
+  /// full allocation window (prolog + application + epilog); energy fields
+  /// are filled in later by attachEnergy().
+  const std::vector<JobRecord>& records() const;
+  std::vector<JobRecord>& recordsMutable();
+
+  /// Per-node application-compute load intervals (excludes prolog/epilog,
+  /// during which nodes idle at allocation).
+  const std::vector<LoadInterval>& nodeLoad(int node) const;
+
+  /// Placement of each job, indexed by job id.
+  const std::vector<Placement>& placements() const;
+
+  /// Time the last allocation window closes.
+  double makespan() const;
+
+  /// Fraction of total core-time (cores × makespan) occupied by job
+  /// allocation windows — the classic scheduler utilization metric.
+  double coreUtilization() const;
+
+  /// Mean queue wait over all jobs (seconds).
+  double meanQueueWait() const;
+
+  const ClusterConfig& config() const { return config_; }
+  const PerfModel& perfModel() const { return model_; }
+
+ private:
+  struct PendingJob {
+    std::size_t id;
+    JobRequest request;
+    double submitTime;
+    double estimatedWindow;  ///< requested walltime incl. prolog/epilog
+    int attempt = 1;
+  };
+
+  bool tryPlace(int cores, Placement& placement) const;
+  void startJob(const PendingJob& job, double now);
+  void schedule(double now);
+
+  ClusterConfig config_;
+  PerfModel model_;
+  stats::Rng rng_;
+
+  std::vector<PendingJob> queue_;
+  std::vector<JobRecord> records_;
+  std::vector<Placement> placements_;
+  std::vector<int> freeCores_;  ///< per node
+  std::vector<std::vector<LoadInterval>> loadPerNode_;
+
+  /// Running jobs as (windowEnd, job id); a crashed attempt carries the
+  /// retry submission to enqueue at completion time.
+  struct Running {
+    double windowEnd;
+    std::size_t id;
+    bool crashed = false;
+    int attempt = 1;
+  };
+  std::vector<Running> running_;
+
+  void enqueueRetry(const Running& r, double now);
+
+  bool started_ = false;
+  bool finished_ = false;
+  double makespan_ = 0.0;
+};
+
+}  // namespace alperf::cluster

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file error.hpp
+/// Shared error-handling utilities for all alperf modules.
+///
+/// Policy (see DESIGN.md): precondition violations on the public API throw
+/// std::invalid_argument; runtime failures (e.g. a matrix that is not SPD
+/// even after jitter escalation) throw std::runtime_error; internal
+/// invariants use ALPERF_ASSERT, which is active in all build types because
+/// the library is used for numerical research where silent corruption is
+/// worse than an abort.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace alperf {
+
+/// Exception thrown when a numerical routine cannot complete
+/// (non-SPD matrix, failed convergence where convergence is mandatory, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ALPERF_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+/// Throws std::invalid_argument with the given message when `cond` is false.
+/// Use for public-API precondition checks.
+inline void requireArg(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace alperf
+
+/// Internal-invariant check; throws std::logic_error on failure.
+#define ALPERF_ASSERT(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::alperf::detail::assertFail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,66 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace alperf::al {
+
+std::size_t BatchResult::minIterations() const {
+  std::size_t m = std::numeric_limits<std::size_t>::max();
+  for (const auto& r : runs) m = std::min(m, r.history.size());
+  return runs.empty() ? 0 : m;
+}
+
+std::vector<double> BatchResult::meanSeries(
+    double IterationRecord::* field) const {
+  const std::size_t len = minIterations();
+  std::vector<double> out(len, 0.0);
+  if (runs.empty()) return out;
+  for (const auto& r : runs)
+    for (std::size_t i = 0; i < len; ++i) out[i] += r.history[i].*field;
+  for (double& v : out) v /= static_cast<double>(runs.size());
+  return out;
+}
+
+BatchResult runBatch(const RegressionProblem& problem,
+                     const gp::GaussianProcess& gpPrototype,
+                     const StrategyFactory& makeStrategy,
+                     const BatchConfig& config) {
+  requireArg(config.replicates >= 1, "runBatch: replicates must be >= 1");
+  BatchResult out;
+  out.runs.reserve(config.replicates);
+  stats::Rng master(config.seed);
+  for (int r = 0; r < config.replicates; ++r) {
+    stats::Rng rng = master.split();
+    ActiveLearner learner(problem, gpPrototype, makeStrategy(), config.al);
+    out.runs.push_back(learner.run(rng));
+  }
+  return out;
+}
+
+std::vector<BatchResult> runPairedBatch(
+    const RegressionProblem& problem, const gp::GaussianProcess& gpPrototype,
+    const std::vector<StrategyFactory>& strategies,
+    const BatchConfig& config) {
+  requireArg(!strategies.empty(), "runPairedBatch: no strategies");
+  requireArg(config.replicates >= 1,
+             "runPairedBatch: replicates must be >= 1");
+  std::vector<BatchResult> out(strategies.size());
+  stats::Rng master(config.seed);
+  for (int r = 0; r < config.replicates; ++r) {
+    stats::Rng partitionRng = master.split();
+    const auto partition =
+        data::triPartition(problem.size(), config.al.nInitial,
+                           config.al.activeFraction, partitionRng);
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      stats::Rng runRng = partitionRng.split();
+      ActiveLearner learner(problem, gpPrototype, strategies[s](),
+                            config.al);
+      out[s].runs.push_back(learner.runWithPartition(partition, runRng));
+    }
+  }
+  return out;
+}
+
+}  // namespace alperf::al

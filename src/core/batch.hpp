@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file batch.hpp
+/// Replicated AL experiments: run the same learner over R random
+/// partitions of the same problem (paper Sec. IV: "batches of random
+/// partitions"), aggregate per-iteration metric curves, and support paired
+/// strategy comparisons on identical partitions (Fig. 8's methodology).
+
+#include "core/learner.hpp"
+
+namespace alperf::al {
+
+struct BatchConfig {
+  int replicates = 10;
+  AlConfig al;
+  std::uint64_t seed = 1;
+};
+
+struct BatchResult {
+  std::vector<AlResult> runs;
+
+  /// Per-iteration mean of a metric across runs, truncated to the
+  /// shortest run.
+  std::vector<double> meanSeries(double IterationRecord::* field) const;
+
+  /// Length of the shortest run.
+  std::size_t minIterations() const;
+};
+
+/// Runs `replicates` independent AL realizations (fresh partition and
+/// strategy per replicate).
+BatchResult runBatch(const RegressionProblem& problem,
+                     const gp::GaussianProcess& gpPrototype,
+                     const StrategyFactory& makeStrategy,
+                     const BatchConfig& config);
+
+/// Runs several strategies on the *same* R partitions (paired design):
+/// result[s] holds strategy s's batch. Partition r is identical across
+/// strategies, isolating the strategy effect.
+std::vector<BatchResult> runPairedBatch(
+    const RegressionProblem& problem, const gp::GaussianProcess& gpPrototype,
+    const std::vector<StrategyFactory>& strategies,
+    const BatchConfig& config);
+
+}  // namespace alperf::al

@@ -1,0 +1,55 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/optimize.hpp"  // normalCdf
+
+namespace alperf::al {
+
+double centralIntervalZ(double level) {
+  requireArg(level > 0.0 && level < 1.0,
+             "centralIntervalZ: level outside (0,1)");
+  const double target = 0.5 + 0.5 * level;
+  // Bisection on the monotone standard normal CDF.
+  double lo = 0.0, hi = 10.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (normalCdf(mid) < target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+CalibrationReport assessCalibration(const gp::GaussianProcess& gp,
+                                    const la::Matrix& testX,
+                                    const la::Vector& testY,
+                                    double level) {
+  requireArg(gp.fitted(), "assessCalibration: GP must be fitted");
+  requireArg(testX.rows() == testY.size() && !testY.empty(),
+             "assessCalibration: bad test data");
+
+  const auto pred = gp.predict(testX, /*includeNoise=*/true);
+  const double z = centralIntervalZ(level);
+
+  CalibrationReport report;
+  report.n = testY.size();
+  double zSum = 0.0, z2Sum = 0.0;
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < testY.size(); ++i) {
+    const double sd = std::sqrt(std::max(pred.variance[i], 1e-300));
+    const double standardized = (testY[i] - pred.mean[i]) / sd;
+    zSum += standardized;
+    z2Sum += standardized * standardized;
+    if (std::abs(standardized) <= z) ++inside;
+  }
+  report.coverage =
+      static_cast<double>(inside) / static_cast<double>(report.n);
+  report.meanZ = zSum / static_cast<double>(report.n);
+  report.rmsZ = std::sqrt(z2Sum / static_cast<double>(report.n));
+  return report;
+}
+
+}  // namespace alperf::al

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file calibration.hpp
+/// Uncertainty-calibration assessment for GP models: does the claimed
+/// predictive distribution match reality? This is the quantitative core
+/// of the paper's Fig. 7 lesson — an overfit GP (permissive σ_n bound)
+/// reports confidence intervals far narrower than its actual errors.
+
+#include "gp/gp.hpp"
+
+namespace alperf::al {
+
+struct CalibrationReport {
+  /// Fraction of test points inside the central `level` interval of the
+  /// predictive distribution (ideal: ≈ level).
+  double coverage = 0.0;
+  /// Mean standardized residual (y − µ)/σ (ideal: ≈ 0).
+  double meanZ = 0.0;
+  /// RMS of standardized residuals (ideal: ≈ 1; >> 1 = overconfident,
+  /// << 1 = underconfident).
+  double rmsZ = 0.0;
+  std::size_t n = 0;
+};
+
+/// Evaluates the fitted GP's predictive distribution (observation noise
+/// included) against held-out (x, y) pairs at the given central interval
+/// level (e.g. 0.95). Requires a fitted GP and non-empty test data.
+CalibrationReport assessCalibration(const gp::GaussianProcess& gp,
+                                    const la::Matrix& testX,
+                                    const la::Vector& testY,
+                                    double level = 0.95);
+
+/// Two-sided standard normal quantile for the central interval of the
+/// given level, e.g. 0.95 → 1.96 (exposed for tests).
+double centralIntervalZ(double level);
+
+}  // namespace alperf::al

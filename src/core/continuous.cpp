@@ -1,0 +1,171 @@
+#include "core/continuous.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "opt/multistart.hpp"
+
+namespace alperf::al {
+
+AcquisitionFn varianceAcquisition() {
+  return [](double, double sd) { return sd; };
+}
+
+AcquisitionFn costEfficiencyAcquisition() {
+  return [](double mean, double sd) { return sd - mean; };
+}
+
+ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
+                                       const opt::BoxBounds& bounds,
+                                       const AcquisitionFn& acq,
+                                       int nStarts, stats::Rng& rng) {
+  requireArg(gp.fitted(), "suggestContinuous: GP must be fitted");
+  requireArg(acq != nullptr, "suggestContinuous: null acquisition");
+  requireArg(nStarts >= 1, "suggestContinuous: nStarts must be >= 1");
+  const std::size_t d = bounds.dim();
+  requireArg(gp.trainX().cols() == d,
+             "suggestContinuous: bounds dimension mismatch");
+
+  // Minimize the negative acquisition; numeric gradients are adequate
+  // because the posterior is smooth and cheap to evaluate pointwise.
+  const opt::FunctionObjective objective(
+      d, [&gp, &acq](std::span<const double> x) {
+        const auto [mean, var] = gp.predictOne(x);
+        const double a = acq(mean, std::sqrt(std::max(var, 0.0)));
+        return std::isfinite(a) ? -a
+                                : std::numeric_limits<double>::infinity();
+      });
+  const opt::Lbfgs local(
+      {.maxIterations = 60, .gradTol = 1e-7, .stepTol = 1e-12, .fTol = 0.0});
+  const auto minimizer = [&local](const opt::Objective& f,
+                                  std::span<const double> x0,
+                                  const opt::BoxBounds& b) {
+    return local.minimize(f, x0, b);
+  };
+  const auto start = bounds.sample(rng);
+  const auto result =
+      opt::multiStartMinimize(objective, start, bounds, minimizer,
+                              nStarts - 1, rng);
+
+  ContinuousSuggestion suggestion;
+  suggestion.x = result.best.x;
+  const auto [mean, var] = gp.predictOne(suggestion.x);
+  suggestion.mean = mean;
+  suggestion.sd = std::sqrt(std::max(var, 0.0));
+  suggestion.acquisition = -result.best.fval;
+  return suggestion;
+}
+
+GradientAcquisition varianceAcquisitionGrad() {
+  return {[](double, double sd) { return sd; },
+          [](double, double) { return std::pair{0.0, 1.0}; }};
+}
+
+GradientAcquisition costEfficiencyAcquisitionGrad() {
+  return {[](double mean, double sd) { return sd - mean; },
+          [](double, double) { return std::pair{-1.0, 1.0}; }};
+}
+
+ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
+                                       const opt::BoxBounds& bounds,
+                                       const GradientAcquisition& acq,
+                                       int nStarts, stats::Rng& rng) {
+  requireArg(gp.fitted(), "suggestContinuous: GP must be fitted");
+  requireArg(acq.value != nullptr && acq.partials != nullptr,
+             "suggestContinuous: incomplete gradient acquisition");
+  requireArg(nStarts >= 1, "suggestContinuous: nStarts must be >= 1");
+  const std::size_t d = bounds.dim();
+  requireArg(gp.trainX().cols() == d,
+             "suggestContinuous: bounds dimension mismatch");
+
+  const auto negValueAndGrad = [&gp, &acq](std::span<const double> x,
+                                           std::span<double> g) {
+    const auto p = gp.predictOneWithGradient(x);
+    const double sd = std::sqrt(std::max(p.variance, 1e-18));
+    const double a = acq.value(p.mean, sd);
+    const auto [dMu, dSd] = acq.partials(p.mean, sd);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double dSdDx = p.varianceGrad[i] / (2.0 * sd);
+      g[i] = -(dMu * p.meanGrad[i] + dSd * dSdDx);
+    }
+    return std::isfinite(a) ? -a : std::numeric_limits<double>::infinity();
+  };
+  const opt::FunctionObjective objective(
+      d,
+      [&gp, &acq](std::span<const double> x) {
+        const auto [mean, var] = gp.predictOne(x);
+        const double a = acq.value(mean, std::sqrt(std::max(var, 0.0)));
+        return std::isfinite(a) ? -a
+                                : std::numeric_limits<double>::infinity();
+      },
+      opt::FunctionObjective::CombinedFn(negValueAndGrad));
+  const opt::Lbfgs local(
+      {.maxIterations = 60, .gradTol = 1e-7, .stepTol = 1e-12, .fTol = 0.0});
+  const auto minimizer = [&local](const opt::Objective& f,
+                                  std::span<const double> x0,
+                                  const opt::BoxBounds& b) {
+    return local.minimize(f, x0, b);
+  };
+  const auto start = bounds.sample(rng);
+  const auto result = opt::multiStartMinimize(objective, start, bounds,
+                                              minimizer, nStarts - 1, rng);
+
+  ContinuousSuggestion suggestion;
+  suggestion.x = result.best.x;
+  const auto [mean, var] = gp.predictOne(suggestion.x);
+  suggestion.mean = mean;
+  suggestion.sd = std::sqrt(std::max(var, 0.0));
+  suggestion.acquisition = -result.best.fval;
+  return suggestion;
+}
+
+ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
+                                   la::Vector seedY,
+                                   const opt::BoxBounds& bounds,
+                                   const Oracle& oracle,
+                                   const AcquisitionFn& acq,
+                                   const ContinuousAlConfig& config,
+                                   stats::Rng& rng) {
+  requireArg(oracle != nullptr, "runContinuousAl: null oracle");
+  requireArg(config.iterations >= 1 && config.refitEvery >= 1,
+             "runContinuousAl: invalid config");
+  gp.config().optimize = true;
+  gp.fit(std::move(seedX), std::move(seedY), rng);
+
+  ContinuousAlResult result{.history = {}, .finalGp = gp};
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const auto suggestion =
+        suggestContinuous(gp, bounds, acq, config.nStarts, rng);
+    const double y = oracle(suggestion.x);
+
+    ContinuousAlRecord rec;
+    rec.x = suggestion.x;
+    rec.y = y;
+    rec.sdAtPick = suggestion.sd;
+    rec.acquisition = suggestion.acquisition;
+    result.history.push_back(std::move(rec));
+
+    if ((iter + 1) % config.refitEvery == 0) {
+      // Full refit: re-optimize hyperparameters on the grown dataset.
+      la::Matrix x = gp.trainX();
+      la::Vector yAll = gp.trainY();
+      la::Matrix grown(x.rows() + 1, x.cols());
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        const auto src = x.row(i);
+        std::copy(src.begin(), src.end(), grown.row(i).begin());
+      }
+      std::copy(suggestion.x.begin(), suggestion.x.end(),
+                grown.row(x.rows()).begin());
+      yAll.push_back(y);
+      gp.config().optimize = true;
+      gp.fit(std::move(grown), std::move(yAll), rng);
+    } else {
+      // Cheap O(n²) incremental update between refits.
+      gp.addObservation(suggestion.x, y);
+    }
+  }
+  result.finalGp = gp;
+  return result;
+}
+
+}  // namespace alperf::al

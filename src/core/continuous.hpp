@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file continuous.hpp
+/// Continuous-candidate active learning — the paper's Sec. VI future
+/// work: "Realistic simulations often involve continuous or
+/// near-continuous parameters, such that the active set cannot be treated
+/// as finite. We expect that this could be handled ... preferably, by
+/// using continuous optimization. Gradient-based methods, which are
+/// available with GPR, would provide an important benefit".
+///
+/// suggestContinuous() maximizes an acquisition over a continuous box via
+/// multi-start quasi-Newton ascent on the (smooth) GP posterior, and
+/// runContinuousAl() wraps it into an online loop against a caller-
+/// supplied measurement oracle, using the O(n²) incremental GP update
+/// between hyperparameter refits.
+
+#include <functional>
+
+#include "gp/gp.hpp"
+#include "opt/gradient.hpp"
+
+namespace alperf::al {
+
+/// Acquisition value from the predictive (mean, sd) at a point; higher
+/// is better.
+using AcquisitionFn = std::function<double(double mean, double sd)>;
+
+/// The paper's two acquisitions in continuous form.
+AcquisitionFn varianceAcquisition();        ///< a = sd
+AcquisitionFn costEfficiencyAcquisition();  ///< a = sd − mean (eq. 14)
+
+struct ContinuousSuggestion {
+  std::vector<double> x;
+  double acquisition = 0.0;
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+/// Maximizes `acq` over the box with `nStarts` random multi-starts of
+/// box-constrained L-BFGS. The GP must be fitted; bounds must be finite
+/// and match its input dimension.
+ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
+                                       const opt::BoxBounds& bounds,
+                                       const AcquisitionFn& acq,
+                                       int nStarts, stats::Rng& rng);
+
+/// Acquisition with analytic partial derivatives with respect to the
+/// predictive (mean, sd) — combined with the GP's analytic posterior
+/// input-gradients this gives fully gradient-based suggestions (no finite
+/// differences anywhere in the chain).
+struct GradientAcquisition {
+  AcquisitionFn value;
+  /// Returns {∂a/∂µ, ∂a/∂σ} at the given (mean, sd).
+  std::function<std::pair<double, double>(double mean, double sd)> partials;
+};
+
+GradientAcquisition varianceAcquisitionGrad();        ///< a = σ
+GradientAcquisition costEfficiencyAcquisitionGrad();  ///< a = σ − µ
+
+/// Gradient-based variant of suggestContinuous: same multi-start L-BFGS,
+/// but value and gradient come from one analytic posterior evaluation.
+ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
+                                       const opt::BoxBounds& bounds,
+                                       const GradientAcquisition& acq,
+                                       int nStarts, stats::Rng& rng);
+
+/// Ground-truth measurement: given x, run the experiment and return y.
+using Oracle = std::function<double(std::span<const double>)>;
+
+struct ContinuousAlConfig {
+  int iterations = 30;
+  int nStarts = 8;
+  /// Full hyperparameter refit cadence; between refits the GP is updated
+  /// incrementally in O(n²).
+  int refitEvery = 5;
+};
+
+struct ContinuousAlRecord {
+  std::vector<double> x;
+  double y = 0.0;
+  double sdAtPick = 0.0;
+  double acquisition = 0.0;
+};
+
+struct ContinuousAlResult {
+  std::vector<ContinuousAlRecord> history;
+  gp::GaussianProcess finalGp;
+};
+
+/// Online loop: seed the GP with (seedX, seedY), then repeatedly suggest
+/// a continuous point, measure it through the oracle, and update.
+ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
+                                   la::Vector seedY,
+                                   const opt::BoxBounds& bounds,
+                                   const Oracle& oracle,
+                                   const AcquisitionFn& acq,
+                                   const ContinuousAlConfig& config,
+                                   stats::Rng& rng);
+
+}  // namespace alperf::al

@@ -1,0 +1,223 @@
+#include "core/learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace alperf::al {
+
+std::vector<double> AlResult::series(double IterationRecord::* field) const {
+  std::vector<double> v;
+  v.reserve(history.size());
+  for (const auto& rec : history) v.push_back(rec.*field);
+  return v;
+}
+
+std::string toString(StopReason reason) {
+  switch (reason) {
+    case StopReason::PoolExhausted:
+      return "pool_exhausted";
+    case StopReason::MaxIterations:
+      return "max_iterations";
+    case StopReason::Budget:
+      return "budget";
+    case StopReason::AmsdConverged:
+      return "amsd_converged";
+  }
+  throw std::invalid_argument("toString: unknown StopReason");
+}
+
+data::Table historyToTable(const AlResult& result) {
+  const std::size_t n = result.history.size();
+  std::vector<double> iteration(n), chosen(n), sigma(n), mu(n), amsd(n),
+      rmse(n), pickCost(n), cumCost(n), noiseVar(n), lml(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& rec = result.history[i];
+    iteration[i] = rec.iteration;
+    chosen[i] = static_cast<double>(rec.chosenRow);
+    sigma[i] = rec.sigmaAtPick;
+    mu[i] = rec.muAtPick;
+    amsd[i] = rec.amsd;
+    rmse[i] = rec.rmse;
+    pickCost[i] = rec.pickCost;
+    cumCost[i] = rec.cumulativeCost;
+    noiseVar[i] = rec.noiseVariance;
+    lml[i] = rec.lml;
+  }
+  data::Table t;
+  t.addNumeric("Iteration", std::move(iteration));
+  t.addNumeric("ChosenRow", std::move(chosen));
+  t.addNumeric("SigmaAtPick", std::move(sigma));
+  t.addNumeric("MuAtPick", std::move(mu));
+  t.addNumeric("AMSD", std::move(amsd));
+  t.addNumeric("RMSE", std::move(rmse));
+  t.addNumeric("PickCost", std::move(pickCost));
+  t.addNumeric("CumulativeCost", std::move(cumCost));
+  t.addNumeric("NoiseVariance", std::move(noiseVar));
+  t.addNumeric("LML", std::move(lml));
+  return t;
+}
+
+ActiveLearner::ActiveLearner(RegressionProblem problem,
+                             gp::GaussianProcess gpPrototype,
+                             StrategyPtr strategy, AlConfig config)
+    : problem_(std::move(problem)),
+      gpPrototype_(std::move(gpPrototype)),
+      strategy_(std::move(strategy)),
+      config_(config) {
+  problem_.validate();
+  requireArg(strategy_ != nullptr, "ActiveLearner: null strategy");
+  requireArg(config_.refitEvery >= 1, "ActiveLearner: refitEvery must be >= 1");
+  requireArg(config_.batchSize >= 1, "ActiveLearner: batchSize must be >= 1");
+  requireArg(config_.amsdWindow >= 0, "ActiveLearner: amsdWindow must be >= 0");
+}
+
+AlResult ActiveLearner::run(stats::Rng& rng) const {
+  const auto partition = data::triPartition(
+      problem_.size(), config_.nInitial, config_.activeFraction, rng);
+  return runWithPartition(partition, rng);
+}
+
+AlResult ActiveLearner::runWithPartition(const data::TriPartition& partition,
+                                         stats::Rng& rng) const {
+  AlResult result{.history = {},
+                  .partition = partition,
+                  .stopReason = StopReason::PoolExhausted,
+                  .finalGp = gpPrototype_};
+
+  std::vector<std::size_t> train = partition.initial;
+  std::vector<std::size_t> pool = partition.active;
+
+  // Test design matrix/response, fixed for the whole run.
+  la::Matrix testX(partition.test.size(), problem_.dim());
+  la::Vector testY(partition.test.size());
+  for (std::size_t i = 0; i < partition.test.size(); ++i) {
+    const auto row = problem_.x.row(partition.test[i]);
+    std::copy(row.begin(), row.end(), testX.row(i).begin());
+    testY[i] = problem_.y[partition.test[i]];
+  }
+
+  gp::GaussianProcess gp = gpPrototype_;
+  const double baseNoiseLo = gpPrototype_.config().noise.lo;
+
+  const auto buildTrain = [&](la::Matrix& x, la::Vector& y) {
+    x = la::Matrix(train.size(), problem_.dim());
+    y.resize(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const auto row = problem_.x.row(train[i]);
+      std::copy(row.begin(), row.end(), x.row(i).begin());
+      y[i] = problem_.y[train[i]];
+    }
+  };
+
+  double cumulativeCost = 0.0;
+  int iteration = 0;
+  while (true) {
+    if (pool.empty()) {
+      result.stopReason = StopReason::PoolExhausted;
+      break;
+    }
+    if (config_.maxIterations >= 0 && iteration >= config_.maxIterations) {
+      result.stopReason = StopReason::MaxIterations;
+      break;
+    }
+    if (cumulativeCost >= config_.costBudget) {
+      result.stopReason = StopReason::Budget;
+      break;
+    }
+    if (config_.amsdWindow > 0 && config_.amsdRelTol > 0.0 &&
+        result.history.size() >
+            static_cast<std::size_t>(config_.amsdWindow)) {
+      bool converged = true;
+      const auto& h = result.history;
+      for (std::size_t i = h.size() - config_.amsdWindow; i < h.size(); ++i) {
+        const double prev = h[i - 1].amsd;
+        if (prev <= 0.0 ||
+            std::abs(h[i].amsd - prev) / prev > config_.amsdRelTol) {
+          converged = false;
+          break;
+        }
+      }
+      if (converged) {
+        result.stopReason = StopReason::AmsdConverged;
+        break;
+      }
+    }
+
+    // Fit the GP (full hyperparameter refit on the configured cadence).
+    gp.config().optimize = (iteration % config_.refitEvery) == 0;
+    if (config_.dynamicNoiseBound) {
+      const double lo = std::max(
+          baseNoiseLo, 1.0 / std::sqrt(static_cast<double>(train.size())));
+      gp.config().noise.lo = std::min(lo, gp.config().noise.hi);
+    }
+    la::Matrix trainX;
+    la::Vector trainY;
+    buildTrain(trainX, trainY);
+    gp.fit(std::move(trainX), std::move(trainY), rng);
+
+    // Progress metrics over the remaining pool and the test set.
+    la::Matrix poolX(pool.size(), problem_.dim());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const auto row = problem_.x.row(pool[i]);
+      std::copy(row.begin(), row.end(), poolX.row(i).begin());
+    }
+    const auto poolPred = gp.predict(poolX);
+    const auto poolSd = poolPred.stdDev();
+    const double amsd = stats::mean(poolSd);
+    double rmse = 0.0;
+    if (!partition.test.empty()) {
+      const auto testPred = gp.predict(testX);
+      rmse = stats::rmse(testPred.mean, testY);
+    }
+
+    // Let the strategy pick.
+    const SelectionContext ctx{gp, problem_,
+                               std::span<const std::size_t>(pool), rng};
+    std::vector<std::size_t> picks;
+    if (config_.batchSize == 1) {
+      picks.push_back(strategy_->select(ctx));
+    } else {
+      picks = strategy_->selectBatch(
+          ctx, std::min(config_.batchSize, pool.size()));
+    }
+    ALPERF_ASSERT(!picks.empty(), "strategy returned no pick");
+
+    IterationRecord rec;
+    rec.iteration = iteration;
+    rec.chosenRow = pool[picks.front()];
+    rec.sigmaAtPick = poolSd[picks.front()];
+    rec.muAtPick = poolPred.mean[picks.front()];
+    rec.amsd = amsd;
+    rec.rmse = rmse;
+    rec.noiseVariance = gp.noiseVariance();
+    rec.lml = gp.logMarginalLikelihood();
+
+    // Consume picks (descending positions so erasure is stable).
+    std::vector<std::size_t> sorted = picks;
+    std::sort(sorted.rbegin(), sorted.rend());
+    for (std::size_t pos : sorted) {
+      ALPERF_ASSERT(pos < pool.size(), "pick position out of range");
+      rec.pickCost += problem_.cost[pool[pos]];
+      train.push_back(pool[pos]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    cumulativeCost += rec.pickCost;
+    rec.cumulativeCost = cumulativeCost;
+    result.history.push_back(rec);
+    ++iteration;
+  }
+
+  // Final model on everything consumed.
+  la::Matrix trainX;
+  la::Vector trainY;
+  buildTrain(trainX, trainY);
+  gp.config().optimize = true;
+  gp.fit(std::move(trainX), std::move(trainY), rng);
+  result.finalGp = gp;
+  return result;
+}
+
+}  // namespace alperf::al

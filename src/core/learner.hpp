@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file learner.hpp
+/// The active-learning loop (paper Sec. IV–V): partition the job database
+/// into Initial / Active / Test, seed a GP with the Initial set, then
+/// iteratively let the strategy pick experiments from the Active pool,
+/// retraining the GP and tracking the paper's three progress metrics —
+/// σ_f(x) at the pick, AMSD over the remaining pool, and Test-set RMSE —
+/// plus cumulative experiment cost.
+
+#include <limits>
+
+#include "core/strategy.hpp"
+#include "data/partition.hpp"
+
+namespace alperf::al {
+
+struct AlConfig {
+  /// Partitioning (paper: Initial = 1 job, Active:Test ≈ 8:2).
+  std::size_t nInitial = 1;
+  double activeFraction = 0.8;
+
+  /// Stop conditions; any triggers. maxIterations < 0 exhausts the pool.
+  int maxIterations = -1;
+  double costBudget = std::numeric_limits<double>::infinity();
+  /// AMSD convergence: stop when over the last `amsdWindow` iterations the
+  /// relative AMSD change stays below `amsdRelTol` (0 disables).
+  int amsdWindow = 0;
+  double amsdRelTol = 0.0;
+
+  /// Refit hyperparameters every k-th iteration (1 = every iteration, the
+  /// paper's behaviour); between refits only the posterior is updated.
+  int refitEvery = 1;
+
+  /// Paper Sec. V-B4 proposal: replace the fixed σ_n lower bound with the
+  /// dynamic schedule σ_n² ≥ 1/√N (N = training-set size).
+  bool dynamicNoiseBound = false;
+
+  /// Batch mode: pick this many experiments per iteration (1 = the
+  /// paper's greedy one-at-a-time loop).
+  std::size_t batchSize = 1;
+};
+
+enum class StopReason { PoolExhausted, MaxIterations, Budget, AmsdConverged };
+
+/// One row of the learning trace (per iteration; in batch mode the pick
+/// fields describe the first experiment of the batch).
+struct IterationRecord {
+  int iteration = 0;
+  std::size_t chosenRow = 0;   ///< problem row index of the pick
+  double sigmaAtPick = 0.0;    ///< predictive SD at the pick
+  double muAtPick = 0.0;       ///< predictive mean at the pick
+  double amsd = 0.0;           ///< mean predictive SD over remaining pool
+  double rmse = 0.0;           ///< test-set RMSE (paper eq. 2)
+  double pickCost = 0.0;       ///< linear cost of the consumed experiment(s)
+  double cumulativeCost = 0.0;
+  double noiseVariance = 0.0;  ///< fitted σ_n² this iteration
+  double lml = 0.0;
+};
+
+struct AlResult {
+  std::vector<IterationRecord> history;
+  data::TriPartition partition;
+  StopReason stopReason = StopReason::PoolExhausted;
+  gp::GaussianProcess finalGp;  ///< fitted on everything consumed
+
+  /// Convenience extraction of one metric across iterations.
+  std::vector<double> series(double IterationRecord::* field) const;
+};
+
+/// Human-readable name of a stop reason.
+std::string toString(StopReason reason);
+
+/// Renders the learning trace as a Table (one row per iteration, columns
+/// Iteration / ChosenRow / SigmaAtPick / MuAtPick / AMSD / RMSE /
+/// PickCost / CumulativeCost / NoiseVariance / LML) — ready for
+/// data::writeCsv so traces can be archived and plotted externally.
+data::Table historyToTable(const AlResult& result);
+
+class ActiveLearner {
+ public:
+  /// `gpPrototype` supplies the kernel/config; it is copied per run.
+  ActiveLearner(RegressionProblem problem, gp::GaussianProcess gpPrototype,
+                StrategyPtr strategy, AlConfig config = {});
+
+  /// Random partition + full AL loop.
+  AlResult run(stats::Rng& rng) const;
+
+  /// AL loop on a caller-supplied partition (for paired comparisons of
+  /// strategies on identical partitions, as in Fig. 8).
+  AlResult runWithPartition(const data::TriPartition& partition,
+                            stats::Rng& rng) const;
+
+  const RegressionProblem& problem() const { return problem_; }
+  const AlConfig& config() const { return config_; }
+
+ private:
+  RegressionProblem problem_;
+  gp::GaussianProcess gpPrototype_;
+  StrategyPtr strategy_;
+  AlConfig config_;
+};
+
+}  // namespace alperf::al

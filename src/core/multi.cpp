@@ -1,0 +1,137 @@
+#include "core/multi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace alperf::al {
+
+void MultiResponseProblem::validate() const {
+  requireArg(!responses.empty(), "MultiResponseProblem: no responses");
+  requireArg(responseNames.size() == responses.size(),
+             "MultiResponseProblem: names/responses count mismatch");
+  requireArg(x.rows() > 0 && x.cols() > 0,
+             "MultiResponseProblem: empty design matrix");
+  for (const auto& y : responses)
+    requireArg(y.size() == x.rows(),
+               "MultiResponseProblem: response length mismatch");
+  requireArg(cost.size() == x.rows(),
+             "MultiResponseProblem: cost length mismatch");
+}
+
+MultiAlResult runMultiResponseAl(const MultiResponseProblem& problem,
+                                 const gp::GaussianProcess& gpPrototype,
+                                 const MultiAlConfig& config,
+                                 stats::Rng& rng) {
+  problem.validate();
+  requireArg(config.refitEvery >= 1, "runMultiResponseAl: refitEvery >= 1");
+  const std::size_t nResp = problem.numResponses();
+
+  const auto partition = data::triPartition(
+      problem.size(), config.nInitial, config.activeFraction, rng);
+
+  // Per-response scale for normalizing uncertainties: the SD of the
+  // response over the whole pool (a fixed, data-driven unit).
+  std::vector<double> scale(nResp, 1.0);
+  for (std::size_t r = 0; r < nResp; ++r) {
+    if (problem.responses[r].size() >= 2) {
+      const double sd = stats::sampleStdDev(problem.responses[r]);
+      if (sd > 0.0) scale[r] = sd;
+    }
+  }
+
+  std::vector<std::size_t> train = partition.initial;
+  std::vector<std::size_t> pool = partition.active;
+  std::vector<gp::GaussianProcess> gps(nResp, gpPrototype);
+
+  MultiAlResult result;
+  result.partition = partition;
+
+  la::Matrix testX(partition.test.size(), problem.dim());
+  for (std::size_t i = 0; i < partition.test.size(); ++i) {
+    const auto row = problem.x.row(partition.test[i]);
+    std::copy(row.begin(), row.end(), testX.row(i).begin());
+  }
+
+  double cumulativeCost = 0.0;
+  int iteration = 0;
+  while (!pool.empty() &&
+         (config.maxIterations < 0 || iteration < config.maxIterations)) {
+    // Fit every response GP on the shared training rows.
+    la::Matrix trainX(train.size(), problem.dim());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const auto row = problem.x.row(train[i]);
+      std::copy(row.begin(), row.end(), trainX.row(i).begin());
+    }
+    for (std::size_t r = 0; r < nResp; ++r) {
+      la::Vector y(train.size());
+      for (std::size_t i = 0; i < train.size(); ++i)
+        y[i] = problem.responses[r][train[i]];
+      gps[r].config().optimize = (iteration % config.refitEvery) == 0;
+      gps[r].fit(trainX, std::move(y), rng);
+    }
+
+    // Candidate scores: aggregated normalized SD (optionally cost-aware).
+    la::Matrix poolX(pool.size(), problem.dim());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const auto row = problem.x.row(pool[i]);
+      std::copy(row.begin(), row.end(), poolX.row(i).begin());
+    }
+    std::vector<gp::Prediction> preds;
+    preds.reserve(nResp);
+    for (std::size_t r = 0; r < nResp; ++r)
+      preds.push_back(gps[r].predict(poolX));
+
+    MultiIterationRecord rec;
+    rec.iteration = iteration;
+    rec.rmse.resize(nResp);
+    rec.amsd.resize(nResp);
+    for (std::size_t r = 0; r < nResp; ++r) {
+      const auto sd = preds[r].stdDev();
+      rec.amsd[r] = stats::mean(sd);
+      if (!partition.test.empty()) {
+        const auto testPred = gps[r].predict(testX);
+        la::Vector truth(partition.test.size());
+        for (std::size_t i = 0; i < partition.test.size(); ++i)
+          truth[i] = problem.responses[r][partition.test[i]];
+        rec.rmse[r] = stats::rmse(testPred.mean, truth);
+      }
+    }
+
+    std::size_t best = 0;
+    double bestScore = -1e300;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      double score = config.aggregateMax ? -1e300 : 0.0;
+      for (std::size_t r = 0; r < nResp; ++r) {
+        const double s =
+            std::sqrt(std::max(preds[r].variance[i], 0.0)) / scale[r];
+        if (config.aggregateMax)
+          score = std::max(score, s);
+        else
+          score += s / static_cast<double>(nResp);
+      }
+      if (config.costAware)
+        score -= preds[0].mean[i] / scale[0];  // response 0 is log-cost
+      if (score > bestScore) {
+        bestScore = score;
+        best = i;
+      }
+    }
+
+    rec.chosenRow = pool[best];
+    cumulativeCost += problem.cost[pool[best]];
+    rec.cumulativeCost = cumulativeCost;
+    result.history.push_back(std::move(rec));
+
+    train.push_back(pool[best]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+    ++iteration;
+  }
+
+  result.finalGps = std::move(gps);
+  return result;
+}
+
+}  // namespace alperf::al

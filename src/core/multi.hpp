@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file multi.hpp
+/// Multi-response active learning — the paper's claim that the framework
+/// "can be used to construct a number of diverse performance models,
+/// including models for application runtime, energy consumption, memory
+/// usage, and many others" (Sec. I contributions). One shared experiment
+/// sequence feeds one GP per response; the acquisition aggregates the
+/// per-response uncertainties (each normalized by its own response scale
+/// so Joules and seconds are commensurable).
+
+#include "core/strategy.hpp"
+#include "data/partition.hpp"
+
+namespace alperf::al {
+
+/// A shared design matrix with several responses measured per experiment.
+struct MultiResponseProblem {
+  la::Matrix x;
+  std::vector<la::Vector> responses;     ///< one vector per response
+  std::vector<std::string> responseNames;
+  la::Vector cost;                        ///< shared per-experiment cost
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t dim() const { return x.cols(); }
+  std::size_t numResponses() const { return responses.size(); }
+
+  void validate() const;
+};
+
+struct MultiAlConfig {
+  std::size_t nInitial = 1;
+  double activeFraction = 0.8;
+  int maxIterations = -1;
+  int refitEvery = 1;
+  /// Aggregation of per-response normalized SDs at each candidate:
+  /// true = max (worst-known response drives selection),
+  /// false = mean.
+  bool aggregateMax = true;
+  /// Subtract the normalized predicted log-cost (eq. 14 generalized) —
+  /// the cost model is the first response when enabled.
+  bool costAware = false;
+};
+
+struct MultiIterationRecord {
+  int iteration = 0;
+  std::size_t chosenRow = 0;
+  std::vector<double> rmse;  ///< per-response test RMSE
+  std::vector<double> amsd;  ///< per-response AMSD over the pool
+  double cumulativeCost = 0.0;
+};
+
+struct MultiAlResult {
+  std::vector<MultiIterationRecord> history;
+  data::TriPartition partition;
+  std::vector<gp::GaussianProcess> finalGps;  ///< one per response
+};
+
+/// Runs the shared-sequence AL loop: every iteration fits all response
+/// GPs on the same training rows, scores candidates by aggregated
+/// normalized uncertainty, and consumes one experiment (which yields ALL
+/// response measurements at once — one job run reports runtime and
+/// energy together, the paper's setting).
+MultiAlResult runMultiResponseAl(const MultiResponseProblem& problem,
+                                 const gp::GaussianProcess& gpPrototype,
+                                 const MultiAlConfig& config,
+                                 stats::Rng& rng);
+
+}  // namespace alperf::al

@@ -1,0 +1,159 @@
+#include "core/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/sampling.hpp"
+
+namespace alperf::al {
+
+double normalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+double normalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+/// Per-candidate posterior (mean, sd) plus the incumbent best observation.
+struct Posterior {
+  std::vector<double> mean;
+  std::vector<double> sd;
+  double best;
+};
+
+Posterior candidatePosterior(const SelectionContext& ctx) {
+  requireArg(ctx.gp.fitted(), "acquisition: GP must be fitted");
+  la::Matrix x(ctx.candidates.size(), ctx.problem.dim());
+  for (std::size_t i = 0; i < ctx.candidates.size(); ++i) {
+    const auto row = ctx.problem.x.row(ctx.candidates[i]);
+    std::copy(row.begin(), row.end(), x.row(i).begin());
+  }
+  const auto pred = ctx.gp.predict(x);
+  Posterior p;
+  p.mean = pred.mean;
+  p.sd = pred.stdDev();
+  const auto& y = ctx.gp.trainY();
+  p.best = *std::min_element(y.begin(), y.end());
+  return p;
+}
+
+}  // namespace
+
+ExpectedImprovement::ExpectedImprovement(double xi) : xi_(xi) {
+  requireArg(xi >= 0.0, "ExpectedImprovement: xi must be >= 0");
+}
+
+std::vector<double> ExpectedImprovement::scores(const SelectionContext& ctx) {
+  const Posterior p = candidatePosterior(ctx);
+  std::vector<double> s(p.mean.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double improve = p.best - p.mean[i] - xi_;
+    if (p.sd[i] < 1e-12) {
+      s[i] = std::max(improve, 0.0);
+    } else {
+      const double z = improve / p.sd[i];
+      s[i] = improve * normalCdf(z) + p.sd[i] * normalPdf(z);
+    }
+  }
+  return s;
+}
+
+LowerConfidenceBound::LowerConfidenceBound(double kappa) : kappa_(kappa) {
+  requireArg(kappa >= 0.0, "LowerConfidenceBound: kappa must be >= 0");
+}
+
+std::vector<double> LowerConfidenceBound::scores(
+    const SelectionContext& ctx) {
+  const Posterior p = candidatePosterior(ctx);
+  std::vector<double> s(p.mean.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = -(p.mean[i] - kappa_ * p.sd[i]);
+  return s;
+}
+
+ProbabilityOfImprovement::ProbabilityOfImprovement(double xi) : xi_(xi) {
+  requireArg(xi >= 0.0, "ProbabilityOfImprovement: xi must be >= 0");
+}
+
+std::vector<double> ProbabilityOfImprovement::scores(
+    const SelectionContext& ctx) {
+  const Posterior p = candidatePosterior(ctx);
+  std::vector<double> s(p.mean.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (p.sd[i] < 1e-12) {
+      s[i] = p.mean[i] < p.best - xi_ ? 1.0 : 0.0;
+    } else {
+      s[i] = normalCdf((p.best - p.mean[i] - xi_) / p.sd[i]);
+    }
+  }
+  return s;
+}
+
+OptimizationResult minimizeResponse(const RegressionProblem& problem,
+                                    const gp::GaussianProcess& gpPrototype,
+                                    ScoredStrategy& acquisition,
+                                    std::size_t nInitial, int iterations,
+                                    stats::Rng& rng) {
+  problem.validate();
+  requireArg(nInitial >= 1, "minimizeResponse: need at least one seed");
+  requireArg(nInitial + iterations <= problem.size(),
+             "minimizeResponse: budget exceeds pool size");
+
+  std::vector<std::size_t> train =
+      stats::sampleWithoutReplacement(problem.size(), nInitial, rng);
+  std::vector<std::size_t> pool;
+  {
+    std::vector<char> used(problem.size(), 0);
+    for (auto i : train) used[i] = 1;
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      if (!used[i]) pool.push_back(i);
+  }
+
+  OptimizationResult result;
+  result.bestValue = problem.y[train[0]];
+  result.bestRow = train[0];
+  const auto updateBest = [&](std::size_t row) {
+    if (problem.y[row] < result.bestValue) {
+      result.bestValue = problem.y[row];
+      result.bestRow = row;
+    }
+  };
+  for (auto row : train) updateBest(row);
+
+  gp::GaussianProcess gp = gpPrototype;
+  double cumulativeCost = 0.0;
+  for (auto row : train) cumulativeCost += problem.cost[row];
+
+  for (int iter = 0; iter < iterations && !pool.empty(); ++iter) {
+    la::Matrix x(train.size(), problem.dim());
+    la::Vector y(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const auto src = problem.x.row(train[i]);
+      std::copy(src.begin(), src.end(), x.row(i).begin());
+      y[i] = problem.y[train[i]];
+    }
+    gp.fit(std::move(x), std::move(y), rng);
+
+    const SelectionContext ctx{gp, problem,
+                               std::span<const std::size_t>(pool), rng};
+    const std::size_t pos = acquisition.select(ctx);
+    const std::size_t row = pool[pos];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pos));
+    train.push_back(row);
+    cumulativeCost += problem.cost[row];
+    updateBest(row);
+
+    OptimizationRecord rec;
+    rec.iteration = iter;
+    rec.chosenRow = row;
+    rec.observed = problem.y[row];
+    rec.bestSoFar = result.bestValue;
+    rec.cumulativeCost = cumulativeCost;
+    result.history.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace alperf::al

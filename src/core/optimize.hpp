@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file optimize.hpp
+/// Response-surface *optimization* mode — the contrast the paper draws in
+/// Sec. II-C: "we seek to characterize the entire problem space with
+/// reasonably high accuracy, while RSM is designed to search for
+/// combinations of factors that allow reaching specified goals".
+///
+/// This module implements that other mode on the same GP machinery —
+/// pool-based Bayesian optimization (minimization) with the standard
+/// acquisition functions — so the two philosophies can be compared
+/// head-to-head (bench_ablation_optimization): an optimizer finds the best
+/// configuration quickly but leaves the rest of the space unknown; the
+/// paper's characterization strategies do the opposite.
+
+#include "core/strategy.hpp"
+
+namespace alperf::al {
+
+/// Expected Improvement for minimization: EI(x) = E[max(best − f(x), 0)]
+/// under the GP posterior; ξ >= 0 is the usual exploration margin.
+class ExpectedImprovement final : public ScoredStrategy {
+ public:
+  explicit ExpectedImprovement(double xi = 0.01);
+  std::string name() const override { return "expected_improvement"; }
+  std::vector<double> scores(const SelectionContext& ctx) override;
+
+ private:
+  double xi_;
+};
+
+/// Lower Confidence Bound for minimization: score = −(µ − κ·σ); larger κ
+/// explores more.
+class LowerConfidenceBound final : public ScoredStrategy {
+ public:
+  explicit LowerConfidenceBound(double kappa = 2.0);
+  std::string name() const override { return "lower_confidence_bound"; }
+  std::vector<double> scores(const SelectionContext& ctx) override;
+
+ private:
+  double kappa_;
+};
+
+/// Probability of Improvement: P(f(x) < best − ξ).
+class ProbabilityOfImprovement final : public ScoredStrategy {
+ public:
+  explicit ProbabilityOfImprovement(double xi = 0.01);
+  std::string name() const override { return "probability_of_improvement"; }
+  std::vector<double> scores(const SelectionContext& ctx) override;
+
+ private:
+  double xi_;
+};
+
+/// Standard normal PDF / CDF (exposed for tests).
+double normalPdf(double z);
+double normalCdf(double z);
+
+struct OptimizationRecord {
+  int iteration = 0;
+  std::size_t chosenRow = 0;
+  double observed = 0.0;
+  double bestSoFar = 0.0;
+  double cumulativeCost = 0.0;
+};
+
+struct OptimizationResult {
+  std::vector<OptimizationRecord> history;
+  std::size_t bestRow = 0;
+  double bestValue = 0.0;
+};
+
+/// Pool-based minimization loop: seed with `nInitial` random pool rows,
+/// then let the acquisition pick `iterations` further experiments.
+/// The response is minimized as-is (pass log-cost for cost responses).
+OptimizationResult minimizeResponse(const RegressionProblem& problem,
+                                    const gp::GaussianProcess& gpPrototype,
+                                    ScoredStrategy& acquisition,
+                                    std::size_t nInitial, int iterations,
+                                    stats::Rng& rng);
+
+}  // namespace alperf::al

@@ -1,0 +1,64 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alperf::al {
+
+void RegressionProblem::validate() const {
+  requireArg(x.rows() == y.size(),
+             "RegressionProblem: X rows and y length differ");
+  requireArg(cost.size() == y.size(),
+             "RegressionProblem: cost length and y length differ");
+  requireArg(y.size() > 0, "RegressionProblem: empty problem");
+  requireArg(x.cols() > 0, "RegressionProblem: no features");
+}
+
+RegressionProblem makeProblem(
+    const data::Table& table, const std::vector<std::string>& featureColumns,
+    const std::string& responseColumn, const std::string& costColumn,
+    const std::vector<std::string>& log10Columns) {
+  requireArg(!featureColumns.empty(), "makeProblem: no feature columns");
+  const std::size_t n = table.numRows();
+  requireArg(n > 0, "makeProblem: empty table");
+
+  const auto wantsLog = [&](const std::string& name) {
+    return std::find(log10Columns.begin(), log10Columns.end(), name) !=
+           log10Columns.end();
+  };
+  const auto fetch = [&](const std::string& name) {
+    const auto col = table.numeric(name);
+    la::Vector v(col.begin(), col.end());
+    if (wantsLog(name)) {
+      for (double& val : v) {
+        requireArg(val > 0.0,
+                   "makeProblem: log10 of non-positive value in '" + name +
+                       "'");
+        val = std::log10(val);
+      }
+    }
+    return v;
+  };
+
+  RegressionProblem p;
+  p.x = la::Matrix(n, featureColumns.size());
+  for (std::size_t j = 0; j < featureColumns.size(); ++j) {
+    const la::Vector col = fetch(featureColumns[j]);
+    for (std::size_t i = 0; i < n; ++i) p.x(i, j) = col[i];
+  }
+  p.y = fetch(responseColumn);
+  if (costColumn.empty()) {
+    p.cost.assign(n, 1.0);
+  } else {
+    const auto col = table.numeric(costColumn);
+    p.cost.assign(col.begin(), col.end());
+  }
+  p.featureNames = featureColumns;
+  p.responseName = responseColumn;
+  p.validate();
+  return p;
+}
+
+}  // namespace alperf::al

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file problem.hpp
+/// The regression problem an active learner operates on: a design matrix
+/// of controlled variables, a response vector, and a per-experiment cost.
+///
+/// Rows are *jobs* (repeated measurements of the same x are distinct rows),
+/// which is the paper's required treatment of noisy responses: selecting a
+/// job consumes one measurement, while further repeats at the same x stay
+/// in the pool.
+
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+
+namespace alperf::al {
+
+struct RegressionProblem {
+  la::Matrix x;     ///< n×d design matrix (already transformed/scaled)
+  la::Vector y;     ///< response, one per row (typically log10-transformed)
+  la::Vector cost;  ///< per-experiment cost on the *linear* scale
+                    ///< (e.g. core-seconds); used for budget accounting
+
+  std::vector<std::string> featureNames;
+  std::string responseName;
+
+  std::size_t size() const { return y.size(); }
+  std::size_t dim() const { return x.cols(); }
+
+  /// Throws std::invalid_argument if the three parts disagree in size or
+  /// the problem is empty.
+  void validate() const;
+};
+
+/// Builds a problem from a table: features and response are taken from
+/// numeric columns; cost from `costColumn` (or all-ones when empty).
+/// Columns listed in `log10Columns` are log10-transformed on the fly
+/// (applies to features and/or the response).
+RegressionProblem makeProblem(const data::Table& table,
+                              const std::vector<std::string>& featureColumns,
+                              const std::string& responseColumn,
+                              const std::string& costColumn = "",
+                              const std::vector<std::string>& log10Columns = {});
+
+}  // namespace alperf::al

@@ -1,0 +1,191 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stats/sampling.hpp"
+
+namespace alperf::al {
+
+namespace {
+
+/// Rows of the problem design matrix for the given candidate indices.
+la::Matrix candidateMatrix(const SelectionContext& ctx) {
+  la::Matrix m(ctx.candidates.size(), ctx.problem.dim());
+  for (std::size_t i = 0; i < ctx.candidates.size(); ++i) {
+    const auto row = ctx.problem.x.row(ctx.candidates[i]);
+    std::copy(row.begin(), row.end(), m.row(i).begin());
+  }
+  return m;
+}
+
+std::size_t argmax(std::span<const double> v) {
+  ALPERF_ASSERT(!v.empty(), "argmax: empty scores");
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+std::vector<std::size_t> Strategy::selectBatch(const SelectionContext& ctx,
+                                               std::size_t batchSize) {
+  requireArg(batchSize >= 1 && batchSize <= ctx.candidates.size(),
+             "selectBatch: bad batch size");
+  // Default: repeatedly run single select() on the shrinking candidate
+  // view. Positions are remapped to the original candidate list.
+  std::vector<std::size_t> remaining(ctx.candidates.size());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  std::vector<std::size_t> chosen;
+  std::vector<std::size_t> rows(ctx.candidates.begin(), ctx.candidates.end());
+  while (chosen.size() < batchSize) {
+    SelectionContext sub{ctx.gp, ctx.problem,
+                         std::span<const std::size_t>(rows), ctx.rng};
+    const std::size_t pos = select(sub);
+    chosen.push_back(remaining[pos]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pos));
+    rows.erase(rows.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  return chosen;
+}
+
+std::size_t ScoredStrategy::select(const SelectionContext& ctx) {
+  requireArg(!ctx.candidates.empty(), "select: empty candidate pool");
+  return argmax(scores(ctx));
+}
+
+std::vector<std::size_t> ScoredStrategy::selectBatch(
+    const SelectionContext& ctx, std::size_t batchSize) {
+  requireArg(batchSize >= 1 && batchSize <= ctx.candidates.size(),
+             "selectBatch: bad batch size");
+  const auto s = scores(ctx);
+  std::vector<std::size_t> order(s.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(batchSize),
+                    order.end(),
+                    [&s](std::size_t a, std::size_t b) { return s[a] > s[b]; });
+  order.resize(batchSize);
+  return order;
+}
+
+std::vector<double> VarianceReduction::scores(const SelectionContext& ctx) {
+  const auto pred = ctx.gp.predict(candidateMatrix(ctx));
+  return pred.stdDev();
+}
+
+std::vector<double> CostEfficiency::scores(const SelectionContext& ctx) {
+  const auto pred = ctx.gp.predict(candidateMatrix(ctx));
+  std::vector<double> s(pred.mean.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = std::sqrt(pred.variance[i]) - pred.mean[i];
+  return s;
+}
+
+std::vector<double> CostWeightedVariance::scores(
+    const SelectionContext& ctx) {
+  const auto pred = ctx.gp.predict(candidateMatrix(ctx));
+  std::vector<double> s(pred.mean.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = std::sqrt(pred.variance[i]) / std::pow(10.0, pred.mean[i]);
+  return s;
+}
+
+std::size_t RandomSelection::select(const SelectionContext& ctx) {
+  requireArg(!ctx.candidates.empty(), "select: empty candidate pool");
+  return ctx.rng.index(ctx.candidates.size());
+}
+
+Emcm::Emcm(int ensembleSize) : ensembleSize_(ensembleSize) {
+  requireArg(ensembleSize >= 2, "Emcm: ensemble size must be >= 2");
+}
+
+std::vector<double> Emcm::scores(const SelectionContext& ctx) {
+  requireArg(ctx.gp.fitted(), "Emcm: GP must be fitted");
+  const la::Matrix cand = candidateMatrix(ctx);
+  const auto mainPred = ctx.gp.predict(cand);
+
+  const la::Matrix& trainX = ctx.gp.trainX();
+  const la::Vector& trainY = ctx.gp.trainY();
+  const std::size_t n = trainY.size();
+
+  std::vector<double> s(cand.rows(), 0.0);
+  for (int k = 0; k < ensembleSize_; ++k) {
+    const auto idx = stats::sampleWithReplacement(n, n, ctx.rng);
+    la::Matrix bx(n, trainX.cols());
+    la::Vector by(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = trainX.row(idx[i]);
+      std::copy(row.begin(), row.end(), bx.row(i).begin());
+      by[i] = trainY[idx[i]];
+    }
+    // Weak learner: same kernel, hyperparameters frozen (no re-opt) —
+    // the Monte-Carlo variance estimate the paper critiques.
+    gp::GaussianProcess weak(ctx.gp);
+    weak.config().optimize = false;
+    weak.fit(std::move(bx), std::move(by), ctx.rng);
+    const auto weakPred = weak.predict(cand);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      s[i] += std::abs(mainPred.mean[i] - weakPred.mean[i]);
+  }
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = s[i] / ensembleSize_ * la::norm2(cand.row(i));
+  return s;
+}
+
+std::size_t FantasyBatch::select(const SelectionContext& ctx) {
+  VarianceReduction vr;
+  return vr.select(ctx);
+}
+
+std::vector<std::size_t> FantasyBatch::selectBatch(
+    const SelectionContext& ctx, std::size_t batchSize) {
+  requireArg(batchSize >= 1 && batchSize <= ctx.candidates.size(),
+             "selectBatch: bad batch size");
+  requireArg(ctx.gp.fitted(), "FantasyBatch: GP must be fitted");
+
+  gp::GaussianProcess fantasy(ctx.gp);
+  fantasy.config().optimize = false;
+
+  std::vector<std::size_t> chosen;
+  std::vector<char> taken(ctx.candidates.size(), 0);
+  while (chosen.size() < batchSize) {
+    const la::Matrix cand = candidateMatrix(ctx);
+    const auto pred = fantasy.predict(cand);
+    // Highest-σ among not-yet-taken positions.
+    std::size_t best = ctx.candidates.size();
+    double bestVar = -1.0;
+    for (std::size_t i = 0; i < ctx.candidates.size(); ++i) {
+      if (taken[i]) continue;
+      if (pred.variance[i] > bestVar) {
+        bestVar = pred.variance[i];
+        best = i;
+      }
+    }
+    ALPERF_ASSERT(best < ctx.candidates.size(),
+                  "FantasyBatch: no candidate left");
+    taken[best] = 1;
+    chosen.push_back(best);
+    if (chosen.size() == batchSize) break;
+
+    // Condition on the pick with a fantasy observation (posterior variance
+    // does not depend on the observed value).
+    const la::Matrix& oldX = fantasy.trainX();
+    const la::Vector& oldY = fantasy.trainY();
+    la::Matrix nx(oldX.rows() + 1, oldX.cols());
+    la::Vector ny(oldY.size() + 1);
+    for (std::size_t i = 0; i < oldX.rows(); ++i) {
+      const auto row = oldX.row(i);
+      std::copy(row.begin(), row.end(), nx.row(i).begin());
+      ny[i] = oldY[i];
+    }
+    const auto newRow = ctx.problem.x.row(ctx.candidates[best]);
+    std::copy(newRow.begin(), newRow.end(), nx.row(oldX.rows()).begin());
+    ny[oldY.size()] = pred.mean[best];
+    fantasy.fit(std::move(nx), std::move(ny), ctx.rng);
+  }
+  return chosen;
+}
+
+}  // namespace alperf::al

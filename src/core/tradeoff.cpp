@@ -1,0 +1,118 @@
+#include "core/tradeoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alperf::al {
+
+double TradeoffCurve::errorAt(double c) const {
+  requireArg(!cost.empty(), "TradeoffCurve: empty curve");
+  if (c <= cost.front()) return error.front();
+  if (c >= cost.back()) return error.back();
+  const auto it = std::upper_bound(cost.begin(), cost.end(), c);
+  const std::size_t hi = static_cast<std::size_t>(it - cost.begin());
+  const std::size_t lo = hi - 1;
+  // Log-linear interpolation (costs span orders of magnitude).
+  const double t = (std::log(c) - std::log(cost[lo])) /
+                   (std::log(cost[hi]) - std::log(cost[lo]));
+  return error[lo] * (1.0 - t) + error[hi] * t;
+}
+
+namespace {
+
+/// RMSE achieved by a run once it has spent cost c: the error recorded at
+/// the last iteration whose cumulative cost is <= c (before the first
+/// iteration, the first recorded error).
+double runErrorAtCost(const AlResult& run, double c) {
+  ALPERF_ASSERT(!run.history.empty(), "runErrorAtCost: empty run");
+  double err = run.history.front().rmse;
+  for (const auto& rec : run.history) {
+    if (rec.cumulativeCost > c) break;
+    err = rec.rmse;
+  }
+  return err;
+}
+
+}  // namespace
+
+TradeoffCurve aggregateTradeoff(const BatchResult& batch, int gridPoints) {
+  requireArg(!batch.runs.empty(), "aggregateTradeoff: no runs");
+  requireArg(gridPoints >= 2, "aggregateTradeoff: need >= 2 grid points");
+
+  // Common cost range: from the largest first-pick cost to the smallest
+  // total cost, so every run contributes everywhere on the grid.
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+  for (const auto& run : batch.runs) {
+    requireArg(!run.history.empty(), "aggregateTradeoff: run with no picks");
+    lo = std::max(lo, run.history.front().cumulativeCost);
+    hi = std::min(hi, run.history.back().cumulativeCost);
+  }
+  requireArg(lo > 0.0 && hi > lo,
+             "aggregateTradeoff: degenerate common cost range");
+
+  TradeoffCurve curve;
+  curve.cost.resize(gridPoints);
+  curve.error.assign(gridPoints, 0.0);
+  const double step = (std::log(hi) - std::log(lo)) / (gridPoints - 1);
+  for (int i = 0; i < gridPoints; ++i)
+    curve.cost[i] = std::exp(std::log(lo) + i * step);
+  for (const auto& run : batch.runs)
+    for (int i = 0; i < gridPoints; ++i)
+      curve.error[i] += runErrorAtCost(run, curve.cost[i]);
+  for (double& e : curve.error) e /= static_cast<double>(batch.runs.size());
+  return curve;
+}
+
+CrossoverReport compareTradeoffs(const TradeoffCurve& baseline,
+                                 const TradeoffCurve& challenger,
+                                 const std::vector<double>& multiples) {
+  requireArg(!baseline.cost.empty() && !challenger.cost.empty(),
+             "compareTradeoffs: empty curve");
+  CrossoverReport report;
+
+  // Common grid: intersect ranges, use the baseline's resolution.
+  const double lo = std::max(baseline.cost.front(), challenger.cost.front());
+  const double hi = std::min(baseline.cost.back(), challenger.cost.back());
+  requireArg(hi > lo, "compareTradeoffs: disjoint cost ranges");
+  const int n = static_cast<int>(baseline.cost.size());
+  std::vector<double> grid(n);
+  const double step = (std::log(hi) - std::log(lo)) / (n - 1);
+  for (int i = 0; i < n; ++i) grid[i] = std::exp(std::log(lo) + i * step);
+
+  // Crossover: first grid cost from which the challenger stays at or
+  // below the baseline for the remainder of the range.
+  int crossIdx = -1;
+  for (int i = n - 1; i >= 0; --i) {
+    if (challenger.errorAt(grid[i]) <= baseline.errorAt(grid[i]))
+      crossIdx = i;
+    else
+      break;
+  }
+  if (crossIdx < 0 || crossIdx == n - 1) return report;  // never / trivially
+  report.found = true;
+  report.crossoverCost = grid[crossIdx];
+
+  const auto reduction = [&](double c) {
+    const double b = baseline.errorAt(c);
+    const double ch = challenger.errorAt(c);
+    return b > 0.0 ? (b - ch) / b : 0.0;
+  };
+  for (double m : multiples) {
+    const double c = report.crossoverCost * m;
+    if (c > hi) break;
+    report.reductions.emplace_back(m, reduction(c));
+  }
+  for (int i = crossIdx; i < n; ++i) {
+    const double r = reduction(grid[i]);
+    if (r > report.maxReduction) {
+      report.maxReduction = r;
+      report.maxReductionCost = grid[i];
+    }
+  }
+  return report;
+}
+
+}  // namespace alperf::al

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file tradeoff.hpp
+/// Cost–error tradeoff analysis (paper Fig. 8b): turn per-run
+/// (cumulative cost, RMSE) trajectories into an averaged error-vs-cost
+/// curve per strategy, locate the crossover cost C where the cost-aware
+/// strategy starts winning, and report the relative error reduction at
+/// multiples of C (the paper's headline 38% figure).
+
+#include "core/batch.hpp"
+
+namespace alperf::al {
+
+/// Averaged error as a function of cumulative cost (monotone cost grid).
+struct TradeoffCurve {
+  std::vector<double> cost;
+  std::vector<double> error;
+
+  /// Step-interpolated error at the given cost (clamped to the ends).
+  double errorAt(double c) const;
+};
+
+/// Builds the averaged curve: each run's RMSE-vs-cumulative-cost staircase
+/// is evaluated on a log-spaced cost grid spanning the range covered by
+/// *all* runs, then averaged.
+TradeoffCurve aggregateTradeoff(const BatchResult& batch,
+                                int gridPoints = 200);
+
+struct CrossoverReport {
+  bool found = false;
+  double crossoverCost = 0.0;  ///< the paper's C
+  /// Relative error reduction of `challenger` vs `baseline` at each
+  /// requested multiple of C, as (multiplier, reduction in [0,1]).
+  std::vector<std::pair<double, double>> reductions;
+  /// Largest reduction at any grid cost >= C.
+  double maxReduction = 0.0;
+  double maxReductionCost = 0.0;
+};
+
+/// Finds the first cost after which `challenger` has lower error than
+/// `baseline` through the rest of the common range, and evaluates the
+/// relative reductions at the given multiples of that crossover cost.
+CrossoverReport compareTradeoffs(const TradeoffCurve& baseline,
+                                 const TradeoffCurve& challenger,
+                                 const std::vector<double>& multiples = {
+                                     1.0, 2.0, 3.0, 5.0, 10.0});
+
+}  // namespace alperf::al

@@ -1,0 +1,161 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace alperf::data {
+
+namespace {
+
+/// Splits one CSV record honouring double-quote quoting. Returns false at
+/// end of stream with no record. Quoted cells may contain embedded
+/// newlines; this reads additional lines as needed.
+bool readRecord(std::istream& in, std::vector<std::string>& cells) {
+  cells.clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::string cell;
+  bool inQuotes = false;
+  std::size_t i = 0;
+  while (true) {
+    if (i >= line.size()) {
+      if (inQuotes) {
+        // Embedded newline inside a quoted cell.
+        cell.push_back('\n');
+        if (!std::getline(in, line))
+          throw std::invalid_argument("CSV: unterminated quoted cell");
+        i = 0;
+        continue;
+      }
+      break;
+    }
+    const char ch = line[i];
+    if (inQuotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        cell.push_back(ch);
+      }
+    } else if (ch == '"') {
+      inQuotes = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch == '\r' && i + 1 == line.size()) {
+      // Ignore trailing CR from CRLF files.
+    } else {
+      cell.push_back(ch);
+    }
+    ++i;
+  }
+  cells.push_back(std::move(cell));
+  return true;
+}
+
+bool parsesAsDouble(const std::string& s) {
+  if (s.empty()) return false;
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+std::string quoteIfNeeded(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Table readCsv(std::istream& in) {
+  std::vector<std::string> header;
+  if (!readRecord(in, header))
+    throw std::invalid_argument("CSV: empty input (no header)");
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> rec;
+  while (readRecord(in, rec)) {
+    if (rec.size() == 1 && rec[0].empty()) continue;  // blank line
+    requireArg(rec.size() == header.size(),
+               "CSV: row with wrong number of cells");
+    rows.push_back(rec);
+  }
+
+  Table t;
+  for (std::size_t j = 0; j < header.size(); ++j) {
+    bool numeric = !rows.empty();
+    for (const auto& r : rows)
+      if (!parsesAsDouble(r[j])) {
+        numeric = false;
+        break;
+      }
+    if (numeric) {
+      std::vector<double> v;
+      v.reserve(rows.size());
+      for (const auto& r : rows) {
+        double x = 0.0;
+        std::from_chars(r[j].data(), r[j].data() + r[j].size(), x);
+        v.push_back(x);
+      }
+      t.addNumeric(header[j], std::move(v));
+    } else {
+      std::vector<std::string> v;
+      v.reserve(rows.size());
+      for (const auto& r : rows) v.push_back(r[j]);
+      t.addCategorical(header[j], std::move(v));
+    }
+  }
+  return t;
+}
+
+Table readCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("CSV: cannot open '" + path + "'");
+  return readCsv(in);
+}
+
+void writeCsv(const Table& table, std::ostream& out) {
+  const auto names = table.columnNames();
+  for (std::size_t j = 0; j < names.size(); ++j)
+    out << (j ? "," : "") << quoteIfNeeded(names[j]);
+  out << '\n';
+  std::ostringstream num;
+  num.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < table.numRows(); ++i) {
+    for (std::size_t j = 0; j < table.numCols(); ++j) {
+      if (j) out << ',';
+      const Column& c = table.column(j);
+      if (c.type == ColumnType::Numeric) {
+        num.str("");
+        num << c.numeric[i];
+        out << num.str();
+      } else {
+        out << quoteIfNeeded(c.categorical[i]);
+      }
+    }
+    out << '\n';
+  }
+}
+
+void writeCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("CSV: cannot open '" + path + "' for writing");
+  writeCsv(table, out);
+}
+
+}  // namespace alperf::data

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV reader/writer for Table — the paper publishes its job
+/// database as CSV, and the benches dump reproducible artifacts in the
+/// same format. Supports RFC-4180-style double-quote quoting for cells
+/// containing commas, quotes, or newlines.
+
+#include <iosfwd>
+#include <string>
+
+#include "data/table.hpp"
+
+namespace alperf::data {
+
+/// Reads a CSV with a header row. Column types are inferred: a column is
+/// Numeric iff every cell parses as a double, else Categorical.
+/// Throws std::invalid_argument on ragged rows and std::runtime_error if
+/// the file cannot be opened.
+Table readCsv(const std::string& path);
+
+/// Reads CSV from an already-open stream (same rules as readCsv).
+Table readCsv(std::istream& in);
+
+/// Writes a table as CSV with a header row. Numeric cells use max
+/// round-trip precision. Throws std::runtime_error if the file cannot
+/// be opened for writing.
+void writeCsv(const Table& table, const std::string& path);
+
+void writeCsv(const Table& table, std::ostream& out);
+
+}  // namespace alperf::data

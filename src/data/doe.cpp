@@ -1,0 +1,154 @@
+#include "data/doe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/sampling.hpp"
+
+namespace alperf::data {
+
+la::Matrix fullFactorial(const std::vector<std::vector<double>>& levels) {
+  requireArg(!levels.empty(), "fullFactorial: no factors");
+  std::size_t rows = 1;
+  for (const auto& l : levels) {
+    requireArg(!l.empty(), "fullFactorial: factor with no levels");
+    rows *= l.size();
+  }
+  la::Matrix design(rows, levels.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t rem = r;
+    // Last factor varies fastest (odometer order).
+    for (std::size_t j = levels.size(); j-- > 0;) {
+      design(r, j) = levels[j][rem % levels[j].size()];
+      rem /= levels[j].size();
+    }
+  }
+  return design;
+}
+
+la::Matrix twoLevelFactorial(std::size_t k) {
+  requireArg(k >= 1 && k < 24, "twoLevelFactorial: k out of range");
+  return fullFactorial(
+      std::vector<std::vector<double>>(k, {-1.0, 1.0}));
+}
+
+la::Matrix fractionalFactorial(
+    std::size_t k, const std::vector<std::vector<std::size_t>>& generators) {
+  const std::size_t p = generators.size();
+  requireArg(p >= 1 && p < k, "fractionalFactorial: need 1 <= p < k");
+  const std::size_t base = k - p;
+  const la::Matrix baseDesign = twoLevelFactorial(base);
+  la::Matrix design(baseDesign.rows(), k);
+  for (std::size_t r = 0; r < baseDesign.rows(); ++r) {
+    for (std::size_t j = 0; j < base; ++j) design(r, j) = baseDesign(r, j);
+    for (std::size_t g = 0; g < p; ++g) {
+      requireArg(!generators[g].empty(),
+                 "fractionalFactorial: empty generator");
+      double v = 1.0;
+      for (std::size_t idx : generators[g]) {
+        requireArg(idx < base,
+                   "fractionalFactorial: generator over non-base column");
+        v *= baseDesign(r, idx);
+      }
+      design(r, base + g) = v;
+    }
+  }
+  return design;
+}
+
+la::Matrix latinHypercube(std::size_t n, std::size_t d, stats::Rng& rng,
+                          int candidates) {
+  requireArg(n >= 1 && d >= 1, "latinHypercube: need n, d >= 1");
+  requireArg(candidates >= 1, "latinHypercube: candidates must be >= 1");
+
+  const auto makeOne = [&] {
+    la::Matrix design(n, d);
+    for (std::size_t j = 0; j < d; ++j) {
+      auto perm = stats::permutation(n, rng);
+      for (std::size_t i = 0; i < n; ++i)
+        design(i, j) =
+            (static_cast<double>(perm[i]) + rng.uniform01()) /
+            static_cast<double>(n);
+    }
+    return design;
+  };
+  const auto minPairDist = [&](const la::Matrix& m) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = i + 1; j < m.rows(); ++j)
+        best = std::min(best, la::squaredDistance(m.row(i), m.row(j)));
+    return best;
+  };
+
+  la::Matrix best = makeOne();
+  double bestScore = minPairDist(best);
+  for (int c = 1; c < candidates; ++c) {
+    la::Matrix cand = makeOne();
+    const double score = minPairDist(cand);
+    if (score > bestScore) {
+      bestScore = score;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+void scaleToBounds(la::Matrix& design, std::span<const double> lo,
+                   std::span<const double> hi) {
+  requireArg(lo.size() == design.cols() && hi.size() == design.cols(),
+             "scaleToBounds: bounds dimension mismatch");
+  for (std::size_t j = 0; j < design.cols(); ++j) {
+    requireArg(lo[j] <= hi[j], "scaleToBounds: lo > hi");
+    for (std::size_t i = 0; i < design.rows(); ++i)
+      design(i, j) = lo[j] + (hi[j] - lo[j]) * design(i, j);
+  }
+}
+
+std::vector<std::size_t> nearestPoolRows(const la::Matrix& pool,
+                                         const la::Matrix& design) {
+  requireArg(pool.cols() == design.cols(),
+             "nearestPoolRows: dimension mismatch");
+  requireArg(design.rows() <= pool.rows(),
+             "nearestPoolRows: design larger than pool");
+
+  // Min-max normalization per column so distances are scale-free.
+  la::Vector lo(pool.cols(), std::numeric_limits<double>::infinity());
+  la::Vector hi(pool.cols(), -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < pool.rows(); ++i)
+    for (std::size_t j = 0; j < pool.cols(); ++j) {
+      lo[j] = std::min(lo[j], pool(i, j));
+      hi[j] = std::max(hi[j], pool(i, j));
+    }
+  const auto normalize = [&](double v, std::size_t j) {
+    return hi[j] > lo[j] ? (v - lo[j]) / (hi[j] - lo[j]) : 0.0;
+  };
+
+  std::vector<char> taken(pool.rows(), 0);
+  std::vector<std::size_t> out;
+  out.reserve(design.rows());
+  for (std::size_t r = 0; r < design.rows(); ++r) {
+    double bestDist = std::numeric_limits<double>::infinity();
+    std::size_t best = pool.rows();
+    for (std::size_t i = 0; i < pool.rows(); ++i) {
+      if (taken[i]) continue;
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < pool.cols(); ++j) {
+        const double diff =
+            normalize(pool(i, j), j) - normalize(design(r, j), j);
+        d2 += diff * diff;
+      }
+      if (d2 < bestDist) {
+        bestDist = d2;
+        best = i;
+      }
+    }
+    ALPERF_ASSERT(best < pool.rows(), "nearestPoolRows: pool exhausted");
+    taken[best] = 1;
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace alperf::data

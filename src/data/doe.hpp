@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file doe.hpp
+/// Classic static experiment designs (design of experiments) — the
+/// alternatives the paper positions itself against (Sec. II-B, citing
+/// Jain's classes: simple designs, 2^k full factorial, 2^(k-p) fractional
+/// factorial) plus Latin hypercube sampling. These are *static*: the
+/// experiment set is fixed a priori and never adapts to measurements,
+/// which is exactly the inefficiency AL addresses. The ablation bench
+/// compares them against AL at equal budgets.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace alperf::data {
+
+/// Full factorial: one design row per combination of the given per-factor
+/// level lists (each factor must have at least one level).
+la::Matrix fullFactorial(const std::vector<std::vector<double>>& levels);
+
+/// 2^k full factorial in coded units (-1 / +1), k >= 1.
+la::Matrix twoLevelFactorial(std::size_t k);
+
+/// 2^(k-p) fractional factorial in coded units. The first k-p columns
+/// form a full two-level factorial; column k-p+j is generated as the
+/// elementwise product of the base columns listed in generators[j]
+/// (classic design generators, e.g. D = ABC). Requires p >= 1 and
+/// non-empty generator sets over valid base columns.
+la::Matrix fractionalFactorial(std::size_t k,
+                               const std::vector<std::vector<std::size_t>>&
+                                   generators);
+
+/// Maximin Latin hypercube: n points in [0,1)^d, one stratum per point
+/// and dimension; the best of `candidates` random hypercubes by minimum
+/// pairwise distance is returned.
+la::Matrix latinHypercube(std::size_t n, std::size_t d, stats::Rng& rng,
+                          int candidates = 10);
+
+/// Affinely rescales unit-cube design rows into [lo, hi] per column.
+void scaleToBounds(la::Matrix& design, std::span<const double> lo,
+                   std::span<const double> hi);
+
+/// Matches each design point to its nearest pool row (Euclidean distance
+/// on per-column min-max-normalized coordinates), without replacement —
+/// used to execute a static design against a finite job database.
+/// Requires design.rows() <= pool.rows().
+std::vector<std::size_t> nearestPoolRows(const la::Matrix& pool,
+                                         const la::Matrix& design);
+
+}  // namespace alperf::data

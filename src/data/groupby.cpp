@@ -1,0 +1,116 @@
+#include "data/groupby.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace alperf::data {
+
+Table groupByAggregate(const Table& table,
+                       const std::vector<std::string>& keyColumns,
+                       const std::vector<std::string>& valueColumns) {
+  requireArg(!keyColumns.empty(), "groupByAggregate: no key columns");
+  requireArg(!valueColumns.empty(), "groupByAggregate: no value columns");
+  const std::size_t n = table.numRows();
+
+  // Resolve column kinds up front (also validates names/types).
+  struct Key {
+    const Column* col;
+  };
+  std::vector<Key> keys;
+  for (const auto& name : keyColumns) keys.push_back({&table.column(name)});
+  for (const auto& name : valueColumns)
+    (void)table.numeric(name);  // must be numeric
+
+  // Composite group key: stringified cells joined with a separator that
+  // cannot appear in a numeric rendering.
+  const auto keyOf = [&](std::size_t row) {
+    std::string k;
+    for (const auto& key : keys) {
+      if (key.col->type == ColumnType::Numeric) {
+        // Exact representation: levels are exact doubles.
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", key.col->numeric[row]);
+        k += buf;
+      } else {
+        k += key.col->categorical[row];
+      }
+      k += '\x1f';
+    }
+    return k;
+  };
+
+  std::map<std::string, std::size_t> groupIndex;
+  std::vector<std::vector<std::size_t>> groups;  // rows per group
+  std::vector<std::size_t> firstRow;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string k = keyOf(i);
+    const auto [it, inserted] = groupIndex.try_emplace(k, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      firstRow.push_back(i);
+    }
+    groups[it->second].push_back(i);
+  }
+  // Order groups by first occurrence.
+  std::vector<std::size_t> order(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) order[g] = g;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return firstRow[a] < firstRow[b];
+  });
+
+  Table out;
+  // Key columns.
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    if (keys[k].col->type == ColumnType::Numeric) {
+      std::vector<double> v;
+      v.reserve(groups.size());
+      for (std::size_t g : order)
+        v.push_back(keys[k].col->numeric[firstRow[g]]);
+      out.addNumeric(keyColumns[k], std::move(v));
+    } else {
+      std::vector<std::string> v;
+      v.reserve(groups.size());
+      for (std::size_t g : order)
+        v.push_back(keys[k].col->categorical[firstRow[g]]);
+      out.addCategorical(keyColumns[k], std::move(v));
+    }
+  }
+  // Count.
+  {
+    std::vector<double> count;
+    count.reserve(groups.size());
+    for (std::size_t g : order)
+      count.push_back(static_cast<double>(groups[g].size()));
+    out.addNumeric("Count", std::move(count));
+  }
+  // Aggregates.
+  for (const auto& name : valueColumns) {
+    const auto col = table.numeric(name);
+    std::vector<double> mean, sd, mn, mx;
+    mean.reserve(groups.size());
+    sd.reserve(groups.size());
+    mn.reserve(groups.size());
+    mx.reserve(groups.size());
+    for (std::size_t g : order) {
+      std::vector<double> vals;
+      vals.reserve(groups[g].size());
+      for (std::size_t row : groups[g]) vals.push_back(col[row]);
+      mean.push_back(stats::mean(vals));
+      sd.push_back(vals.size() >= 2 ? stats::sampleStdDev(vals) : 0.0);
+      mn.push_back(stats::minValue(vals));
+      mx.push_back(stats::maxValue(vals));
+    }
+    out.addNumeric(name + "_mean", std::move(mean));
+    out.addNumeric(name + "_sd", std::move(sd));
+    out.addNumeric(name + "_min", std::move(mn));
+    out.addNumeric(name + "_max", std::move(mx));
+  }
+  return out;
+}
+
+}  // namespace alperf::data

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file groupby.hpp
+/// Group-by aggregation over Tables — the "repeated measurements per
+/// factor combination" summaries that performance analysis constantly
+/// needs (mean/SD/min/max of a response per configuration).
+
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+
+namespace alperf::data {
+
+/// Groups rows by the exact values of `keyColumns` (numeric or
+/// categorical) and aggregates every column in `valueColumns` (numeric
+/// only). The result has the key columns (categorical keys stay
+/// categorical, numeric stay numeric), a `Count` column, and for each
+/// value column V the columns `V_mean`, `V_sd` (0 when the group has one
+/// row), `V_min`, `V_max`. Groups appear in order of first occurrence.
+Table groupByAggregate(const Table& table,
+                       const std::vector<std::string>& keyColumns,
+                       const std::vector<std::string>& valueColumns);
+
+}  // namespace alperf::data

@@ -1,0 +1,35 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/sampling.hpp"
+
+namespace alperf::data {
+
+TriPartition triPartition(std::size_t nRows, std::size_t nInitial,
+                          double activeFraction, stats::Rng& rng) {
+  requireArg(nInitial >= 1, "triPartition: need at least one initial row");
+  requireArg(nInitial + 2 <= nRows,
+             "triPartition: need at least one active and one test row");
+  requireArg(activeFraction > 0.0 && activeFraction < 1.0,
+             "triPartition: activeFraction must be in (0, 1)");
+
+  auto perm = stats::permutation(nRows, rng);
+  TriPartition p;
+  p.initial.assign(perm.begin(),
+                   perm.begin() + static_cast<std::ptrdiff_t>(nInitial));
+  const std::size_t rest = nRows - nInitial;
+  std::size_t nActive = static_cast<std::size_t>(
+      std::llround(activeFraction * static_cast<double>(rest)));
+  nActive = std::clamp<std::size_t>(nActive, 1, rest - 1);
+  p.active.assign(
+      perm.begin() + static_cast<std::ptrdiff_t>(nInitial),
+      perm.begin() + static_cast<std::ptrdiff_t>(nInitial + nActive));
+  p.test.assign(perm.begin() + static_cast<std::ptrdiff_t>(nInitial + nActive),
+                perm.end());
+  return p;
+}
+
+}  // namespace alperf::data

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file partition.hpp
+/// Random tri-partitioning of a job database into Initial / Active / Test
+/// index sets, the prototype's setup step (paper Sec. IV): typically one
+/// Initial job ("run once to verify correctness"), with the remaining jobs
+/// split Active:Test ≈ 8:2.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace alperf::data {
+
+/// Row-index sets of a tri-partition. The three sets are disjoint and
+/// cover all rows.
+struct TriPartition {
+  std::vector<std::size_t> initial;
+  std::vector<std::size_t> active;
+  std::vector<std::size_t> test;
+};
+
+/// Randomly partitions {0..nRows-1}: `nInitial` rows into Initial, then a
+/// fraction `activeFraction` of the remainder into Active (rounded), rest
+/// into Test. Requires nInitial >= 1, nInitial < nRows and
+/// 0 < activeFraction < 1; both Active and Test are guaranteed non-empty.
+TriPartition triPartition(std::size_t nRows, std::size_t nInitial,
+                          double activeFraction, stats::Rng& rng);
+
+}  // namespace alperf::data

@@ -1,0 +1,178 @@
+#include "data/table.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace alperf::data {
+
+void Table::checkNewColumnLength(std::size_t len) const {
+  requireArg(cols_.empty() || len == rows_,
+             "Table: new column length does not match existing rows");
+}
+
+void Table::addNumeric(std::string name, std::vector<double> values) {
+  requireArg(!hasColumn(name), "Table: duplicate column '" + name + "'");
+  checkNewColumnLength(values.size());
+  rows_ = values.size();
+  cols_.push_back(
+      {std::move(name), ColumnType::Numeric, std::move(values), {}});
+}
+
+void Table::addCategorical(std::string name,
+                           std::vector<std::string> values) {
+  requireArg(!hasColumn(name), "Table: duplicate column '" + name + "'");
+  checkNewColumnLength(values.size());
+  rows_ = values.size();
+  cols_.push_back(
+      {std::move(name), ColumnType::Categorical, {}, std::move(values)});
+}
+
+void Table::addEmptyColumn(std::string name, ColumnType type) {
+  requireArg(!hasColumn(name), "Table: duplicate column '" + name + "'");
+  requireArg(rows_ == 0, "Table::addEmptyColumn: table already has rows");
+  cols_.push_back({std::move(name), type, {}, {}});
+}
+
+bool Table::hasColumn(const std::string& name) const {
+  return std::any_of(cols_.begin(), cols_.end(),
+                     [&](const Column& c) { return c.name == name; });
+}
+
+std::size_t Table::columnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < cols_.size(); ++i)
+    if (cols_[i].name == name) return i;
+  throw std::invalid_argument("Table: no column named '" + name + "'");
+}
+
+const Column& Table::column(std::size_t i) const {
+  requireArg(i < cols_.size(), "Table::column: index out of range");
+  return cols_[i];
+}
+
+const Column& Table::column(const std::string& name) const {
+  return cols_[columnIndex(name)];
+}
+
+Column& Table::columnMutable(const std::string& name) {
+  return cols_[columnIndex(name)];
+}
+
+std::vector<std::string> Table::columnNames() const {
+  std::vector<std::string> names;
+  names.reserve(cols_.size());
+  for (const auto& c : cols_) names.push_back(c.name);
+  return names;
+}
+
+std::span<const double> Table::numeric(const std::string& name) const {
+  const Column& c = column(name);
+  requireArg(c.type == ColumnType::Numeric,
+             "Table::numeric: column '" + name + "' is categorical");
+  return c.numeric;
+}
+
+std::span<const std::string> Table::categorical(
+    const std::string& name) const {
+  const Column& c = column(name);
+  requireArg(c.type == ColumnType::Categorical,
+             "Table::categorical: column '" + name + "' is numeric");
+  return c.categorical;
+}
+
+std::span<double> Table::numericMutable(const std::string& name) {
+  Column& c = columnMutable(name);
+  requireArg(c.type == ColumnType::Numeric,
+             "Table::numericMutable: column '" + name + "' is categorical");
+  return c.numeric;
+}
+
+void Table::appendRow(const std::vector<std::string>& cells) {
+  requireArg(cells.size() == cols_.size(),
+             "Table::appendRow: cell count does not match column count");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cols_[i].type == ColumnType::Numeric) {
+      double v = 0.0;
+      const auto* begin = cells[i].data();
+      const auto* end = begin + cells[i].size();
+      const auto [ptr, ec] = std::from_chars(begin, end, v);
+      requireArg(ec == std::errc{} && ptr == end,
+                 "Table::appendRow: cell '" + cells[i] +
+                     "' is not numeric for column '" + cols_[i].name + "'");
+      cols_[i].numeric.push_back(v);
+    } else {
+      cols_[i].categorical.push_back(cells[i]);
+    }
+  }
+  ++rows_;
+}
+
+void Table::removeColumn(const std::string& name) {
+  const std::size_t i = columnIndex(name);
+  cols_.erase(cols_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (cols_.empty()) rows_ = 0;
+}
+
+Table Table::selectRows(std::span<const std::size_t> indices) const {
+  Table out;
+  for (const Column& c : cols_) {
+    if (c.type == ColumnType::Numeric) {
+      std::vector<double> v;
+      v.reserve(indices.size());
+      for (std::size_t idx : indices) {
+        requireArg(idx < rows_, "Table::selectRows: index out of range");
+        v.push_back(c.numeric[idx]);
+      }
+      out.addNumeric(c.name, std::move(v));
+    } else {
+      std::vector<std::string> v;
+      v.reserve(indices.size());
+      for (std::size_t idx : indices) {
+        requireArg(idx < rows_, "Table::selectRows: index out of range");
+        v.push_back(c.categorical[idx]);
+      }
+      out.addCategorical(c.name, std::move(v));
+    }
+  }
+  return out;
+}
+
+Table Table::filter(const std::function<bool(std::size_t)>& pred) const {
+  return selectRows(which(pred));
+}
+
+std::vector<std::size_t> Table::which(
+    const std::function<bool(std::size_t)>& pred) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < rows_; ++i)
+    if (pred(i)) idx.push_back(i);
+  return idx;
+}
+
+la::Matrix Table::designMatrix(
+    const std::vector<std::string>& columns) const {
+  requireArg(!columns.empty(), "Table::designMatrix: no columns given");
+  la::Matrix x(rows_, columns.size());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    const auto col = numeric(columns[j]);
+    for (std::size_t i = 0; i < rows_; ++i) x(i, j) = col[i];
+  }
+  return x;
+}
+
+std::vector<double> Table::distinctNumeric(const std::string& name) const {
+  const auto col = numeric(name);
+  std::set<double> s(col.begin(), col.end());
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::string> Table::distinctCategorical(
+    const std::string& name) const {
+  const auto col = categorical(name);
+  std::set<std::string> s(col.begin(), col.end());
+  return {s.begin(), s.end()};
+}
+
+}  // namespace alperf::data

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-typed in-memory table: the job database abstraction.
+///
+/// A Table holds named columns, each either Numeric (double) or Categorical
+/// (string). It is the interchange format between the cluster substrate
+/// (which generates job records), the data transforms, and the GP/AL stack
+/// (which consumes numeric design matrices).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace alperf::data {
+
+enum class ColumnType { Numeric, Categorical };
+
+/// One named, typed column. Exactly one of the two value vectors is used,
+/// according to `type`.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::Numeric;
+  std::vector<double> numeric;
+  std::vector<std::string> categorical;
+
+  std::size_t size() const {
+    return type == ColumnType::Numeric ? numeric.size() : categorical.size();
+  }
+};
+
+class Table {
+ public:
+  Table() = default;
+
+  /// Adds a numeric column; if the table is non-empty the length must match.
+  void addNumeric(std::string name, std::vector<double> values);
+
+  /// Adds a categorical column; length rules as addNumeric.
+  void addCategorical(std::string name, std::vector<std::string> values);
+
+  /// Adds an empty column of the given type (only valid on an empty table
+  /// or together with appendRow-based construction).
+  void addEmptyColumn(std::string name, ColumnType type);
+
+  std::size_t numRows() const { return rows_; }
+  std::size_t numCols() const { return cols_.size(); }
+  bool empty() const { return rows_ == 0; }
+
+  bool hasColumn(const std::string& name) const;
+  /// Index of the named column; throws std::invalid_argument if absent.
+  std::size_t columnIndex(const std::string& name) const;
+  const Column& column(std::size_t i) const;
+  const Column& column(const std::string& name) const;
+  std::vector<std::string> columnNames() const;
+
+  /// Numeric column values; throws if the column is categorical.
+  std::span<const double> numeric(const std::string& name) const;
+  /// Categorical column values; throws if the column is numeric.
+  std::span<const std::string> categorical(const std::string& name) const;
+
+  /// Mutable access to a numeric column (for in-place transforms).
+  std::span<double> numericMutable(const std::string& name);
+
+  /// Appends one row given per-column cell strings; numeric cells are
+  /// parsed as double. Column count must match.
+  void appendRow(const std::vector<std::string>& cells);
+
+  /// Removes the named column; throws std::invalid_argument if absent.
+  void removeColumn(const std::string& name);
+
+  /// New table with only the given rows (in the given order; repeats OK).
+  Table selectRows(std::span<const std::size_t> indices) const;
+
+  /// New table with rows where pred(rowIndex) is true.
+  Table filter(const std::function<bool(std::size_t)>& pred) const;
+
+  /// Row indices where pred(rowIndex) is true.
+  std::vector<std::size_t> which(
+      const std::function<bool(std::size_t)>& pred) const;
+
+  /// Design matrix with one row per table row and the given numeric columns.
+  la::Matrix designMatrix(const std::vector<std::string>& columns) const;
+
+  /// Sorted distinct values of a numeric column.
+  std::vector<double> distinctNumeric(const std::string& name) const;
+
+  /// Sorted distinct values of a categorical column.
+  std::vector<std::string> distinctCategorical(const std::string& name) const;
+
+ private:
+  Column& columnMutable(const std::string& name);
+  void checkNewColumnLength(std::size_t len) const;
+
+  std::vector<Column> cols_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace alperf::data

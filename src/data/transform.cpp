@@ -1,0 +1,56 @@
+#include "data/transform.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace alperf::data {
+
+void addLog10Column(Table& table, const std::string& source,
+                    const std::string& target) {
+  const auto src = table.numeric(source);
+  std::vector<double> out(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    requireArg(src[i] > 0.0, "addLog10Column: values must be > 0");
+    out[i] = std::log10(src[i]);
+  }
+  if (target == source) {
+    auto dst = table.numericMutable(source);
+    std::copy(out.begin(), out.end(), dst.begin());
+  } else {
+    table.addNumeric(target, std::move(out));
+  }
+}
+
+double unlog10(double x) { return std::pow(10.0, x); }
+
+Standardizer standardizeColumn(Table& table, const std::string& name) {
+  auto col = table.numericMutable(name);
+  requireArg(!col.empty(), "standardizeColumn: empty column");
+  Standardizer s;
+  s.mean = stats::mean(col);
+  s.stdDev = col.size() >= 2 ? stats::sampleStdDev(col) : 0.0;
+  if (s.stdDev == 0.0) s.stdDev = 1.0;
+  for (double& v : col) v = s.apply(v);
+  return s;
+}
+
+std::vector<std::string> oneHotEncode(Table& table, const std::string& name) {
+  const auto values = table.categorical(name);
+  const auto levels = table.distinctCategorical(name);
+  std::vector<std::string> newNames;
+  newNames.reserve(levels.size());
+  for (const auto& level : levels) {
+    std::vector<double> col(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+      col[i] = values[i] == level ? 1.0 : 0.0;
+    std::string colName = name + "=" + level;
+    table.addNumeric(colName, std::move(col));
+    newNames.push_back(std::move(colName));
+  }
+  table.removeColumn(name);
+  return newNames;
+}
+
+}  // namespace alperf::data

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file transform.hpp
+/// Column transforms used throughout the paper's pipeline: log10 of
+/// responses and problem size (Fig. 2), standardization of GP inputs, and
+/// one-hot encoding of the categorical Operator variable.
+
+#include <string>
+
+#include "data/table.hpp"
+
+namespace alperf::data {
+
+/// Adds column `target` = log10(source). All source values must be > 0.
+/// If `target` equals `source` the column is transformed in place.
+void addLog10Column(Table& table, const std::string& source,
+                    const std::string& target);
+
+/// Inverse of addLog10Column for predictions: 10^x.
+double unlog10(double x);
+
+/// Mean/stddev pair captured by standardization, needed to transform
+/// future query points the same way.
+struct Standardizer {
+  double mean = 0.0;
+  double stdDev = 1.0;
+
+  double apply(double x) const { return (x - mean) / stdDev; }
+  double invert(double z) const { return z * stdDev + mean; }
+};
+
+/// Standardizes a numeric column in place to zero mean / unit variance and
+/// returns the parameters. Columns with zero variance get stdDev = 1 (the
+/// values all become 0).
+Standardizer standardizeColumn(Table& table, const std::string& name);
+
+/// Replaces categorical column `name` with one 0/1 numeric column per
+/// distinct value, named `name=value` (sorted by value). Returns the new
+/// column names. Throws if `name` is numeric.
+std::vector<std::string> oneHotEncode(Table& table, const std::string& name);
+
+}  // namespace alperf::data

@@ -1,0 +1,381 @@
+#include "gp/gp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "opt/gradient.hpp"
+#include "opt/multistart.hpp"
+
+namespace alperf::gp {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2π)
+}  // namespace
+
+la::Vector Prediction::stdDev() const {
+  la::Vector s(variance.size());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = std::sqrt(variance[i]);
+  return s;
+}
+
+GaussianProcess::GaussianProcess(KernelPtr kernel, GpConfig config)
+    : kernel_(std::move(kernel)),
+      config_(config),
+      noiseVar_(config.noise.initial) {
+  requireArg(kernel_ != nullptr, "GaussianProcess: null kernel");
+  requireArg(config_.noise.lo > 0.0 && config_.noise.lo <= config_.noise.hi,
+             "GaussianProcess: invalid noise bounds");
+  requireArg(config_.noise.initial > 0.0,
+             "GaussianProcess: noise initial must be > 0");
+  noiseVar_ = std::clamp(noiseVar_, config_.noise.lo, config_.noise.hi);
+}
+
+GaussianProcess::GaussianProcess(const GaussianProcess& other)
+    : kernel_(other.kernel_->clone()),
+      config_(other.config_),
+      noiseVar_(other.noiseVar_),
+      x_(other.x_),
+      y_(other.y_),
+      chol_(other.chol_ ? std::make_unique<la::Cholesky>(*other.chol_)
+                        : nullptr),
+      alpha_(other.alpha_),
+      lml_(other.lml_) {}
+
+GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
+  if (this == &other) return *this;
+  GaussianProcess tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+std::vector<double> GaussianProcess::thetaFull() const {
+  auto t = kernel_->theta();
+  t.push_back(std::log(noiseVar_));
+  return t;
+}
+
+opt::BoxBounds GaussianProcess::thetaFullBounds() const {
+  auto b = kernel_->thetaBounds();
+  std::vector<double> lo(b.lo), hi(b.hi);
+  lo.push_back(std::log(config_.noise.lo));
+  hi.push_back(std::log(config_.noise.hi));
+  return opt::BoxBounds(std::move(lo), std::move(hi));
+}
+
+std::size_t GaussianProcess::numTrainPoints() const { return y_.size(); }
+
+const la::Matrix& GaussianProcess::trainX() const {
+  requireArg(fitted(), "GaussianProcess: not fitted");
+  return x_;
+}
+
+const la::Vector& GaussianProcess::trainY() const {
+  requireArg(fitted(), "GaussianProcess: not fitted");
+  return y_;
+}
+
+GaussianProcess::LmlResult GaussianProcess::evalLml(
+    std::span<const double> thetaFull, bool wantGrad) const {
+  const std::size_t p = kernel_->numParams();
+  requireArg(thetaFull.size() == p + 1, "evalLml: wrong hyperparameter count");
+  LmlResult out{kNegInf, {}};
+
+  KernelPtr k = kernel_->clone();
+  k->setTheta(thetaFull.subspan(0, p));
+  const double noiseVar = std::exp(thetaFull[p]);
+
+  la::Matrix ky = k->gram(x_);
+  ky.addToDiagonal(noiseVar);
+  std::unique_ptr<la::Cholesky> chol;
+  try {
+    chol = std::make_unique<la::Cholesky>(std::move(ky));
+  } catch (const NumericalError&) {
+    return out;  // -inf: optimizer will back off
+  }
+
+  const la::Vector alpha = chol->solve(y_);
+  const double n = static_cast<double>(y_.size());
+  const double value =
+      -0.5 * la::dot(y_, alpha) - 0.5 * chol->logDet() - 0.5 * n * kLog2Pi;
+  if (!std::isfinite(value)) return out;
+  out.value = value;
+
+  if (wantGrad) {
+    // ∂LML/∂θ_j = ½ tr((ααᵀ − K_y⁻¹)·∂K_y/∂θ_j).
+    const la::Matrix kinv = chol->inverse();
+    la::Matrix inner(alpha.size(), alpha.size());
+    for (std::size_t i = 0; i < alpha.size(); ++i)
+      for (std::size_t j = 0; j < alpha.size(); ++j)
+        inner(i, j) = alpha[i] * alpha[j] - kinv(i, j);
+
+    std::vector<la::Matrix> grads;
+    grads.reserve(p);
+    k->gramGradients(x_, k->gram(x_), grads);
+    ALPERF_ASSERT(grads.size() == p, "kernel returned wrong gradient count");
+    out.grad.resize(p + 1);
+    for (std::size_t j = 0; j < p; ++j) {
+      double tr = 0.0;
+      const auto a = inner.data();
+      const auto g = grads[j].data();
+      for (std::size_t m = 0; m < a.size(); ++m) tr += a[m] * g[m];
+      out.grad[j] = 0.5 * tr;
+    }
+    // Noise: ∂K_y/∂log σ_n² = σ_n²·I, so the trace reduces to the diagonal.
+    double trNoise = 0.0;
+    for (std::size_t i = 0; i < alpha.size(); ++i) trNoise += inner(i, i);
+    out.grad[p] = 0.5 * trNoise * noiseVar;
+  }
+  return out;
+}
+
+double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
+  const std::size_t p = kernel_->numParams();
+  requireArg(thetaFull.size() == p + 1, "evalLoo: wrong hyperparameter count");
+
+  KernelPtr k = kernel_->clone();
+  k->setTheta(thetaFull.subspan(0, p));
+  const double noiseVar = std::exp(thetaFull[p]);
+
+  la::Matrix ky = k->gram(x_);
+  ky.addToDiagonal(noiseVar);
+  std::unique_ptr<la::Cholesky> chol;
+  try {
+    chol = std::make_unique<la::Cholesky>(std::move(ky));
+  } catch (const NumericalError&) {
+    return kNegInf;
+  }
+  const la::Vector alpha = chol->solve(y_);
+  const la::Matrix kinv = chol->inverse();
+
+  // R&W eqs. 5.10–5.12: per-point leave-one-out predictive distribution
+  // from the full factorization.
+  double logp = 0.0;
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    const double kii = kinv(i, i);
+    if (!(kii > 0.0)) return kNegInf;
+    const double looVar = 1.0 / kii;
+    const double looMu = y_[i] - alpha[i] / kii;
+    const double r = y_[i] - looMu;
+    logp += -0.5 * std::log(looVar) - r * r / (2.0 * looVar) - 0.5 * kLog2Pi;
+  }
+  return std::isfinite(logp) ? logp : kNegInf;
+}
+
+void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
+  requireArg(x.rows() == y.size(), "GaussianProcess::fit: X/y size mismatch");
+  requireArg(y.size() >= 1, "GaussianProcess::fit: need at least one point");
+  x_ = std::move(x);
+  y_ = std::move(y);
+  chol_.reset();
+
+  if (config_.optimize) {
+    const std::size_t p = kernel_->numParams();
+    const bool useLml = config_.selection == ModelSelection::MarginalLikelihood;
+
+    // Minimize the negative selection objective over [kernel θ, log σ_n²].
+    const auto negValue = [this, useLml](std::span<const double> t) {
+      const double v = useLml ? evalLml(t, false).value : evalLoo(t);
+      return std::isfinite(v) ? -v : std::numeric_limits<double>::infinity();
+    };
+    // For LML the value and analytic gradient come from one factorization;
+    // LOO falls back to finite differences.
+    const opt::FunctionObjective obj =
+        useLml ? opt::FunctionObjective(
+                     p + 1, negValue,
+                     opt::FunctionObjective::CombinedFn(
+                         [this](std::span<const double> t,
+                                std::span<double> g) {
+                           const auto r = evalLml(t, true);
+                           if (r.grad.empty()) {
+                             for (auto& v : g) v = 0.0;
+                           } else {
+                             for (std::size_t i = 0; i < g.size(); ++i)
+                               g[i] = -r.grad[i];
+                           }
+                           return std::isfinite(r.value)
+                                      ? -r.value
+                                      : std::numeric_limits<
+                                            double>::infinity();
+                         }))
+               : opt::FunctionObjective(p + 1, negValue);
+
+    const opt::Lbfgs local(config_.optStop);
+    const auto minimizer = [&local](const opt::Objective& f,
+                                    std::span<const double> x0,
+                                    const opt::BoxBounds& b) {
+      return local.minimize(f, x0, b);
+    };
+    const auto result = opt::multiStartMinimize(
+        obj, thetaFull(), thetaFullBounds(), minimizer, config_.nRestarts,
+        rng);
+    if (std::isfinite(result.best.fval)) {
+      kernel_->setTheta(
+          std::span<const double>(result.best.x).subspan(0, p));
+      noiseVar_ = std::exp(result.best.x[p]);
+    }
+  }
+  computePosterior();
+}
+
+void GaussianProcess::addObservation(std::span<const double> x, double y) {
+  requireArg(fitted(), "GaussianProcess::addObservation: not fitted");
+  requireArg(x.size() == x_.cols(),
+             "GaussianProcess::addObservation: dimension mismatch");
+  const std::size_t n = x_.rows();
+
+  la::Vector k(n);
+  for (std::size_t i = 0; i < n; ++i) k[i] = kernel_->eval(x_.row(i), x);
+  const double kappa = kernel_->eval(x, x) + noiseVar_;
+  chol_->extend(k, kappa);
+
+  la::Matrix grownX(n + 1, x_.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = x_.row(i);
+    std::copy(src.begin(), src.end(), grownX.row(i).begin());
+  }
+  std::copy(x.begin(), x.end(), grownX.row(n).begin());
+  x_ = std::move(grownX);
+  y_.push_back(y);
+
+  alpha_ = chol_->solve(y_);
+  const double nd = static_cast<double>(y_.size());
+  lml_ = -0.5 * la::dot(y_, alpha_) - 0.5 * chol_->logDet() -
+         0.5 * nd * kLog2Pi;
+}
+
+void GaussianProcess::computePosterior() {
+  la::Matrix ky = kernel_->gram(x_);
+  ky.addToDiagonal(noiseVar_);
+  chol_ = std::make_unique<la::Cholesky>(std::move(ky));
+  alpha_ = chol_->solve(y_);
+  const double n = static_cast<double>(y_.size());
+  lml_ = -0.5 * la::dot(y_, alpha_) - 0.5 * chol_->logDet() -
+         0.5 * n * kLog2Pi;
+}
+
+Prediction GaussianProcess::predict(const la::Matrix& xStar,
+                                    bool includeNoise) const {
+  requireArg(fitted(), "GaussianProcess::predict: not fitted");
+  requireArg(xStar.cols() == x_.cols(),
+             "GaussianProcess::predict: dimension mismatch");
+  const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
+  Prediction pred;
+  pred.mean = la::matvecTransposed(kCross, alpha_);
+  pred.variance.resize(xStar.rows());
+  for (std::size_t j = 0; j < xStar.rows(); ++j) {
+    const la::Vector v = chol_->solveLower(kCross.col(j));
+    double var = kernel_->eval(xStar.row(j), xStar.row(j)) - la::dot(v, v);
+    if (includeNoise) var += noiseVar_;
+    pred.variance[j] = std::max(var, 0.0);
+  }
+  return pred;
+}
+
+std::pair<double, double> GaussianProcess::predictOne(
+    std::span<const double> x, bool includeNoise) const {
+  la::Matrix m(1, x.size());
+  std::copy(x.begin(), x.end(), m.row(0).begin());
+  const Prediction p = predict(m, includeNoise);
+  return {p.mean[0], p.variance[0]};
+}
+
+GaussianProcess::PointGradient GaussianProcess::predictOneWithGradient(
+    std::span<const double> x) const {
+  requireArg(fitted(), "predictOneWithGradient: not fitted");
+  requireArg(x.size() == x_.cols(),
+             "predictOneWithGradient: dimension mismatch");
+  const std::size_t n = x_.rows();
+  const std::size_t d = x.size();
+
+  la::Vector k(n);
+  la::Matrix kGrad(n, d);  // row i: ∂k(x, x_i)/∂x
+  for (std::size_t i = 0; i < n; ++i) {
+    k[i] = kernel_->eval(x, x_.row(i));
+    kernel_->evalGradX(x, x_.row(i), kGrad.row(i));
+  }
+
+  PointGradient out;
+  out.mean = la::dot(k, alpha_);
+  out.meanGrad = la::matvecTransposed(kGrad, alpha_);
+
+  const la::Vector kyInvK = chol_->solve(k);
+  const double kss = kernel_->eval(x, x);
+  out.variance = std::max(kss - la::dot(k, kyInvK), 0.0);
+
+  // ∂k(x,x)/∂x: both arguments move; for symmetric kernels this is
+  // 2·∂₁k(x, b)|_{b=x}, which vanishes for stationary kernels but is kept
+  // general here.
+  la::Vector selfGrad(d);
+  kernel_->evalGradX(x, x, selfGrad);
+  out.varianceGrad.resize(d);
+  const la::Vector crossGrad = la::matvecTransposed(kGrad, kyInvK);
+  for (std::size_t j = 0; j < d; ++j)
+    out.varianceGrad[j] = 2.0 * selfGrad[j] - 2.0 * crossGrad[j];
+  return out;
+}
+
+la::Matrix GaussianProcess::posteriorCovariance(const la::Matrix& xStar) const {
+  requireArg(fitted(), "GaussianProcess::posteriorCovariance: not fitted");
+  requireArg(xStar.cols() == x_.cols(),
+             "GaussianProcess::posteriorCovariance: dimension mismatch");
+  const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
+  const std::size_t m = xStar.rows();
+  // V = L⁻¹ K_cross (n × m), covariance = K(X*,X*) − VᵀV.
+  la::Matrix v(x_.rows(), m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const la::Vector vj = chol_->solveLower(kCross.col(j));
+    for (std::size_t i = 0; i < x_.rows(); ++i) v(i, j) = vj[i];
+  }
+  la::Matrix cov = kernel_->gram(xStar);
+  cov -= la::gram(v);
+  return cov;
+}
+
+std::vector<la::Vector> GaussianProcess::samplePosterior(
+    const la::Matrix& xStar, int nSamples, stats::Rng& rng) const {
+  requireArg(nSamples >= 1, "samplePosterior: nSamples must be >= 1");
+  const Prediction pred = predict(xStar);
+  la::Matrix cov = posteriorCovariance(xStar);
+  // Generous jitter cap: posterior covariances are often near-singular.
+  const la::Cholesky chol(std::move(cov), /*maxJitterScale=*/1e-3);
+  std::vector<la::Vector> samples;
+  samples.reserve(nSamples);
+  for (int s = 0; s < nSamples; ++s) {
+    la::Vector z(xStar.rows());
+    for (auto& v : z) v = rng.normal();
+    la::Vector path = la::matvec(chol.factor(), z);
+    for (std::size_t i = 0; i < path.size(); ++i) path[i] += pred.mean[i];
+    samples.push_back(std::move(path));
+  }
+  return samples;
+}
+
+double GaussianProcess::logMarginalLikelihood() const {
+  requireArg(fitted(), "GaussianProcess: not fitted");
+  return lml_;
+}
+
+double GaussianProcess::logMarginalLikelihoodAt(
+    std::span<const double> thetaFull) const {
+  requireArg(fitted(), "GaussianProcess: not fitted");
+  return evalLml(thetaFull, false).value;
+}
+
+std::vector<double> GaussianProcess::logMarginalLikelihoodGradientAt(
+    std::span<const double> thetaFull) const {
+  requireArg(fitted(), "GaussianProcess: not fitted");
+  auto r = evalLml(thetaFull, true);
+  requireArg(std::isfinite(r.value),
+             "logMarginalLikelihoodGradientAt: LML undefined here");
+  return std::move(r.grad);
+}
+
+double GaussianProcess::looLogPseudoLikelihoodAt(
+    std::span<const double> thetaFull) const {
+  requireArg(fitted(), "GaussianProcess: not fitted");
+  return evalLoo(thetaFull);
+}
+
+}  // namespace alperf::gp

@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file gp.hpp
+/// Gaussian Process Regression with marginal-likelihood (or LOO-CV)
+/// hyperparameter fitting — the paper's Section III, eqs. (3)–(13).
+///
+/// The model is y = f(X) + N(0, σ_n²). The kernel models the signal
+/// covariance; the noise variance σ_n² is a GP-level hyperparameter with
+/// configurable box bounds (the knob the paper studies in Fig. 7). All
+/// hyperparameters — kernel θ plus log σ_n² — are jointly optimized in log
+/// space by multi-start L-BFGS on the selected model-selection objective.
+
+#include <memory>
+#include <utility>
+
+#include "gp/kernel.hpp"
+#include "la/cholesky.hpp"
+#include "opt/gradient.hpp"
+#include "stats/rng.hpp"
+
+namespace alperf::gp {
+
+/// Which model-selection objective fit() maximizes (Rasmussen & Williams
+/// ch. 5; the paper uses the marginal likelihood and defers LOO-CV to
+/// future work — we implement both).
+enum class ModelSelection {
+  MarginalLikelihood,
+  LeaveOneOutCV,
+};
+
+/// Bounds and initial value for the noise variance σ_n².
+struct NoiseConfig {
+  double initial = 1e-2;
+  double lo = 1e-8;  ///< the paper's default bound (Fig. 7a)
+  double hi = 1e2;
+};
+
+struct GpConfig {
+  /// When false, fit() keeps the current hyperparameters and only
+  /// computes the posterior (used to inspect fixed-hyperparameter GPRs,
+  /// Fig. 3a).
+  bool optimize = true;
+  /// Extra random optimizer starts inside the bounds (scikit-learn's
+  /// n_restarts_optimizer).
+  int nRestarts = 2;
+  ModelSelection selection = ModelSelection::MarginalLikelihood;
+  NoiseConfig noise;
+  /// Budget for each local optimizer run.
+  opt::StopCriteria optStop{.maxIterations = 80,
+                            .gradTol = 1e-5,
+                            .stepTol = 1e-10,
+                            .fTol = 1e-10};
+};
+
+/// Posterior predictive distribution at a batch of query points
+/// (paper eqs. 4–6): elementwise mean and variance of the latent f.
+struct Prediction {
+  la::Vector mean;
+  la::Vector variance;
+
+  la::Vector stdDev() const;
+};
+
+class GaussianProcess {
+ public:
+  /// Takes ownership of the kernel. The kernel's current hyperparameters
+  /// are the optimizer's primary starting point.
+  explicit GaussianProcess(KernelPtr kernel, GpConfig config = {});
+
+  GaussianProcess(const GaussianProcess& other);
+  GaussianProcess& operator=(const GaussianProcess& other);
+  GaussianProcess(GaussianProcess&&) noexcept = default;
+  GaussianProcess& operator=(GaussianProcess&&) noexcept = default;
+
+  /// Fits hyperparameters (unless config.optimize is false) and computes
+  /// the posterior for the given data. X is n×d, y length n, n >= 1.
+  /// `rng` drives the random optimizer restarts.
+  void fit(la::Matrix x, la::Vector y, stats::Rng& rng);
+
+  /// Conditions the fitted posterior on one additional observation
+  /// WITHOUT re-optimizing hyperparameters, in O(n²) via a Cholesky
+  /// extension (a full refit is O(n³)). Matches fit() with
+  /// config.optimize = false on the extended data exactly. This is the
+  /// natural per-iteration update for the paper's online AL use case.
+  void addObservation(std::span<const double> x, double y);
+
+  bool fitted() const { return chol_ != nullptr; }
+
+  /// Predictive mean and latent-f variance at each row of xStar
+  /// (eqs. 5–6). With includeNoise, σ_n² is added to each variance
+  /// (predicting an *observation* rather than the latent function).
+  Prediction predict(const la::Matrix& xStar, bool includeNoise = false) const;
+
+  /// Single-point convenience: {mean, variance}.
+  std::pair<double, double> predictOne(std::span<const double> x,
+                                       bool includeNoise = false) const;
+
+  /// Posterior value and input-gradient at one point:
+  ///   ∂µ/∂x = Σ_i α_i ∂k(x, x_i)/∂x
+  ///   ∂σ²/∂x = ∂k(x,x)/∂x − 2·(K_y⁻¹k)ᵀ ∂k/∂x
+  /// using the kernels' analytic spatial gradients — "gradient-based
+  /// methods, which are available with GPR" (paper Sec. VI). O(n²+n·d)
+  /// per query.
+  struct PointGradient {
+    double mean = 0.0;
+    double variance = 0.0;
+    la::Vector meanGrad;
+    la::Vector varianceGrad;
+  };
+  PointGradient predictOneWithGradient(std::span<const double> x) const;
+
+  /// Full posterior covariance matrix of the latent f over rows of xStar.
+  la::Matrix posteriorCovariance(const la::Matrix& xStar) const;
+
+  /// Draws joint posterior sample paths of f over rows of xStar.
+  std::vector<la::Vector> samplePosterior(const la::Matrix& xStar,
+                                          int nSamples,
+                                          stats::Rng& rng) const;
+
+  /// Log marginal likelihood at the fitted hyperparameters (eq. 12).
+  double logMarginalLikelihood() const;
+
+  /// LML evaluated at arbitrary hyperparameters [kernel θ..., log σ_n²]
+  /// on the fitted data — used to draw the Fig. 4/5 landscapes.
+  double logMarginalLikelihoodAt(std::span<const double> thetaFull) const;
+
+  /// LML gradient at arbitrary hyperparameters (analytic).
+  std::vector<double> logMarginalLikelihoodGradientAt(
+      std::span<const double> thetaFull) const;
+
+  /// Leave-one-out log pseudo-likelihood (R&W eq. 5.11) at arbitrary
+  /// hyperparameters on the fitted data.
+  double looLogPseudoLikelihoodAt(std::span<const double> thetaFull) const;
+
+  /// Fitted noise variance σ_n².
+  double noiseVariance() const { return noiseVar_; }
+
+  const Kernel& kernel() const { return *kernel_; }
+  const GpConfig& config() const { return config_; }
+  GpConfig& config() { return config_; }
+
+  /// Current full hyperparameter vector [kernel θ..., log σ_n²].
+  std::vector<double> thetaFull() const;
+
+  /// Log-space bounds aligned with thetaFull().
+  opt::BoxBounds thetaFullBounds() const;
+
+  std::size_t numTrainPoints() const;
+  const la::Matrix& trainX() const;
+  const la::Vector& trainY() const;
+
+ private:
+  struct LmlResult {
+    double value;
+    std::vector<double> grad;
+  };
+
+  /// LML (and optionally its gradient) at thetaFull on (x_, y_).
+  /// Returns -inf value on numerical failure instead of throwing.
+  LmlResult evalLml(std::span<const double> thetaFull, bool wantGrad) const;
+
+  double evalLoo(std::span<const double> thetaFull) const;
+
+  void computePosterior();
+
+  KernelPtr kernel_;
+  GpConfig config_;
+  double noiseVar_;
+
+  la::Matrix x_;
+  la::Vector y_;
+  std::unique_ptr<la::Cholesky> chol_;
+  la::Vector alpha_;
+  double lml_ = 0.0;
+};
+
+}  // namespace alperf::gp

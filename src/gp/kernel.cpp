@@ -1,0 +1,63 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "gp/kernels.hpp"
+
+namespace alperf::gp {
+
+void Kernel::evalGradX(std::span<const double> a, std::span<const double> b,
+                       std::span<double> grad) const {
+  ALPERF_ASSERT(grad.size() == a.size(), "evalGradX: gradient size");
+  std::vector<double> ap(a.begin(), a.end());
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double step = h * (std::abs(a[i]) + 1.0);
+    const double orig = ap[i];
+    ap[i] = orig + step;
+    const double up = eval(ap, b);
+    ap[i] = orig - step;
+    const double dn = eval(ap, b);
+    ap[i] = orig;
+    grad[i] = (up - dn) / (2.0 * step);
+  }
+}
+
+la::Matrix Kernel::gram(const la::Matrix& x) const {
+  const std::size_t n = x.rows();
+  la::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = eval(x.row(i), x.row(i));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = eval(x.row(i), x.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+la::Matrix Kernel::cross(const la::Matrix& x, const la::Matrix& y) const {
+  la::Matrix k(x.rows(), y.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < y.rows(); ++j)
+      k(i, j) = eval(x.row(i), y.row(j));
+  return k;
+}
+
+la::Vector Kernel::diag(const la::Matrix& x) const {
+  la::Vector d(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) d[i] = eval(x.row(i), x.row(i));
+  return d;
+}
+
+KernelPtr operator+(KernelPtr a, KernelPtr b) {
+  return std::make_unique<SumKernel>(std::move(a), std::move(b));
+}
+
+KernelPtr operator*(KernelPtr a, KernelPtr b) {
+  return std::make_unique<ProductKernel>(std::move(a), std::move(b));
+}
+
+}  // namespace alperf::gp

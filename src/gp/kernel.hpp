@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file kernel.hpp
+/// Covariance-function (kernel) interface for Gaussian Process Regression.
+///
+/// Kernels model the *signal* covariance only; observation noise σ_n² is a
+/// separate GP-level hyperparameter (the paper's eq. 7, K_y = K + σ_n²·I).
+///
+/// Hyperparameters are exposed in natural-log space ("theta"), the
+/// parameterization in which the LML is optimized (matching scikit-learn,
+/// whose GP implementation the paper uses). Every kernel provides analytic
+/// gradients ∂K/∂θ_j of its Gram matrix for fast LML gradients.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "opt/objective.hpp"
+
+namespace alperf::gp {
+
+class Kernel;
+using KernelPtr = std::unique_ptr<Kernel>;
+
+/// Abstract stationary-or-not covariance function k(x, x').
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual KernelPtr clone() const = 0;
+
+  /// Number of tunable hyperparameters.
+  virtual std::size_t numParams() const = 0;
+
+  /// Human-readable names, aligned with theta().
+  virtual std::vector<std::string> paramNames() const = 0;
+
+  /// Current hyperparameters, natural log of the positive values.
+  virtual std::vector<double> theta() const = 0;
+
+  /// Sets hyperparameters from log-space values (size must match).
+  virtual void setTheta(std::span<const double> t) = 0;
+
+  /// Log-space box bounds used during LML optimization.
+  virtual opt::BoxBounds thetaBounds() const = 0;
+
+  /// Covariance between two points (equal dimension).
+  virtual double eval(std::span<const double> a,
+                      std::span<const double> b) const = 0;
+
+  /// Gradient of k(a, b) with respect to the *first* argument a, written
+  /// into `grad` (same length as a). Default implementation uses central
+  /// finite differences; the built-in kernels override with closed forms.
+  /// This is what enables gradient-based continuous acquisition
+  /// optimization (the paper's Sec. VI benefit of GPR).
+  virtual void evalGradX(std::span<const double> a,
+                         std::span<const double> b,
+                         std::span<double> grad) const;
+
+  /// Gram matrix K(X, X). Default builds from eval() exploiting symmetry.
+  virtual la::Matrix gram(const la::Matrix& x) const;
+
+  /// Appends ∂K(X,X)/∂θ_j for each of this kernel's parameters to `grads`.
+  /// `k` is the precomputed gram(x) of *this* kernel (an optimization —
+  /// several kernels reuse it).
+  virtual void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                             std::vector<la::Matrix>& grads) const = 0;
+
+  /// Cross-covariance K(X, Y) (rows of X vs rows of Y).
+  la::Matrix cross(const la::Matrix& x, const la::Matrix& y) const;
+
+  /// Self-variances k(x_i, x_i) for each row.
+  la::Vector diag(const la::Matrix& x) const;
+
+  /// Compact description like "1.5**2 * RBF(l=[2.1])".
+  virtual std::string describe() const = 0;
+};
+
+/// k1 + k2 with concatenated hyperparameters.
+KernelPtr operator+(KernelPtr a, KernelPtr b);
+
+/// k1 * k2 (elementwise) with concatenated hyperparameters.
+KernelPtr operator*(KernelPtr a, KernelPtr b);
+
+}  // namespace alperf::gp

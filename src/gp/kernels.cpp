@@ -1,0 +1,598 @@
+#include "gp/kernels.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace alperf::gp {
+
+namespace {
+
+void checkPositive(double v, const char* what) {
+  requireArg(v > 0.0 && std::isfinite(v),
+             std::string(what) + " must be positive and finite");
+}
+
+opt::BoxBounds logBounds(const PositiveBounds& b, std::size_t n) {
+  requireArg(b.lo > 0.0 && b.lo <= b.hi, "PositiveBounds: need 0 < lo <= hi");
+  return opt::BoxBounds(std::vector<double>(n, std::log(b.lo)),
+                        std::vector<double>(n, std::log(b.hi)));
+}
+
+opt::BoxBounds concatBounds(const opt::BoxBounds& a,
+                            const opt::BoxBounds& b) {
+  std::vector<double> lo(a.lo), hi(a.hi);
+  lo.insert(lo.end(), b.lo.begin(), b.lo.end());
+  hi.insert(hi.end(), b.hi.begin(), b.hi.end());
+  return opt::BoxBounds(std::move(lo), std::move(hi));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Constant
+
+ConstantKernel::ConstantKernel(double value, PositiveBounds bounds)
+    : value_(value), bounds_(bounds) {
+  checkPositive(value, "ConstantKernel value");
+}
+
+KernelPtr ConstantKernel::clone() const {
+  return std::make_unique<ConstantKernel>(*this);
+}
+
+std::vector<std::string> ConstantKernel::paramNames() const {
+  return {"constant_value"};
+}
+
+std::vector<double> ConstantKernel::theta() const {
+  return {std::log(value_)};
+}
+
+void ConstantKernel::setTheta(std::span<const double> t) {
+  requireArg(t.size() == 1, "ConstantKernel::setTheta: wrong size");
+  value_ = std::exp(t[0]);
+}
+
+opt::BoxBounds ConstantKernel::thetaBounds() const {
+  return logBounds(bounds_, 1);
+}
+
+double ConstantKernel::eval(std::span<const double>,
+                            std::span<const double>) const {
+  return value_;
+}
+
+void ConstantKernel::evalGradX(std::span<const double>,
+                               std::span<const double>,
+                               std::span<double> grad) const {
+  for (auto& g : grad) g = 0.0;
+}
+
+void ConstantKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
+                                   std::vector<la::Matrix>& grads) const {
+  // ∂k/∂log c = c everywhere.
+  grads.emplace_back(x.rows(), x.rows(), value_);
+}
+
+std::string ConstantKernel::describe() const {
+  std::ostringstream os;
+  os << value_;
+  return os.str();
+}
+
+// -------------------------------------------------------------- Stationary
+
+StationaryKernel::StationaryKernel(double lengthScale, PositiveBounds bounds)
+    : lengths_{lengthScale}, bounds_(bounds) {
+  checkPositive(lengthScale, "length scale");
+}
+
+StationaryKernel::StationaryKernel(std::vector<double> lengthScales,
+                                   PositiveBounds bounds)
+    : lengths_(std::move(lengthScales)), bounds_(bounds) {
+  requireArg(!lengths_.empty(), "StationaryKernel: no length scales");
+  for (double l : lengths_) checkPositive(l, "length scale");
+}
+
+std::vector<std::string> StationaryKernel::paramNames() const {
+  if (isotropic()) return {"length_scale"};
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < lengths_.size(); ++i)
+    names.push_back("length_scale_" + std::to_string(i));
+  return names;
+}
+
+std::vector<double> StationaryKernel::theta() const {
+  std::vector<double> t(lengths_.size());
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = std::log(lengths_[i]);
+  return t;
+}
+
+void StationaryKernel::setTheta(std::span<const double> t) {
+  requireArg(t.size() == lengths_.size(),
+             "StationaryKernel::setTheta: wrong size");
+  for (std::size_t i = 0; i < t.size(); ++i) lengths_[i] = std::exp(t[i]);
+}
+
+opt::BoxBounds StationaryKernel::thetaBounds() const {
+  return logBounds(bounds_, lengths_.size());
+}
+
+double StationaryKernel::scaledSq(std::span<const double> a,
+                                  std::span<const double> b) const {
+  ALPERF_ASSERT(a.size() == b.size(), "kernel eval: dimension mismatch");
+  ALPERF_ASSERT(isotropic() || a.size() == lengths_.size(),
+                "ARD kernel: input dimension does not match length scales");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double l = isotropic() ? lengths_[0] : lengths_[i];
+    const double d = (a[i] - b[i]) / l;
+    s += d * d;
+  }
+  return s;
+}
+
+double StationaryKernel::eval(std::span<const double> a,
+                              std::span<const double> b) const {
+  return kOfS(scaledSq(a, b));
+}
+
+void StationaryKernel::evalGradX(std::span<const double> a,
+                                 std::span<const double> b,
+                                 std::span<double> grad) const {
+  // ∂k/∂a_i = dk/ds · ∂s/∂a_i with ∂s/∂a_i = 2(a_i − b_i)/l_i².
+  const double s = scaledSq(a, b);
+  const double dk = dkds(s);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double l = isotropic() ? lengths_[0] : lengths_[i];
+    grad[i] = dk * 2.0 * (a[i] - b[i]) / (l * l);
+  }
+}
+
+void StationaryKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
+                                     std::vector<la::Matrix>& grads) const {
+  const std::size_t n = x.rows();
+  if (isotropic()) {
+    // ∂k/∂log l = dk/ds · ∂s/∂log l = dk/ds · (-2s).
+    la::Matrix g(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double s = scaledSq(x.row(i), x.row(j));
+        const double v = dkds(s) * (-2.0 * s);
+        g(i, j) = v;
+        g(j, i) = v;
+      }
+    grads.push_back(std::move(g));
+    return;
+  }
+  // ARD: ∂k/∂log l_m = dk/ds · (-2·Δ_m²/l_m²).
+  const std::size_t d = lengths_.size();
+  std::vector<la::Matrix> gs(d, la::Matrix(n, n));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto xi = x.row(i);
+      const auto xj = x.row(j);
+      const double s = scaledSq(xi, xj);
+      const double dk = dkds(s);
+      for (std::size_t m = 0; m < d; ++m) {
+        const double dm = (xi[m] - xj[m]) / lengths_[m];
+        const double v = dk * (-2.0 * dm * dm);
+        gs[m](i, j) = v;
+        gs[m](j, i) = v;
+      }
+    }
+  for (auto& g : gs) grads.push_back(std::move(g));
+}
+
+std::string StationaryKernel::describeLengths() const {
+  std::ostringstream os;
+  os << "l=[";
+  for (std::size_t i = 0; i < lengths_.size(); ++i)
+    os << (i ? ", " : "") << lengths_[i];
+  os << "]";
+  return os.str();
+}
+
+// --------------------------------------------------------------------- RBF
+
+KernelPtr RbfKernel::clone() const { return std::make_unique<RbfKernel>(*this); }
+
+double RbfKernel::kOfS(double s) const { return std::exp(-0.5 * s); }
+
+double RbfKernel::dkds(double s) const { return -0.5 * std::exp(-0.5 * s); }
+
+std::string RbfKernel::describe() const {
+  return "RBF(" + describeLengths() + ")";
+}
+
+// --------------------------------------------------------------- Matern3/2
+
+KernelPtr Matern32Kernel::clone() const {
+  return std::make_unique<Matern32Kernel>(*this);
+}
+
+double Matern32Kernel::kOfS(double s) const {
+  const double r = std::sqrt(s);
+  const double a = std::sqrt(3.0) * r;
+  return (1.0 + a) * std::exp(-a);
+}
+
+double Matern32Kernel::dkds(double s) const {
+  // dk/dr = -3r·exp(-√3 r); dk/ds = dk/dr / (2r) = -3/2·exp(-√3 r).
+  const double r = std::sqrt(s);
+  return -1.5 * std::exp(-std::sqrt(3.0) * r);
+}
+
+std::string Matern32Kernel::describe() const {
+  return "Matern32(" + describeLengths() + ")";
+}
+
+// --------------------------------------------------------------- Matern5/2
+
+KernelPtr Matern52Kernel::clone() const {
+  return std::make_unique<Matern52Kernel>(*this);
+}
+
+double Matern52Kernel::kOfS(double s) const {
+  const double r = std::sqrt(s);
+  const double a = std::sqrt(5.0) * r;
+  return (1.0 + a + 5.0 * s / 3.0) * std::exp(-a);
+}
+
+double Matern52Kernel::dkds(double s) const {
+  // dk/dr = -(5r/3)(1+√5 r)e^{-√5 r}; dk/ds = dk/dr / (2r).
+  const double r = std::sqrt(s);
+  return -(5.0 / 6.0) * (1.0 + std::sqrt(5.0) * r) *
+         std::exp(-std::sqrt(5.0) * r);
+}
+
+std::string Matern52Kernel::describe() const {
+  return "Matern52(" + describeLengths() + ")";
+}
+
+// ------------------------------------------------------ RationalQuadratic
+
+RationalQuadraticKernel::RationalQuadraticKernel(double lengthScale,
+                                                 double alpha,
+                                                 PositiveBounds lengthBounds,
+                                                 PositiveBounds alphaBounds)
+    : length_(lengthScale),
+      alpha_(alpha),
+      lengthBounds_(lengthBounds),
+      alphaBounds_(alphaBounds) {
+  checkPositive(lengthScale, "length scale");
+  checkPositive(alpha, "alpha");
+}
+
+KernelPtr RationalQuadraticKernel::clone() const {
+  return std::make_unique<RationalQuadraticKernel>(*this);
+}
+
+std::vector<std::string> RationalQuadraticKernel::paramNames() const {
+  return {"length_scale", "alpha"};
+}
+
+std::vector<double> RationalQuadraticKernel::theta() const {
+  return {std::log(length_), std::log(alpha_)};
+}
+
+void RationalQuadraticKernel::setTheta(std::span<const double> t) {
+  requireArg(t.size() == 2, "RationalQuadraticKernel::setTheta: wrong size");
+  length_ = std::exp(t[0]);
+  alpha_ = std::exp(t[1]);
+}
+
+opt::BoxBounds RationalQuadraticKernel::thetaBounds() const {
+  return concatBounds(logBounds(lengthBounds_, 1), logBounds(alphaBounds_, 1));
+}
+
+double RationalQuadraticKernel::eval(std::span<const double> a,
+                                     std::span<const double> b) const {
+  const double s = la::squaredDistance(a, b) / (length_ * length_);
+  return std::pow(1.0 + s / (2.0 * alpha_), -alpha_);
+}
+
+void RationalQuadraticKernel::evalGradX(std::span<const double> a,
+                                        std::span<const double> b,
+                                        std::span<double> grad) const {
+  // k = (1 + s/(2α))^{-α}, s = |a-b|²/l² → dk/ds = -½(1+s/(2α))^{-α-1}.
+  const double s = la::squaredDistance(a, b) / (length_ * length_);
+  const double dk = -0.5 * std::pow(1.0 + s / (2.0 * alpha_), -alpha_ - 1.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    grad[i] = dk * 2.0 * (a[i] - b[i]) / (length_ * length_);
+}
+
+void RationalQuadraticKernel::gramGradients(
+    const la::Matrix& x, const la::Matrix&,
+    std::vector<la::Matrix>& grads) const {
+  const std::size_t n = x.rows();
+  la::Matrix gl(n, n);  // ∂k/∂log l
+  la::Matrix ga(n, n);  // ∂k/∂log α
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double s =
+          la::squaredDistance(x.row(i), x.row(j)) / (length_ * length_);
+      const double base = 1.0 + s / (2.0 * alpha_);
+      const double k = std::pow(base, -alpha_);
+      const double vl = s * std::pow(base, -alpha_ - 1.0);
+      const double va = k * (-alpha_ * std::log(base) + s / (2.0 * base));
+      gl(i, j) = gl(j, i) = vl;
+      ga(i, j) = ga(j, i) = va;
+    }
+  grads.push_back(std::move(gl));
+  grads.push_back(std::move(ga));
+}
+
+std::string RationalQuadraticKernel::describe() const {
+  std::ostringstream os;
+  os << "RationalQuadratic(l=" << length_ << ", alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Periodic
+
+PeriodicKernel::PeriodicKernel(double lengthScale, double period,
+                               PositiveBounds lengthBounds,
+                               PositiveBounds periodBounds)
+    : length_(lengthScale),
+      period_(period),
+      lengthBounds_(lengthBounds),
+      periodBounds_(periodBounds) {
+  checkPositive(lengthScale, "length scale");
+  checkPositive(period, "period");
+}
+
+KernelPtr PeriodicKernel::clone() const {
+  return std::make_unique<PeriodicKernel>(*this);
+}
+
+std::vector<std::string> PeriodicKernel::paramNames() const {
+  return {"length_scale", "period"};
+}
+
+std::vector<double> PeriodicKernel::theta() const {
+  return {std::log(length_), std::log(period_)};
+}
+
+void PeriodicKernel::setTheta(std::span<const double> t) {
+  requireArg(t.size() == 2, "PeriodicKernel::setTheta: wrong size");
+  length_ = std::exp(t[0]);
+  period_ = std::exp(t[1]);
+}
+
+opt::BoxBounds PeriodicKernel::thetaBounds() const {
+  return concatBounds(logBounds(lengthBounds_, 1),
+                      logBounds(periodBounds_, 1));
+}
+
+namespace {
+constexpr double kPeriodicPi = 3.14159265358979323846;
+}
+
+double PeriodicKernel::eval(std::span<const double> a,
+                            std::span<const double> b) const {
+  double expo = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double s =
+        std::sin(kPeriodicPi * std::abs(a[i] - b[i]) / period_);
+    expo += s * s;
+  }
+  return std::exp(-2.0 * expo / (length_ * length_));
+}
+
+void PeriodicKernel::evalGradX(std::span<const double> a,
+                               std::span<const double> b,
+                               std::span<double> grad) const {
+  const double k = eval(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double u = kPeriodicPi * (a[i] - b[i]) / period_;
+    // d/da_i of sin²(u) = 2 sin(u)cos(u)·π/p = sin(2u)·π/p (odd in Δ,
+    // so the |Δ| in eval can be dropped when differentiating).
+    grad[i] = k * (-2.0 / (length_ * length_)) * std::sin(2.0 * u) *
+              kPeriodicPi / period_;
+  }
+}
+
+void PeriodicKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
+                                   std::vector<la::Matrix>& grads) const {
+  const std::size_t n = x.rows();
+  la::Matrix gl(n, n);     // ∂k/∂log l
+  la::Matrix gpMat(n, n);  // ∂k/∂log p
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto xi = x.row(i);
+      const auto xj = x.row(j);
+      double sumS2 = 0.0;
+      double sumSCU = 0.0;
+      for (std::size_t m = 0; m < xi.size(); ++m) {
+        const double u = kPeriodicPi * std::abs(xi[m] - xj[m]) / period_;
+        const double s = std::sin(u);
+        sumS2 += s * s;
+        sumSCU += s * std::cos(u) * u;
+      }
+      const double k = std::exp(-2.0 * sumS2 / (length_ * length_));
+      gl(i, j) = gl(j, i) = k * 4.0 * sumS2 / (length_ * length_);
+      gpMat(i, j) = gpMat(j, i) =
+          k * 4.0 * sumSCU / (length_ * length_);
+    }
+  grads.push_back(std::move(gl));
+  grads.push_back(std::move(gpMat));
+}
+
+std::string PeriodicKernel::describe() const {
+  std::ostringstream os;
+  os << "Periodic(l=" << length_ << ", p=" << period_ << ")";
+  return os.str();
+}
+
+// -------------------------------------------------------------- Composites
+
+SumKernel::SumKernel(KernelPtr a, KernelPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  requireArg(a_ != nullptr && b_ != nullptr, "SumKernel: null child");
+}
+
+KernelPtr SumKernel::clone() const {
+  return std::make_unique<SumKernel>(a_->clone(), b_->clone());
+}
+
+std::size_t SumKernel::numParams() const {
+  return a_->numParams() + b_->numParams();
+}
+
+std::vector<std::string> SumKernel::paramNames() const {
+  auto names = a_->paramNames();
+  for (auto& n : b_->paramNames()) names.push_back("rhs_" + n);
+  return names;
+}
+
+std::vector<double> SumKernel::theta() const {
+  auto t = a_->theta();
+  const auto tb = b_->theta();
+  t.insert(t.end(), tb.begin(), tb.end());
+  return t;
+}
+
+void SumKernel::setTheta(std::span<const double> t) {
+  requireArg(t.size() == numParams(), "SumKernel::setTheta: wrong size");
+  a_->setTheta(t.subspan(0, a_->numParams()));
+  b_->setTheta(t.subspan(a_->numParams()));
+}
+
+opt::BoxBounds SumKernel::thetaBounds() const {
+  return concatBounds(a_->thetaBounds(), b_->thetaBounds());
+}
+
+double SumKernel::eval(std::span<const double> a,
+                       std::span<const double> b) const {
+  return a_->eval(a, b) + b_->eval(a, b);
+}
+
+void SumKernel::evalGradX(std::span<const double> a,
+                          std::span<const double> b,
+                          std::span<double> grad) const {
+  a_->evalGradX(a, b, grad);
+  std::vector<double> gb(grad.size());
+  b_->evalGradX(a, b, gb);
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += gb[i];
+}
+
+la::Matrix SumKernel::gram(const la::Matrix& x) const {
+  return a_->gram(x) + b_->gram(x);
+}
+
+void SumKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
+                              std::vector<la::Matrix>& grads) const {
+  a_->gramGradients(x, a_->gram(x), grads);
+  b_->gramGradients(x, b_->gram(x), grads);
+}
+
+ProductKernel::ProductKernel(KernelPtr a, KernelPtr b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  requireArg(a_ != nullptr && b_ != nullptr, "ProductKernel: null child");
+}
+
+KernelPtr ProductKernel::clone() const {
+  return std::make_unique<ProductKernel>(a_->clone(), b_->clone());
+}
+
+std::size_t ProductKernel::numParams() const {
+  return a_->numParams() + b_->numParams();
+}
+
+std::vector<std::string> ProductKernel::paramNames() const {
+  auto names = a_->paramNames();
+  for (auto& n : b_->paramNames()) names.push_back("rhs_" + n);
+  return names;
+}
+
+std::vector<double> ProductKernel::theta() const {
+  auto t = a_->theta();
+  const auto tb = b_->theta();
+  t.insert(t.end(), tb.begin(), tb.end());
+  return t;
+}
+
+void ProductKernel::setTheta(std::span<const double> t) {
+  requireArg(t.size() == numParams(), "ProductKernel::setTheta: wrong size");
+  a_->setTheta(t.subspan(0, a_->numParams()));
+  b_->setTheta(t.subspan(a_->numParams()));
+}
+
+opt::BoxBounds ProductKernel::thetaBounds() const {
+  return concatBounds(a_->thetaBounds(), b_->thetaBounds());
+}
+
+double ProductKernel::eval(std::span<const double> a,
+                           std::span<const double> b) const {
+  return a_->eval(a, b) * b_->eval(a, b);
+}
+
+namespace {
+
+la::Matrix hadamard(const la::Matrix& a, const la::Matrix& b) {
+  la::Matrix c(a.rows(), a.cols());
+  auto cd = c.data();
+  const auto ad = a.data();
+  const auto bd = b.data();
+  for (std::size_t k = 0; k < cd.size(); ++k) cd[k] = ad[k] * bd[k];
+  return c;
+}
+
+}  // namespace
+
+void ProductKernel::evalGradX(std::span<const double> a,
+                              std::span<const double> b,
+                              std::span<double> grad) const {
+  // (k1·k2)' = k1'·k2 + k1·k2'.
+  const double ka = a_->eval(a, b);
+  const double kb = b_->eval(a, b);
+  a_->evalGradX(a, b, grad);
+  std::vector<double> gb(grad.size());
+  b_->evalGradX(a, b, gb);
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    grad[i] = grad[i] * kb + ka * gb[i];
+}
+
+la::Matrix ProductKernel::gram(const la::Matrix& x) const {
+  return hadamard(a_->gram(x), b_->gram(x));
+}
+
+void ProductKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
+                                  std::vector<la::Matrix>& grads) const {
+  const la::Matrix ka = a_->gram(x);
+  const la::Matrix kb = b_->gram(x);
+  std::vector<la::Matrix> ga, gb;
+  a_->gramGradients(x, ka, ga);
+  b_->gramGradients(x, kb, gb);
+  for (auto& g : ga) grads.push_back(hadamard(g, kb));
+  for (auto& g : gb) grads.push_back(hadamard(ka, g));
+}
+
+std::string SumKernel::describe() const {
+  return a_->describe() + " + " + b_->describe();
+}
+
+std::string ProductKernel::describe() const {
+  return a_->describe() + " * " + b_->describe();
+}
+
+// --------------------------------------------------------------- Factories
+
+KernelPtr makeSquaredExponential(double sigmaF2, double lengthScale,
+                                 PositiveBounds amplitudeBounds,
+                                 PositiveBounds lengthBounds) {
+  return std::make_unique<ConstantKernel>(sigmaF2, amplitudeBounds) *
+         std::make_unique<RbfKernel>(lengthScale, lengthBounds);
+}
+
+KernelPtr makeSquaredExponentialArd(double sigmaF2,
+                                    std::vector<double> lengthScales,
+                                    PositiveBounds amplitudeBounds,
+                                    PositiveBounds lengthBounds) {
+  return std::make_unique<ConstantKernel>(sigmaF2, amplitudeBounds) *
+         std::make_unique<RbfKernel>(std::move(lengthScales), lengthBounds);
+}
+
+}  // namespace alperf::gp

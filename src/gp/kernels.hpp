@@ -1,0 +1,259 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Concrete covariance functions:
+///   ConstantKernel      k = c                       (amplitude σ_f²)
+///   RbfKernel           squared exponential, isotropic or ARD (paper eq. 11)
+///   Matern32Kernel      Matérn ν = 3/2, isotropic or ARD
+///   Matern52Kernel      Matérn ν = 5/2, isotropic or ARD
+///   RationalQuadraticKernel  scale mixture of RBFs (params l, α)
+///   SumKernel / ProductKernel  composition
+///
+/// All parameters live in natural-log space for optimization; bounds are
+/// configurable per kernel (wide defaults of [1e-5, 1e5] on the natural
+/// values).
+
+#include "gp/kernel.hpp"
+
+namespace alperf::gp {
+
+/// Per-parameter positive bounds expressed on the *natural* (not log) scale.
+struct PositiveBounds {
+  double lo = 1e-5;
+  double hi = 1e5;
+};
+
+/// Constant covariance k(a, b) = c. Used as an amplitude factor:
+/// Constant(σ_f²) * RBF(l) is the paper's eq. (11).
+class ConstantKernel final : public Kernel {
+ public:
+  explicit ConstantKernel(double value, PositiveBounds bounds = {});
+
+  double value() const { return value_; }
+
+  KernelPtr clone() const override;
+  std::size_t numParams() const override { return 1; }
+  std::vector<std::string> paramNames() const override;
+  std::vector<double> theta() const override;
+  void setTheta(std::span<const double> t) override;
+  opt::BoxBounds thetaBounds() const override;
+  double eval(std::span<const double> a,
+              std::span<const double> b) const override;
+  void evalGradX(std::span<const double> a, std::span<const double> b,
+                 std::span<double> grad) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  std::string describe() const override;
+
+ private:
+  double value_;
+  PositiveBounds bounds_;
+};
+
+/// Base for stationary kernels parameterized by per-dimension length
+/// scales (one shared scale when constructed isotropic).
+class StationaryKernel : public Kernel {
+ public:
+  /// Isotropic: one length scale for all input dimensions.
+  explicit StationaryKernel(double lengthScale, PositiveBounds bounds = {});
+  /// ARD: one length scale per input dimension.
+  explicit StationaryKernel(std::vector<double> lengthScales,
+                            PositiveBounds bounds = {});
+
+  const std::vector<double>& lengthScales() const { return lengths_; }
+  bool isotropic() const { return lengths_.size() == 1; }
+
+  std::size_t numParams() const override { return lengths_.size(); }
+  std::vector<std::string> paramNames() const override;
+  std::vector<double> theta() const override;
+  void setTheta(std::span<const double> t) override;
+  opt::BoxBounds thetaBounds() const override;
+  double eval(std::span<const double> a,
+              std::span<const double> b) const override;
+  void evalGradX(std::span<const double> a, std::span<const double> b,
+                 std::span<double> grad) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+
+ protected:
+  /// Scaled squared distance s = Σ_i (Δ_i / l_i)².
+  double scaledSq(std::span<const double> a, std::span<const double> b) const;
+
+  /// k as a function of s (the scaled squared distance).
+  virtual double kOfS(double s) const = 0;
+
+  /// ∂k/∂s at the given s (used with chain rule ∂s/∂log l_i = -2·Δ_i²/l_i²).
+  virtual double dkds(double s) const = 0;
+
+  std::string describeLengths() const;
+
+  std::vector<double> lengths_;
+  PositiveBounds bounds_;
+};
+
+/// Squared exponential / RBF: k = exp(-s/2) (paper eq. 11 without the
+/// σ_f² factor — compose with ConstantKernel for the amplitude).
+class RbfKernel final : public StationaryKernel {
+ public:
+  using StationaryKernel::StationaryKernel;
+  KernelPtr clone() const override;
+  std::string describe() const override;
+
+ protected:
+  double kOfS(double s) const override;
+  double dkds(double s) const override;
+};
+
+/// Matérn ν = 3/2: k = (1 + √3·r)·exp(-√3·r), r = √s.
+class Matern32Kernel final : public StationaryKernel {
+ public:
+  using StationaryKernel::StationaryKernel;
+  KernelPtr clone() const override;
+  std::string describe() const override;
+
+ protected:
+  double kOfS(double s) const override;
+  double dkds(double s) const override;
+};
+
+/// Matérn ν = 5/2: k = (1 + √5·r + 5r²/3)·exp(-√5·r).
+class Matern52Kernel final : public StationaryKernel {
+ public:
+  using StationaryKernel::StationaryKernel;
+  KernelPtr clone() const override;
+  std::string describe() const override;
+
+ protected:
+  double kOfS(double s) const override;
+  double dkds(double s) const override;
+};
+
+/// Rational quadratic: k = (1 + s/(2α))^(-α); isotropic length scale l
+/// plus mixture parameter α.
+class RationalQuadraticKernel final : public Kernel {
+ public:
+  RationalQuadraticKernel(double lengthScale, double alpha,
+                          PositiveBounds lengthBounds = {},
+                          PositiveBounds alphaBounds = {});
+
+  double lengthScale() const { return length_; }
+  double alpha() const { return alpha_; }
+
+  KernelPtr clone() const override;
+  std::size_t numParams() const override { return 2; }
+  std::vector<std::string> paramNames() const override;
+  std::vector<double> theta() const override;
+  void setTheta(std::span<const double> t) override;
+  opt::BoxBounds thetaBounds() const override;
+  double eval(std::span<const double> a,
+              std::span<const double> b) const override;
+  void evalGradX(std::span<const double> a, std::span<const double> b,
+                 std::span<double> grad) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  std::string describe() const override;
+
+ private:
+  double length_;
+  double alpha_;
+  PositiveBounds lengthBounds_;
+  PositiveBounds alphaBounds_;
+};
+
+/// Periodic (exp-sine-squared) kernel as a per-dimension product:
+/// k = Π_i exp(-2·sin²(π·|a_i-b_i|/p) / l²) with shared period p and
+/// length scale l. The product form keeps the kernel positive definite
+/// in any input dimension (the Euclidean-distance variant is PSD only in
+/// 1-D). Useful for performance responses with cyclic structure (e.g.
+/// cache-set aliasing across power-of-two sizes).
+class PeriodicKernel final : public Kernel {
+ public:
+  PeriodicKernel(double lengthScale, double period,
+                 PositiveBounds lengthBounds = {},
+                 PositiveBounds periodBounds = {});
+
+  double lengthScale() const { return length_; }
+  double period() const { return period_; }
+
+  KernelPtr clone() const override;
+  std::size_t numParams() const override { return 2; }
+  std::vector<std::string> paramNames() const override;
+  std::vector<double> theta() const override;
+  void setTheta(std::span<const double> t) override;
+  opt::BoxBounds thetaBounds() const override;
+  double eval(std::span<const double> a,
+              std::span<const double> b) const override;
+  void evalGradX(std::span<const double> a, std::span<const double> b,
+                 std::span<double> grad) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  std::string describe() const override;
+
+ private:
+  double length_;
+  double period_;
+  PositiveBounds lengthBounds_;
+  PositiveBounds periodBounds_;
+};
+
+/// Composite: k = k1 + k2.
+class SumKernel final : public Kernel {
+ public:
+  SumKernel(KernelPtr a, KernelPtr b);
+  KernelPtr clone() const override;
+  std::size_t numParams() const override;
+  std::vector<std::string> paramNames() const override;
+  std::vector<double> theta() const override;
+  void setTheta(std::span<const double> t) override;
+  opt::BoxBounds thetaBounds() const override;
+  double eval(std::span<const double> a,
+              std::span<const double> b) const override;
+  void evalGradX(std::span<const double> a, std::span<const double> b,
+                 std::span<double> grad) const override;
+  la::Matrix gram(const la::Matrix& x) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  std::string describe() const override;
+
+ private:
+  KernelPtr a_;
+  KernelPtr b_;
+};
+
+/// Composite: k = k1 * k2 (elementwise product of Gram matrices).
+class ProductKernel final : public Kernel {
+ public:
+  ProductKernel(KernelPtr a, KernelPtr b);
+  KernelPtr clone() const override;
+  std::size_t numParams() const override;
+  std::vector<std::string> paramNames() const override;
+  std::vector<double> theta() const override;
+  void setTheta(std::span<const double> t) override;
+  opt::BoxBounds thetaBounds() const override;
+  double eval(std::span<const double> a,
+              std::span<const double> b) const override;
+  void evalGradX(std::span<const double> a, std::span<const double> b,
+                 std::span<double> grad) const override;
+  la::Matrix gram(const la::Matrix& x) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  std::string describe() const override;
+
+ private:
+  KernelPtr a_;
+  KernelPtr b_;
+};
+
+/// The paper's kernel (eq. 11): σ_f² · exp(-|a-b|²/(2 l²)), as
+/// Constant(σ_f²) * RBF(l) with the given bounds on both parameters.
+KernelPtr makeSquaredExponential(double sigmaF2, double lengthScale,
+                                 PositiveBounds amplitudeBounds = {},
+                                 PositiveBounds lengthBounds = {});
+
+/// ARD variant with one length scale per input dimension.
+KernelPtr makeSquaredExponentialArd(double sigmaF2,
+                                    std::vector<double> lengthScales,
+                                    PositiveBounds amplitudeBounds = {},
+                                    PositiveBounds lengthBounds = {});
+
+}  // namespace alperf::gp

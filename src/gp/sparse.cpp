@@ -1,0 +1,115 @@
+#include "gp/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/sampling.hpp"
+
+namespace alperf::gp {
+
+std::vector<std::size_t> farthestPointSubset(const la::Matrix& x,
+                                             std::size_t m,
+                                             stats::Rng& rng) {
+  const std::size_t n = x.rows();
+  requireArg(m >= 1 && m <= n, "farthestPointSubset: need 1 <= m <= n");
+  std::vector<std::size_t> chosen;
+  chosen.reserve(m);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  chosen.push_back(rng.index(n));
+  while (chosen.size() < m) {
+    const auto last = x.row(chosen.back());
+    std::size_t best = 0;
+    double bestDist = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(dist[i], la::squaredDistance(x.row(i), last));
+      if (dist[i] > bestDist) {
+        bestDist = dist[i];
+        best = i;
+      }
+    }
+    if (bestDist <= 0.0) {
+      // All remaining rows duplicate the chosen set; pad with unused
+      // indices to honour the requested size.
+      for (std::size_t i = 0; i < n && chosen.size() < m; ++i)
+        if (std::find(chosen.begin(), chosen.end(), i) == chosen.end())
+          chosen.push_back(i);
+      break;
+    }
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+SparseGaussianProcess::SparseGaussianProcess(KernelPtr kernel,
+                                             SparseGpConfig config)
+    : kernel_(std::move(kernel)), config_(config) {
+  requireArg(kernel_ != nullptr, "SparseGaussianProcess: null kernel");
+  requireArg(config_.numInducing >= 1,
+             "SparseGaussianProcess: need at least one inducing point");
+  requireArg(config_.noiseVariance > 0.0,
+             "SparseGaussianProcess: noise variance must be positive");
+}
+
+void SparseGaussianProcess::fit(la::Matrix x, la::Vector y,
+                                stats::Rng& rng) {
+  requireArg(x.rows() == y.size(), "SparseGaussianProcess::fit: size");
+  requireArg(y.size() >= 1, "SparseGaussianProcess::fit: empty data");
+  const std::size_t n = x.rows();
+  const std::size_t m = std::min(config_.numInducing, n);
+
+  inducing_ = config_.selection == InducingSelection::FarthestPoint
+                  ? farthestPointSubset(x, m, rng)
+                  : stats::sampleWithoutReplacement(n, m, rng);
+  xu_ = la::Matrix(m, x.cols());
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto src = x.row(inducing_[i]);
+    std::copy(src.begin(), src.end(), xu_.row(i).begin());
+  }
+
+  la::Matrix kuu = kernel_->gram(xu_);
+  kuu.addToDiagonal(config_.jitter * (kuu.maxAbs() + 1.0));
+  kuuChol_ = std::make_unique<la::Cholesky>(kuu);
+
+  // K_uf: m×n cross-covariance.
+  const la::Matrix kuf = kernel_->cross(xu_, x);
+
+  // Σ⁻¹ = σ_n²·K_uu + K_uf·K_fu  (use gram of K_ufᵀ for the product).
+  la::Matrix sigmaInv = la::gram(kuf.transposed());
+  sigmaInv += kuu * config_.noiseVariance;
+  sigmaChol_ = std::make_unique<la::Cholesky>(std::move(sigmaInv));
+
+  // beta = Σ·K_uf·y.
+  beta_ = sigmaChol_->solve(la::matvec(kuf, y));
+}
+
+Prediction SparseGaussianProcess::predict(const la::Matrix& xStar) const {
+  requireArg(fitted(), "SparseGaussianProcess::predict: not fitted");
+  requireArg(xStar.cols() == xu_.cols(),
+             "SparseGaussianProcess::predict: dimension mismatch");
+  const la::Matrix kus = kernel_->cross(xu_, xStar);  // m×q
+  Prediction pred;
+  pred.mean = la::matvecTransposed(kus, beta_);
+  pred.variance.resize(xStar.rows());
+  for (std::size_t j = 0; j < xStar.rows(); ++j) {
+    const la::Vector ks = kus.col(j);
+    const double kss = kernel_->eval(xStar.row(j), xStar.row(j));
+    // DTC: k** − k_*u K_uu⁻¹ k_*u + σ_n²·k_*u Σ k_*u.
+    const la::Vector kuuInvKs = kuuChol_->solve(ks);
+    const la::Vector sigmaKs = sigmaChol_->solve(ks);
+    const double var = kss - la::dot(ks, kuuInvKs) +
+                       config_.noiseVariance * la::dot(ks, sigmaKs);
+    pred.variance[j] = std::max(var, 0.0);
+  }
+  return pred;
+}
+
+std::pair<double, double> SparseGaussianProcess::predictOne(
+    std::span<const double> x) const {
+  la::Matrix m(1, x.size());
+  std::copy(x.begin(), x.end(), m.row(0).begin());
+  const Prediction p = predict(m);
+  return {p.mean[0], p.variance[0]};
+}
+
+}  // namespace alperf::gp

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file sparse.hpp
+/// Sparse Gaussian Process approximation — the "available optimizations"
+/// the paper plans to investigate for its computational-requirements
+/// study (Sec. VI). Implements the Deterministic Training Conditional
+/// (DTC / projected process) approximation (Rasmussen & Williams ch. 8):
+/// m inducing points u drawn from the training inputs give
+///
+///   Σ  = (σ_n²·K_uu + K_uf·K_fu)⁻¹
+///   µ* = k_*uᵀ · Σ · K_uf · y
+///   v* = k_** − k_*uᵀ K_uu⁻¹ k_*u + σ_n²·k_*uᵀ Σ k_*u
+///
+/// Fitting costs O(n·m²) instead of O(n³); each prediction O(m²). With
+/// m = n the approximation is exact (a property the tests pin down).
+/// Hyperparameters are taken as given (e.g. borrowed from an exact GP fit
+/// on a subsample); DTC hyperparameter optimization is out of scope.
+
+#include "gp/gp.hpp"
+
+namespace alperf::gp {
+
+enum class InducingSelection {
+  UniformRandom,
+  /// Farthest-point (max-min distance) sampling: greedy 2-approximation
+  /// of the k-center problem; spreads inducing points over the inputs.
+  FarthestPoint,
+};
+
+struct SparseGpConfig {
+  std::size_t numInducing = 64;
+  InducingSelection selection = InducingSelection::FarthestPoint;
+  double noiseVariance = 1e-2;  ///< σ_n² (fixed, not optimized)
+  /// Relative jitter added to K_uu for numerical stability.
+  double jitter = 1e-10;
+};
+
+class SparseGaussianProcess {
+ public:
+  /// Takes ownership of the kernel; its current hyperparameters are used
+  /// as-is throughout.
+  SparseGaussianProcess(KernelPtr kernel, SparseGpConfig config = {});
+
+  /// Selects inducing points from the rows of x and computes the DTC
+  /// posterior. numInducing is clamped to n.
+  void fit(la::Matrix x, la::Vector y, stats::Rng& rng);
+
+  bool fitted() const { return !inducing_.empty(); }
+
+  /// Predictive mean and DTC latent variance per row of xStar.
+  Prediction predict(const la::Matrix& xStar) const;
+
+  std::pair<double, double> predictOne(std::span<const double> x) const;
+
+  /// Indices (into the fitted x) of the chosen inducing points.
+  const std::vector<std::size_t>& inducingIndices() const {
+    return inducing_;
+  }
+
+  std::size_t numInducing() const { return inducing_.size(); }
+  const Kernel& kernel() const { return *kernel_; }
+  const SparseGpConfig& config() const { return config_; }
+
+ private:
+  KernelPtr kernel_;
+  SparseGpConfig config_;
+
+  la::Matrix xu_;  ///< m×d inducing inputs
+  std::vector<std::size_t> inducing_;
+  std::unique_ptr<la::Cholesky> kuuChol_;    ///< chol(K_uu + jitter)
+  std::unique_ptr<la::Cholesky> sigmaChol_;  ///< chol(σ_n²K_uu + K_uf K_fu)
+  la::Vector beta_;                          ///< Σ·K_uf·y
+};
+
+/// Farthest-point subset of the rows of x (exposed for tests): starts
+/// from a random row, then repeatedly adds the row farthest from the
+/// current set.
+std::vector<std::size_t> farthestPointSubset(const la::Matrix& x,
+                                             std::size_t m,
+                                             stats::Rng& rng);
+
+}  // namespace alperf::gp

@@ -1,0 +1,64 @@
+#include "hpgmg/benchmark.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <numbers>
+
+namespace alperf::hpgmg {
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BenchmarkResult runBenchmark(StencilType type, int finestN,
+                             MgOptions options) {
+  BenchmarkResult result;
+
+  const double t0 = now();
+  Multigrid mg(type, finestN, options);
+  Field b(finestN);
+  Field x(finestN);
+  // Smooth manufactured forcing: f = 3π²·sin(πx)sin(πy)sin(πz).
+  setInterior(b, [](double px, double py, double pz) {
+    using std::numbers::pi;
+    return 3.0 * pi * pi * std::sin(pi * px) * std::sin(pi * py) *
+           std::sin(pi * pz);
+  });
+  result.setupSeconds = now() - t0;
+
+  const double t1 = now();
+  const SolveStats stats = mg.fmgSolve(b, x);
+  result.seconds = now() - t1;
+
+  result.cycles = stats.cycles;
+  result.initialResidual = stats.initialResidual;
+  result.finalResidual = stats.finalResidual;
+  result.converged = stats.converged;
+  result.dof = static_cast<std::size_t>(finestN) * finestN * finestN;
+
+  // Rough flop estimate: each V-cycle touches ~(1 + 1/7) of the finest dof
+  // with (pre+post+1) stencil applications.
+  const double applies =
+      static_cast<double>(options.preSmooth + options.postSmooth + 1) *
+      (stats.cycles + mg.numLevels());
+  result.estimatedFlops = applies * 8.0 / 7.0 *
+                          static_cast<double>(result.dof) *
+                          mg.stencil(0).flopsPerPoint();
+  return result;
+}
+
+int gridSizeForDof(double dof, int maxN) {
+  requireArg(dof >= 1.0, "gridSizeForDof: dof must be >= 1");
+  int n = 3;
+  while (static_cast<double>(n) * n * n < dof && n < maxN)
+    n = 2 * n + 1;
+  return n;
+}
+
+}  // namespace alperf::hpgmg

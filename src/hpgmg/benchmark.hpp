@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file benchmark.hpp
+/// The runnable mini-HPGMG-FE benchmark: sets up a manufactured problem,
+/// runs a timed Full-Multigrid solve, and reports time / residual / flops.
+/// This is the measured application that the *online* active-learning
+/// example drives (the paper's target use case: each AL iteration selects
+/// an experiment, runs it, and feeds the measurement back into the GP).
+
+#include "hpgmg/multigrid.hpp"
+
+namespace alperf::hpgmg {
+
+struct BenchmarkResult {
+  double seconds = 0.0;        ///< wall time of the solve
+  double setupSeconds = 0.0;   ///< hierarchy + RHS construction time
+  int cycles = 0;              ///< V-cycles after the FMG pass
+  double finalResidual = 0.0;
+  double initialResidual = 0.0;
+  std::size_t dof = 0;         ///< finest-grid interior points
+  double estimatedFlops = 0.0; ///< rough flop count of the solve
+  bool converged = false;
+};
+
+/// Runs one benchmark instance: FMG solve of the given operator on an
+/// n³ grid (n = 2^k - 1) with a smooth manufactured RHS.
+BenchmarkResult runBenchmark(StencilType type, int finestN,
+                             MgOptions options = {});
+
+/// Smallest n = 2^k - 1 whose n³ is >= the requested dof count
+/// (maps a Table-I-style GlobalSize onto a runnable grid).
+int gridSizeForDof(double dof, int maxN = 255);
+
+}  // namespace alperf::hpgmg

@@ -1,0 +1,61 @@
+#include "hpgmg/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alperf::hpgmg {
+
+Field::Field(int n) : n_(n) {
+  requireArg(n >= 1, "Field: n must be >= 1");
+  const std::size_t s = static_cast<std::size_t>(n) + 2;
+  data_.assign(s * s * s, 0.0);
+}
+
+void Field::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Field::setInteriorZero() {
+  for (int i = 1; i <= n_; ++i)
+    for (int j = 1; j <= n_; ++j)
+      for (int k = 1; k <= n_; ++k) at(i, j, k) = 0.0;
+}
+
+void Field::axpy(double alpha, const Field& other) {
+  requireArg(other.n_ == n_, "Field::axpy: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+double Field::normL2() const {
+  double s = 0.0;
+#pragma omp parallel for reduction(+ : s) if (n_ >= 32)
+  for (int i = 1; i <= n_; ++i)
+    for (int j = 1; j <= n_; ++j)
+      for (int k = 1; k <= n_; ++k) {
+        const double v = at(i, j, k);
+        s += v * v;
+      }
+  return std::sqrt(s * h() * h() * h());
+}
+
+double Field::normInf() const {
+  double m = 0.0;
+#pragma omp parallel for reduction(max : m) if (n_ >= 32)
+  for (int i = 1; i <= n_; ++i)
+    for (int j = 1; j <= n_; ++j)
+      for (int k = 1; k <= n_; ++k) m = std::max(m, std::abs(at(i, j, k)));
+  return m;
+}
+
+double Field::dotInterior(const Field& other) const {
+  requireArg(other.n_ == n_, "Field::dotInterior: size mismatch");
+  double s = 0.0;
+#pragma omp parallel for reduction(+ : s) if (n_ >= 32)
+  for (int i = 1; i <= n_; ++i)
+    for (int j = 1; j <= n_; ++j)
+      for (int k = 1; k <= n_; ++k) s += at(i, j, k) * other.at(i, j, k);
+  return s;
+}
+
+}  // namespace alperf::hpgmg

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file field.hpp
+/// A scalar field on a cubic structured grid with a one-cell halo.
+///
+/// The grid covers the unit cube with n×n×n interior points at spacing
+/// h = 1/(n+1); the halo holds the homogeneous Dirichlet boundary (zeros).
+/// This is the storage substrate for the mini-HPGMG solver: stencil
+/// application, smoothing and grid transfers all operate on Fields.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace alperf::hpgmg {
+
+class Field {
+ public:
+  /// n interior points per dimension (n >= 1); values zero-initialized.
+  explicit Field(int n);
+
+  int n() const { return n_; }
+  double h() const { return 1.0 / (n_ + 1); }
+  std::size_t interiorPoints() const {
+    return static_cast<std::size_t>(n_) * n_ * n_;
+  }
+
+  /// Access with indices in [0, n+1] (0 and n+1 are the halo).
+  double& at(int i, int j, int k) { return data_[index(i, j, k)]; }
+  double at(int i, int j, int k) const { return data_[index(i, j, k)]; }
+
+  /// Flat index for halo-inclusive coordinates.
+  std::size_t index(int i, int j, int k) const {
+    ALPERF_ASSERT(i >= 0 && i <= n_ + 1 && j >= 0 && j <= n_ + 1 && k >= 0 &&
+                      k <= n_ + 1,
+                  "Field: index out of range");
+    const std::size_t s = n_ + 2;
+    return (static_cast<std::size_t>(i) * s + j) * s + k;
+  }
+
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Interior coordinate of point (i, j, k), i in [1, n].
+  double coord(int i) const { return i * h(); }
+
+  void fill(double value);
+  void setInteriorZero();
+
+  /// this += alpha * other (same size).
+  void axpy(double alpha, const Field& other);
+
+  /// L2 norm of the interior, scaled by h^(3/2) (grid-function norm).
+  double normL2() const;
+
+  /// Max-abs over the interior.
+  double normInf() const;
+
+  /// Interior dot product (unscaled).
+  double dotInterior(const Field& other) const;
+
+ private:
+  int n_;
+  std::vector<double> data_;
+};
+
+/// Evaluates f at every interior point: f(x, y, z) with coordinates in
+/// (0, 1).
+template <typename F>
+void setInterior(Field& field, F&& f) {
+  const int n = field.n();
+  for (int i = 1; i <= n; ++i)
+    for (int j = 1; j <= n; ++j)
+      for (int k = 1; k <= n; ++k)
+        field.at(i, j, k) =
+            f(field.coord(i), field.coord(j), field.coord(k));
+}
+
+}  // namespace alperf::hpgmg

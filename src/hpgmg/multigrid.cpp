@@ -1,0 +1,300 @@
+#include "hpgmg/multigrid.hpp"
+
+#include <cmath>
+
+namespace alperf::hpgmg {
+
+namespace {
+
+bool isPow2Minus1(int n) {
+  const unsigned v = static_cast<unsigned>(n) + 1;
+  return n >= 1 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+double SolveStats::meanReduction() const {
+  if (residualHistory.size() < 1 || initialResidual <= 0.0) return 0.0;
+  const double last = residualHistory.back();
+  if (last <= 0.0) return 0.0;
+  return std::pow(last / initialResidual,
+                  1.0 / static_cast<double>(residualHistory.size()));
+}
+
+Multigrid::Multigrid(StencilType type, int finestN, MgOptions options,
+                     const CoefficientTensor& tensor)
+    : options_(options) {
+  requireArg(isPow2Minus1(finestN), "Multigrid: finestN must be 2^k - 1");
+  requireArg(options_.coarsestN >= 1, "Multigrid: coarsestN must be >= 1");
+  requireArg(options_.cycleType >= 1 && options_.cycleType <= 3,
+             "Multigrid: cycleType must be 1 (V), 2 (W) or 3");
+  requireArg(finestN >= options_.coarsestN,
+             "Multigrid: finestN below coarsestN");
+  int n = finestN;
+  while (true) {
+    levels_.emplace_back(type, n, tensor);
+    scratch_.emplace_back(n);
+    if (n <= options_.coarsestN) break;
+    n = (n - 1) / 2;
+    ALPERF_ASSERT(n >= 1, "Multigrid: coarsening underflow");
+  }
+}
+
+const Stencil& Multigrid::stencil(int level) const {
+  requireArg(level >= 0 && level < numLevels(), "Multigrid: bad level");
+  return levels_[level].stencil;
+}
+
+std::size_t Multigrid::totalDof() const {
+  std::size_t total = 0;
+  for (const Level& l : levels_) total += l.x.interiorPoints();
+  return total;
+}
+
+void Multigrid::jacobiSweeps(Level& level, Field& x, const Field& b,
+                             int sweeps) {
+  const double invDiag = 1.0 / level.stencil.diagonal();
+  const double w = options_.jacobiWeight;
+  Field& r = scratch_[static_cast<std::size_t>(
+      &level - levels_.data())];
+  const int n = x.n();
+  for (int s = 0; s < sweeps; ++s) {
+    level.stencil.residual(x, b, r);
+    const double* rp = r.raw().data();
+    double* xp = x.raw().data();
+    const std::ptrdiff_t stride = n + 2;
+#pragma omp parallel for if (n >= 32)
+    for (int i = 1; i <= n; ++i)
+      for (int j = 1; j <= n; ++j) {
+        const std::size_t base =
+            (static_cast<std::size_t>(i) * stride + j) * stride;
+        for (int k = 1; k <= n; ++k)
+          xp[base + k] += w * invDiag * rp[base + k];
+      }
+  }
+}
+
+void Multigrid::chebyshev(Level& level, Field& x, const Field& b,
+                          int degree) {
+  // Chebyshev iteration on D⁻¹A targeting [λmax/6, λmax]
+  // (λmax from the Gershgorin bound).
+  const double hi = level.stencil.gershgorinBound();
+  const double lo = hi / 6.0;
+  const double theta = 0.5 * (hi + lo);
+  const double delta = 0.5 * (hi - lo);
+  const double invDiag = 1.0 / level.stencil.diagonal();
+
+  Field& r = scratch_[static_cast<std::size_t>(&level - levels_.data())];
+  Field d(x.n());
+
+  level.stencil.residual(x, b, r);
+  const int n = x.n();
+  const std::ptrdiff_t stride = n + 2;
+  const auto forEachInterior = [&](auto&& fn) {
+#pragma omp parallel for if (n >= 32)
+    for (int i = 1; i <= n; ++i)
+      for (int j = 1; j <= n; ++j) {
+        const std::size_t base =
+            (static_cast<std::size_t>(i) * stride + j) * stride;
+        for (int k = 1; k <= n; ++k) fn(base + k);
+      }
+  };
+
+  double* dp = d.raw().data();
+  const double* rp = r.raw().data();
+  double* xp = x.raw().data();
+
+  forEachInterior(
+      [&](std::size_t c) { dp[c] = invDiag * rp[c] / theta; });
+
+  double rhoOld = delta / theta;
+  for (int it = 0; it < degree; ++it) {
+    forEachInterior([&](std::size_t c) { xp[c] += dp[c]; });
+    if (it + 1 == degree) break;
+    level.stencil.residual(x, b, r);
+    const double rhoNew = 1.0 / (2.0 * theta / delta - rhoOld);
+    const double c1 = rhoNew * rhoOld;
+    const double c2 = 2.0 * rhoNew / delta;
+    forEachInterior([&](std::size_t c) {
+      dp[c] = c1 * dp[c] + c2 * invDiag * rp[c];
+    });
+    rhoOld = rhoNew;
+  }
+}
+
+void Multigrid::redBlackSweeps(Level& level, Field& x, const Field& b,
+                               int sweeps) {
+  // Gauss-Seidel over the parity coloring: update all points of one
+  // color from the latest values, then the other. For the 7-point
+  // stencil the neighbours of a red point are all black, so each
+  // half-sweep is an exact Gauss-Seidel step and trivially parallel.
+  const Stencil& st = level.stencil;
+  const double invDiag = 1.0 / st.diagonal();
+  const int n = x.n();
+  Field& r = scratch_[static_cast<std::size_t>(&level - levels_.data())];
+  for (int s = 0; s < sweeps; ++s) {
+    for (int color = 0; color < 2; ++color) {
+      st.residual(x, b, r);
+      const double* rp = r.raw().data();
+      double* xp = x.raw().data();
+      const std::ptrdiff_t stride = n + 2;
+#pragma omp parallel for if (n >= 32)
+      for (int i = 1; i <= n; ++i)
+        for (int j = 1; j <= n; ++j) {
+          const std::size_t base =
+              (static_cast<std::size_t>(i) * stride + j) * stride;
+          // First k of this row/color parity.
+          const int kStart = 1 + ((i + j + 1 + color) % 2);
+          for (int k = kStart; k <= n; k += 2)
+            xp[base + k] += invDiag * rp[base + k];
+        }
+    }
+  }
+}
+
+void Multigrid::smooth(Level& level, Field& x, const Field& b, int sweeps) {
+  switch (options_.smoother) {
+    case SmootherType::WeightedJacobi:
+      jacobiSweeps(level, x, b, sweeps);
+      return;
+    case SmootherType::RedBlackGaussSeidel:
+      redBlackSweeps(level, x, b, sweeps);
+      return;
+    case SmootherType::Chebyshev:
+      for (int s = 0; s < sweeps; ++s)
+        chebyshev(level, x, b, options_.chebyshevDegree);
+      return;
+  }
+  ALPERF_ASSERT(false, "unknown smoother");
+}
+
+void Multigrid::restrictTo(const Field& fine, Field& coarse) const {
+  // Full weighting: coarse (I,J,K) sits at fine (2I,2J,2K); weights
+  // 1/8 (center), 1/16 (face), 1/32 (edge), 1/64 (corner).
+  const int nc = coarse.n();
+  ALPERF_ASSERT(2 * nc + 1 == fine.n(), "restrictTo: incompatible sizes");
+  static const double w[3] = {0.5, 1.0, 0.5};  // offset weights, scaled below
+#pragma omp parallel for if (nc >= 16)
+  for (int i = 1; i <= nc; ++i)
+    for (int j = 1; j <= nc; ++j)
+      for (int k = 1; k <= nc; ++k) {
+        double acc = 0.0;
+        for (int di = -1; di <= 1; ++di)
+          for (int dj = -1; dj <= 1; ++dj)
+            for (int dk = -1; dk <= 1; ++dk)
+              acc += w[di + 1] * w[dj + 1] * w[dk + 1] *
+                     fine.at(2 * i + di, 2 * j + dj, 2 * k + dk);
+        coarse.at(i, j, k) = acc / 8.0;
+      }
+}
+
+void Multigrid::prolongAdd(const Field& coarse, Field& fine) const {
+  const int nf = fine.n();
+  const int nc = coarse.n();
+  ALPERF_ASSERT(2 * nc + 1 == nf, "prolongAdd: incompatible sizes");
+  // Trilinear interpolation: even fine indices coincide with coarse
+  // points; odd indices average the two coarse neighbors per axis.
+#pragma omp parallel for if (nf >= 32)
+  for (int i = 1; i <= nf; ++i) {
+    const int ci = i / 2;
+    const bool ei = (i % 2) == 0;
+    for (int j = 1; j <= nf; ++j) {
+      const int cj = j / 2;
+      const bool ej = (j % 2) == 0;
+      for (int k = 1; k <= nf; ++k) {
+        const int ck = k / 2;
+        const bool ek = (k % 2) == 0;
+        double v = 0.0;
+        for (int di = 0; di <= (ei ? 0 : 1); ++di)
+          for (int dj = 0; dj <= (ej ? 0 : 1); ++dj)
+            for (int dk = 0; dk <= (ek ? 0 : 1); ++dk)
+              v += coarse.at(ci + di, cj + dj, ck + dk);
+        const double scale = (ei ? 1.0 : 0.5) * (ej ? 1.0 : 0.5) *
+                             (ek ? 1.0 : 0.5);
+        fine.at(i, j, k) += scale * v;
+      }
+    }
+  }
+}
+
+void Multigrid::vcycleLevel(std::size_t l) {
+  Level& level = levels_[l];
+  if (l + 1 == levels_.size()) {
+    // Coarsest: heavy smoothing acts as the direct solve.
+    jacobiSweeps(level, level.x, level.b, options_.coarseSolveIterations);
+    return;
+  }
+  smooth(level, level.x, level.b, options_.preSmooth);
+  // γ coarse-grid visits: γ=1 is a V-cycle, γ=2 a W-cycle. Each visit
+  // restricts the *current* residual and adds back the correction.
+  for (int visit = 0; visit < options_.cycleType; ++visit) {
+    level.stencil.residual(level.x, level.b, level.r);
+    Level& next = levels_[l + 1];
+    restrictTo(level.r, next.b);
+    next.x.fill(0.0);
+    vcycleLevel(l + 1);
+    prolongAdd(next.x, level.x);
+  }
+  smooth(level, level.x, level.b, options_.postSmooth);
+}
+
+void Multigrid::vcycle(const Field& b, Field& x) {
+  requireArg(b.n() == finestN() && x.n() == finestN(),
+             "Multigrid::vcycle: size mismatch");
+  levels_[0].x = x;
+  levels_[0].b = b;
+  vcycleLevel(0);
+  x = levels_[0].x;
+}
+
+SolveStats Multigrid::solve(const Field& b, Field& x) {
+  requireArg(b.n() == finestN() && x.n() == finestN(),
+             "Multigrid::solve: size mismatch");
+  SolveStats stats;
+  Field r(finestN());
+  levels_[0].stencil.residual(x, b, r);
+  stats.initialResidual = r.normL2();
+  const double target = options_.rtol * std::max(stats.initialResidual,
+                                                 1e-300);
+  double res = stats.initialResidual;
+  for (int c = 0; c < options_.maxVcycles && res > target; ++c) {
+    vcycle(b, x);
+    levels_[0].stencil.residual(x, b, r);
+    res = r.normL2();
+    stats.residualHistory.push_back(res);
+    ++stats.cycles;
+  }
+  stats.finalResidual = res;
+  stats.converged = res <= target;
+  return stats;
+}
+
+SolveStats Multigrid::fmgSolve(const Field& b, Field& x) {
+  requireArg(b.n() == finestN() && x.n() == finestN(),
+             "Multigrid::fmgSolve: size mismatch");
+  // Restrict the RHS down the hierarchy.
+  levels_[0].b = b;
+  for (std::size_t l = 1; l < levels_.size(); ++l)
+    restrictTo(levels_[l - 1].b, levels_[l].b);
+
+  // Coarsest-first: solve, prolong, one V-cycle per level.
+  Level& coarsest = levels_.back();
+  coarsest.x.fill(0.0);
+  jacobiSweeps(coarsest, coarsest.x, coarsest.b,
+               options_.coarseSolveIterations);
+  for (std::size_t l = levels_.size() - 1; l-- > 0;) {
+    levels_[l].x.fill(0.0);
+    prolongAdd(levels_[l + 1].x, levels_[l].x);
+    // One V-cycle at this level on the original (restricted) equation.
+    // vcycleLevel only overwrites the b of *coarser* levels, whose FMG
+    // visit has already happened.
+    vcycleLevel(l);
+  }
+  x = levels_[0].x;
+
+  // Polish with V-cycles to the requested tolerance.
+  SolveStats stats = solve(b, x);
+  return stats;
+}
+
+}  // namespace alperf::hpgmg

@@ -1,0 +1,131 @@
+#include "hpgmg/stencil.hpp"
+
+#include <cmath>
+
+namespace alperf::hpgmg {
+
+CoefficientTensor defaultAffineTensor() {
+  // G = J⁻¹J⁻ᵀ|det J| for a mild stretch + shear map; SPD by construction
+  // and diagonally dominant, so the discrete operator stays SPD.
+  CoefficientTensor g;
+  g.gxx = 1.40;
+  g.gyy = 1.10;
+  g.gzz = 0.90;
+  g.gxy = 0.25;
+  g.gxz = 0.10;
+  g.gyz = 0.15;
+  return g;
+}
+
+Stencil::Stencil(StencilType type, double h, const CoefficientTensor& tensor)
+    : type_(type), h_(h) {
+  requireArg(h > 0.0, "Stencil: h must be positive");
+
+  const auto set = [this](int di, int dj, int dk, double v) {
+    w_[static_cast<std::size_t>((di + 1) * 9 + (dj + 1) * 3 + (dk + 1))] = v;
+  };
+
+  if (type == StencilType::Poisson1) {
+    const double ih2 = 1.0 / (h * h);
+    set(0, 0, 0, 6.0 * ih2);
+    set(1, 0, 0, -ih2);
+    set(-1, 0, 0, -ih2);
+    set(0, 1, 0, -ih2);
+    set(0, -1, 0, -ih2);
+    set(0, 0, 1, -ih2);
+    set(0, 0, -1, -ih2);
+    return;
+  }
+
+  // 1-D building blocks (index 0,1,2 ↔ offset -1,0,+1).
+  const double ih2 = 1.0 / (h * h);
+  const double k1[3] = {-ih2, 2.0 * ih2, -ih2};          // stiffness
+  const double m1[3] = {1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0};  // mass
+  const double d1[3] = {-0.5 / h, 0.0, 0.5 / h};          // first derivative
+
+  CoefficientTensor g;  // identity tensor for plain Poisson2
+  if (type == StencilType::Poisson2Affine) g = tensor;
+
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int c = 0; c < 3; ++c) {
+        double v = g.gxx * k1[a] * m1[b] * m1[c] +
+                   g.gyy * m1[a] * k1[b] * m1[c] +
+                   g.gzz * m1[a] * m1[b] * k1[c];
+        // Cross-derivative terms: -2·g_ij·∂i∂j with central differences
+        // and a mass spectator axis (keeps the stencil symmetric).
+        v += -2.0 * g.gxy * d1[a] * d1[b] * m1[c];
+        v += -2.0 * g.gxz * d1[a] * m1[b] * d1[c];
+        v += -2.0 * g.gyz * m1[a] * d1[b] * d1[c];
+        set(a - 1, b - 1, c - 1, v);
+      }
+}
+
+double Stencil::gershgorinBound() const {
+  const double d = diagonal();
+  ALPERF_ASSERT(d > 0.0, "Stencil: non-positive diagonal");
+  double offSum = 0.0;
+  for (int di = -1; di <= 1; ++di)
+    for (int dj = -1; dj <= 1; ++dj)
+      for (int dk = -1; dk <= 1; ++dk)
+        if (di || dj || dk) offSum += std::abs(weight(di, dj, dk));
+  return 1.0 + offSum / d;  // of D⁻¹A
+}
+
+void Stencil::apply(const Field& in, Field& out) const {
+  requireArg(in.n() == out.n(), "Stencil::apply: size mismatch");
+  const int n = in.n();
+  const std::ptrdiff_t s = n + 2;
+
+  // Gather nonzero (flat offset, weight) pairs for this field size.
+  std::ptrdiff_t offs[27];
+  double wts[27];
+  int nnz = 0;
+  for (int di = -1; di <= 1; ++di)
+    for (int dj = -1; dj <= 1; ++dj)
+      for (int dk = -1; dk <= 1; ++dk) {
+        const double wv = weight(di, dj, dk);
+        if (wv != 0.0) {
+          offs[nnz] = (static_cast<std::ptrdiff_t>(di) * s + dj) * s + dk;
+          wts[nnz] = wv;
+          ++nnz;
+        }
+      }
+
+  const double* src = in.raw().data();
+  double* dst = out.raw().data();
+#pragma omp parallel for if (n >= 32)
+  for (int i = 1; i <= n; ++i)
+    for (int j = 1; j <= n; ++j) {
+      const std::size_t base = (static_cast<std::size_t>(i) * s + j) * s;
+      for (int k = 1; k <= n; ++k) {
+        const std::size_t c = base + k;
+        double acc = 0.0;
+        for (int m = 0; m < nnz; ++m) acc += wts[m] * src[c + offs[m]];
+        dst[c] = acc;
+      }
+    }
+}
+
+void Stencil::residual(const Field& x, const Field& b, Field& r) const {
+  apply(x, r);
+  const int n = x.n();
+  const double* bp = b.raw().data();
+  double* rp = r.raw().data();
+  const std::ptrdiff_t s = n + 2;
+#pragma omp parallel for if (n >= 32)
+  for (int i = 1; i <= n; ++i)
+    for (int j = 1; j <= n; ++j) {
+      const std::size_t base = (static_cast<std::size_t>(i) * s + j) * s;
+      for (int k = 1; k <= n; ++k) rp[base + k] = bp[base + k] - rp[base + k];
+    }
+}
+
+double Stencil::flopsPerPoint() const {
+  int nnz = 0;
+  for (double v : w_)
+    if (v != 0.0) ++nnz;
+  return 2.0 * nnz;
+}
+
+}  // namespace alperf::hpgmg

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file stencil.hpp
+/// Constant-coefficient 27-point stencil operators for -∇·(G ∇u) on the
+/// unit cube with homogeneous Dirichlet boundaries.
+///
+/// Three variants mirror the paper's HPGMG-FE operators (the substitution
+/// documented in DESIGN.md — same stencil-width/flop-cost classes):
+///   Poisson1       — classic 7-point 2nd-order finite differences.
+///   Poisson2       — 27-point trilinear-FEM-style operator
+///                    K⊗M⊗M + M⊗K⊗M + M⊗M⊗K (wide stencil, ~4x flops).
+///   Poisson2Affine — the 27-point operator for a mesh deformed by an
+///                    affine map, i.e. an anisotropic coefficient tensor G
+///                    with cross-derivative terms.
+///
+/// Stencils are assembled as sums of tensor products of 1-D three-point
+/// stencils (stiffness K1 = [-1, 2, -1]/h², mass M1 = [1/6, 2/3, 1/6],
+/// first derivative D1 = [-1, 0, 1]/(2h)), which keeps the construction
+/// dimension-by-dimension and easy to verify.
+
+#include <array>
+
+#include "hpgmg/field.hpp"
+
+namespace alperf::hpgmg {
+
+enum class StencilType { Poisson1, Poisson2, Poisson2Affine };
+
+/// 3x3 symmetric positive-definite coefficient tensor G (row-major upper
+/// triangle: gxx, gyy, gzz diagonal; gxy, gxz, gyz off-diagonal).
+struct CoefficientTensor {
+  double gxx = 1.0, gyy = 1.0, gzz = 1.0;
+  double gxy = 0.0, gxz = 0.0, gyz = 0.0;
+};
+
+/// The default affine deformation used for Poisson2Affine: a mild shear +
+/// anisotropic stretch (the tensor G = J⁻¹ J⁻ᵀ |det J| for that map).
+CoefficientTensor defaultAffineTensor();
+
+/// A 27-point constant-coefficient stencil at a given grid spacing.
+class Stencil {
+ public:
+  /// Builds the stencil of the given type for spacing h. The affine
+  /// tensor is only used by Poisson2Affine.
+  Stencil(StencilType type, double h,
+          const CoefficientTensor& tensor = defaultAffineTensor());
+
+  StencilType type() const { return type_; }
+  double h() const { return h_; }
+
+  /// Weight for offset (di, dj, dk), each in {-1, 0, 1}.
+  double weight(int di, int dj, int dk) const {
+    return w_[static_cast<std::size_t>((di + 1) * 9 + (dj + 1) * 3 +
+                                       (dk + 1))];
+  }
+
+  /// Central weight (the Jacobi diagonal).
+  double diagonal() const { return weight(0, 0, 0); }
+
+  /// Gershgorin upper bound on the operator's eigenvalues after diagonal
+  /// scaling (used to parameterize the Chebyshev smoother).
+  double gershgorinBound() const;
+
+  /// out = A * in (interior only; halo of `in` must hold boundary values).
+  void apply(const Field& in, Field& out) const;
+
+  /// r = b - A*x.
+  void residual(const Field& x, const Field& b, Field& r) const;
+
+  /// Approximate flops per interior point of one apply().
+  double flopsPerPoint() const;
+
+ private:
+  StencilType type_;
+  double h_;
+  std::array<double, 27> w_{};
+};
+
+}  // namespace alperf::hpgmg

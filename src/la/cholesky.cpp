@@ -1,0 +1,123 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+namespace alperf::la {
+
+bool choleskyInPlace(Matrix& a) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Zero the strict upper triangle so factor() is exactly L.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  return true;
+}
+
+Cholesky::Cholesky(Matrix a, double maxJitterScale, double symTol) {
+  requireArg(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  // Symmetry check relative to the largest element.
+  const double scale = a.maxAbs();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      requireArg(std::abs(a(i, j) - a(j, i)) <= symTol * (scale + 1.0),
+                 "Cholesky: matrix is not symmetric");
+
+  double meanDiag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) meanDiag += std::abs(a(i, i));
+  meanDiag = n ? meanDiag / static_cast<double>(n) : 0.0;
+  if (meanDiag == 0.0) meanDiag = 1.0;
+
+  // Try raw factorization first, then escalate jitter by decades.
+  double jit = 0.0;
+  for (double scaleStep = 1e-12;; scaleStep *= 10.0) {
+    Matrix work = a;
+    if (jit > 0.0) work.addToDiagonal(jit);
+    if (choleskyInPlace(work)) {
+      l_ = std::move(work);
+      jitter_ = jit;
+      return;
+    }
+    if (scaleStep > maxJitterScale)
+      throw NumericalError(
+          "Cholesky: matrix not SPD even after jitter escalation");
+    jit = scaleStep * meanDiag;
+  }
+}
+
+Vector Cholesky::solveLower(std::span<const double> b) const {
+  requireArg(b.size() == dim(), "Cholesky::solveLower: size mismatch");
+  const std::size_t n = dim();
+  Vector x(b.begin(), b.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    auto li = l_.row(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * x[k];
+    x[i] = s / li[i];
+  }
+  return x;
+}
+
+Vector Cholesky::solveUpper(std::span<const double> b) const {
+  requireArg(b.size() == dim(), "Cholesky::solveUpper: size mismatch");
+  const std::size_t n = dim();
+  Vector x(b.begin(), b.end());
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  return solveUpper(solveLower(b));
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  requireArg(b.rows() == dim(), "Cholesky::solve: row count mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const Vector xj = solve(b.col(j));
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  }
+  return x;
+}
+
+double Cholesky::logDet() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+
+void Cholesky::extend(std::span<const double> k, double kappa) {
+  const std::size_t n = dim();
+  requireArg(k.size() == n, "Cholesky::extend: cross-covariance size");
+  const Vector l = solveLower(k);
+  const double pivotSq = kappa - la::dot(l, l);
+  if (!(pivotSq > 0.0) || !std::isfinite(pivotSq))
+    throw NumericalError("Cholesky::extend: extended matrix not SPD");
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = l_.row(i);
+    std::copy(src.begin(), src.begin() + i + 1, grown.row(i).begin());
+  }
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
+  grown(n, n) = std::sqrt(pivotSq);
+  l_ = std::move(grown);
+}
+
+}  // namespace alperf::la

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// Cholesky (L·Lᵀ) factorization of symmetric positive-definite matrices,
+/// with the jitter-escalation fallback standard in GP implementations:
+/// if the factorization fails (the kernel matrix is numerically singular),
+/// an increasing multiple of the mean diagonal is added until it succeeds
+/// or a cap is reached.
+
+#include <cstddef>
+
+#include "la/matrix.hpp"
+
+namespace alperf::la {
+
+/// Result of a Cholesky factorization A = L·Lᵀ (L lower-triangular).
+///
+/// The factor object owns L and provides the solve / log-determinant
+/// operations GPR needs. `jitter` records the total amount added to the
+/// diagonal before factorization succeeded (0 when none was needed).
+class Cholesky {
+ public:
+  /// Factorizes `a` (must be square and symmetric to within `symTol`
+  /// relative tolerance). Throws NumericalError if `a` is not SPD even
+  /// after jitter escalation up to `maxJitterScale` times the mean
+  /// diagonal magnitude.
+  explicit Cholesky(Matrix a, double maxJitterScale = 1e-6,
+                    double symTol = 1e-8);
+
+  std::size_t dim() const { return l_.rows(); }
+  const Matrix& factor() const { return l_; }
+  double jitter() const { return jitter_; }
+
+  /// Solves A·x = b. b length must equal dim().
+  Vector solve(std::span<const double> b) const;
+
+  /// Solves A·X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solves L·x = b (forward substitution).
+  Vector solveLower(std::span<const double> b) const;
+
+  /// Solves Lᵀ·x = b (backward substitution).
+  Vector solveUpper(std::span<const double> b) const;
+
+  /// log|A| = 2·Σ log L_ii.
+  double logDet() const;
+
+  /// A⁻¹ (dense); used by the analytic LML gradient.
+  Matrix inverse() const;
+
+  /// Extends the factorization to the (n+1)×(n+1) matrix
+  /// [[A, k], [kᵀ, kappa]] in O(n²): the new factor row is
+  /// l = L⁻¹k, with pivot sqrt(kappa − lᵀl). Throws NumericalError when
+  /// the extended matrix is not positive definite. This is what makes
+  /// incremental GP updates (one new experiment) cheap.
+  void extend(std::span<const double> k, double kappa);
+
+ private:
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+/// Attempts a raw in-place Cholesky of `a` (lower triangle overwritten).
+/// Returns false without throwing if a non-positive pivot is hit.
+bool choleskyInPlace(Matrix& a);
+
+}  // namespace alperf::la

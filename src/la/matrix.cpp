@@ -1,0 +1,202 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace alperf::la {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    requireArg(r.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, Vector data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  requireArg(data_.size() == rows_ * cols_,
+             "Matrix: data size does not match rows*cols");
+}
+
+Vector Matrix::col(std::size_t j) const {
+  ALPERF_ASSERT(j < cols_, "Matrix column index out of range");
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::fromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return {};
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    requireArg(rows[i].size() == cols, "Matrix::fromRows: ragged rows");
+    std::copy(rows[i].begin(), rows[i].end(), m.row(i).begin());
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  requireArg(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+             "Matrix +=: dimension mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  requireArg(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+             "Matrix -=: dimension mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::addToDiagonal(double s) {
+  requireArg(rows_ == cols_, "addToDiagonal: matrix must be square");
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * cols_ + i] += s;
+}
+
+double Matrix::maxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::frobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+bool Matrix::approxEqual(const Matrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    if (std::abs(data_[k] - rhs.data_[k]) > tol) return false;
+  return true;
+}
+
+std::string Matrix::toString(int precision) const {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (std::size_t j = 0; j < cols_; ++j)
+      os << (j ? ", " : "") << (*this)(i, j);
+    os << (i + 1 == rows_ ? "]]" : "]\n");
+  }
+  return os.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix m, double s) { return m *= s; }
+Matrix operator*(double s, Matrix m) { return m *= s; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  requireArg(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both b and c.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ci = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      auto bk = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    auto r = a.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double ri = r[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += ri * r[j];
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  requireArg(a.cols() == x.size(), "matvec: dimension mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  return y;
+}
+
+Vector matvecTransposed(const Matrix& a, std::span<const double> x) {
+  requireArg(a.rows() == x.size(), "matvecTransposed: dimension mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) axpy(x[i], a.row(i), y);
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  ALPERF_ASSERT(a.size() == b.size(), "dot: length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  ALPERF_ASSERT(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+double normInf(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Vector subtract(std::span<const double> a, std::span<const double> b) {
+  ALPERF_ASSERT(a.size() == b.size(), "subtract: length mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double squaredDistance(std::span<const double> a, std::span<const double> b) {
+  ALPERF_ASSERT(a.size() == b.size(), "squaredDistance: length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace alperf::la

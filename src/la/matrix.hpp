@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major matrix and free-function linear-algebra helpers.
+///
+/// This is the minimal dense linear algebra substrate required by Gaussian
+/// Process Regression: construction, element access, BLAS-2/3 style products,
+/// transposition and norms. Factorizations live in cholesky.hpp.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace alperf::la {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of double.
+///
+/// Invariants: storage size is exactly rows()*cols(); both dimensions may be
+/// zero (an empty matrix). All indexed accessors bounds-check via
+/// ALPERF_ASSERT.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all elements initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construct from nested initializer list (row major); all rows must have
+  /// equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Construct by adopting `data` (row major, size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, Vector data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    ALPERF_ASSERT(i < rows_ && j < cols_, "Matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    ALPERF_ASSERT(i < rows_ && j < cols_, "Matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  /// Contiguous view of row i.
+  std::span<double> row(std::size_t i) {
+    ALPERF_ASSERT(i < rows_, "Matrix row index out of range");
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    ALPERF_ASSERT(i < rows_, "Matrix row index out of range");
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Copy of column j.
+  Vector col(std::size_t j) const;
+
+  /// Raw row-major storage.
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Matrix whose rows are the given vectors (all must share a length).
+  static Matrix fromRows(const std::vector<Vector>& rows);
+
+  Matrix transposed() const;
+
+  /// In-place compound ops (dimension-checked).
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Adds s to every diagonal element (matrix must be square).
+  void addToDiagonal(double s);
+
+  /// Maximum absolute element (0 for an empty matrix).
+  double maxAbs() const;
+
+  /// Frobenius norm.
+  double frobeniusNorm() const;
+
+  /// True when dimensions and all elements match `rhs` to within `tol`.
+  bool approxEqual(const Matrix& rhs, double tol) const;
+
+  /// Human-readable rendering, mainly for test failure messages.
+  std::string toString(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix m, double s);
+Matrix operator*(double s, Matrix m);
+
+/// Matrix product A*B. Throws std::invalid_argument on dimension mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// A^T * A (n x n for an m x n input), computed exploiting symmetry.
+Matrix gram(const Matrix& a);
+
+/// Matrix-vector product A*x.
+Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// A^T * x.
+Vector matvecTransposed(const Matrix& a, std::span<const double> x);
+
+/// Dot product; lengths must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x (lengths must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Euclidean norm.
+double norm2(std::span<const double> v);
+
+/// Max-abs norm.
+double normInf(std::span<const double> v);
+
+/// Elementwise a-b.
+Vector subtract(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squaredDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace alperf::la

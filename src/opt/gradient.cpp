@@ -1,0 +1,311 @@
+#include "opt/gradient.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "la/matrix.hpp"
+
+namespace alperf::opt {
+
+namespace {
+
+using la::axpy;
+using la::dot;
+using la::normInf;
+
+/// Inf-norm of the projected gradient x - P(x - g): the box-constrained
+/// stationarity measure (zero exactly at a KKT point).
+double projectedGradNorm(std::span<const double> x, std::span<const double> g,
+                         const BoxBounds& bounds) {
+  std::vector<double> step(x.begin(), x.end());
+  for (std::size_t i = 0; i < x.size(); ++i) step[i] -= g[i];
+  bounds.project(step);
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    m = std::max(m, std::abs(x[i] - step[i]));
+  return m;
+}
+
+struct LineSearchResult {
+  std::vector<double> x;
+  double fval = 0.0;
+  int evals = 0;
+  bool accepted = false;
+};
+
+/// Projected Armijo backtracking along direction d from (x, fx).
+LineSearchResult armijoSearch(const Objective& f, std::span<const double> x,
+                              double fx, std::span<const double> g,
+                              std::span<const double> d,
+                              const BoxBounds& bounds, double c,
+                              double backtrack, int maxBacktracks,
+                              double t0 = 1.0) {
+  LineSearchResult r;
+  double t = t0;
+  for (int k = 0; k < maxBacktracks; ++k, t *= backtrack) {
+    std::vector<double> xt(x.begin(), x.end());
+    axpy(t, d, xt);
+    bounds.project(xt);
+    const double ft = f.value(xt);
+    ++r.evals;
+    if (!std::isfinite(ft)) continue;
+    // Projected Armijo: sufficient decrease along the actually-taken step.
+    double gDotStep = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      gDotStep += g[i] * (xt[i] - x[i]);
+    const double threshold = fx + c * std::min(gDotStep, 0.0);
+    if (ft <= threshold && ft < fx) {
+      r.x = std::move(xt);
+      r.fval = ft;
+      r.accepted = true;
+      return r;
+    }
+  }
+  return r;
+}
+
+struct WolfeResult {
+  std::vector<double> x;
+  std::vector<double> g;
+  double fval = 0.0;
+  int evals = 0;
+  bool accepted = false;
+};
+
+/// Weak-Wolfe line search (Lewis–Overton bisection) along the ray x + t·d.
+/// Requires d to be a descent direction. Points are kept inside the box by
+/// rejecting trial steps that leave it (shrinking the bracket instead).
+WolfeResult wolfeSearch(const Objective& f, std::span<const double> x,
+                        double fx, std::span<const double> g,
+                        std::span<const double> d, const BoxBounds& bounds,
+                        double c1, double c2, int maxIter) {
+  WolfeResult r;
+  const double gd = dot(g, d);
+  if (gd >= 0.0) return r;
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+  double t = 1.0;
+  std::vector<double> xt(x.size()), gt(x.size());
+  for (int k = 0; k < maxIter; ++k) {
+    for (std::size_t i = 0; i < x.size(); ++i) xt[i] = x[i] + t * d[i];
+    if (!bounds.contains(xt)) {
+      hi = t;
+      t = 0.5 * (lo + hi);
+      continue;
+    }
+    const double ft = f.valueAndGradient(xt, gt);
+    ++r.evals;
+    if (!std::isfinite(ft) || ft > fx + c1 * t * gd) {
+      hi = t;
+      t = 0.5 * (lo + hi);
+    } else if (dot(gt, d) < c2 * gd) {
+      lo = t;
+      t = std::isinf(hi) ? 2.0 * t : 0.5 * (lo + hi);
+    } else {
+      r.x = xt;
+      r.g = gt;
+      r.fval = ft;
+      r.accepted = true;
+      return r;
+    }
+  }
+  // Bisection exhausted: accept the last Armijo-satisfying point if any
+  // decrease was achieved at the current bracket low end.
+  if (lo > 0.0) {
+    for (std::size_t i = 0; i < x.size(); ++i) xt[i] = x[i] + lo * d[i];
+    if (bounds.contains(xt)) {
+      const double ft = f.valueAndGradient(xt, gt);
+      ++r.evals;
+      if (std::isfinite(ft) && ft < fx) {
+        r.x = xt;
+        r.g = gt;
+        r.fval = ft;
+        r.accepted = true;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+OptResult ProjectedGradientDescent::minimize(const Objective& f,
+                                             std::span<const double> x0,
+                                             const BoxBounds& bounds) const {
+  requireArg(x0.size() == f.dim() && bounds.dim() == f.dim(),
+             "ProjectedGradientDescent: dimension mismatch");
+  OptResult res;
+  std::vector<double> x(x0.begin(), x0.end());
+  bounds.project(x);
+  std::vector<double> g(x.size());
+  double fx = f.valueAndGradient(x, g);
+  res.evaluations = 1;
+
+  for (int iter = 0; iter < stop_.maxIterations; ++iter) {
+    res.iterations = iter + 1;
+    if (projectedGradNorm(x, g, bounds) < stop_.gradTol) {
+      res.converged = true;
+      break;
+    }
+    std::vector<double> d(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) d[i] = -g[i];
+    // Scale the first trial step so the initial move is O(1) per coordinate.
+    const double gInf = normInf(g);
+    const double t0 = gInf > 1.0 ? 1.0 / gInf : 1.0;
+    auto ls = armijoSearch(f, x, fx, g, d, bounds, armijoC_, backtrack_,
+                           maxBacktracks_, t0);
+    res.evaluations += ls.evals;
+    if (!ls.accepted) {
+      res.converged = true;  // no descent possible at line-search resolution
+      break;
+    }
+    double stepNorm = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      stepNorm = std::max(stepNorm, std::abs(ls.x[i] - x[i]));
+    const double decrease = fx - ls.fval;
+    x = std::move(ls.x);
+    fx = f.valueAndGradient(x, g);
+    ++res.evaluations;
+    if (stepNorm < stop_.stepTol || decrease < stop_.fTol * (1.0 + std::abs(fx))) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.x = std::move(x);
+  res.fval = fx;
+  return res;
+}
+
+OptResult Lbfgs::minimize(const Objective& f, std::span<const double> x0,
+                          const BoxBounds& bounds) const {
+  requireArg(x0.size() == f.dim() && bounds.dim() == f.dim(),
+             "Lbfgs: dimension mismatch");
+  OptResult res;
+  const std::size_t n = f.dim();
+  std::vector<double> x(x0.begin(), x0.end());
+  bounds.project(x);
+  std::vector<double> g(n);
+  double fx = f.valueAndGradient(x, g);
+  res.evaluations = 1;
+
+  struct Pair {
+    std::vector<double> s, y;
+    double rho;
+  };
+  std::deque<Pair> mem;
+
+  for (int iter = 0; iter < stop_.maxIterations; ++iter) {
+    res.iterations = iter + 1;
+    if (projectedGradNorm(x, g, bounds) < stop_.gradTol) {
+      res.converged = true;
+      break;
+    }
+
+    // Two-loop recursion for d = -H*g.
+    std::vector<double> q(g.begin(), g.end());
+    std::vector<double> alpha(mem.size());
+    for (std::size_t k = mem.size(); k-- > 0;) {
+      alpha[k] = mem[k].rho * dot(mem[k].s, q);
+      axpy(-alpha[k], mem[k].y, q);
+    }
+    double gamma = 1.0;
+    if (!mem.empty()) {
+      const auto& last = mem.back();
+      const double yy = dot(last.y, last.y);
+      if (yy > 0.0) gamma = dot(last.s, last.y) / yy;
+    }
+    for (double& v : q) v *= gamma;
+    for (std::size_t k = 0; k < mem.size(); ++k) {
+      const double beta = mem[k].rho * dot(mem[k].y, q);
+      axpy(alpha[k] - beta, mem[k].s, q);
+    }
+    std::vector<double> d(n);
+    for (std::size_t i = 0; i < n; ++i) d[i] = -q[i];
+    // Guard: fall back to steepest descent when d is not a descent direction.
+    if (dot(d, g) >= 0.0)
+      for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
+
+    // Weak-Wolfe search keeps the curvature pairs well-scaled (plain
+    // Armijo lets the inverse-Hessian estimate collapse on curved
+    // valleys). Falls back to a projected Armijo step along -g when the
+    // Wolfe search cannot make progress (e.g. active bounds).
+    auto ls = wolfeSearch(f, x, fx, g, d, bounds, armijoC_, 0.9,
+                          maxBacktracks_);
+    res.evaluations += ls.evals;
+    if (!ls.accepted) {
+      std::vector<double> sd(n);
+      for (std::size_t i = 0; i < n; ++i) sd[i] = -g[i];
+      const double gInf = normInf(g);
+      auto fallback =
+          armijoSearch(f, x, fx, g, sd, bounds, armijoC_, backtrack_,
+                       maxBacktracks_, gInf > 1.0 ? 1.0 / gInf : 1.0);
+      res.evaluations += fallback.evals;
+      if (!fallback.accepted) {
+        res.converged = true;
+        break;
+      }
+      ls.x = std::move(fallback.x);
+      ls.fval = fallback.fval;
+      ls.g.resize(n);
+      ls.fval = f.valueAndGradient(ls.x, ls.g);
+      ++res.evaluations;
+      mem.clear();  // bound hit invalidates the curvature history
+    }
+
+    const double fNew = ls.fval;
+    std::vector<double> gNew = std::move(ls.g);
+
+    Pair p;
+    p.s = la::subtract(ls.x, x);
+    p.y = la::subtract(gNew, g);
+    const double sy = dot(p.s, p.y);
+    if (sy > 1e-10 * la::norm2(p.s) * la::norm2(p.y)) {
+      p.rho = 1.0 / sy;
+      mem.push_back(std::move(p));
+      if (static_cast<int>(mem.size()) > memory_) mem.pop_front();
+    }
+
+    const double stepNorm = normInf(std::span<const double>(
+        la::subtract(ls.x, x)));
+    const double decrease = fx - fNew;
+    x = std::move(ls.x);
+    fx = fNew;
+    g = std::move(gNew);
+    if (stepNorm < stop_.stepTol ||
+        decrease < stop_.fTol * (1.0 + std::abs(fx))) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.x = std::move(x);
+  res.fval = fx;
+  return res;
+}
+
+double goldenSection(const std::function<double(double)>& f, double a,
+                     double b, double tol, int maxIter) {
+  requireArg(a < b, "goldenSection: need a < b");
+  const double invPhi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double c = b - invPhi * (b - a);
+  double d = a + invPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  for (int i = 0; i < maxIter && (b - a) > tol; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - invPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + invPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace alperf::opt

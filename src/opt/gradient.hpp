@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file gradient.hpp
+/// First-order minimizers with box constraints:
+///   - ProjectedGradientDescent: steepest descent + Armijo backtracking,
+///     projecting each trial point into the box. Robust workhorse.
+///   - Lbfgs: limited-memory BFGS with projection, falling back to the
+///     projected-gradient direction when the quasi-Newton step fails.
+/// Both minimize; wrap with a sign flip to maximize (the GP module does
+/// this for the log marginal likelihood).
+
+#include "opt/objective.hpp"
+
+namespace alperf::opt {
+
+/// Shared stopping-control knobs.
+struct StopCriteria {
+  int maxIterations = 200;
+  double gradTol = 1e-6;   ///< stop when projected-gradient inf-norm < this
+  double stepTol = 1e-10;  ///< stop when the accepted step inf-norm < this
+  double fTol = 1e-12;     ///< stop when |f decrease| < fTol*(1+|f|)
+};
+
+/// Projected steepest descent with Armijo backtracking line search.
+class ProjectedGradientDescent {
+ public:
+  explicit ProjectedGradientDescent(StopCriteria stop = {},
+                                    double armijoC = 1e-4,
+                                    double backtrack = 0.5,
+                                    int maxBacktracks = 40)
+      : stop_(stop),
+        armijoC_(armijoC),
+        backtrack_(backtrack),
+        maxBacktracks_(maxBacktracks) {}
+
+  /// Minimizes f over the box starting at x0 (projected into the box).
+  OptResult minimize(const Objective& f, std::span<const double> x0,
+                     const BoxBounds& bounds) const;
+
+ private:
+  StopCriteria stop_;
+  double armijoC_;
+  double backtrack_;
+  int maxBacktracks_;
+};
+
+/// Limited-memory BFGS with box projection.
+class Lbfgs {
+ public:
+  explicit Lbfgs(StopCriteria stop = {}, int memory = 8, double armijoC = 1e-4,
+                 double backtrack = 0.5, int maxBacktracks = 40)
+      : stop_(stop),
+        memory_(memory),
+        armijoC_(armijoC),
+        backtrack_(backtrack),
+        maxBacktracks_(maxBacktracks) {}
+
+  OptResult minimize(const Objective& f, std::span<const double> x0,
+                     const BoxBounds& bounds) const;
+
+ private:
+  StopCriteria stop_;
+  int memory_;
+  double armijoC_;
+  double backtrack_;
+  int maxBacktracks_;
+};
+
+/// Golden-section search minimizing a 1-D unimodal function on [a, b].
+/// Returns the abscissa of the minimum to within tol.
+double goldenSection(const std::function<double(double)>& f, double a,
+                     double b, double tol = 1e-8, int maxIter = 200);
+
+}  // namespace alperf::opt

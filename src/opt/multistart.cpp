@@ -1,0 +1,25 @@
+#include "opt/multistart.hpp"
+
+namespace alperf::opt {
+
+MultiStartResult multiStartMinimize(const Objective& f,
+                                    std::span<const double> x0,
+                                    const BoxBounds& bounds,
+                                    const LocalMinimizer& local,
+                                    int nRestarts, stats::Rng& rng) {
+  requireArg(nRestarts >= 0, "multiStartMinimize: nRestarts must be >= 0");
+  MultiStartResult out;
+  out.all.reserve(static_cast<std::size_t>(nRestarts) + 1);
+  out.all.push_back(local(f, x0, bounds));
+  for (int k = 0; k < nRestarts; ++k) {
+    const auto start = bounds.sample(rng);
+    out.all.push_back(local(f, start, bounds));
+  }
+  std::size_t bestIdx = 0;
+  for (std::size_t i = 1; i < out.all.size(); ++i)
+    if (out.all[i].fval < out.all[bestIdx].fval) bestIdx = i;
+  out.best = out.all[bestIdx];
+  return out;
+}
+
+}  // namespace alperf::opt

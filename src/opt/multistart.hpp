@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file multistart.hpp
+/// Multi-start wrapper: runs a local minimizer from one caller-provided
+/// start plus `nRestarts` uniform samples inside the bounds, and returns
+/// the best local optimum. This mirrors scikit-learn's
+/// `n_restarts_optimizer` mechanism the paper relies on for LML fitting
+/// (Sec. V-B1: "repeats this search multiple times, each time starting
+/// from a random point").
+
+#include <functional>
+
+#include "opt/gradient.hpp"
+
+namespace alperf::opt {
+
+/// Signature of a local minimizer usable by MultiStart.
+using LocalMinimizer = std::function<OptResult(
+    const Objective&, std::span<const double>, const BoxBounds&)>;
+
+struct MultiStartResult {
+  OptResult best;
+  std::vector<OptResult> all;  ///< per-start results, in run order
+};
+
+/// Runs `local` from `x0` and from `nRestarts` random interior points;
+/// returns the run with the lowest objective value. Bounds must be finite
+/// when nRestarts > 0.
+MultiStartResult multiStartMinimize(const Objective& f,
+                                    std::span<const double> x0,
+                                    const BoxBounds& bounds,
+                                    const LocalMinimizer& local,
+                                    int nRestarts, stats::Rng& rng);
+
+}  // namespace alperf::opt

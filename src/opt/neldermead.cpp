@@ -1,0 +1,120 @@
+#include "opt/neldermead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace alperf::opt {
+
+OptResult nelderMeadMinimize(const Objective& f, std::span<const double> x0,
+                             const BoxBounds& bounds,
+                             const NelderMeadOptions& options) {
+  const std::size_t d = f.dim();
+  requireArg(x0.size() == d && bounds.dim() == d,
+             "nelderMeadMinimize: dimension mismatch");
+  requireArg(options.maxIterations >= 1 && options.initialScale > 0.0,
+             "nelderMeadMinimize: invalid options");
+
+  OptResult res;
+  const auto evaluate = [&](std::vector<double>& x) {
+    bounds.project(x);
+    ++res.evaluations;
+    const double v = f.value(x);
+    return std::isfinite(v) ? v : std::numeric_limits<double>::max();
+  };
+
+  // Initial simplex: x0 plus per-coordinate offsets.
+  std::vector<std::vector<double>> vertex(d + 1,
+                                          std::vector<double>(x0.begin(),
+                                                              x0.end()));
+  std::vector<double> value(d + 1);
+  for (std::size_t i = 0; i < d; ++i)
+    vertex[i + 1][i] += options.initialScale * (std::abs(x0[i]) + 1.0);
+  for (std::size_t i = 0; i <= d; ++i) value[i] = evaluate(vertex[i]);
+
+  std::vector<std::size_t> order(d + 1);
+  for (int iter = 0; iter < options.maxIterations; ++iter) {
+    res.iterations = iter + 1;
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return value[a] < value[b];
+              });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second = order[d - 1];
+
+    // Convergence: value spread and simplex diameter.
+    double diam = 0.0;
+    for (std::size_t i = 0; i <= d; ++i)
+      for (std::size_t j = 0; j < d; ++j)
+        diam = std::max(diam,
+                        std::abs(vertex[i][j] - vertex[best][j]));
+    if (value[worst] - value[best] < options.fSpreadTol ||
+        diam < options.xSpreadTol) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(d, 0.0);
+    for (std::size_t i = 0; i <= d; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < d; ++j) centroid[j] += vertex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    const auto blend = [&](double coeff) {
+      std::vector<double> x(d);
+      for (std::size_t j = 0; j < d; ++j)
+        x[j] = centroid[j] + coeff * (centroid[j] - vertex[worst][j]);
+      return x;
+    };
+
+    auto reflected = blend(options.reflection);
+    const double fr = evaluate(reflected);
+    if (fr < value[best]) {
+      auto expanded = blend(options.reflection * options.expansion);
+      const double fe = evaluate(expanded);
+      if (fe < fr) {
+        vertex[worst] = std::move(expanded);
+        value[worst] = fe;
+      } else {
+        vertex[worst] = std::move(reflected);
+        value[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < value[second]) {
+      vertex[worst] = std::move(reflected);
+      value[worst] = fr;
+      continue;
+    }
+    // Contraction (outside if the reflection improved on the worst).
+    auto contracted = blend(fr < value[worst]
+                                ? options.reflection * options.contraction
+                                : -options.contraction);
+    const double fc = evaluate(contracted);
+    if (fc < std::min(fr, value[worst])) {
+      vertex[worst] = std::move(contracted);
+      value[worst] = fc;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= d; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < d; ++j)
+        vertex[i][j] = vertex[best][j] +
+                       options.shrink * (vertex[i][j] - vertex[best][j]);
+      value[i] = evaluate(vertex[i]);
+    }
+  }
+
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(value.begin(), value.end()) - value.begin());
+  res.x = vertex[best];
+  res.fval = value[best];
+  return res;
+}
+
+}  // namespace alperf::opt

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file neldermead.hpp
+/// Nelder–Mead downhill simplex: the derivative-free fallback of the
+/// optimizer suite, used where gradients are unavailable or unreliable
+/// (e.g. LOO-CV model selection with non-smooth clipping, or acquisition
+/// surfaces with flat plateaus). Box constraints are handled by
+/// projecting every trial vertex.
+
+#include "opt/objective.hpp"
+
+namespace alperf::opt {
+
+struct NelderMeadOptions {
+  int maxIterations = 400;
+  /// Stop when the simplex's function-value spread falls below this.
+  double fSpreadTol = 1e-10;
+  /// Stop when the simplex diameter (inf-norm) falls below this.
+  double xSpreadTol = 1e-10;
+  /// Initial simplex edge length, relative per-coordinate: the i-th
+  /// vertex offsets coordinate i by scale*(|x0_i| + 1).
+  double initialScale = 0.1;
+  // Standard coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+/// Minimizes f over the box starting from x0 (projected into the box).
+OptResult nelderMeadMinimize(const Objective& f, std::span<const double> x0,
+                             const BoxBounds& bounds,
+                             const NelderMeadOptions& options = {});
+
+}  // namespace alperf::opt

@@ -1,0 +1,68 @@
+#include "opt/objective.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace alperf::opt {
+
+void Objective::gradient(std::span<const double> x,
+                         std::span<double> g) const {
+  numericGradient(*this, x, g);
+}
+
+void numericGradient(const Objective& f, std::span<const double> x,
+                     std::span<double> g, double h) {
+  requireArg(x.size() == f.dim() && g.size() == f.dim(),
+             "numericGradient: size mismatch");
+  std::vector<double> xp(x.begin(), x.end());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double step = h * (std::abs(x[i]) + 1.0);
+    const double orig = xp[i];
+    xp[i] = orig + step;
+    const double fp = f.value(xp);
+    xp[i] = orig - step;
+    const double fm = f.value(xp);
+    xp[i] = orig;
+    g[i] = (fp - fm) / (2.0 * step);
+  }
+}
+
+BoxBounds::BoxBounds(std::vector<double> lower, std::vector<double> upper)
+    : lo(std::move(lower)), hi(std::move(upper)) {
+  requireArg(lo.size() == hi.size(), "BoxBounds: lo/hi length mismatch");
+  for (std::size_t i = 0; i < lo.size(); ++i)
+    requireArg(lo[i] <= hi[i], "BoxBounds: lo[i] > hi[i]");
+}
+
+BoxBounds BoxBounds::unbounded(std::size_t dim) {
+  const double inf = std::numeric_limits<double>::infinity();
+  return BoxBounds(std::vector<double>(dim, -inf),
+                   std::vector<double>(dim, inf));
+}
+
+void BoxBounds::project(std::span<double> x) const {
+  ALPERF_ASSERT(x.size() == dim(), "BoxBounds::project: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < lo[i]) x[i] = lo[i];
+    if (x[i] > hi[i]) x[i] = hi[i];
+  }
+}
+
+bool BoxBounds::contains(std::span<const double> x, double tol) const {
+  ALPERF_ASSERT(x.size() == dim(), "BoxBounds::contains: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i] < lo[i] - tol || x[i] > hi[i] + tol) return false;
+  return true;
+}
+
+std::vector<double> BoxBounds::sample(stats::Rng& rng) const {
+  std::vector<double> x(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    requireArg(std::isfinite(lo[i]) && std::isfinite(hi[i]),
+               "BoxBounds::sample: bounds must be finite");
+    x[i] = rng.uniformReal(lo[i], hi[i]);
+  }
+  return x;
+}
+
+}  // namespace alperf::opt

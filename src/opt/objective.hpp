@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file objective.hpp
+/// Objective-function abstractions for the optimizers in this module.
+///
+/// Convention: optimizers MINIMIZE. Callers that maximize (e.g. the GP log
+/// marginal likelihood) wrap their objective with a sign flip.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/rng.hpp"
+
+namespace alperf::opt {
+
+/// A differentiable objective f: R^dim -> R.
+///
+/// Subclasses override value(); gradient() defaults to central finite
+/// differences, so analytic gradients are an opt-in optimization.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  virtual std::size_t dim() const = 0;
+
+  /// f(x). x.size() must equal dim().
+  virtual double value(std::span<const double> x) const = 0;
+
+  /// grad f(x) into g (same length as x). Default: central differences.
+  virtual void gradient(std::span<const double> x, std::span<double> g) const;
+
+  /// Convenience: evaluate value and gradient together. Subclasses whose
+  /// value/gradient share expensive state (e.g. a Cholesky factor) should
+  /// override this.
+  virtual double valueAndGradient(std::span<const double> x,
+                                  std::span<double> g) const {
+    gradient(x, g);
+    return value(x);
+  }
+};
+
+/// Adapts a pair of std::functions to the Objective interface.
+class FunctionObjective final : public Objective {
+ public:
+  using ValueFn = std::function<double(std::span<const double>)>;
+  using GradFn =
+      std::function<void(std::span<const double>, std::span<double>)>;
+  using CombinedFn =
+      std::function<double(std::span<const double>, std::span<double>)>;
+
+  /// With no gradient function, gradient() falls back to finite differences.
+  FunctionObjective(std::size_t dim, ValueFn value, GradFn grad = nullptr)
+      : dim_(dim), value_(std::move(value)), grad_(std::move(grad)) {
+    requireArg(static_cast<bool>(value_), "FunctionObjective: null value fn");
+  }
+
+  /// Variant for objectives whose value and gradient share expensive state
+  /// (e.g. one Cholesky factorization): `combined` computes both at once
+  /// and is used by valueAndGradient(), the optimizers' hot path.
+  FunctionObjective(std::size_t dim, ValueFn value, CombinedFn combined)
+      : dim_(dim), value_(std::move(value)), combined_(std::move(combined)) {
+    requireArg(static_cast<bool>(value_), "FunctionObjective: null value fn");
+    requireArg(static_cast<bool>(combined_),
+               "FunctionObjective: null combined fn");
+  }
+
+  std::size_t dim() const override { return dim_; }
+  double value(std::span<const double> x) const override { return value_(x); }
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override {
+    if (grad_)
+      grad_(x, g);
+    else if (combined_)
+      combined_(x, g);
+    else
+      Objective::gradient(x, g);
+  }
+  double valueAndGradient(std::span<const double> x,
+                          std::span<double> g) const override {
+    if (combined_) return combined_(x, g);
+    return Objective::valueAndGradient(x, g);
+  }
+
+ private:
+  std::size_t dim_;
+  ValueFn value_;
+  GradFn grad_;
+  CombinedFn combined_;
+};
+
+/// Central-difference numeric gradient with relative step h.
+void numericGradient(const Objective& f, std::span<const double> x,
+                     std::span<double> g, double h = 1e-6);
+
+/// Axis-aligned box constraints lo[i] <= x[i] <= hi[i].
+struct BoxBounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  BoxBounds() = default;
+  BoxBounds(std::vector<double> lower, std::vector<double> upper);
+
+  /// Unbounded box of the given dimension (±infinity).
+  static BoxBounds unbounded(std::size_t dim);
+
+  std::size_t dim() const { return lo.size(); }
+
+  /// Clamps x into the box in place.
+  void project(std::span<double> x) const;
+
+  bool contains(std::span<const double> x, double tol = 0.0) const;
+
+  /// Uniform sample inside the box. All bounds must be finite.
+  std::vector<double> sample(stats::Rng& rng) const;
+};
+
+/// Outcome of an optimizer run.
+struct OptResult {
+  std::vector<double> x;    ///< best point found
+  double fval = 0.0;        ///< objective at x
+  int iterations = 0;       ///< outer iterations used
+  int evaluations = 0;      ///< objective evaluations used
+  bool converged = false;   ///< true when a tolerance triggered the stop
+};
+
+}  // namespace alperf::opt

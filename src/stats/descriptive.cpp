@@ -1,0 +1,187 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alperf::stats {
+
+double sum(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+double mean(std::span<const double> v) {
+  requireArg(!v.empty(), "mean: empty input");
+  return sum(v) / static_cast<double>(v.size());
+}
+
+double sampleVariance(std::span<const double> v) {
+  requireArg(v.size() >= 2, "sampleVariance: need at least 2 elements");
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double sampleStdDev(std::span<const double> v) {
+  return std::sqrt(sampleVariance(v));
+}
+
+double geometricMean(std::span<const double> v) {
+  requireArg(!v.empty(), "geometricMean: empty input");
+  double s = 0.0;
+  for (double x : v) {
+    requireArg(x > 0.0, "geometricMean: elements must be > 0");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+double minValue(std::span<const double> v) {
+  requireArg(!v.empty(), "minValue: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double maxValue(std::span<const double> v) {
+  requireArg(!v.empty(), "maxValue: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double quantile(std::span<const double> v, double q) {
+  requireArg(!v.empty(), "quantile: empty input");
+  requireArg(q >= 0.0 && q <= 1.0, "quantile: q outside [0,1]");
+  std::vector<double> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double median(std::span<const double> v) { return quantile(v, 0.5); }
+
+double rmse(std::span<const double> predicted,
+            std::span<const double> actual) {
+  requireArg(predicted.size() == actual.size() && !predicted.empty(),
+             "rmse: inputs must be non-empty and of equal length");
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> actual) {
+  requireArg(predicted.size() == actual.size() && !predicted.empty(),
+             "mae: inputs must be non-empty and of equal length");
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    s += std::abs(predicted[i] - actual[i]);
+  return s / static_cast<double>(predicted.size());
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  requireArg(x.size() == y.size() && x.size() >= 2,
+             "pearson: need equal lengths >= 2");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  requireArg(sxx > 0.0 && syy > 0.0, "pearson: zero variance input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linearFit(std::span<const double> x, std::span<const double> y) {
+  requireArg(x.size() == y.size() && x.size() >= 2,
+             "linearFit: need equal lengths >= 2");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  requireArg(sxx > 0.0, "linearFit: x has zero variance");
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.r2 = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return f;
+}
+
+BootstrapCi bootstrapMeanCi(std::span<const double> v, double level,
+                            int resamples, Rng& rng) {
+  requireArg(!v.empty(), "bootstrapMeanCi: empty input");
+  requireArg(level > 0.0 && level < 1.0,
+             "bootstrapMeanCi: level outside (0,1)");
+  requireArg(resamples >= 10, "bootstrapMeanCi: need at least 10 resamples");
+  std::vector<double> means(resamples);
+  for (int r = 0; r < resamples; ++r) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) s += v[rng.index(v.size())];
+    means[r] = s / static_cast<double>(v.size());
+  }
+  BootstrapCi ci;
+  ci.pointEstimate = mean(v);
+  const double alpha = 1.0 - level;
+  ci.lo = quantile(means, alpha / 2.0);
+  ci.hi = quantile(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+double ksStatistic(std::span<const double> sample,
+                   const std::function<double(double)>& cdf) {
+  requireArg(!sample.empty(), "ksStatistic: empty sample");
+  requireArg(cdf != nullptr, "ksStatistic: null cdf");
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  const double n = static_cast<double>(s.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double f = cdf(s[i]);
+    requireArg(f >= -1e-12 && f <= 1.0 + 1e-12,
+               "ksStatistic: cdf outside [0,1]");
+    d = std::max(d, std::abs(f - static_cast<double>(i) / n));
+    d = std::max(d, std::abs(static_cast<double>(i + 1) / n - f));
+  }
+  return d;
+}
+
+double standardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+void Welford::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::mean() const {
+  requireArg(n_ > 0, "Welford::mean: no samples");
+  return mean_;
+}
+
+double Welford::sampleVariance() const {
+  requireArg(n_ >= 2, "Welford::sampleVariance: need at least 2 samples");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::sampleStdDev() const { return std::sqrt(sampleVariance()); }
+
+}  // namespace alperf::stats

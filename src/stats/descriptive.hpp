@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file descriptive.hpp
+/// Descriptive statistics and error metrics, including the paper's two
+/// progress metrics: RMSE (eq. 2) and the arithmetic mean of the predictive
+/// standard deviation (AMSD, Sec. V-B4).
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace alperf::stats {
+
+/// Sum of elements (0 for empty input).
+double sum(std::span<const double> v);
+
+/// Arithmetic mean. Throws std::invalid_argument on empty input.
+double mean(std::span<const double> v);
+
+/// Unbiased (n-1) sample variance; requires at least 2 elements.
+double sampleVariance(std::span<const double> v);
+
+/// Square root of sampleVariance.
+double sampleStdDev(std::span<const double> v);
+
+/// Geometric mean; all elements must be > 0.
+double geometricMean(std::span<const double> v);
+
+/// Minimum / maximum. Throw on empty input.
+double minValue(std::span<const double> v);
+double maxValue(std::span<const double> v);
+
+/// Linear-interpolation quantile, q in [0, 1]. Throws on empty input.
+double quantile(std::span<const double> v, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> v);
+
+/// Root Mean Squared Error between predictions and ground truth
+/// (the paper's eq. 2). Lengths must match and be non-zero.
+double rmse(std::span<const double> predicted,
+            std::span<const double> actual);
+
+/// Mean absolute error.
+double mae(std::span<const double> predicted, std::span<const double> actual);
+
+/// Pearson correlation coefficient; requires >= 2 elements and non-zero
+/// variance in both inputs.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Ordinary least squares y ~ a + b*x. Returns {intercept, slope, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linearFit(std::span<const double> x, std::span<const double> y);
+
+/// Two-sided bootstrap percentile confidence interval.
+struct BootstrapCi {
+  double lo = 0.0;
+  double hi = 0.0;
+  double pointEstimate = 0.0;
+};
+
+/// Percentile-bootstrap CI for the mean at the given confidence level
+/// (e.g. 0.95), using `resamples` bootstrap draws. Non-empty input;
+/// level in (0, 1).
+BootstrapCi bootstrapMeanCi(std::span<const double> v, double level,
+                            int resamples, Rng& rng);
+
+/// One-sample Kolmogorov–Smirnov statistic sup_x |F_n(x) − F(x)| against
+/// the given theoretical CDF (must be a valid CDF over the sample range).
+/// Used to validate the simulator's noise distributions.
+double ksStatistic(std::span<const double> sample,
+                   const std::function<double(double)>& cdf);
+
+/// Standard normal CDF (for KS tests against normal/lognormal models).
+double standardNormalCdf(double z);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long power traces.
+class Welford {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; requires count() >= 2.
+  double sampleVariance() const;
+  double sampleStdDev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace alperf::stats

@@ -1,0 +1,40 @@
+#include "stats/integrate.hpp"
+
+#include "common/error.hpp"
+
+namespace alperf::stats {
+
+double trapezoidUniform(std::span<const double> y, double h) {
+  requireArg(y.size() >= 2, "trapezoidUniform: need at least 2 samples");
+  requireArg(h > 0.0, "trapezoidUniform: h must be > 0");
+  double s = 0.5 * (y.front() + y.back());
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) s += y[i];
+  return s * h;
+}
+
+double trapezoidIrregular(std::span<const double> t,
+                          std::span<const double> y) {
+  requireArg(t.size() == y.size(), "trapezoidIrregular: length mismatch");
+  requireArg(t.size() >= 2, "trapezoidIrregular: need at least 2 samples");
+  double s = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double dt = t[i] - t[i - 1];
+    requireArg(dt > 0.0, "trapezoidIrregular: t must be strictly increasing");
+    s += 0.5 * (y[i] + y[i - 1]) * dt;
+  }
+  return s;
+}
+
+double simpson(const std::function<double(double)>& f, double a, double b,
+               int n) {
+  requireArg(a < b, "simpson: need a < b");
+  requireArg(n >= 2, "simpson: need n >= 2");
+  if (n % 2 != 0) ++n;
+  const double h = (b - a) / n;
+  double s = f(a) + f(b);
+  for (int i = 1; i < n; ++i)
+    s += f(a + i * h) * (i % 2 == 0 ? 2.0 : 4.0);
+  return s * h / 3.0;
+}
+
+}  // namespace alperf::stats

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file integrate.hpp
+/// Numerical integration over sampled traces. The cluster substrate uses
+/// trapezoidIrregular() to turn IPMI power traces (Watts at irregular
+/// timestamps) into per-job energy estimates (Joules), exactly as the
+/// paper describes (Sec. IV-A).
+
+#include <functional>
+#include <span>
+
+namespace alperf::stats {
+
+/// Trapezoid rule over equally spaced samples with spacing h.
+/// Requires at least 2 samples and h > 0.
+double trapezoidUniform(std::span<const double> y, double h);
+
+/// Trapezoid rule over irregularly spaced samples (t strictly increasing,
+/// same length as y, at least 2 samples).
+double trapezoidIrregular(std::span<const double> t,
+                          std::span<const double> y);
+
+/// Composite Simpson rule for a callable on [a, b] with n subintervals
+/// (n made even internally). Requires a < b and n >= 2.
+double simpson(const std::function<double(double)>& f, double a, double b,
+               int n);
+
+}  // namespace alperf::stats

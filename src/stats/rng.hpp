@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation.
+///
+/// The library never uses std::random_device or the std <random>
+/// distributions (whose outputs vary across standard library
+/// implementations). All stochastic behaviour flows through Rng, a
+/// xoshiro256** engine with SplitMix64 seeding and hand-rolled
+/// distributions, so every bench and test is bit-reproducible everywhere.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace alperf::stats {
+
+/// xoshiro256** PRNG (Blackman & Vigna) with deterministic distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 from a single seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// A new independent generator; use to give each replicate its own stream.
+  Rng split() { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ull); }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi) {
+    requireArg(lo <= hi, "uniformReal: lo > hi");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi) {
+    requireArg(lo <= hi, "uniformInt: lo > hi");
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return (*this)();  // full 64-bit range
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= limit);
+    return lo + v % range;
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    requireArg(n > 0, "Rng::index: n must be positive");
+    return static_cast<std::size_t>(uniformInt(0, n - 1));
+  }
+
+  /// Standard normal via Box–Muller (cached spare for determinism & speed).
+  double normal() {
+    if (hasSpare_) {
+      hasSpare_ = false;
+      return spare_;
+    }
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with mean mu, standard deviation sigma (>= 0).
+  double normal(double mu, double sigma) {
+    requireArg(sigma >= 0.0, "normal: sigma must be >= 0");
+    return mu + sigma * normal();
+  }
+
+  /// Lognormal: exp(N(muLog, sigmaLog)).
+  double lognormal(double muLog, double sigmaLog) {
+    return std::exp(normal(muLog, sigmaLog));
+  }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) {
+    requireArg(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+    return uniform01() < p;
+  }
+
+  /// Exponential with given rate (> 0).
+  double exponential(double rate) {
+    requireArg(rate > 0.0, "exponential: rate must be > 0");
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool hasSpare_ = false;
+};
+
+}  // namespace alperf::stats

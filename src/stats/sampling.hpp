@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file sampling.hpp
+/// Random sampling helpers built on Rng: Fisher–Yates shuffling, sampling
+/// with/without replacement, bootstrap resampling and weighted choice.
+/// These drive dataset partitioning (Initial/Active/Test) and the EMCM
+/// baseline's bootstrap ensembles.
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace alperf::stats {
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.index(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+/// A uniformly random permutation of {0, ..., n-1}.
+inline std::vector<std::size_t> permutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  shuffle(idx, rng);
+  return idx;
+}
+
+/// k distinct indices drawn uniformly from {0, ..., n-1}. Requires k <= n.
+inline std::vector<std::size_t> sampleWithoutReplacement(std::size_t n,
+                                                         std::size_t k,
+                                                         Rng& rng) {
+  requireArg(k <= n, "sampleWithoutReplacement: k > n");
+  auto idx = permutation(n, rng);
+  idx.resize(k);
+  return idx;
+}
+
+/// k indices drawn uniformly with replacement from {0, ..., n-1}
+/// (a bootstrap resample when k == n).
+inline std::vector<std::size_t> sampleWithReplacement(std::size_t n,
+                                                      std::size_t k,
+                                                      Rng& rng) {
+  requireArg(n > 0, "sampleWithReplacement: n must be positive");
+  std::vector<std::size_t> idx(k);
+  for (auto& i : idx) i = rng.index(n);
+  return idx;
+}
+
+/// Index drawn with probability proportional to weights[i] (all >= 0,
+/// at least one > 0).
+inline std::size_t weightedChoice(std::span<const double> weights, Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) {
+    requireArg(w >= 0.0, "weightedChoice: negative weight");
+    total += w;
+  }
+  requireArg(total > 0.0, "weightedChoice: all weights are zero");
+  const double u = rng.uniform01() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // numerical edge: u == total
+}
+
+}  // namespace alperf::stats

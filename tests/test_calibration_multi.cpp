@@ -1,0 +1,231 @@
+// Tests for calibration assessment (core/calibration.hpp), multi-response
+// AL (core/multi.hpp), the umbrella header, and GP permutation
+// invariance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "alperf.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+namespace st = alperf::stats;
+using alperf::stats::Rng;
+
+namespace {
+
+la::Matrix col(const std::vector<double>& xs) {
+  la::Matrix m(xs.size(), 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) m(i, 0) = xs[i];
+  return m;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ calibration
+
+TEST(CentralIntervalZ, KnownQuantiles) {
+  EXPECT_NEAR(al::centralIntervalZ(0.95), 1.95996, 1e-4);
+  EXPECT_NEAR(al::centralIntervalZ(0.6827), 1.0, 1e-3);
+  EXPECT_NEAR(al::centralIntervalZ(0.99), 2.5758, 1e-3);
+  EXPECT_THROW(al::centralIntervalZ(0.0), std::invalid_argument);
+  EXPECT_THROW(al::centralIntervalZ(1.0), std::invalid_argument);
+}
+
+TEST(Calibration, WellSpecifiedGpIsCalibrated) {
+  // Data truly from noise sigma 0.1 around a smooth function; the fitted
+  // GP's 95% intervals should cover ~95% of held-out points and rmsZ ≈ 1.
+  Rng rng(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(rng.uniformReal(0.0, 6.0));
+    ys.push_back(std::sin(xs.back()) + rng.normal(0.0, 0.1));
+  }
+  gp::GpConfig cfg;
+  cfg.nRestarts = 2;
+  cfg.noise.lo = 1e-6;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  g.fit(col(xs), ys, rng);
+
+  la::Matrix testX(300, 1);
+  la::Vector testY(300);
+  for (int i = 0; i < 300; ++i) {
+    testX(i, 0) = rng.uniformReal(0.2, 5.8);
+    testY[i] = std::sin(testX(i, 0)) + rng.normal(0.0, 0.1);
+  }
+  const auto report = al::assessCalibration(g, testX, testY, 0.95);
+  EXPECT_EQ(report.n, 300u);
+  EXPECT_NEAR(report.coverage, 0.95, 0.05);
+  EXPECT_NEAR(report.meanZ, 0.0, 0.15);
+  EXPECT_NEAR(report.rmsZ, 1.0, 0.25);
+}
+
+TEST(Calibration, OverconfidentModelDetected) {
+  // Force a tiny fixed noise on noisy data: intervals too narrow →
+  // coverage well below 95% and rmsZ >> 1. (The Fig. 7a pathology.)
+  Rng rng(2);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(rng.uniformReal(0.0, 6.0));
+    ys.push_back(std::sin(xs.back()) + rng.normal(0.0, 0.3));
+  }
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = 1e-6;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  g.fit(col(xs), ys, rng);
+
+  la::Matrix testX(200, 1);
+  la::Vector testY(200);
+  for (int i = 0; i < 200; ++i) {
+    testX(i, 0) = rng.uniformReal(0.2, 5.8);
+    testY[i] = std::sin(testX(i, 0)) + rng.normal(0.0, 0.3);
+  }
+  const auto report = al::assessCalibration(g, testX, testY, 0.95);
+  EXPECT_LT(report.coverage, 0.8);
+  EXPECT_GT(report.rmsZ, 1.5);
+}
+
+TEST(Calibration, Validation) {
+  gp::GpConfig cfg;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  EXPECT_THROW(al::assessCalibration(g, la::Matrix(1, 1), la::Vector{1.0}),
+               std::invalid_argument);  // not fitted
+  Rng rng(3);
+  g.fit(col({0.0, 1.0}), la::Vector{0.0, 1.0}, rng);
+  EXPECT_THROW(al::assessCalibration(g, la::Matrix(2, 1), la::Vector{1.0}),
+               std::invalid_argument);  // size mismatch
+}
+
+// --------------------------------------------------------- multi-response
+
+namespace {
+
+/// Two responses over one 1-D design: log-runtime (rising) and
+/// log-energy (U-shaped), with distinct scales.
+al::MultiResponseProblem twoResponseProblem(std::size_t n, Rng& rng) {
+  al::MultiResponseProblem p;
+  p.x = la::Matrix(n, 1);
+  p.responses.assign(2, la::Vector(n));
+  p.responseNames = {"logRuntime", "logEnergy"};
+  p.cost.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 10.0 * static_cast<double>(i) / (n - 1);
+    p.x(i, 0) = x;
+    p.responses[0][i] = 0.3 * x + rng.normal(0.0, 0.02);
+    p.responses[1][i] =
+        3.0 + 0.1 * (x - 5.0) * (x - 5.0) + rng.normal(0.0, 0.05);
+    p.cost[i] = std::pow(10.0, 0.3 * x);
+  }
+  return p;
+}
+
+gp::GaussianProcess proto() {
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-3;
+  cfg.optStop.maxIterations = 30;
+  return gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg);
+}
+
+}  // namespace
+
+TEST(MultiResponseAl, LearnsBothResponses) {
+  Rng dataRng(4);
+  const auto problem = twoResponseProblem(60, dataRng);
+  al::MultiAlConfig cfg;
+  cfg.maxIterations = 25;
+  Rng rng(5);
+  const auto result = al::runMultiResponseAl(problem, proto(), cfg, rng);
+  ASSERT_EQ(result.history.size(), 25u);
+  ASSERT_EQ(result.finalGps.size(), 2u);
+  // Both responses' RMSE improve substantially from start to finish.
+  const auto& first = result.history.front();
+  const auto& last = result.history.back();
+  EXPECT_LT(last.rmse[0], first.rmse[0]);
+  EXPECT_LT(last.rmse[1], first.rmse[1]);
+  EXPECT_LT(last.rmse[0], 0.2);
+  EXPECT_LT(last.rmse[1], 0.4);
+  // One shared sequence: picks are distinct rows from the active pool.
+  std::set<std::size_t> picked;
+  const std::set<std::size_t> active(result.partition.active.begin(),
+                                     result.partition.active.end());
+  for (const auto& rec : result.history) {
+    EXPECT_TRUE(active.count(rec.chosenRow));
+    EXPECT_TRUE(picked.insert(rec.chosenRow).second);
+  }
+}
+
+TEST(MultiResponseAl, MeanAggregationAlsoWorks) {
+  Rng dataRng(6);
+  const auto problem = twoResponseProblem(50, dataRng);
+  al::MultiAlConfig cfg;
+  cfg.maxIterations = 15;
+  cfg.aggregateMax = false;
+  Rng rng(7);
+  const auto result = al::runMultiResponseAl(problem, proto(), cfg, rng);
+  EXPECT_EQ(result.history.size(), 15u);
+  EXPECT_LT(result.history.back().rmse[0], result.history.front().rmse[0]);
+}
+
+TEST(MultiResponseAl, CostAwareSpendsLess) {
+  Rng dataRng(8);
+  const auto problem = twoResponseProblem(60, dataRng);
+  al::MultiAlConfig plain;
+  plain.maxIterations = 20;
+  al::MultiAlConfig aware = plain;
+  aware.costAware = true;
+  Rng r1(9), r2(9);
+  const auto a = al::runMultiResponseAl(problem, proto(), plain, r1);
+  const auto b = al::runMultiResponseAl(problem, proto(), aware, r2);
+  EXPECT_LT(b.history.back().cumulativeCost,
+            a.history.back().cumulativeCost);
+}
+
+TEST(MultiResponseAl, Validation) {
+  al::MultiResponseProblem bad;
+  bad.x = la::Matrix(3, 1);
+  bad.responses = {la::Vector(2)};  // wrong length
+  bad.responseNames = {"r"};
+  bad.cost = la::Vector(3, 1.0);
+  al::MultiAlConfig cfg;
+  Rng rng(10);
+  EXPECT_THROW(al::runMultiResponseAl(bad, proto(), cfg, rng),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- permutation invariance
+
+TEST(Gp, PredictionsInvariantToTrainingOrder) {
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(rng.uniformReal(0.0, 5.0));
+    ys.push_back(std::cos(xs.back()));
+  }
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = 1e-3;
+  gp::GaussianProcess a(gp::makeSquaredExponential(1.3, 0.8), cfg);
+  a.fit(col(xs), ys, rng);
+
+  // Shuffle the rows and refit an identical GP.
+  auto perm = st::permutation(xs.size(), rng);
+  std::vector<double> xs2(xs.size()), ys2(ys.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    xs2[i] = xs[perm[i]];
+    ys2[i] = ys[perm[i]];
+  }
+  gp::GaussianProcess b(gp::makeSquaredExponential(1.3, 0.8), cfg);
+  b.fit(col(xs2), ys2, rng);
+
+  for (double q = 0.1; q < 5.0; q += 0.63) {
+    const auto [ma, va] = a.predictOne(std::vector<double>{q});
+    const auto [mb, vb] = b.predictOne(std::vector<double>{q});
+    EXPECT_NEAR(ma, mb, 1e-9) << q;
+    EXPECT_NEAR(va, vb, 1e-9) << q;
+  }
+}

@@ -1,0 +1,198 @@
+// Tests for the HPGMG-FE runtime model (cluster/perf_model.hpp): the
+// monotonicity and scaling properties the paper's dataset exhibits.
+
+#include "cluster/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cl = alperf::cluster;
+using cl::JobRequest;
+using cl::Operator;
+using cl::PerfModel;
+
+namespace {
+
+JobRequest job(Operator op, double n, int np, double f) {
+  return {op, n, np, f};
+}
+
+}  // namespace
+
+TEST(OperatorNames, RoundTrip) {
+  for (Operator op : cl::kAllOperators)
+    EXPECT_EQ(cl::operatorFromString(cl::toString(op)), op);
+  EXPECT_EQ(cl::toString(Operator::Poisson2Affine), "poisson2affine");
+  EXPECT_THROW(cl::operatorFromString("bogus"), std::invalid_argument);
+}
+
+TEST(PerfModel, MachineShape) {
+  const PerfModel m;
+  EXPECT_EQ(m.totalCores(), 64);
+  EXPECT_EQ(m.coresUsed(1), 1);
+  EXPECT_EQ(m.coresUsed(128), 64);  // capped
+  EXPECT_EQ(m.nodesUsed(1), 1);
+  EXPECT_EQ(m.nodesUsed(16), 1);
+  EXPECT_EQ(m.nodesUsed(17), 2);
+  EXPECT_EQ(m.nodesUsed(64), 4);
+  EXPECT_EQ(m.nodesUsed(128), 4);
+}
+
+TEST(PerfModel, LevelsGrowWithSize) {
+  const PerfModel m;
+  EXPECT_EQ(m.levels(500.0), 1);
+  EXPECT_GT(m.levels(1.0e6), m.levels(1.0e4));
+  EXPECT_GE(m.levels(1.1e9), 7);
+  EXPECT_THROW(m.levels(0.5), std::invalid_argument);
+}
+
+TEST(PerfModel, RuntimeIncreasesWithProblemSize) {
+  const PerfModel m;
+  double prev = 0.0;
+  for (double n : {1.7e3, 1.0e5, 1.0e7, 1.0e9}) {
+    const double t = m.meanRuntime(job(Operator::Poisson1, n, 32, 2.4));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfModel, RuntimeNearLinearInSizeForLargeProblems) {
+  // log t vs log N slope ≈ 1 (paper Fig. 2 observation).
+  const PerfModel m;
+  const double t1 = m.meanRuntime(job(Operator::Poisson1, 1.0e8, 32, 2.4));
+  const double t2 = m.meanRuntime(job(Operator::Poisson1, 1.0e9, 32, 2.4));
+  const double slope = std::log10(t2 / t1);
+  EXPECT_NEAR(slope, 1.0, 0.15);
+}
+
+TEST(PerfModel, RuntimeDecreasesWithFrequency) {
+  const PerfModel m;
+  const double slow = m.meanRuntime(job(Operator::Poisson2, 1.0e7, 16, 1.2));
+  const double fast = m.meanRuntime(job(Operator::Poisson2, 1.0e7, 16, 2.4));
+  EXPECT_GT(slow, fast);
+  // Sub-linear frequency benefit (memory-bound): speedup < 2x for 2x clock.
+  EXPECT_LT(slow / fast, 2.0);
+  EXPECT_GT(slow / fast, 1.2);
+}
+
+TEST(PerfModel, StrongScalingHelpsLargeProblems) {
+  const PerfModel m;
+  const double t1 = m.meanRuntime(job(Operator::Poisson1, 1.0e8, 1, 2.4));
+  const double t16 = m.meanRuntime(job(Operator::Poisson1, 1.0e8, 16, 2.4));
+  const double t64 = m.meanRuntime(job(Operator::Poisson1, 1.0e8, 64, 2.4));
+  EXPECT_GT(t1, t16);
+  EXPECT_GT(t16, t64);
+  // Efficiency loss: 64-way speedup well below 64.
+  EXPECT_LT(t1 / t64, 64.0);
+  EXPECT_GT(t1 / t64, 4.0);
+}
+
+TEST(PerfModel, OversubscriptionHurts) {
+  const PerfModel m;
+  const double t64 = m.meanRuntime(job(Operator::Poisson1, 1.0e7, 64, 2.4));
+  const double t128 = m.meanRuntime(job(Operator::Poisson1, 1.0e7, 128, 2.4));
+  EXPECT_GT(t128, t64);
+}
+
+TEST(PerfModel, OperatorCostOrdering) {
+  const PerfModel m;
+  const double p1 = m.meanRuntime(job(Operator::Poisson1, 1.0e7, 32, 2.4));
+  const double p2 = m.meanRuntime(job(Operator::Poisson2, 1.0e7, 32, 2.4));
+  const double p2a =
+      m.meanRuntime(job(Operator::Poisson2Affine, 1.0e7, 32, 2.4));
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p2a);
+}
+
+TEST(PerfModel, TableIRuntimeRangeCovered) {
+  // The generated campaign must span roughly 0.005–458 s (Table I).
+  const PerfModel m;
+  const double tMin =
+      m.meanRuntime(job(Operator::Poisson1, 1728.0, 128, 2.4));
+  const double tMax =
+      m.meanRuntime(job(Operator::Poisson2Affine, 1.073741824e9, 1, 1.2));
+  EXPECT_LT(tMin, 0.02);
+  EXPECT_GT(tMin, 0.001);
+  EXPECT_GT(tMax, 200.0);
+  EXPECT_LT(tMax, 1500.0);
+}
+
+TEST(PerfModel, SmallJobsHitLatencyFloor) {
+  // For tiny problems runtime is dominated by per-level latency, so more
+  // processes do NOT help.
+  const PerfModel m;
+  const double t1 = m.meanRuntime(job(Operator::Poisson1, 1728.0, 1, 2.4));
+  const double t64 = m.meanRuntime(job(Operator::Poisson1, 1728.0, 64, 2.4));
+  EXPECT_GT(t64, 0.5 * t1);  // nowhere near 64x speedup
+}
+
+TEST(PerfModel, SampleRuntimeIsNoisyButUnbiasedish) {
+  const PerfModel m;
+  alperf::stats::Rng rng(1);
+  const JobRequest r = job(Operator::Poisson1, 1.0e6, 8, 1.8);
+  const double mean = m.meanRuntime(r);
+  double sum = 0.0;
+  double lo = 1e300, hi = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double t = m.sampleRuntime(r, rng);
+    EXPECT_GT(t, 0.0);
+    sum += t;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  // Mean within ~5% (spikes push it slightly up).
+  EXPECT_NEAR(sum / n, mean, 0.05 * mean);
+  EXPECT_LT(lo, mean);
+  EXPECT_GT(hi, mean);
+}
+
+TEST(PerfModel, SpikesProduceHeavyTail) {
+  cl::PerfModelParams p;
+  p.spikeProbability = 0.5;
+  p.spikeScale = 1.0;
+  const PerfModel m(p);
+  alperf::stats::Rng rng(2);
+  const JobRequest r = job(Operator::Poisson1, 1.0e6, 8, 2.4);
+  const double mean = m.meanRuntime(r);
+  int spiky = 0;
+  for (int i = 0; i < 500; ++i)
+    if (m.sampleRuntime(r, rng) > 1.5 * mean) ++spiky;
+  EXPECT_GT(spiky, 50);
+}
+
+TEST(PerfModel, Validation) {
+  const PerfModel m;
+  EXPECT_THROW(m.meanRuntime(job(Operator::Poisson1, 0.0, 1, 2.4)),
+               std::invalid_argument);
+  EXPECT_THROW(m.meanRuntime(job(Operator::Poisson1, 1e6, 1, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(m.coresUsed(0), std::invalid_argument);
+  cl::PerfModelParams bad;
+  bad.coresPerNode = 0;
+  EXPECT_THROW(PerfModel{bad}, std::invalid_argument);
+}
+
+// Parameterized property: runtime is monotone non-increasing in np for a
+// fixed large problem, across operators and frequencies.
+class PerfMonotoneNp
+    : public ::testing::TestWithParam<std::tuple<Operator, double>> {};
+
+TEST_P(PerfMonotoneNp, RuntimeMonotoneInNp) {
+  const auto [op, f] = GetParam();
+  const PerfModel m;
+  double prev = 1e300;
+  for (int np : {1, 2, 4, 8, 16, 24, 32, 48, 64}) {
+    const double t = m.meanRuntime(job(op, 1.0e8, np, f));
+    EXPECT_LT(t, prev) << "np=" << np;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PerfMonotoneNp,
+    ::testing::Combine(::testing::Values(Operator::Poisson1,
+                                         Operator::Poisson2,
+                                         Operator::Poisson2Affine),
+                       ::testing::Values(1.2, 1.8, 2.4)));

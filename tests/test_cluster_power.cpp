@@ -1,0 +1,224 @@
+// Tests for the power substrate (cluster/power.hpp): node power model,
+// IPMI sampling with outages, and trace-based energy estimation with the
+// paper's exclusion rule.
+
+#include "cluster/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cl = alperf::cluster;
+using cl::EnergyEstimator;
+using cl::IpmiSampler;
+using cl::LoadInterval;
+using cl::NodeTrace;
+using cl::PowerModel;
+using cl::PowerSample;
+
+TEST(PowerModel, IdleAndFullLoad) {
+  const PowerModel m;
+  const double idle = m.nodePower(0.0, 2.4);
+  const double full = m.nodePower(1.0, 2.4);
+  EXPECT_NEAR(idle, m.params().idleWatts, 1e-12);
+  EXPECT_NEAR(full, m.params().idleWatts + m.params().dynamicWatts, 1e-12);
+}
+
+TEST(PowerModel, FrequencyScalingQuadratic) {
+  const PowerModel m;
+  const double atHalf = m.nodePower(1.0, 1.2) - m.params().idleWatts;
+  const double atFull = m.nodePower(1.0, 2.4) - m.params().idleWatts;
+  EXPECT_NEAR(atFull / atHalf, 4.0, 1e-9);
+}
+
+TEST(PowerModel, Validation) {
+  const PowerModel m;
+  EXPECT_THROW(m.nodePower(-0.1, 2.4), std::invalid_argument);
+  EXPECT_THROW(m.nodePower(1.1, 2.4), std::invalid_argument);
+  EXPECT_THROW(m.nodePower(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(PowerModel, LoadScheduleOverlapsAdd) {
+  const PowerModel m;
+  std::vector<LoadInterval> load{
+      {0.0, 100.0, 0.5, 2.4},
+      {50.0, 150.0, 0.5, 2.4},
+  };
+  const double during1 = m.nodePowerAt(25.0, load);
+  const double duringBoth = m.nodePowerAt(75.0, load);
+  const double after = m.nodePowerAt(200.0, load);
+  EXPECT_GT(duringBoth, during1);
+  EXPECT_LT(after, during1);
+  // Utilization caps at 1.
+  std::vector<LoadInterval> heavy{{0.0, 10.0, 0.9, 2.4},
+                                  {0.0, 10.0, 0.9, 2.4}};
+  EXPECT_LE(m.nodePowerAt(5.0, heavy),
+            m.nodePower(1.0, 2.4) + m.params().wanderWatts + 1e-9);
+}
+
+TEST(NodeTrace, WindowRange) {
+  NodeTrace t;
+  for (int i = 0; i < 10; ++i)
+    t.samples.push_back({static_cast<double>(i), 100.0});
+  const auto [lo, hi] = t.windowRange(2.5, 6.5);
+  EXPECT_EQ(lo, 3u);
+  EXPECT_EQ(hi, 7u);
+  const auto [l2, h2] = t.windowRange(100.0, 200.0);
+  EXPECT_EQ(l2, h2);
+}
+
+TEST(IpmiSampler, ProducesMonotoneTimestamps) {
+  cl::IpmiSamplerParams sp;
+  sp.meanDownSeconds = 0.0;  // no outages
+  const IpmiSampler sampler{PowerModel(), sp};
+  alperf::stats::Rng rng(1);
+  const auto trace = sampler.sample(0, {}, 0.0, 600.0, rng);
+  ASSERT_GT(trace.samples.size(), 50u);
+  for (std::size_t i = 1; i < trace.samples.size(); ++i)
+    EXPECT_GT(trace.samples[i].time, trace.samples[i - 1].time);
+}
+
+TEST(IpmiSampler, SampleCountMatchesPeriod) {
+  cl::IpmiSamplerParams sp;
+  sp.periodSeconds = 5.0;
+  sp.meanDownSeconds = 0.0;
+  const IpmiSampler sampler{PowerModel(), sp};
+  alperf::stats::Rng rng(2);
+  const auto trace = sampler.sample(0, {}, 0.0, 3000.0, rng);
+  EXPECT_NEAR(static_cast<double>(trace.samples.size()), 600.0, 30.0);
+}
+
+TEST(IpmiSampler, OutagesCreateGaps) {
+  cl::IpmiSamplerParams sp;
+  sp.periodSeconds = 5.0;
+  sp.meanUpSeconds = 100.0;
+  sp.meanDownSeconds = 100.0;
+  const IpmiSampler sampler{PowerModel(), sp};
+  alperf::stats::Rng rng(3);
+  const auto trace = sampler.sample(0, {}, 0.0, 5000.0, rng);
+  // Roughly half the samples of a gap-free trace.
+  EXPECT_LT(trace.samples.size(), 750u);
+  EXPECT_GT(trace.samples.size(), 250u);
+  double maxGap = 0.0;
+  for (std::size_t i = 1; i < trace.samples.size(); ++i)
+    maxGap = std::max(maxGap,
+                      trace.samples[i].time - trace.samples[i - 1].time);
+  EXPECT_GT(maxGap, 30.0);
+}
+
+TEST(IpmiSampler, TracksLoad) {
+  cl::IpmiSamplerParams sp;
+  sp.meanDownSeconds = 0.0;
+  sp.measurementNoiseWatts = 0.0;
+  sp.quantizationWatts = 0.0;
+  const PowerModel pm;
+  const IpmiSampler sampler{pm, sp};
+  alperf::stats::Rng rng(4);
+  std::vector<LoadInterval> load{{1000.0, 2000.0, 1.0, 2.4}};
+  const auto trace = sampler.sample(0, load, 0.0, 3000.0, rng);
+  double idleSum = 0.0, busySum = 0.0;
+  int idleN = 0, busyN = 0;
+  for (const auto& s : trace.samples) {
+    if (s.time > 1000.0 && s.time < 2000.0) {
+      busySum += s.watts;
+      ++busyN;
+    } else {
+      idleSum += s.watts;
+      ++idleN;
+    }
+  }
+  ASSERT_GT(idleN, 10);
+  ASSERT_GT(busyN, 10);
+  EXPECT_NEAR(busySum / busyN - idleSum / idleN, pm.params().dynamicWatts,
+              5.0);
+}
+
+namespace {
+
+NodeTrace denseTrace(double begin, double end, double period, double watts) {
+  NodeTrace t;
+  for (double x = begin; x <= end; x += period) t.samples.push_back({x, watts});
+  return t;
+}
+
+}  // namespace
+
+TEST(EnergyEstimator, ConstantPowerIntegratesExactly) {
+  const NodeTrace t = denseTrace(0.0, 1000.0, 5.0, 200.0);
+  const EnergyEstimator est;
+  const auto e = est.estimate({&t}, 100.0, 400.0);
+  ASSERT_TRUE(e.valid);
+  EXPECT_NEAR(e.joules, 200.0 * 300.0, 1.0);
+  EXPECT_GT(e.samples, 50);
+}
+
+TEST(EnergyEstimator, MultiNodeSums) {
+  const NodeTrace a = denseTrace(0.0, 1000.0, 5.0, 150.0);
+  const NodeTrace b = denseTrace(0.0, 1000.0, 5.0, 250.0);
+  const EnergyEstimator est;
+  const auto e = est.estimate({&a, &b}, 0.0, 600.0);
+  ASSERT_TRUE(e.valid);
+  EXPECT_NEAR(e.joules, (150.0 + 250.0) * 600.0, 2.0);
+}
+
+TEST(EnergyEstimator, SparseTraceInvalid) {
+  // 30 s period → 2 samples per minute < required 10.
+  const NodeTrace t = denseTrace(0.0, 1000.0, 30.0, 200.0);
+  const EnergyEstimator est;
+  const auto e = est.estimate({&t}, 100.0, 400.0);
+  EXPECT_FALSE(e.valid);
+}
+
+TEST(EnergyEstimator, InternalGapInvalidates) {
+  NodeTrace t = denseTrace(0.0, 200.0, 5.0, 200.0);
+  // Carve a 60-second hole in the middle.
+  std::erase_if(t.samples, [](const PowerSample& s) {
+    return s.time > 80.0 && s.time < 140.0;
+  });
+  const EnergyEstimator est;
+  const auto e = est.estimate({&t}, 50.0, 180.0);
+  EXPECT_FALSE(e.valid);
+}
+
+TEST(EnergyEstimator, EdgeGapInvalidates) {
+  // Trace starts 30 s after the window begins.
+  const NodeTrace t = denseTrace(130.0, 400.0, 5.0, 200.0);
+  const EnergyEstimator est;
+  const auto e = est.estimate({&t}, 100.0, 300.0);
+  EXPECT_FALSE(e.valid);
+}
+
+TEST(EnergyEstimator, ShortWindowNeedsOnlyTwoSamples) {
+  const NodeTrace t = denseTrace(0.0, 100.0, 5.0, 180.0);
+  const EnergyEstimator est;
+  // 12-second window: pro-rated requirement is 2 samples.
+  const auto e = est.estimate({&t}, 50.0, 62.0);
+  ASSERT_TRUE(e.valid);
+  EXPECT_NEAR(e.joules, 180.0 * 12.0, 1.0);
+}
+
+TEST(EnergyEstimator, AnyInvalidNodeInvalidatesJob) {
+  const NodeTrace good = denseTrace(0.0, 500.0, 5.0, 200.0);
+  const NodeTrace bad = denseTrace(0.0, 500.0, 40.0, 200.0);
+  const EnergyEstimator est;
+  EXPECT_FALSE(est.estimate({&good, &bad}, 100.0, 300.0).valid);
+}
+
+TEST(EnergyEstimator, Validation) {
+  const EnergyEstimator est;
+  const NodeTrace t = denseTrace(0.0, 10.0, 1.0, 100.0);
+  EXPECT_THROW(est.estimate({}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(est.estimate({&t}, 5.0, 5.0), std::invalid_argument);
+}
+
+TEST(EnergyEstimator, VaryingPowerTrapezoid) {
+  // Linear ramp 100 → 200 W over [0, 100]: energy over the window equals
+  // the trapezoid of the ramp.
+  NodeTrace t;
+  for (double x = 0.0; x <= 100.0; x += 2.0)
+    t.samples.push_back({x, 100.0 + x});
+  const EnergyEstimator est;
+  const auto e = est.estimate({&t}, 0.0, 100.0);
+  ASSERT_TRUE(e.valid);
+  EXPECT_NEAR(e.joules, 15000.0, 10.0);
+}

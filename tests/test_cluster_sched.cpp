@@ -1,0 +1,207 @@
+// Tests for the discrete-event cluster simulator and SLURM-like scheduler
+// (cluster/scheduler.hpp).
+
+#include "cluster/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cl = alperf::cluster;
+using cl::ClusterConfig;
+using cl::ClusterSim;
+using cl::JobRequest;
+using cl::Operator;
+using cl::PerfModel;
+
+namespace {
+
+cl::PerfModelParams quietParams() {
+  cl::PerfModelParams p;
+  p.noiseSigma = 1e-6;
+  p.spikeProbability = 0.0;
+  return p;
+}
+
+JobRequest smallJob(int np = 8) {
+  return {Operator::Poisson1, 1.0e6, np, 2.4};
+}
+
+}  // namespace
+
+TEST(ClusterSim, SingleJobLifecycle) {
+  ClusterConfig cfg;
+  ClusterSim sim(cfg, PerfModel(quietParams()), 1);
+  const auto id = sim.submit(smallJob(), 0.0);
+  sim.run();
+  const auto& rec = sim.records()[id];
+  EXPECT_EQ(rec.id, id);
+  EXPECT_DOUBLE_EQ(rec.startTime, 0.0);
+  EXPECT_GT(rec.runtimeSeconds, 0.0);
+  EXPECT_NEAR(rec.endTime,
+              rec.startTime + cfg.prologSeconds + rec.runtimeSeconds +
+                  cfg.epilogSeconds,
+              1e-9);
+  EXPECT_EQ(rec.coresUsed, 8);
+  EXPECT_EQ(rec.nodesUsed, 1);
+}
+
+TEST(ClusterSim, RuntimeMatchesModelMean) {
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 2);
+  const auto id = sim.submit(smallJob(16), 0.0);
+  sim.run();
+  const PerfModel m(quietParams());
+  EXPECT_NEAR(sim.records()[id].runtimeSeconds, m.meanRuntime(smallJob(16)),
+              0.01 * m.meanRuntime(smallJob(16)));
+}
+
+TEST(ClusterSim, ParallelJobsWhenCoresAvailable) {
+  // Two 32-core jobs fit the 64-core machine simultaneously.
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 3);
+  const auto a = sim.submit(smallJob(32), 0.0);
+  const auto b = sim.submit(smallJob(32), 0.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.records()[a].startTime, 0.0);
+  EXPECT_DOUBLE_EQ(sim.records()[b].startTime, 0.0);
+}
+
+TEST(ClusterSim, QueueingWhenMachineFull) {
+  // Two 64-core jobs must run serially.
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 4);
+  const auto a = sim.submit(smallJob(64), 0.0);
+  const auto b = sim.submit(smallJob(64), 0.0);
+  sim.run();
+  const auto& ra = sim.records()[a];
+  const auto& rb = sim.records()[b];
+  EXPECT_GE(rb.startTime, ra.endTime - 1e-9);
+  EXPECT_GT(rb.queueWait(), 0.0);
+}
+
+TEST(ClusterSim, BackfillLetsSmallJobJumpQueue) {
+  // Head-of-line blocking: a 64-core job waits behind a long 33-core job;
+  // a short 16-core job can backfill into the idle cores meanwhile.
+  cl::PerfModelParams params = quietParams();
+  ClusterConfig cfg;
+  ClusterSim sim(cfg, PerfModel(params), 5);
+  const auto longJob =
+      sim.submit({Operator::Poisson2Affine, 5.0e8, 33, 1.2}, 0.0);
+  const auto blocked = sim.submit(smallJob(64), 1.0);
+  const auto filler = sim.submit({Operator::Poisson1, 1.0e5, 16, 2.4}, 2.0);
+  sim.run();
+  const auto& rLong = sim.records()[longJob];
+  const auto& rBlocked = sim.records()[blocked];
+  const auto& rFiller = sim.records()[filler];
+  // Filler starts while the long job still runs, before the blocked job.
+  EXPECT_LT(rFiller.startTime, rLong.endTime);
+  EXPECT_LT(rFiller.startTime, rBlocked.startTime);
+  // And the blocked job is not delayed by the filler: it starts as soon
+  // as the long job's window ends.
+  EXPECT_NEAR(rBlocked.startTime, rLong.endTime, 1.0);
+}
+
+TEST(ClusterSim, ArrivalTimesRespected) {
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 6);
+  const auto id = sim.submit(smallJob(), 1000.0);
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.records()[id].startTime, 1000.0);
+}
+
+TEST(ClusterSim, OversubscribedJobUsesWholeMachine) {
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 7);
+  const auto id = sim.submit(smallJob(128), 0.0);
+  sim.run();
+  EXPECT_EQ(sim.records()[id].coresUsed, 64);
+  EXPECT_EQ(sim.records()[id].nodesUsed, 4);
+}
+
+TEST(ClusterSim, LoadIntervalsMatchComputePhase) {
+  ClusterConfig cfg;
+  ClusterSim sim(cfg, PerfModel(quietParams()), 8);
+  const auto id = sim.submit(smallJob(16), 0.0);
+  sim.run();
+  const auto& rec = sim.records()[id];
+  int busyNodes = 0;
+  for (int n = 0; n < cfg.nodes; ++n) {
+    for (const auto& iv : sim.nodeLoad(n)) {
+      ++busyNodes;
+      EXPECT_NEAR(iv.begin, rec.startTime + cfg.prologSeconds, 1e-9);
+      EXPECT_NEAR(iv.end, iv.begin + rec.runtimeSeconds, 1e-9);
+      EXPECT_NEAR(iv.utilization, 1.0, 1e-9);  // 16 cores on a 16-core node
+      EXPECT_DOUBLE_EQ(iv.freqGhz, 2.4);
+    }
+  }
+  EXPECT_EQ(busyNodes, 1);
+}
+
+TEST(ClusterSim, MakespanCoversAllWindows) {
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 9);
+  for (int i = 0; i < 5; ++i) sim.submit(smallJob(32), i * 3.0);
+  sim.run();
+  double maxEnd = 0.0;
+  for (const auto& r : sim.records()) maxEnd = std::max(maxEnd, r.endTime);
+  EXPECT_DOUBLE_EQ(sim.makespan(), maxEnd);
+}
+
+TEST(ClusterSim, ManyJobsAllComplete) {
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 10);
+  for (int i = 0; i < 60; ++i)
+    sim.submit(smallJob(1 + (i * 7) % 64), i * 1.0);
+  sim.run();
+  EXPECT_TRUE(sim.finished());
+  for (const auto& r : sim.records()) {
+    EXPECT_GE(r.startTime, r.submitTime);
+    EXPECT_GT(r.endTime, r.startTime);
+    EXPECT_GE(r.coresUsed, 1);
+  }
+}
+
+TEST(ClusterSim, CoresNeverOverAllocated) {
+  // Reconstruct per-node concurrent core usage from placements and check
+  // it never exceeds capacity.
+  ClusterConfig cfg;
+  ClusterSim sim(cfg, PerfModel(quietParams()), 11);
+  for (int i = 0; i < 40; ++i)
+    sim.submit(smallJob(1 + (i * 13) % 64), i * 0.5);
+  sim.run();
+  const auto& recs = sim.records();
+  for (const auto& probe : recs) {
+    // Sample at this job's midpoint.
+    const double t = 0.5 * (probe.startTime + probe.endTime);
+    std::vector<int> used(cfg.nodes, 0);
+    for (const auto& r : recs) {
+      if (r.startTime <= t && t < r.endTime) {
+        const auto& p = sim.placements()[r.id];
+        for (int n = 0; n < cfg.nodes; ++n) used[n] += p.cores[n];
+      }
+    }
+    for (int n = 0; n < cfg.nodes; ++n)
+      EXPECT_LE(used[n], cfg.coresPerNode) << "node " << n;
+  }
+}
+
+TEST(ClusterSim, SubmitAfterRunThrows) {
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 12);
+  sim.submit(smallJob(), 0.0);
+  sim.run();
+  EXPECT_THROW(sim.submit(smallJob(), 0.0), std::invalid_argument);
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(ClusterSim, RecordsBeforeRunThrows) {
+  ClusterSim sim(ClusterConfig{}, PerfModel(quietParams()), 13);
+  EXPECT_THROW(sim.records(), std::invalid_argument);
+}
+
+TEST(ClusterSim, ConfigModelShapeMismatchThrows) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  EXPECT_THROW(ClusterSim(cfg, PerfModel(quietParams()), 1),
+               std::invalid_argument);
+}
+
+TEST(Placement, Helpers) {
+  cl::Placement p;
+  p.cores = {16, 8, 0, 0};
+  EXPECT_EQ(p.totalCores(), 24);
+  EXPECT_EQ(p.nodesUsed(), 2);
+}

@@ -1,0 +1,214 @@
+// Tests for the Bayesian-optimization mode (core/optimize.hpp): the
+// acquisition math against hand-computed values, and the minimization
+// loop against known optima — including the contrast with the paper's
+// characterization strategies.
+
+#include "core/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Bowl-shaped pool problem: y = (x - 3)², minimum at row with x = 3.
+al::RegressionProblem bowlProblem(std::size_t n = 41) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(n, 1);
+  p.y.resize(n);
+  p.cost.assign(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 10.0 * static_cast<double>(i) / (n - 1);
+    p.x(i, 0) = x;
+    p.y[i] = (x - 3.0) * (x - 3.0);
+  }
+  p.featureNames = {"x"};
+  p.responseName = "y";
+  return p;
+}
+
+gp::GaussianProcess proto() {
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-4;
+  cfg.optStop.maxIterations = 40;
+  return gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg);
+}
+
+}  // namespace
+
+TEST(NormalFunctions, KnownValues) {
+  EXPECT_NEAR(al::normalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(al::normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(al::normalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(al::normalCdf(-1.96), 0.025, 1e-3);
+  // CDF is the integral of the PDF: finite-difference check.
+  const double h = 1e-5;
+  EXPECT_NEAR((al::normalCdf(0.7 + h) - al::normalCdf(0.7 - h)) / (2 * h),
+              al::normalPdf(0.7), 1e-6);
+}
+
+TEST(ExpectedImprovement, HandComputedScore) {
+  // Fit a near-noiseless GP on two points; compute EI at a candidate and
+  // compare with the closed form using the GP's own (mu, sd).
+  const auto problem = bowlProblem(5);  // x = 0, 2.5, 5, 7.5, 10
+  Rng rng(1);
+  auto g = proto();
+  la::Matrix tx(2, 1);
+  tx(0, 0) = problem.x(0, 0);
+  tx(1, 0) = problem.x(2, 0);
+  g.fit(tx, la::Vector{problem.y[0], problem.y[2]}, rng);
+
+  const std::vector<std::size_t> cand{1, 3};
+  al::ExpectedImprovement ei(0.0);
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const auto scores = ei.scores(ctx);
+  const double best = std::min(problem.y[0], problem.y[2]);
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    const auto [mu, var] = g.predictOne(problem.x.row(cand[i]));
+    const double sd = std::sqrt(var);
+    const double z = (best - mu) / sd;
+    const double expected =
+        (best - mu) * al::normalCdf(z) + sd * al::normalPdf(z);
+    EXPECT_NEAR(scores[i], expected, 1e-10);
+    EXPECT_GE(scores[i], 0.0);  // EI is non-negative
+  }
+}
+
+TEST(ExpectedImprovement, ZeroWhenCertainAndWorse) {
+  // sd → 0 and mean above the incumbent ⇒ EI = 0.
+  const auto problem = bowlProblem(11);
+  Rng rng(2);
+  auto g = proto();
+  g.config().noise.lo = 1e-8;
+  // Train on the candidate itself → tiny predictive sd there.
+  la::Matrix tx(3, 1);
+  tx(0, 0) = problem.x(0, 0);   // y = 9
+  tx(1, 0) = problem.x(5, 0);   // y = 4 (best)
+  tx(2, 0) = problem.x(10, 0);  // y = 49
+  g.fit(tx, la::Vector{problem.y[0], problem.y[5], problem.y[10]}, rng);
+  const std::vector<std::size_t> cand{10};  // certain and much worse
+  al::ExpectedImprovement ei(0.0);
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  EXPECT_NEAR(ei.scores(ctx)[0], 0.0, 1e-3);
+}
+
+TEST(LowerConfidenceBound, KappaControlsExploration) {
+  const auto problem = bowlProblem(21);
+  Rng rng(3);
+  auto g = proto();
+  la::Matrix tx(3, 1);
+  tx(0, 0) = 2.0;
+  tx(1, 0) = 3.0;
+  tx(2, 0) = 4.0;
+  // Minimum well below the GP's zero prior mean, so pure exploitation
+  // has a clear target (a minimum at the prior mean would tie with the
+  // unexplored far field).
+  g.fit(tx, la::Vector{1.0, -1.0, 1.0}, rng);
+
+  // Pure exploitation (kappa=0) picks near the known minimum; large kappa
+  // prefers the unexplored far end.
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i < problem.size(); ++i) cand.push_back(i);
+  al::LowerConfidenceBound exploit(0.0);
+  al::LowerConfidenceBound explore(50.0);
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const double xExploit = problem.x(cand[exploit.select(ctx)], 0);
+  const double xExplore = problem.x(cand[explore.select(ctx)], 0);
+  EXPECT_NEAR(xExploit, 3.0, 1.0);
+  EXPECT_GE(std::abs(xExplore - 3.0), 2.5);
+}
+
+TEST(ProbabilityOfImprovement, BoundedAndOrdered) {
+  const auto problem = bowlProblem(21);
+  Rng rng(4);
+  auto g = proto();
+  la::Matrix tx(2, 1);
+  tx(0, 0) = 0.0;
+  tx(1, 0) = 10.0;
+  g.fit(tx, la::Vector{problem.y[0], problem.y[20]}, rng);
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 1; i < 20; ++i) cand.push_back(i);
+  al::ProbabilityOfImprovement pi(0.0);
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const auto s = pi.scores(ctx);
+  for (double v : s) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(AcquisitionValidation, NegativeParamsThrow) {
+  EXPECT_THROW(al::ExpectedImprovement(-0.1), std::invalid_argument);
+  EXPECT_THROW(al::LowerConfidenceBound(-1.0), std::invalid_argument);
+  EXPECT_THROW(al::ProbabilityOfImprovement(-0.1), std::invalid_argument);
+}
+
+TEST(MinimizeResponse, FindsBowlMinimum) {
+  const auto problem = bowlProblem();
+  al::ExpectedImprovement ei;
+  Rng rng(5);
+  const auto result =
+      al::minimizeResponse(problem, proto(), ei, 3, 12, rng);
+  EXPECT_EQ(result.history.size(), 12u);
+  // True minimum is y = 0.0156 at x = 3 (closest grid point x = 3.0).
+  EXPECT_NEAR(problem.x(result.bestRow, 0), 3.0, 0.5);
+  EXPECT_LT(result.bestValue, 0.3);
+  // bestSoFar is monotone non-increasing.
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_LE(result.history[i].bestSoFar,
+              result.history[i - 1].bestSoFar + 1e-15);
+}
+
+TEST(MinimizeResponse, LcbAlsoWorks) {
+  const auto problem = bowlProblem();
+  al::LowerConfidenceBound lcb(2.0);
+  Rng rng(6);
+  const auto result =
+      al::minimizeResponse(problem, proto(), lcb, 3, 12, rng);
+  EXPECT_LT(result.bestValue, 0.5);
+}
+
+TEST(MinimizeResponse, Validation) {
+  const auto problem = bowlProblem(10);
+  al::ExpectedImprovement ei;
+  Rng rng(7);
+  EXPECT_THROW(al::minimizeResponse(problem, proto(), ei, 0, 3, rng),
+               std::invalid_argument);
+  EXPECT_THROW(al::minimizeResponse(problem, proto(), ei, 5, 20, rng),
+               std::invalid_argument);
+}
+
+TEST(MinimizeResponse, BeatsCharacterizationAtFindingOptimum) {
+  // The paper's Sec. II-C contrast: an optimizer should find the minimum
+  // with fewer experiments than a space-characterization strategy, which
+  // spends its budget at the informative (but high-y) edges.
+  const auto problem = bowlProblem(61);
+  Rng rng(8);
+
+  al::ExpectedImprovement ei;
+  Rng eiRng(9);
+  const auto opt = al::minimizeResponse(problem, proto(), ei, 3, 10, eiRng);
+
+  // Characterization: run VR AL with the same total budget (13 picks) and
+  // check the best value it happened to visit.
+  al::AlConfig cfg;
+  cfg.maxIterations = 13;
+  al::ActiveLearner learner(problem, proto(),
+                            std::make_unique<al::VarianceReduction>(), cfg);
+  Rng vrRng(9);
+  const auto vr = learner.run(vrRng);
+  double vrBest = 1e300;
+  for (const auto& rec : vr.history)
+    vrBest = std::min(vrBest, problem.y[rec.chosenRow]);
+
+  EXPECT_LE(opt.bestValue, vrBest + 1e-12);
+}

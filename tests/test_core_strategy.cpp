@@ -1,0 +1,253 @@
+// Tests for the AL selection strategies (core/strategy.hpp).
+
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::stats::Rng;
+
+namespace {
+
+/// 1-D problem on [0, 10]: y = 0.3·x (interpreted as log-cost), unit costs.
+al::RegressionProblem lineProblem(const std::vector<double>& xs) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(xs.size(), 1);
+  p.y.resize(xs.size());
+  p.cost.assign(xs.size(), 1.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    p.x(i, 0) = xs[i];
+    p.y[i] = 0.3 * xs[i];
+  }
+  p.featureNames = {"x"};
+  p.responseName = "y";
+  return p;
+}
+
+gp::GaussianProcess fitGp(const al::RegressionProblem& problem,
+                          const std::vector<std::size_t>& trainRows,
+                          Rng& rng) {
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.initial = 1e-4;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  la::Matrix x(trainRows.size(), 1);
+  la::Vector y(trainRows.size());
+  for (std::size_t i = 0; i < trainRows.size(); ++i) {
+    x(i, 0) = problem.x(trainRows[i], 0);
+    y[i] = problem.y[trainRows[i]];
+  }
+  g.fit(std::move(x), std::move(y), rng);
+  return g;
+}
+
+}  // namespace
+
+TEST(VarianceReduction, PicksFarthestFromTrainingData) {
+  // Train at {0, 1}; candidates at {0.5, 2, 9} → 9 has the highest σ.
+  const auto problem = lineProblem({0.0, 1.0, 0.5, 2.0, 9.0});
+  Rng rng(1);
+  const auto g = fitGp(problem, {0, 1}, rng);
+  const std::vector<std::size_t> cand{2, 3, 4};
+  al::VarianceReduction vr;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  EXPECT_EQ(vr.select(ctx), 2u);
+  const auto s = vr.scores(ctx);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_GT(s[2], s[1]);
+  EXPECT_GT(s[1], s[0]);
+}
+
+TEST(CostEfficiency, PrefersCheaperAtEqualUncertainty) {
+  // Candidates symmetric around the training cluster (equal σ) but with
+  // different predicted log-cost: the cheaper (lower-mean) one wins.
+  // Train at {4,5,6} on y = 0.3x; candidates at 1 and 9 are equidistant
+  // from the data, so σ is ~equal but µ(1) < µ(9).
+  const auto problem = lineProblem({4.0, 5.0, 6.0, 1.0, 9.0});
+  Rng rng(2);
+  const auto g = fitGp(problem, {0, 1, 2}, rng);
+  const std::vector<std::size_t> cand{3, 4};
+  al::CostEfficiency ce;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  EXPECT_EQ(ce.select(ctx), 0u);  // position of row 3 (x = 1, cheaper)
+
+  // VarianceReduction is indifferent (ties broken by order), confirming
+  // the preference comes from the cost term.
+  al::VarianceReduction vr;
+  const auto sv = vr.scores(ctx);
+  EXPECT_NEAR(sv[0], sv[1], 0.25 * std::max(sv[0], sv[1]));
+}
+
+TEST(CostEfficiency, MatchesPaperEquation14) {
+  const auto problem = lineProblem({0.0, 2.0, 5.0, 8.0});
+  Rng rng(3);
+  const auto g = fitGp(problem, {0, 1}, rng);
+  const std::vector<std::size_t> cand{2, 3};
+  al::CostEfficiency ce;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const auto s = ce.scores(ctx);
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    const auto [mu, var] = g.predictOne(problem.x.row(cand[i]));
+    EXPECT_NEAR(s[i], std::sqrt(var) - mu, 1e-10);
+  }
+}
+
+TEST(CostWeightedVariance, DividesByLinearCost) {
+  const auto problem = lineProblem({0.0, 2.0, 5.0, 8.0});
+  Rng rng(4);
+  const auto g = fitGp(problem, {0, 1}, rng);
+  const std::vector<std::size_t> cand{2, 3};
+  al::CostWeightedVariance cw;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const auto s = cw.scores(ctx);
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    const auto [mu, var] = g.predictOne(problem.x.row(cand[i]));
+    EXPECT_NEAR(s[i], std::sqrt(var) / std::pow(10.0, mu), 1e-10);
+  }
+}
+
+TEST(RandomSelection, UniformOverCandidates) {
+  const auto problem = lineProblem({0.0, 1.0, 2.0, 3.0, 4.0});
+  Rng rng(5);
+  const auto g = fitGp(problem, {0}, rng);
+  const std::vector<std::size_t> cand{1, 2, 3, 4};
+  al::RandomSelection rs;
+  int counts[4] = {};
+  for (int i = 0; i < 4000; ++i) {
+    const al::SelectionContext ctx{g, problem, cand, rng};
+    ++counts[rs.select(ctx)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Emcm, ProducesScoresAndValidPick) {
+  const auto problem = lineProblem({0.0, 1.0, 2.0, 5.0, 9.0});
+  Rng rng(6);
+  const auto g = fitGp(problem, {0, 1, 2}, rng);
+  const std::vector<std::size_t> cand{3, 4};
+  al::Emcm emcm(4);
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const auto s = emcm.scores(ctx);
+  ASSERT_EQ(s.size(), 2u);
+  for (double v : s) EXPECT_GE(v, 0.0);
+  EXPECT_LT(emcm.select(ctx), 2u);
+}
+
+TEST(Emcm, ValidatesEnsembleSize) {
+  EXPECT_THROW(al::Emcm(1), std::invalid_argument);
+}
+
+TEST(ScoredStrategy, SelectBatchIsTopK) {
+  // Enough training data to pin the GP down; candidates at increasing
+  // distance from the training cluster.
+  const auto problem =
+      lineProblem({0.0, 1.0, 2.0, 3.0, 3.5, 6.0, 9.0});
+  Rng rng(7);
+  const auto g = fitGp(problem, {0, 1, 2, 3}, rng);
+  const std::vector<std::size_t> cand{4, 5, 6};  // x = 3.5, 6, 9
+  al::VarianceReduction vr;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  // Batch order must match the strategy's own score ranking.
+  const auto scores = vr.scores(ctx);
+  const auto batch = vr.selectBatch(ctx, 2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_GE(scores[batch[0]], scores[batch[1]]);
+  for (std::size_t pos = 0; pos < scores.size(); ++pos)
+    EXPECT_LE(scores[pos], scores[batch[0]] + 1e-15);
+  // And with a well-determined GP the farthest point ranks first.
+  EXPECT_EQ(batch[0], 2u);
+  EXPECT_EQ(batch[1], 1u);
+}
+
+TEST(Strategy, SelectBatchValidation) {
+  const auto problem = lineProblem({0.0, 1.0, 2.0});
+  Rng rng(8);
+  const auto g = fitGp(problem, {0}, rng);
+  const std::vector<std::size_t> cand{1, 2};
+  al::VarianceReduction vr;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  EXPECT_THROW(vr.selectBatch(ctx, 0), std::invalid_argument);
+  EXPECT_THROW(vr.selectBatch(ctx, 3), std::invalid_argument);
+}
+
+TEST(DefaultSelectBatch, DistinctRemappedPositions) {
+  // RandomSelection uses Strategy's default batch implementation.
+  const auto problem = lineProblem({0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  Rng rng(9);
+  const auto g = fitGp(problem, {0}, rng);
+  const std::vector<std::size_t> cand{1, 2, 3, 4, 5};
+  al::RandomSelection rs;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const auto batch = rs.selectBatch(ctx, 4);
+  ASSERT_EQ(batch.size(), 4u);
+  std::set<std::size_t> distinct(batch.begin(), batch.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  for (auto pos : batch) EXPECT_LT(pos, cand.size());
+}
+
+TEST(FantasyBatch, SpreadsAcrossSpace) {
+  // Candidates form two far-apart clusters; a fantasy batch of 2 should
+  // take one from each cluster, while plain top-σ takes both from the
+  // farther cluster.
+  const auto problem =
+      lineProblem({5.0, 20.0, 20.3, 20.6, -10.0, -10.3, -10.6});
+  Rng rng(10);
+  const auto g = fitGp(problem, {0}, rng);
+  const std::vector<std::size_t> cand{1, 2, 3, 4, 5, 6};
+  al::FantasyBatch fb;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  const auto batch = fb.selectBatch(ctx, 2);
+  ASSERT_EQ(batch.size(), 2u);
+  const double x0 = problem.x(cand[batch[0]], 0);
+  const double x1 = problem.x(cand[batch[1]], 0);
+  // One positive-cluster point and one negative-cluster point.
+  EXPECT_LT(x0 * x1, 0.0) << "picked " << x0 << " and " << x1;
+
+  al::VarianceReduction vr;
+  const al::SelectionContext ctx2{g, problem, cand, rng};
+  const auto naive = vr.selectBatch(ctx2, 2);
+  const double n0 = problem.x(cand[naive[0]], 0);
+  const double n1 = problem.x(cand[naive[1]], 0);
+  EXPECT_GT(n0 * n1, 0.0) << "naive picked " << n0 << " and " << n1;
+}
+
+TEST(FantasyBatch, SingleSelectIsVarianceReduction) {
+  const auto problem = lineProblem({0.0, 1.0, 0.5, 9.0});
+  Rng rng(11);
+  const auto g = fitGp(problem, {0, 1}, rng);
+  const std::vector<std::size_t> cand{2, 3};
+  al::FantasyBatch fb;
+  al::VarianceReduction vr;
+  const al::SelectionContext ctx{g, problem, cand, rng};
+  EXPECT_EQ(fb.select(ctx), vr.select(ctx));
+}
+
+TEST(StrategyNames, AreStable) {
+  EXPECT_EQ(al::VarianceReduction().name(), "variance_reduction");
+  EXPECT_EQ(al::CostEfficiency().name(), "cost_efficiency");
+  EXPECT_EQ(al::CostWeightedVariance().name(), "cost_weighted_variance");
+  EXPECT_EQ(al::RandomSelection().name(), "random");
+  EXPECT_EQ(al::Emcm().name(), "emcm");
+  EXPECT_EQ(al::FantasyBatch().name(), "fantasy_batch");
+}
+
+TEST(Problem, ValidateCatchesMismatches) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(2, 1);
+  p.y = {1.0};
+  p.cost = {1.0, 1.0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.y = {1.0, 2.0};
+  p.cost = {1.0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.cost = {1.0, 1.0};
+  EXPECT_NO_THROW(p.validate());
+}

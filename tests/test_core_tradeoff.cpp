@@ -1,0 +1,144 @@
+// Tests for cost–error tradeoff analysis (core/tradeoff.hpp): curve
+// aggregation, interpolation, crossover detection and the relative-
+// reduction report (the machinery behind the paper's 38% result).
+
+#include "core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+
+namespace {
+
+/// Builds a synthetic AlResult whose RMSE follows err(cost) with unit-ish
+/// cost steps.
+al::AlResult syntheticRun(const std::function<double(double)>& err,
+                          double costPerPick, int picks) {
+  al::AlResult r{.history = {},
+                 .partition = {},
+                 .stopReason = al::StopReason::MaxIterations,
+                 .finalGp = alperf::gp::GaussianProcess(
+                     alperf::gp::makeSquaredExponential(1.0, 1.0))};
+  double cum = 0.0;
+  for (int i = 0; i < picks; ++i) {
+    cum += costPerPick;
+    al::IterationRecord rec;
+    rec.iteration = i;
+    rec.pickCost = costPerPick;
+    rec.cumulativeCost = cum;
+    rec.rmse = err(cum);
+    r.history.push_back(rec);
+  }
+  return r;
+}
+
+al::BatchResult batchOf(const std::function<double(double)>& err,
+                        double costPerPick, int picks, int runs) {
+  al::BatchResult b;
+  for (int i = 0; i < runs; ++i)
+    b.runs.push_back(syntheticRun(err, costPerPick, picks));
+  return b;
+}
+
+}  // namespace
+
+TEST(TradeoffCurve, ErrorAtInterpolatesAndClamps) {
+  al::TradeoffCurve c;
+  c.cost = {1.0, 10.0, 100.0};
+  c.error = {1.0, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(c.errorAt(0.5), 1.0);    // clamp low
+  EXPECT_DOUBLE_EQ(c.errorAt(1000.0), 0.1); // clamp high
+  // Log-midpoint of [1, 10] is ~3.16 → halfway between 1.0 and 0.5.
+  EXPECT_NEAR(c.errorAt(std::sqrt(10.0)), 0.75, 1e-9);
+  EXPECT_THROW(al::TradeoffCurve{}.errorAt(1.0), std::invalid_argument);
+}
+
+TEST(AggregateTradeoff, ReproducesKnownDecay) {
+  // err(c) = 10/c exactly for every run → the aggregate matches it.
+  const auto batch =
+      batchOf([](double c) { return 10.0 / c; }, 2.0, 50, 5);
+  const auto curve = al::aggregateTradeoff(batch, 100);
+  ASSERT_EQ(curve.cost.size(), 100u);
+  EXPECT_NEAR(curve.cost.front(), 2.0, 1e-9);
+  EXPECT_NEAR(curve.cost.back(), 100.0, 1e-9);
+  for (std::size_t i = 0; i < curve.cost.size(); ++i) {
+    // Staircase evaluation: error at cost c is err at the last completed
+    // pick, i.e. 10/floor-step — within one step of 10/c.
+    const double cStep = std::floor(curve.cost[i] / 2.0) * 2.0;
+    EXPECT_NEAR(curve.error[i], 10.0 / cStep, 1e-9) << "i=" << i;
+  }
+}
+
+TEST(AggregateTradeoff, AveragesAcrossRuns) {
+  al::BatchResult b;
+  b.runs.push_back(syntheticRun([](double) { return 1.0; }, 1.0, 20));
+  b.runs.push_back(syntheticRun([](double) { return 3.0; }, 1.0, 20));
+  const auto curve = al::aggregateTradeoff(b, 10);
+  for (double e : curve.error) EXPECT_NEAR(e, 2.0, 1e-9);
+}
+
+TEST(AggregateTradeoff, Validation) {
+  EXPECT_THROW(al::aggregateTradeoff(al::BatchResult{}, 10),
+               std::invalid_argument);
+  const auto batch = batchOf([](double c) { return 1.0 / c; }, 1.0, 10, 2);
+  EXPECT_THROW(al::aggregateTradeoff(batch, 1), std::invalid_argument);
+}
+
+TEST(CompareTradeoffs, FindsCrossoverAndReductions) {
+  // Baseline: err = 10/√c. Challenger: worse before c=25, better after:
+  // err = 50/c  (crosses 10/√c at c = 25).
+  const auto baseline =
+      al::aggregateTradeoff(batchOf(
+          [](double c) { return 10.0 / std::sqrt(c); }, 1.0, 400, 1), 200);
+  const auto challenger = al::aggregateTradeoff(
+      batchOf([](double c) { return 50.0 / c; }, 1.0, 400, 1), 200);
+  const auto report = al::compareTradeoffs(baseline, challenger);
+  ASSERT_TRUE(report.found);
+  EXPECT_NEAR(report.crossoverCost, 25.0, 3.0);
+  ASSERT_GE(report.reductions.size(), 4u);
+  // At m·C the reduction is 1 − (50/(mC))/(10/√(mC)) = 1 − 5/√(mC):
+  // m=4 → 50%, m=16 → 75%... our multiples are 1,2,3,5,10.
+  for (const auto& [m, red] : report.reductions) {
+    const double expected = 1.0 - 5.0 / std::sqrt(m * report.crossoverCost);
+    EXPECT_NEAR(red, expected, 0.08) << "multiple " << m;
+  }
+  EXPECT_GT(report.maxReduction, 0.5);
+  EXPECT_GT(report.maxReductionCost, report.crossoverCost);
+}
+
+TEST(CompareTradeoffs, NoCrossoverWhenChallengerAlwaysWorse) {
+  const auto baseline = al::aggregateTradeoff(
+      batchOf([](double) { return 1.0; }, 1.0, 50, 1), 50);
+  const auto challenger = al::aggregateTradeoff(
+      batchOf([](double) { return 2.0; }, 1.0, 50, 1), 50);
+  const auto report = al::compareTradeoffs(baseline, challenger);
+  EXPECT_FALSE(report.found);
+}
+
+TEST(CompareTradeoffs, ChallengerAlwaysBetterHasTrivialCrossover) {
+  const auto baseline = al::aggregateTradeoff(
+      batchOf([](double) { return 2.0; }, 1.0, 50, 1), 50);
+  const auto challenger = al::aggregateTradeoff(
+      batchOf([](double) { return 1.0; }, 1.0, 50, 1), 50);
+  const auto report = al::compareTradeoffs(baseline, challenger);
+  ASSERT_TRUE(report.found);
+  // Crossover is at the start of the common range.
+  EXPECT_NEAR(report.crossoverCost, baseline.cost.front(), 0.2);
+  for (const auto& [m, red] : report.reductions)
+    EXPECT_NEAR(red, 0.5, 1e-9);
+}
+
+TEST(CompareTradeoffs, MultiplesBeyondRangeDropped) {
+  const auto baseline = al::aggregateTradeoff(
+      batchOf([](double c) { return 2.0 / c; }, 1.0, 20, 1), 30);
+  const auto challenger = al::aggregateTradeoff(
+      batchOf([](double c) { return 1.0 / c; }, 1.0, 20, 1), 30);
+  const auto report =
+      al::compareTradeoffs(baseline, challenger, {1.0, 1000.0});
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.reductions.size(), 1u);  // 1000·C exceeds the range
+}

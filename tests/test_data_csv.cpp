@@ -1,0 +1,125 @@
+// Tests for CSV I/O (data/csv.hpp): round-trips, type inference, quoting.
+
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace data = alperf::data;
+using data::ColumnType;
+using data::Table;
+
+TEST(Csv, ReadSimple) {
+  std::istringstream in("a,b\n1,x\n2,y\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.numRows(), 2u);
+  EXPECT_EQ(t.column("a").type, ColumnType::Numeric);
+  EXPECT_EQ(t.column("b").type, ColumnType::Categorical);
+  EXPECT_DOUBLE_EQ(t.numeric("a")[1], 2.0);
+  EXPECT_EQ(t.categorical("b")[0], "x");
+}
+
+TEST(Csv, TypeInferenceMixedColumnIsCategorical) {
+  std::istringstream in("v\n1\nnot-a-number\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.column("v").type, ColumnType::Categorical);
+}
+
+TEST(Csv, ScientificNotationIsNumeric) {
+  std::istringstream in("v\n1.5e3\n-2e-4\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.column("v").type, ColumnType::Numeric);
+  EXPECT_DOUBLE_EQ(t.numeric("v")[0], 1500.0);
+}
+
+TEST(Csv, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(data::readCsv(in), std::invalid_argument);
+}
+
+TEST(Csv, HeaderOnlyGivesEmptyTable) {
+  std::istringstream in("a,b\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.numRows(), 0u);
+  EXPECT_EQ(t.numCols(), 2u);
+}
+
+TEST(Csv, RaggedRowThrows) {
+  std::istringstream in("a,b\n1,2\n3\n");
+  EXPECT_THROW(data::readCsv(in), std::invalid_argument);
+}
+
+TEST(Csv, BlankLinesSkipped) {
+  std::istringstream in("a\n1\n\n2\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Csv, QuotedCellsWithCommasAndQuotes) {
+  std::istringstream in("name,v\n\"hello, world\",1\n\"say \"\"hi\"\"\",2\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.categorical("name")[0], "hello, world");
+  EXPECT_EQ(t.categorical("name")[1], "say \"hi\"");
+}
+
+TEST(Csv, QuotedCellWithEmbeddedNewline) {
+  std::istringstream in("name,v\n\"two\nlines\",1\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.categorical("name")[0], "two\nlines");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  std::istringstream in("name\n\"oops\n");
+  EXPECT_THROW(data::readCsv(in), std::invalid_argument);
+}
+
+TEST(Csv, CrlfLineEndingsHandled) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.numRows(), 1u);
+  EXPECT_DOUBLE_EQ(t.numeric("b")[0], 2.0);
+}
+
+TEST(Csv, RoundTripPreservesEverything) {
+  Table t;
+  t.addCategorical("op", {"poisson1", "a,b", "with \"quote\""});
+  t.addNumeric("size", {1.7e3, 1.1e9, 0.005});
+  t.addNumeric("neg", {-1.5, 0.0, 42.0});
+
+  std::ostringstream out;
+  data::writeCsv(t, out);
+  std::istringstream in(out.str());
+  const Table back = data::readCsv(in);
+
+  EXPECT_EQ(back.numRows(), 3u);
+  EXPECT_EQ(back.categorical("op")[1], "a,b");
+  EXPECT_EQ(back.categorical("op")[2], "with \"quote\"");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(back.numeric("size")[i], t.numeric("size")[i]);
+    EXPECT_DOUBLE_EQ(back.numeric("neg")[i], t.numeric("neg")[i]);
+  }
+}
+
+TEST(Csv, RoundTripDoublePrecision) {
+  Table t;
+  t.addNumeric("v", {1.0 / 3.0, 2.718281828459045, 1e-300});
+  std::ostringstream out;
+  data::writeCsv(t, out);
+  std::istringstream in(out.str());
+  const Table back = data::readCsv(in);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(back.numeric("v")[i], t.numeric("v")[i]);
+}
+
+TEST(Csv, WriteQuotesHeaderWhenNeeded) {
+  Table t;
+  t.addNumeric("weird,name", {1.0});
+  std::ostringstream out;
+  data::writeCsv(t, out);
+  EXPECT_NE(out.str().find("\"weird,name\""), std::string::npos);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(data::readCsv("/nonexistent/path.csv"), std::runtime_error);
+}

@@ -1,0 +1,178 @@
+// Tests for static experiment designs (data/doe.hpp): full factorial,
+// fractional factorial, Latin hypercube, scaling and pool matching.
+
+#include "data/doe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace data = alperf::data;
+namespace la = alperf::la;
+using alperf::stats::Rng;
+
+TEST(FullFactorial, EnumeratesAllCombinations) {
+  const auto d = data::fullFactorial({{1.0, 2.0}, {10.0, 20.0, 30.0}});
+  EXPECT_EQ(d.rows(), 6u);
+  EXPECT_EQ(d.cols(), 2u);
+  std::set<std::pair<double, double>> seen;
+  for (std::size_t i = 0; i < 6; ++i) seen.insert({d(i, 0), d(i, 1)});
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.count({2.0, 30.0}));
+}
+
+TEST(FullFactorial, SingleFactor) {
+  const auto d = data::fullFactorial({{5.0, 7.0, 9.0}});
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_DOUBLE_EQ(d(1, 0), 7.0);
+}
+
+TEST(FullFactorial, Validation) {
+  EXPECT_THROW(data::fullFactorial({}), std::invalid_argument);
+  EXPECT_THROW(data::fullFactorial({{1.0}, {}}), std::invalid_argument);
+}
+
+TEST(TwoLevelFactorial, CodedUnits) {
+  const auto d = data::twoLevelFactorial(3);
+  EXPECT_EQ(d.rows(), 8u);
+  EXPECT_EQ(d.cols(), 3u);
+  for (std::size_t i = 0; i < d.rows(); ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_TRUE(d(i, j) == -1.0 || d(i, j) == 1.0);
+  // Balanced: each column sums to zero.
+  for (std::size_t j = 0; j < 3; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < d.rows(); ++i) s += d(i, j);
+    EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+}
+
+TEST(TwoLevelFactorial, ColumnsAreOrthogonal) {
+  const auto d = data::twoLevelFactorial(4);
+  for (std::size_t a = 0; a < 4; ++a)
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < d.rows(); ++i) dot += d(i, a) * d(i, b);
+      EXPECT_DOUBLE_EQ(dot, 0.0);
+    }
+}
+
+TEST(FractionalFactorial, HalfFraction) {
+  // 2^(4-1) with D = ABC: 8 runs, 4 factors.
+  const auto d = data::fractionalFactorial(4, {{0, 1, 2}});
+  EXPECT_EQ(d.rows(), 8u);
+  EXPECT_EQ(d.cols(), 4u);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(d(i, 3), d(i, 0) * d(i, 1) * d(i, 2));
+  // Still balanced in the generated column.
+  double s = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) s += d(i, 3);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(FractionalFactorial, QuarterFraction) {
+  // 2^(5-2): 8 runs, 5 factors, D = AB, E = AC.
+  const auto d = data::fractionalFactorial(5, {{0, 1}, {0, 2}});
+  EXPECT_EQ(d.rows(), 8u);
+  EXPECT_EQ(d.cols(), 5u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(d(i, 3), d(i, 0) * d(i, 1));
+    EXPECT_DOUBLE_EQ(d(i, 4), d(i, 0) * d(i, 2));
+  }
+}
+
+TEST(FractionalFactorial, Validation) {
+  EXPECT_THROW(data::fractionalFactorial(3, {}), std::invalid_argument);
+  EXPECT_THROW(data::fractionalFactorial(2, {{0}, {0}}),
+               std::invalid_argument);
+  EXPECT_THROW(data::fractionalFactorial(4, {{5}}), std::invalid_argument);
+  EXPECT_THROW(data::fractionalFactorial(4, {{}}), std::invalid_argument);
+}
+
+TEST(LatinHypercube, OnePointPerStratum) {
+  Rng rng(1);
+  const auto d = data::latinHypercube(10, 3, rng);
+  EXPECT_EQ(d.rows(), 10u);
+  EXPECT_EQ(d.cols(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::set<int> strata;
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_GE(d(i, j), 0.0);
+      EXPECT_LT(d(i, j), 1.0);
+      strata.insert(static_cast<int>(d(i, j) * 10.0));
+    }
+    EXPECT_EQ(strata.size(), 10u) << "column " << j;
+  }
+}
+
+TEST(LatinHypercube, MaximinImprovesSpread) {
+  Rng r1(2), r2(2);
+  const auto greedy = data::latinHypercube(12, 2, r1, 20);
+  const auto single = data::latinHypercube(12, 2, r2, 1);
+  const auto minDist = [](const la::Matrix& m) {
+    double best = 1e300;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = i + 1; j < m.rows(); ++j)
+        best = std::min(best, la::squaredDistance(m.row(i), m.row(j)));
+    return best;
+  };
+  EXPECT_GE(minDist(greedy), minDist(single));
+}
+
+TEST(ScaleToBounds, AffineMapping) {
+  la::Matrix d{{0.0, 0.5}, {1.0, 0.25}};
+  const std::vector<double> lo{10.0, -2.0};
+  const std::vector<double> hi{20.0, 2.0};
+  data::scaleToBounds(d, lo, hi);
+  EXPECT_DOUBLE_EQ(d(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 20.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), -1.0);
+  const std::vector<double> badLo{1.0};
+  const std::vector<double> badHi{2.0};
+  EXPECT_THROW(data::scaleToBounds(d, badLo, badHi), std::invalid_argument);
+}
+
+TEST(NearestPoolRows, ExactMatchesAndNoReplacement) {
+  la::Matrix pool{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  la::Matrix design{{0.95, 0.98}, {1.02, 0.97}};
+  const auto idx = data::nearestPoolRows(pool, design);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 3u);
+  EXPECT_NE(idx[1], 3u);  // without replacement: second-best
+}
+
+TEST(NearestPoolRows, NormalizationMakesScalesComparable) {
+  // Column 0 spans 1e6, column 1 spans 1: without normalization column 0
+  // dominates; with it, the nearest point respects both.
+  la::Matrix pool{{0.0, 0.0}, {1e6, 1.0}, {1e6, 0.0}};
+  la::Matrix design{{1e6, 0.9}};
+  const auto idx = data::nearestPoolRows(pool, design);
+  EXPECT_EQ(idx[0], 1u);
+}
+
+TEST(NearestPoolRows, Validation) {
+  la::Matrix pool(2, 2);
+  EXPECT_THROW(data::nearestPoolRows(pool, la::Matrix(3, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(data::nearestPoolRows(pool, la::Matrix(1, 3)),
+               std::invalid_argument);
+}
+
+// Parameterized: LHS stratification holds for a sweep of sizes.
+class LhsSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LhsSizes, Stratified) {
+  const int n = GetParam();
+  Rng rng(7);
+  const auto d = data::latinHypercube(n, 2, rng, 3);
+  for (std::size_t j = 0; j < 2; ++j) {
+    std::set<int> strata;
+    for (int i = 0; i < n; ++i)
+      strata.insert(static_cast<int>(d(i, j) * n));
+    EXPECT_EQ(strata.size(), static_cast<std::size_t>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LhsSizes, ::testing::Values(2, 5, 16, 33));

@@ -1,0 +1,146 @@
+// Tests for the column-typed Table (data/table.hpp).
+
+#include "data/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace data = alperf::data;
+using data::ColumnType;
+using data::Table;
+
+namespace {
+
+Table sampleTable() {
+  Table t;
+  t.addCategorical("op", {"a", "b", "a", "c"});
+  t.addNumeric("size", {10.0, 20.0, 30.0, 40.0});
+  t.addNumeric("time", {1.0, 2.0, 3.0, 4.0});
+  return t;
+}
+
+}  // namespace
+
+TEST(Table, BasicShape) {
+  const Table t = sampleTable();
+  EXPECT_EQ(t.numRows(), 4u);
+  EXPECT_EQ(t.numCols(), 3u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(Table().empty());
+}
+
+TEST(Table, ColumnLookup) {
+  const Table t = sampleTable();
+  EXPECT_TRUE(t.hasColumn("size"));
+  EXPECT_FALSE(t.hasColumn("nope"));
+  EXPECT_EQ(t.columnIndex("time"), 2u);
+  EXPECT_THROW(t.columnIndex("nope"), std::invalid_argument);
+  const auto names = t.columnNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "op");
+}
+
+TEST(Table, TypedAccess) {
+  const Table t = sampleTable();
+  EXPECT_DOUBLE_EQ(t.numeric("size")[2], 30.0);
+  EXPECT_EQ(t.categorical("op")[3], "c");
+  EXPECT_THROW(t.numeric("op"), std::invalid_argument);
+  EXPECT_THROW(t.categorical("size"), std::invalid_argument);
+}
+
+TEST(Table, MutableNumericWritesThrough) {
+  Table t = sampleTable();
+  t.numericMutable("size")[0] = 99.0;
+  EXPECT_DOUBLE_EQ(t.numeric("size")[0], 99.0);
+}
+
+TEST(Table, DuplicateColumnThrows) {
+  Table t = sampleTable();
+  EXPECT_THROW(t.addNumeric("size", {1.0, 2.0, 3.0, 4.0}),
+               std::invalid_argument);
+}
+
+TEST(Table, LengthMismatchThrows) {
+  Table t = sampleTable();
+  EXPECT_THROW(t.addNumeric("extra", {1.0}), std::invalid_argument);
+}
+
+TEST(Table, AppendRowParsesNumerics) {
+  Table t;
+  t.addEmptyColumn("name", ColumnType::Categorical);
+  t.addEmptyColumn("v", ColumnType::Numeric);
+  t.appendRow({"x", "1.5"});
+  t.appendRow({"y", "2.5e3"});
+  EXPECT_EQ(t.numRows(), 2u);
+  EXPECT_DOUBLE_EQ(t.numeric("v")[1], 2500.0);
+  EXPECT_THROW(t.appendRow({"z", "abc"}), std::invalid_argument);
+  EXPECT_THROW(t.appendRow({"only-one-cell"}), std::invalid_argument);
+}
+
+TEST(Table, SelectRowsReordersAndRepeats) {
+  const Table t = sampleTable();
+  const std::vector<std::size_t> idx{3, 0, 0};
+  const Table s = t.selectRows(idx);
+  EXPECT_EQ(s.numRows(), 3u);
+  EXPECT_DOUBLE_EQ(s.numeric("size")[0], 40.0);
+  EXPECT_DOUBLE_EQ(s.numeric("size")[1], 10.0);
+  EXPECT_DOUBLE_EQ(s.numeric("size")[2], 10.0);
+  EXPECT_EQ(s.categorical("op")[0], "c");
+}
+
+TEST(Table, SelectRowsOutOfRangeThrows) {
+  const Table t = sampleTable();
+  const std::vector<std::size_t> idx{7};
+  EXPECT_THROW(t.selectRows(idx), std::invalid_argument);
+}
+
+TEST(Table, FilterByPredicate) {
+  const Table t = sampleTable();
+  const Table f = t.filter([&t](std::size_t i) {
+    return t.categorical("op")[i] == "a";
+  });
+  EXPECT_EQ(f.numRows(), 2u);
+  EXPECT_DOUBLE_EQ(f.numeric("time")[1], 3.0);
+}
+
+TEST(Table, WhichReturnsMatchingIndices) {
+  const Table t = sampleTable();
+  const auto idx =
+      t.which([&t](std::size_t i) { return t.numeric("size")[i] > 15.0; });
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+}
+
+TEST(Table, DesignMatrix) {
+  const Table t = sampleTable();
+  const auto m = t.designMatrix({"size", "time"});
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 0), 30.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 3.0);
+  EXPECT_THROW(t.designMatrix({}), std::invalid_argument);
+  EXPECT_THROW(t.designMatrix({"op"}), std::invalid_argument);
+}
+
+TEST(Table, DistinctValues) {
+  const Table t = sampleTable();
+  const auto ops = t.distinctCategorical("op");
+  EXPECT_EQ(ops, (std::vector<std::string>{"a", "b", "c"}));
+  Table t2;
+  t2.addNumeric("v", {3.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(t2.distinctNumeric("v"), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Table, RemoveColumn) {
+  Table t = sampleTable();
+  t.removeColumn("time");
+  EXPECT_EQ(t.numCols(), 2u);
+  EXPECT_FALSE(t.hasColumn("time"));
+  EXPECT_THROW(t.removeColumn("time"), std::invalid_argument);
+}
+
+TEST(Table, ColumnByIndex) {
+  const Table t = sampleTable();
+  EXPECT_EQ(t.column(1).name, "size");
+  EXPECT_EQ(t.column(0).type, ColumnType::Categorical);
+  EXPECT_THROW(t.column(9), std::invalid_argument);
+}

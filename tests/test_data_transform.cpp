@@ -1,0 +1,166 @@
+// Tests for column transforms (data/transform.hpp) and dataset
+// partitioning (data/partition.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/partition.hpp"
+#include "data/transform.hpp"
+
+namespace data = alperf::data;
+using data::Table;
+
+TEST(Transform, Log10NewColumn) {
+  Table t;
+  t.addNumeric("size", {10.0, 100.0, 1000.0});
+  data::addLog10Column(t, "size", "logSize");
+  ASSERT_TRUE(t.hasColumn("logSize"));
+  EXPECT_DOUBLE_EQ(t.numeric("logSize")[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.numeric("logSize")[2], 3.0);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(t.numeric("size")[0], 10.0);
+}
+
+TEST(Transform, Log10InPlace) {
+  Table t;
+  t.addNumeric("v", {1.0, 100.0});
+  data::addLog10Column(t, "v", "v");
+  EXPECT_DOUBLE_EQ(t.numeric("v")[1], 2.0);
+}
+
+TEST(Transform, Log10NonPositiveThrows) {
+  Table t;
+  t.addNumeric("v", {1.0, 0.0});
+  EXPECT_THROW(data::addLog10Column(t, "v", "w"), std::invalid_argument);
+}
+
+TEST(Transform, Unlog10Inverts) {
+  EXPECT_NEAR(data::unlog10(std::log10(457.0)), 457.0, 1e-10);
+}
+
+TEST(Transform, StandardizeColumn) {
+  Table t;
+  t.addNumeric("v", {2.0, 4.0, 6.0, 8.0});
+  const auto s = data::standardizeColumn(t, "v");
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  const auto col = t.numeric("v");
+  double m = 0.0;
+  for (double x : col) m += x;
+  EXPECT_NEAR(m, 0.0, 1e-12);
+  // Round trip.
+  EXPECT_NEAR(s.invert(col[0]), 2.0, 1e-12);
+  EXPECT_NEAR(s.apply(8.0), col[3], 1e-12);
+}
+
+TEST(Transform, StandardizeConstantColumn) {
+  Table t;
+  t.addNumeric("v", {3.0, 3.0, 3.0});
+  const auto s = data::standardizeColumn(t, "v");
+  EXPECT_DOUBLE_EQ(s.stdDev, 1.0);
+  for (double x : t.numeric("v")) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Transform, OneHotEncode) {
+  Table t;
+  t.addCategorical("op", {"b", "a", "b", "c"});
+  t.addNumeric("v", {1.0, 2.0, 3.0, 4.0});
+  const auto names = data::oneHotEncode(t, "op");
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"op=a", "op=b", "op=c"}));
+  EXPECT_FALSE(t.hasColumn("op"));
+  EXPECT_DOUBLE_EQ(t.numeric("op=b")[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.numeric("op=b")[1], 0.0);
+  EXPECT_DOUBLE_EQ(t.numeric("op=a")[1], 1.0);
+  // Each row has exactly one hot bit.
+  for (std::size_t i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (const auto& n : names) sum += t.numeric(n)[i];
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(Transform, OneHotOnNumericThrows) {
+  Table t;
+  t.addNumeric("v", {1.0});
+  EXPECT_THROW(data::oneHotEncode(t, "v"), std::invalid_argument);
+}
+
+TEST(Partition, SizesAndDisjointness) {
+  alperf::stats::Rng rng(1);
+  const auto p = data::triPartition(100, 1, 0.8, rng);
+  EXPECT_EQ(p.initial.size(), 1u);
+  // 99 remaining, 80% ≈ 79 active.
+  EXPECT_NEAR(static_cast<double>(p.active.size()), 79.0, 1.0);
+  EXPECT_EQ(p.initial.size() + p.active.size() + p.test.size(), 100u);
+  std::set<std::size_t> all;
+  for (auto i : p.initial) all.insert(i);
+  for (auto i : p.active) all.insert(i);
+  for (auto i : p.test) all.insert(i);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(*all.rbegin(), 99u);
+}
+
+TEST(Partition, MultipleInitial) {
+  alperf::stats::Rng rng(2);
+  const auto p = data::triPartition(50, 5, 0.5, rng);
+  EXPECT_EQ(p.initial.size(), 5u);
+  EXPECT_GE(p.active.size(), 1u);
+  EXPECT_GE(p.test.size(), 1u);
+}
+
+TEST(Partition, Validation) {
+  alperf::stats::Rng rng(3);
+  EXPECT_THROW(data::triPartition(10, 0, 0.8, rng), std::invalid_argument);
+  EXPECT_THROW(data::triPartition(2, 1, 0.8, rng), std::invalid_argument);
+  EXPECT_THROW(data::triPartition(10, 1, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(data::triPartition(10, 1, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Partition, ExtremeFractionStillLeavesTest) {
+  alperf::stats::Rng rng(4);
+  const auto p = data::triPartition(10, 1, 0.999, rng);
+  EXPECT_GE(p.test.size(), 1u);
+  EXPECT_GE(p.active.size(), 1u);
+}
+
+TEST(Partition, DifferentSeedsDifferentPartitions) {
+  alperf::stats::Rng a(5), b(6);
+  const auto pa = data::triPartition(100, 1, 0.8, a);
+  const auto pb = data::triPartition(100, 1, 0.8, b);
+  EXPECT_NE(pa.initial, pb.initial);
+}
+
+TEST(Partition, SameSeedSamePartition) {
+  alperf::stats::Rng a(7), b(7);
+  const auto pa = data::triPartition(100, 1, 0.8, a);
+  const auto pb = data::triPartition(100, 1, 0.8, b);
+  EXPECT_EQ(pa.initial, pb.initial);
+  EXPECT_EQ(pa.active, pb.active);
+  EXPECT_EQ(pa.test, pb.test);
+}
+
+// Parameterized sweep over partition shapes.
+class PartitionShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(PartitionShapes, CoversAllRowsDisjointly) {
+  const auto [n, nInit, frac] = GetParam();
+  alperf::stats::Rng rng(11);
+  const auto p = data::triPartition(n, nInit, frac, rng);
+  std::set<std::size_t> all;
+  for (auto i : p.initial) all.insert(i);
+  for (auto i : p.active) all.insert(i);
+  for (auto i : p.test) all.insert(i);
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(p.initial.size(), static_cast<std::size_t>(nInit));
+  EXPECT_GE(p.active.size(), 1u);
+  EXPECT_GE(p.test.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionShapes,
+    ::testing::Values(std::tuple{3, 1, 0.5}, std::tuple{10, 1, 0.8},
+                      std::tuple{100, 1, 0.8}, std::tuple{100, 10, 0.5},
+                      std::tuple{251, 1, 0.8}, std::tuple{1000, 3, 0.9}));

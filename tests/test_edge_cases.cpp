@@ -1,0 +1,289 @@
+// Cross-module edge-case tests: boundary conditions and rare paths not
+// exercised by the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alperf.hpp"
+
+namespace al = alperf::al;
+namespace cl = alperf::cluster;
+namespace gp = alperf::gp;
+namespace hp = alperf::hpgmg;
+namespace la = alperf::la;
+namespace opt = alperf::opt;
+namespace st = alperf::stats;
+using alperf::stats::Rng;
+
+namespace {
+
+la::Matrix col(const std::vector<double>& xs) {
+  la::Matrix m(xs.size(), 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) m(i, 0) = xs[i];
+  return m;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- gp
+
+TEST(GpEdge, PosteriorSampleCovarianceMatchesPrediction) {
+  // The empirical covariance of many posterior samples approximates the
+  // analytic posterior covariance.
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = 1e-2;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(1);
+  g.fit(col({0.0, 1.0, 2.0}), la::Vector{0.0, 1.0, 0.0}, rng);
+
+  const la::Matrix q = col({0.5, 1.5});
+  const la::Matrix cov = g.posteriorCovariance(q);
+  Rng sampleRng(2);
+  const auto samples = g.samplePosterior(q, 4000, sampleRng);
+  double m0 = 0.0, m1 = 0.0;
+  for (const auto& s : samples) {
+    m0 += s[0];
+    m1 += s[1];
+  }
+  m0 /= samples.size();
+  m1 /= samples.size();
+  double c00 = 0.0, c01 = 0.0, c11 = 0.0;
+  for (const auto& s : samples) {
+    c00 += (s[0] - m0) * (s[0] - m0);
+    c01 += (s[0] - m0) * (s[1] - m1);
+    c11 += (s[1] - m1) * (s[1] - m1);
+  }
+  c00 /= samples.size();
+  c01 /= samples.size();
+  c11 /= samples.size();
+  EXPECT_NEAR(c00, cov(0, 0), 0.02);
+  EXPECT_NEAR(c01, cov(0, 1), 0.02);
+  EXPECT_NEAR(c11, cov(1, 1), 0.02);
+}
+
+TEST(GpEdge, PeriodicKernelFitsPeriodicData) {
+  // y = sin(2πx): the periodic kernel extrapolates beyond the data where
+  // the RBF reverts to the prior.
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 24; ++i) {
+    xs.push_back(0.25 * i);  // covers [0, 6)
+    ys.push_back(std::sin(2.0 * 3.14159265358979 * xs.back()));
+  }
+  gp::GpConfig cfg;
+  cfg.optimize = false;  // exact period given
+  cfg.noise.initial = 1e-4;
+  gp::GaussianProcess periodic(
+      std::make_unique<gp::ConstantKernel>(1.0) *
+          std::make_unique<gp::PeriodicKernel>(1.0, 1.0),
+      cfg);
+  periodic.fit(col(xs), ys, rng);
+  // Extrapolate two periods past the data.
+  for (double q : {7.25, 8.5}) {
+    const auto [mean, var] = periodic.predictOne(std::vector<double>{q});
+    EXPECT_NEAR(mean, std::sin(2.0 * 3.14159265358979 * q), 0.1)
+        << "q=" << q;
+  }
+}
+
+TEST(GpEdge, IncludeNoiseBatchConsistent) {
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = 0.05;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(4);
+  g.fit(col({0.0, 1.0}), la::Vector{0.0, 1.0}, rng);
+  const la::Matrix q = col({0.25, 0.5, 0.75});
+  const auto latent = g.predict(q, false);
+  const auto observed = g.predict(q, true);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(observed.mean[i], latent.mean[i]);
+    EXPECT_NEAR(observed.variance[i] - latent.variance[i], 0.05, 1e-12);
+  }
+  const auto sd = latent.stdDev();
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(sd[i] * sd[i], latent.variance[i], 1e-14);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(StatsEdge, GoldenSectionRespectsMaxIter) {
+  int evals = 0;
+  const double x = opt::goldenSection(
+      [&evals](double t) {
+        ++evals;
+        return t * t;
+      },
+      -10.0, 10.0, 1e-12, /*maxIter=*/5);
+  // Coarse tolerance with few iterations: still near 0, few evals.
+  EXPECT_LT(std::abs(x), 5.0);
+  EXPECT_LE(evals, 10);
+}
+
+TEST(StatsEdge, QuantileSingleElement) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(st::quantile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(st::quantile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(st::quantile(v, 1.0), 42.0);
+}
+
+TEST(StatsEdge, WelfordSingleAndTwo) {
+  st::Welford w;
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  w.add(7.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(w.sampleVariance(), 2.0);
+}
+
+// ---------------------------------------------------------------- cluster
+
+TEST(ClusterEdge, EnergyWindowEdgesExactSamples) {
+  // Samples exactly at the window boundaries: no edge extension needed,
+  // integration exact for constant power.
+  cl::NodeTrace t;
+  for (double x = 100.0; x <= 200.0; x += 5.0)
+    t.samples.push_back({x, 150.0});
+  const cl::EnergyEstimator est;
+  const auto e = est.estimate({&t}, 100.0, 200.0);
+  ASSERT_TRUE(e.valid);
+  EXPECT_NEAR(e.joules, 150.0 * 100.0, 1e-9);
+}
+
+TEST(ClusterEdge, PerfModelSingleCoreMachine) {
+  cl::PerfModelParams p;
+  p.coresPerNode = 1;
+  p.nodes = 1;
+  const cl::PerfModel m(p);
+  EXPECT_EQ(m.totalCores(), 1);
+  EXPECT_EQ(m.coresUsed(128), 1);
+  EXPECT_GT(m.meanRuntime({cl::Operator::Poisson1, 1e6, 1, 2.4}), 0.0);
+}
+
+TEST(ClusterEdge, ReplayedCampaignIsDeterministic) {
+  // Identical seeds → identical simulated campaigns, even with failures.
+  const auto runOnce = [] {
+    cl::ClusterConfig cfg;
+    cfg.failureProbability = 0.3;
+    cl::PerfModelParams p;
+    cl::ClusterSim sim(cfg, cl::PerfModel(p), 99);
+    for (int i = 0; i < 15; ++i)
+      sim.submit({cl::Operator::Poisson2, 1e6 * (1 + i % 4),
+                  1 + (i * 7) % 32, 1.8},
+                 i * 2.0);
+    sim.run();
+    double sig = 0.0;
+    for (const auto& r : sim.records())
+      sig += r.runtimeSeconds + r.endTime + r.attempts;
+    return sig;
+  };
+  EXPECT_DOUBLE_EQ(runOnce(), runOnce());
+}
+
+// ------------------------------------------------------------------ hpgmg
+
+TEST(HpgmgEdge, MeanReductionEmptyHistory) {
+  hp::SolveStats stats;
+  EXPECT_DOUBLE_EQ(stats.meanReduction(), 0.0);
+}
+
+TEST(HpgmgEdge, SolveFromZeroRhsStaysZero) {
+  hp::Multigrid mg(hp::StencilType::Poisson1, 7);
+  hp::Field b(7), x(7);
+  const auto stats = mg.solve(b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_NEAR(x.normInf(), 0.0, 1e-12);
+}
+
+TEST(HpgmgEdge, CoarsestOnlyHierarchy) {
+  // finestN == coarsestN: a single level, direct smoothing solve.
+  hp::MgOptions opt;
+  opt.coarsestN = 7;
+  hp::Multigrid mg(hp::StencilType::Poisson1, 7, opt);
+  EXPECT_EQ(mg.numLevels(), 1);
+  hp::Field b(7), x(7);
+  hp::setInterior(b, [](double px, double, double) { return px; });
+  const auto stats = mg.solve(b, x);
+  EXPECT_LT(stats.finalResidual, stats.initialResidual);
+}
+
+// --------------------------------------------------------------------- al
+
+TEST(AlEdge, SinglePickPoolWorks) {
+  al::RegressionProblem p;
+  p.x = col({0.0, 1.0, 2.0, 3.0});
+  p.y = {0.0, 1.0, 2.0, 3.0};
+  p.cost.assign(4, 1.0);
+  p.featureNames = {"x"};
+  p.responseName = "y";
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  al::AlConfig alCfg;
+  alCfg.nInitial = 1;
+  alCfg.activeFraction = 0.5;  // tiny active pool
+  al::ActiveLearner learner(
+      p, gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg),
+      std::make_unique<al::VarianceReduction>(), alCfg);
+  Rng rng(5);
+  const auto result = learner.run(rng);
+  EXPECT_EQ(result.stopReason, al::StopReason::PoolExhausted);
+  EXPECT_GE(result.history.size(), 1u);
+}
+
+TEST(AlEdge, TradeoffSingleRunSingleIteration) {
+  al::BatchResult batch;
+  al::AlResult run{.history = {},
+                   .partition = {},
+                   .stopReason = al::StopReason::MaxIterations,
+                   .finalGp = gp::GaussianProcess(
+                       gp::makeSquaredExponential(1.0, 1.0))};
+  al::IterationRecord rec;
+  rec.cumulativeCost = 5.0;
+  rec.rmse = 0.5;
+  run.history.push_back(rec);
+  batch.runs.push_back(run);
+  // Degenerate common range (single cost point) must throw, not crash.
+  EXPECT_THROW(al::aggregateTradeoff(batch), std::invalid_argument);
+}
+
+TEST(AlEdge, EmcmOnTinyTrainingSet) {
+  // The paper notes EMCM is unreliable with tiny training sets; ours must
+  // at least not crash with a single training point (bootstrap resamples
+  // are all copies of it).
+  al::RegressionProblem p;
+  p.x = col({0.0, 1.0, 2.0});
+  p.y = {0.0, 1.0, 2.0};
+  p.cost.assign(3, 1.0);
+  p.featureNames = {"x"};
+  p.responseName = "y";
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(6);
+  g.fit(col({0.0}), la::Vector{0.0}, rng);
+  al::Emcm emcm(3);
+  const std::vector<std::size_t> cand{1, 2};
+  const al::SelectionContext ctx{g, p, cand, rng};
+  EXPECT_NO_THROW(emcm.select(ctx));
+}
+
+// ------------------------------------------------------------------- data
+
+TEST(DataEdge, DesignMatrixSingleRow) {
+  alperf::data::Table t;
+  t.addNumeric("a", {1.5});
+  t.addNumeric("b", {2.5});
+  const auto m = t.designMatrix({"b", "a"});  // column order respected
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.5);
+}
+
+TEST(DataEdge, OneHotSingleLevel) {
+  alperf::data::Table t;
+  t.addCategorical("op", {"only", "only"});
+  const auto names = alperf::data::oneHotEncode(t, "op");
+  ASSERT_EQ(names.size(), 1u);
+  for (double v : t.numeric("op=only")) EXPECT_DOUBLE_EQ(v, 1.0);
+}

@@ -1,0 +1,213 @@
+// Tests for the extension surfaces: exact-math GP posterior checks
+// against hand-derived closed forms, AL trace serialization
+// (historyToTable), and bootstrap confidence intervals.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/learner.hpp"
+#include "data/csv.hpp"
+#include "gp/kernels.hpp"
+#include "stats/descriptive.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+namespace st = alperf::stats;
+using alperf::stats::Rng;
+
+namespace {
+
+la::Matrix col(const std::vector<double>& xs) {
+  la::Matrix m(xs.size(), 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) m(i, 0) = xs[i];
+  return m;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- exact GP posterior
+
+TEST(GpExact, OnePointPosteriorClosedForm) {
+  // Unit-amplitude RBF(l), noise sn2. With one training pair (x0, y0):
+  //   mean(x*) = k(x*,x0) / (1 + sn2) * y0
+  //   var(x*)  = 1 - k(x*,x0)^2 / (1 + sn2)
+  const double l = 0.8, sn2 = 0.04, x0 = 1.0, y0 = 2.0;
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = sn2;
+  gp::GaussianProcess g(std::make_unique<gp::RbfKernel>(l), cfg);
+  Rng rng(1);
+  g.fit(col({x0}), la::Vector{y0}, rng);
+
+  for (double q : {0.2, 1.0, 1.7, 3.0}) {
+    const double k = std::exp(-(q - x0) * (q - x0) / (2.0 * l * l));
+    const auto [mean, var] = g.predictOne(std::vector<double>{q});
+    EXPECT_NEAR(mean, k / (1.0 + sn2) * y0, 1e-12) << "q=" << q;
+    EXPECT_NEAR(var, 1.0 - k * k / (1.0 + sn2), 1e-12) << "q=" << q;
+  }
+}
+
+TEST(GpExact, TwoPointPosteriorClosedForm) {
+  // Two points, unit-amplitude RBF. Solve the 2x2 system by hand:
+  // Ky = [[1+s, r], [r, 1+s]], inverse = 1/det [[1+s, -r], [-r, 1+s]].
+  const double l = 1.0, s = 0.1;
+  const double x0 = 0.0, x1 = 2.0, y0 = 1.0, y1 = -1.0;
+  const double r = std::exp(-(x1 - x0) * (x1 - x0) / (2.0 * l * l));
+  const double det = (1.0 + s) * (1.0 + s) - r * r;
+
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = s;
+  gp::GaussianProcess g(std::make_unique<gp::RbfKernel>(l), cfg);
+  Rng rng(2);
+  g.fit(col({x0, x1}), la::Vector{y0, y1}, rng);
+
+  const double q = 0.7;
+  const double k0 = std::exp(-(q - x0) * (q - x0) / 2.0);
+  const double k1 = std::exp(-(q - x1) * (q - x1) / 2.0);
+  const double a0 = ((1.0 + s) * y0 - r * y1) / det;
+  const double a1 = (-r * y0 + (1.0 + s) * y1) / det;
+  const double expectMean = k0 * a0 + k1 * a1;
+  const double expectVar =
+      1.0 - (k0 * ((1.0 + s) * k0 - r * k1) + k1 * (-r * k0 + (1.0 + s) * k1)) /
+                det;
+
+  const auto [mean, var] = g.predictOne(std::vector<double>{q});
+  EXPECT_NEAR(mean, expectMean, 1e-12);
+  EXPECT_NEAR(var, expectVar, 1e-12);
+}
+
+TEST(GpExact, LmlClosedFormOnePoint) {
+  // log p(y) = -y²/(2(1+s)) - ½log(1+s) - ½log(2π) for one point with
+  // unit-amplitude RBF.
+  const double s = 0.25, y0 = 1.5;
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = s;
+  gp::GaussianProcess g(std::make_unique<gp::RbfKernel>(1.0), cfg);
+  Rng rng(3);
+  g.fit(col({0.0}), la::Vector{y0}, rng);
+  const double expected = -y0 * y0 / (2.0 * (1.0 + s)) -
+                          0.5 * std::log(1.0 + s) -
+                          0.5 * std::log(2.0 * 3.14159265358979323846);
+  EXPECT_NEAR(g.logMarginalLikelihood(), expected, 1e-12);
+}
+
+// ------------------------------------------------------- trace utilities
+
+namespace {
+
+al::AlResult smallRun() {
+  al::RegressionProblem problem;
+  const std::size_t n = 30;
+  problem.x = la::Matrix(n, 1);
+  problem.y.resize(n);
+  problem.cost.assign(n, 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    problem.x(i, 0) = static_cast<double>(i) * 0.3;
+    problem.y[i] = std::sin(problem.x(i, 0));
+  }
+  problem.featureNames = {"x"};
+  problem.responseName = "y";
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-3;
+  al::AlConfig alCfg;
+  alCfg.maxIterations = 6;
+  al::ActiveLearner learner(
+      problem, gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg),
+      std::make_unique<al::VarianceReduction>(), alCfg);
+  Rng rng(4);
+  return learner.run(rng);
+}
+
+}  // namespace
+
+TEST(HistoryToTable, RoundTripsThroughCsv) {
+  const auto result = smallRun();
+  const auto table = al::historyToTable(result);
+  ASSERT_EQ(table.numRows(), result.history.size());
+  EXPECT_EQ(table.numCols(), 10u);
+  for (std::size_t i = 0; i < table.numRows(); ++i) {
+    EXPECT_DOUBLE_EQ(table.numeric("RMSE")[i], result.history[i].rmse);
+    EXPECT_DOUBLE_EQ(table.numeric("CumulativeCost")[i],
+                     result.history[i].cumulativeCost);
+    EXPECT_DOUBLE_EQ(table.numeric("ChosenRow")[i],
+                     static_cast<double>(result.history[i].chosenRow));
+  }
+  // CSV round trip preserves everything.
+  std::ostringstream out;
+  alperf::data::writeCsv(table, out);
+  std::istringstream in(out.str());
+  const auto back = alperf::data::readCsv(in);
+  ASSERT_EQ(back.numRows(), table.numRows());
+  for (std::size_t i = 0; i < back.numRows(); ++i)
+    EXPECT_DOUBLE_EQ(back.numeric("SigmaAtPick")[i],
+                     table.numeric("SigmaAtPick")[i]);
+}
+
+TEST(HistoryToTable, EmptyHistory) {
+  al::AlResult empty{.history = {},
+                     .partition = {},
+                     .stopReason = al::StopReason::PoolExhausted,
+                     .finalGp = gp::GaussianProcess(
+                         gp::makeSquaredExponential(1.0, 1.0))};
+  const auto table = al::historyToTable(empty);
+  EXPECT_EQ(table.numRows(), 0u);
+  EXPECT_EQ(table.numCols(), 10u);
+}
+
+TEST(StopReasonNames, AllDistinct) {
+  EXPECT_EQ(al::toString(al::StopReason::PoolExhausted), "pool_exhausted");
+  EXPECT_EQ(al::toString(al::StopReason::MaxIterations), "max_iterations");
+  EXPECT_EQ(al::toString(al::StopReason::Budget), "budget");
+  EXPECT_EQ(al::toString(al::StopReason::AmsdConverged), "amsd_converged");
+}
+
+// ------------------------------------------------------------- bootstrap
+
+TEST(BootstrapMeanCi, CoversTrueMean) {
+  Rng dataRng(5);
+  std::vector<double> v(200);
+  for (auto& x : v) x = dataRng.normal(10.0, 2.0);
+  Rng rng(6);
+  const auto ci = st::bootstrapMeanCi(v, 0.95, 2000, rng);
+  EXPECT_NEAR(ci.pointEstimate, 10.0, 0.5);
+  EXPECT_LT(ci.lo, ci.pointEstimate);
+  EXPECT_GT(ci.hi, ci.pointEstimate);
+  EXPECT_LT(ci.lo, 10.0);
+  EXPECT_GT(ci.hi, 10.0);
+  // Width ~ 2 * 1.96 * sd/sqrt(n) = 2*1.96*2/14.1 ≈ 0.55.
+  EXPECT_NEAR(ci.hi - ci.lo, 0.55, 0.25);
+}
+
+TEST(BootstrapMeanCi, NarrowsWithSampleSize) {
+  Rng dataRng(7);
+  std::vector<double> small(20), large(500);
+  for (auto& x : small) x = dataRng.normal(0.0, 1.0);
+  for (auto& x : large) x = dataRng.normal(0.0, 1.0);
+  Rng r1(8), r2(8);
+  const auto ciSmall = st::bootstrapMeanCi(small, 0.95, 1000, r1);
+  const auto ciLarge = st::bootstrapMeanCi(large, 0.95, 1000, r2);
+  EXPECT_LT(ciLarge.hi - ciLarge.lo, ciSmall.hi - ciSmall.lo);
+}
+
+TEST(BootstrapMeanCi, Validation) {
+  Rng rng(9);
+  EXPECT_THROW(st::bootstrapMeanCi(std::vector<double>{}, 0.95, 100, rng),
+               std::invalid_argument);
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(st::bootstrapMeanCi(v, 1.5, 100, rng), std::invalid_argument);
+  EXPECT_THROW(st::bootstrapMeanCi(v, 0.95, 5, rng), std::invalid_argument);
+}
+
+TEST(BootstrapMeanCi, DegenerateConstantData) {
+  const std::vector<double> v(50, 3.0);
+  Rng rng(10);
+  const auto ci = st::bootstrapMeanCi(v, 0.9, 200, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}

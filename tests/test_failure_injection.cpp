@@ -1,0 +1,239 @@
+// Failure-injection tests: crashed job attempts must requeue, burn
+// accounted time, respect retry limits, and never corrupt the core
+// accounting — plus the analytic posterior input-gradient added for
+// gradient-based continuous suggestions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/scheduler.hpp"
+#include "core/continuous.hpp"
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace cl = alperf::cluster;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+namespace opt = alperf::opt;
+using alperf::stats::Rng;
+
+namespace {
+
+cl::PerfModelParams quiet() {
+  cl::PerfModelParams p;
+  p.noiseSigma = 1e-6;
+  p.spikeProbability = 0.0;
+  return p;
+}
+
+cl::ClusterConfig failing(double probability, int retries) {
+  cl::ClusterConfig cfg;
+  cfg.failureProbability = probability;
+  cfg.maxRetries = retries;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FailureInjection, ZeroProbabilityIsCleanRun) {
+  cl::ClusterSim sim(failing(0.0, 3), cl::PerfModel(quiet()), 1);
+  sim.submit({cl::Operator::Poisson1, 1.0e6, 8, 2.4}, 0.0);
+  sim.run();
+  const auto& rec = sim.records()[0];
+  EXPECT_EQ(rec.attempts, 1);
+  EXPECT_FALSE(rec.failed);
+  EXPECT_DOUBLE_EQ(rec.wastedSeconds, 0.0);
+}
+
+TEST(FailureInjection, RetriesEventuallySucceed) {
+  // 50% failure, generous retries: every job should finish, some after
+  // multiple attempts with wasted time accounted.
+  cl::ClusterSim sim(failing(0.5, 10), cl::PerfModel(quiet()), 7);
+  for (int i = 0; i < 30; ++i)
+    sim.submit({cl::Operator::Poisson1, 1.0e6, 8, 2.4}, i * 1.0);
+  sim.run();
+  int retried = 0;
+  for (const auto& rec : sim.records()) {
+    EXPECT_FALSE(rec.failed) << "job " << rec.id;
+    EXPECT_GE(rec.attempts, 1);
+    if (rec.attempts > 1) {
+      ++retried;
+      EXPECT_GT(rec.wastedSeconds, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(rec.wastedSeconds, 0.0);
+    }
+    EXPECT_GT(rec.runtimeSeconds, 0.0);
+  }
+  EXPECT_GT(retried, 5);  // with p=0.5 over 30 jobs, many must retry
+}
+
+TEST(FailureInjection, ExhaustedRetriesMarkFailed) {
+  // Certain failure, one retry: every job fails after exactly 2 attempts.
+  cl::ClusterSim sim(failing(1.0, 1), cl::PerfModel(quiet()), 3);
+  for (int i = 0; i < 5; ++i)
+    sim.submit({cl::Operator::Poisson1, 1.0e6, 16, 2.4}, i * 1.0);
+  sim.run();
+  for (const auto& rec : sim.records()) {
+    EXPECT_TRUE(rec.failed);
+    EXPECT_EQ(rec.attempts, 2);
+    EXPECT_GT(rec.wastedSeconds, 0.0);  // the first attempt's window
+    // The terminal attempt still has a (partial) runtime and window.
+    EXPECT_GT(rec.runtimeSeconds, 0.0);
+    EXPECT_GT(rec.endTime, rec.startTime);
+  }
+}
+
+TEST(FailureInjection, CoresNeverOverAllocatedUnderChaos) {
+  cl::ClusterConfig cfg = failing(0.4, 5);
+  cl::ClusterSim sim(cfg, cl::PerfModel(quiet()), 11);
+  for (int i = 0; i < 40; ++i)
+    sim.submit({cl::Operator::Poisson1, 1.0e6, 1 + (i * 13) % 64, 2.4},
+               i * 0.5);
+  sim.run();
+  // Reconstruct per-node usage from load intervals at many probe times.
+  for (int n = 0; n < cfg.nodes; ++n) {
+    const auto& load = sim.nodeLoad(n);
+    for (const auto& probe : load) {
+      const double t = 0.5 * (probe.begin + probe.end);
+      double util = 0.0;
+      for (const auto& iv : load)
+        if (iv.begin <= t && t < iv.end) util += iv.utilization;
+      EXPECT_LE(util, 1.0 + 1e-9) << "node " << n << " t=" << t;
+    }
+  }
+}
+
+TEST(FailureInjection, WastedTimeGrowsWithFailureRate) {
+  const auto totalWaste = [](double p, std::uint64_t seed) {
+    cl::ClusterSim sim(failing(p, 10), cl::PerfModel(quiet()), seed);
+    for (int i = 0; i < 25; ++i)
+      sim.submit({cl::Operator::Poisson1, 1.0e7, 16, 2.4}, i * 1.0);
+    sim.run();
+    double w = 0.0;
+    for (const auto& rec : sim.records()) w += rec.wastedSeconds;
+    return w;
+  };
+  EXPECT_GT(totalWaste(0.6, 5), totalWaste(0.1, 5));
+}
+
+// ---------------------------------------- analytic posterior gradients
+
+TEST(PredictGradient, MatchesFiniteDifferences) {
+  Rng rng(1);
+  la::Matrix x(12, 2);
+  la::Vector y(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    x(i, 0) = rng.uniformReal(0.0, 4.0);
+    x(i, 1) = rng.uniformReal(0.0, 4.0);
+    y[i] = std::sin(x(i, 0)) - 0.5 * x(i, 1);
+  }
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-4;
+  gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                        cfg);
+  g.fit(x, y, rng);
+
+  const double h = 1e-6;
+  for (const auto& q :
+       {std::vector<double>{1.0, 2.0}, std::vector<double>{3.3, 0.7}}) {
+    const auto pg = g.predictOneWithGradient(q);
+    const auto [m0, v0] = g.predictOne(q);
+    EXPECT_NEAR(pg.mean, m0, 1e-12);
+    EXPECT_NEAR(pg.variance, v0, 1e-12);
+    for (std::size_t dim = 0; dim < 2; ++dim) {
+      auto qp = q;
+      qp[dim] += h;
+      const auto [mUp, vUp] = g.predictOne(qp);
+      qp[dim] = q[dim] - h;
+      const auto [mDn, vDn] = g.predictOne(qp);
+      EXPECT_NEAR(pg.meanGrad[dim], (mUp - mDn) / (2.0 * h), 1e-5)
+          << "dim " << dim;
+      EXPECT_NEAR(pg.varianceGrad[dim], (vUp - vDn) / (2.0 * h), 1e-5)
+          << "dim " << dim;
+    }
+  }
+}
+
+TEST(KernelEvalGradX, AnalyticMatchesNumericAcrossKernels) {
+  const std::vector<double> a{0.7, -0.3};
+  const std::vector<double> b{-0.2, 1.1};
+  std::vector<gp::KernelPtr> kernels;
+  kernels.push_back(std::make_unique<gp::RbfKernel>(0.8));
+  kernels.push_back(std::make_unique<gp::Matern32Kernel>(1.1));
+  kernels.push_back(
+      std::make_unique<gp::Matern52Kernel>(std::vector<double>{0.9, 1.3}));
+  kernels.push_back(
+      std::make_unique<gp::RationalQuadraticKernel>(1.2, 0.7));
+  kernels.push_back(gp::makeSquaredExponential(2.0, 0.6));
+  kernels.push_back(std::make_unique<gp::RbfKernel>(0.5) +
+                    std::make_unique<gp::Matern32Kernel>(1.0));
+  for (const auto& k : kernels) {
+    std::vector<double> grad(2);
+    k->evalGradX(a, b, grad);
+    const double h = 1e-7;
+    for (std::size_t d = 0; d < 2; ++d) {
+      auto ap = a;
+      ap[d] += h;
+      const double up = k->eval(ap, b);
+      ap[d] = a[d] - h;
+      const double dn = k->eval(ap, b);
+      EXPECT_NEAR(grad[d], (up - dn) / (2.0 * h), 1e-6)
+          << k->describe() << " dim " << d;
+    }
+  }
+}
+
+TEST(KernelEvalGradX, ZeroAtCoincidentPointsForStationary) {
+  gp::RbfKernel k(1.0);
+  const std::vector<double> a{1.5, -2.0};
+  std::vector<double> grad(2);
+  k.evalGradX(a, a, grad);
+  EXPECT_DOUBLE_EQ(grad[0], 0.0);
+  EXPECT_DOUBLE_EQ(grad[1], 0.0);
+}
+
+TEST(SuggestContinuousGrad, AgreesWithNumericVariant) {
+  Rng rng(2);
+  std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0};
+  la::Matrix x(xs.size(), 1);
+  la::Vector y(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    x(i, 0) = xs[i];
+    y[i] = std::sin(xs[i]);
+  }
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-4;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  g.fit(x, y, rng);
+
+  const opt::BoxBounds bounds({0.0}, {10.0});
+  Rng r1(3), r2(3);
+  const auto numeric =
+      al::suggestContinuous(g, bounds, al::varianceAcquisition(), 6, r1);
+  const auto analytic = al::suggestContinuous(
+      g, bounds, al::varianceAcquisitionGrad(), 6, r2);
+  // Same seeds, same starts: both should land on (nearly) the same
+  // maximizer of the same smooth acquisition.
+  EXPECT_NEAR(analytic.acquisition, numeric.acquisition,
+              1e-3 * std::abs(numeric.acquisition));
+  EXPECT_NEAR(analytic.x[0], numeric.x[0], 0.05);
+}
+
+TEST(SuggestContinuousGrad, Validation) {
+  gp::GpConfig cfg;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(4);
+  la::Matrix x(2, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  g.fit(x, la::Vector{0.0, 1.0}, rng);
+  al::GradientAcquisition broken;
+  broken.value = [](double, double sd) { return sd; };
+  EXPECT_THROW(al::suggestContinuous(g, opt::BoxBounds({0.0}, {1.0}),
+                                     broken, 2, rng),
+               std::invalid_argument);
+}

@@ -1,0 +1,420 @@
+// Tests for Gaussian Process Regression (gp/gp.hpp): posterior math
+// (paper eqs. 4–7), LML and its analytic gradient (eqs. 12–13), noise
+// bounds (the Fig. 7 knob), model selection, and sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/gp.hpp"
+#include "gp/kernels.hpp"
+
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::stats::Rng;
+
+namespace {
+
+/// 1-D design matrix from a vector of abscissae.
+la::Matrix col(const std::vector<double>& xs) {
+  la::Matrix m(xs.size(), 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) m(i, 0) = xs[i];
+  return m;
+}
+
+gp::GaussianProcess makeGp(double noiseLo = 1e-8, bool optimize = true) {
+  gp::GpConfig cfg;
+  cfg.optimize = optimize;
+  cfg.nRestarts = 2;
+  cfg.noise.lo = noiseLo;
+  cfg.noise.initial = std::max(1e-2, noiseLo);
+  return gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg);
+}
+
+/// Smooth 1-D target used across tests.
+double target(double x) { return std::sin(1.5 * x) + 0.3 * x; }
+
+}  // namespace
+
+TEST(Gp, RequiresKernel) {
+  EXPECT_THROW(gp::GaussianProcess(nullptr), std::invalid_argument);
+}
+
+TEST(Gp, PredictBeforeFitThrows) {
+  auto g = makeGp();
+  EXPECT_THROW(g.predict(la::Matrix(1, 1)), std::invalid_argument);
+  EXPECT_THROW(g.logMarginalLikelihood(), std::invalid_argument);
+}
+
+TEST(Gp, FitValidation) {
+  auto g = makeGp();
+  Rng rng(1);
+  EXPECT_THROW(g.fit(la::Matrix(2, 1), la::Vector{1.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(g.fit(la::Matrix(0, 1), la::Vector{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Gp, SinglePointPosterior) {
+  auto g = makeGp();
+  Rng rng(2);
+  g.fit(col({0.5}), la::Vector{2.0}, rng);
+  const auto [mean, var] = g.predictOne(std::vector<double>{0.5});
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  // Far away the posterior reverts toward the prior (mean 0, larger var).
+  const auto [farMean, farVar] = g.predictOne(std::vector<double>{50.0});
+  EXPECT_NEAR(farMean, 0.0, 0.2);
+  EXPECT_GT(farVar, var);
+}
+
+TEST(Gp, InterpolatesSmoothFunction) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 12; ++i) {
+    xs.push_back(-3.0 + 0.5 * i);
+    ys.push_back(target(xs.back()));
+  }
+  auto g = makeGp();
+  Rng rng(3);
+  g.fit(col(xs), ys, rng);
+  for (double x : {-2.75, -1.1, 0.3, 1.9, 2.6}) {
+    const auto [mean, var] = g.predictOne(std::vector<double>{x});
+    EXPECT_NEAR(mean, target(x), 0.05) << "at x=" << x;
+  }
+}
+
+TEST(Gp, VarianceSmallAtDataLargeBetweenAndOutside) {
+  const std::vector<double> xs{-2.0, -1.0, 0.0, 1.0, 2.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(target(x));
+  auto g = makeGp();
+  Rng rng(4);
+  g.fit(col(xs), ys, rng);
+  const auto [mAt, vAt] = g.predictOne(std::vector<double>{0.0});
+  const auto [mBetween, vBetween] = g.predictOne(std::vector<double>{0.5});
+  const auto [mOutside, vOutside] = g.predictOne(std::vector<double>{6.0});
+  EXPECT_LT(vAt, vBetween);
+  EXPECT_LT(vBetween, vOutside);
+}
+
+TEST(Gp, EdgeOfDomainUncertaintyGrows) {
+  // Paper Fig. 3b: uncertainty is exaggerated at the domain edge when no
+  // measurement is nearby.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(target(x));
+  auto g = makeGp();
+  Rng rng(5);
+  g.fit(col(xs), ys, rng);
+  double prevSd = 0.0;
+  for (double x : {3.0, 4.0, 5.0, 6.0}) {
+    const auto [mean, var] = g.predictOne(std::vector<double>{x});
+    const double sd = std::sqrt(var);
+    EXPECT_GE(sd, prevSd - 1e-12);
+    prevSd = sd;
+  }
+}
+
+TEST(Gp, ShorterLengthScaleWidensConfidenceBetweenPoints) {
+  // Paper Fig. 3a: decreasing l inflates the CI between measurements.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(target(x));
+
+  gp::GpConfig cfg;
+  cfg.optimize = false;  // keep hyperparameters fixed
+  cfg.noise.initial = 1e-6;
+  Rng rng(6);
+
+  gp::GaussianProcess wide(gp::makeSquaredExponential(1.0, 1.5), cfg);
+  wide.fit(col(xs), ys, rng);
+  gp::GaussianProcess narrow(gp::makeSquaredExponential(1.0, 0.3), cfg);
+  narrow.fit(col(xs), ys, rng);
+
+  const auto [mw, vw] = wide.predictOne(std::vector<double>{0.5});
+  const auto [mn, vn] = narrow.predictOne(std::vector<double>{0.5});
+  EXPECT_GT(vn, vw);
+}
+
+TEST(Gp, IncludeNoiseAddsNoiseVariance) {
+  auto g = makeGp(1e-2);
+  Rng rng(7);
+  g.fit(col({0.0, 1.0, 2.0}), la::Vector{0.0, 1.0, 0.5}, rng);
+  const auto latent = g.predict(col({0.7}), false);
+  const auto observed = g.predict(col({0.7}), true);
+  EXPECT_NEAR(observed.variance[0] - latent.variance[0], g.noiseVariance(),
+              1e-10);
+}
+
+TEST(Gp, NoiseBoundIsRespected) {
+  // Perfectly consistent data would push σ_n² to ~0; the bound holds it.
+  auto g = makeGp(1e-1);
+  Rng rng(8);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i);
+  }
+  g.fit(col(xs), ys, rng);
+  EXPECT_GE(g.noiseVariance(), 1e-1 - 1e-12);
+}
+
+TEST(Gp, LowNoiseBoundAllowsOverfit) {
+  // With the permissive bound the same data drives σ_n² far below 1e-1 —
+  // the paper's Fig. 7a overfitting mechanism.
+  auto g = makeGp(1e-8);
+  Rng rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i);
+  }
+  g.fit(col(xs), ys, rng);
+  EXPECT_LT(g.noiseVariance(), 1e-2);
+}
+
+TEST(Gp, RepeatedMeasurementsHandled) {
+  // Two different y at the same x must not break the factorization; the
+  // prediction lands between them and noise is inflated.
+  auto g = makeGp(1e-8);
+  Rng rng(10);
+  g.fit(col({1.0, 1.0, 3.0}), la::Vector{0.8, 1.2, 2.0}, rng);
+  const auto [mean, var] = g.predictOne(std::vector<double>{1.0});
+  EXPECT_GT(mean, 0.7);
+  EXPECT_LT(mean, 1.3);
+  EXPECT_GT(g.noiseVariance(), 1e-6);
+}
+
+TEST(Gp, LmlGradientMatchesNumeric) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 7; ++i) {
+    xs.push_back(0.7 * i);
+    ys.push_back(target(xs.back()));
+  }
+  auto g = makeGp();
+  Rng rng(11);
+  g.fit(col(xs), ys, rng);
+
+  const std::vector<double> theta{std::log(1.3), std::log(0.9),
+                                  std::log(0.05)};
+  const auto grad = g.logMarginalLikelihoodGradientAt(theta);
+  ASSERT_EQ(grad.size(), 3u);
+  const double h = 1e-6;
+  for (std::size_t p = 0; p < 3; ++p) {
+    auto tp = theta;
+    tp[p] += h;
+    const double up = g.logMarginalLikelihoodAt(tp);
+    tp[p] = theta[p] - h;
+    const double dn = g.logMarginalLikelihoodAt(tp);
+    EXPECT_NEAR(grad[p], (up - dn) / (2.0 * h), 1e-4) << "param " << p;
+  }
+}
+
+TEST(Gp, OptimizationImprovesLml) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(0.5 * i);
+    ys.push_back(target(xs.back()));
+  }
+  // Fixed (bad) hyperparameters vs optimized.
+  gp::GpConfig fixedCfg;
+  fixedCfg.optimize = false;
+  fixedCfg.noise.initial = 1.0;
+  gp::GaussianProcess fixed(gp::makeSquaredExponential(0.1, 5.0), fixedCfg);
+  Rng rng(12);
+  fixed.fit(col(xs), ys, rng);
+
+  auto opt = makeGp();
+  opt.fit(col(xs), ys, rng);
+  EXPECT_GT(opt.logMarginalLikelihood(), fixed.logMarginalLikelihood());
+}
+
+TEST(Gp, LmlAtMatchesFittedValue) {
+  auto g = makeGp();
+  Rng rng(13);
+  g.fit(col({0.0, 1.0, 2.0}), la::Vector{0.1, 0.9, 0.2}, rng);
+  EXPECT_NEAR(g.logMarginalLikelihoodAt(g.thetaFull()),
+              g.logMarginalLikelihood(), 1e-9);
+}
+
+TEST(Gp, LmlAtWrongSizeThrows) {
+  auto g = makeGp();
+  Rng rng(14);
+  g.fit(col({0.0, 1.0}), la::Vector{0.0, 1.0}, rng);
+  EXPECT_THROW(g.logMarginalLikelihoodAt(std::vector<double>{0.0}),
+               std::invalid_argument);
+}
+
+TEST(Gp, FixedHyperparametersAreKept) {
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = 0.123;
+  gp::GaussianProcess g(gp::makeSquaredExponential(2.0, 0.7), cfg);
+  Rng rng(15);
+  g.fit(col({0.0, 1.0, 2.0}), la::Vector{0.0, 1.0, 0.0}, rng);
+  EXPECT_NEAR(g.noiseVariance(), 0.123, 1e-14);
+  const auto theta = g.kernel().theta();
+  EXPECT_NEAR(theta[0], std::log(2.0), 1e-14);
+  EXPECT_NEAR(theta[1], std::log(0.7), 1e-14);
+}
+
+TEST(Gp, PredictOneMatchesBatchPredict) {
+  auto g = makeGp();
+  Rng rng(16);
+  g.fit(col({0.0, 0.5, 1.0, 1.5}), la::Vector{0.0, 0.4, 0.9, 1.0}, rng);
+  const la::Matrix q = col({0.25, 0.75, 1.25});
+  const auto batch = g.predict(q);
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    const auto [m, v] = g.predictOne(q.row(i));
+    EXPECT_NEAR(m, batch.mean[i], 1e-12);
+    EXPECT_NEAR(v, batch.variance[i], 1e-12);
+  }
+}
+
+TEST(Gp, PosteriorCovarianceDiagonalMatchesVariance) {
+  auto g = makeGp();
+  Rng rng(17);
+  g.fit(col({0.0, 1.0, 2.0, 3.0}), la::Vector{0.0, 0.8, 0.9, 0.1}, rng);
+  const la::Matrix q = col({0.5, 1.5, 2.5});
+  const auto pred = g.predict(q);
+  const la::Matrix cov = g.posteriorCovariance(q);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(cov(i, i), pred.variance[i], 1e-8);
+  // Symmetric.
+  EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-10);
+}
+
+TEST(Gp, PosteriorSamplesCenterOnMean) {
+  auto g = makeGp();
+  Rng rng(18);
+  g.fit(col({0.0, 1.0, 2.0}), la::Vector{0.0, 1.0, 0.5}, rng);
+  const la::Matrix q = col({0.5, 1.5});
+  const auto pred = g.predict(q);
+  Rng sampleRng(19);
+  const auto samples = g.samplePosterior(q, 400, sampleRng);
+  ASSERT_EQ(samples.size(), 400u);
+  for (std::size_t j = 0; j < q.rows(); ++j) {
+    double mean = 0.0;
+    for (const auto& s : samples) mean += s[j];
+    mean /= samples.size();
+    EXPECT_NEAR(mean, pred.mean[j], 0.1);
+  }
+}
+
+TEST(Gp, CopyIsIndependentAndIdentical) {
+  auto g = makeGp();
+  Rng rng(20);
+  g.fit(col({0.0, 1.0, 2.0}), la::Vector{0.3, 0.9, 0.1}, rng);
+  gp::GaussianProcess copy(g);
+  const auto [m1, v1] = g.predictOne(std::vector<double>{0.7});
+  const auto [m2, v2] = copy.predictOne(std::vector<double>{0.7});
+  EXPECT_DOUBLE_EQ(m1, m2);
+  EXPECT_DOUBLE_EQ(v1, v2);
+  // Refit the copy; the original is untouched.
+  copy.fit(col({5.0}), la::Vector{-1.0}, rng);
+  const auto [m3, v3] = g.predictOne(std::vector<double>{0.7});
+  EXPECT_DOUBLE_EQ(m1, m3);
+}
+
+TEST(Gp, LooPseudoLikelihoodFiniteAndSelectionWorks) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back(0.6 * i);
+    ys.push_back(target(xs.back()));
+  }
+  gp::GpConfig cfg;
+  cfg.selection = gp::ModelSelection::LeaveOneOutCV;
+  cfg.nRestarts = 1;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(21);
+  g.fit(col(xs), ys, rng);
+  EXPECT_TRUE(std::isfinite(g.looLogPseudoLikelihoodAt(g.thetaFull())));
+  // Model should still predict well.
+  const auto [mean, var] = g.predictOne(std::vector<double>{1.5});
+  EXPECT_NEAR(mean, target(1.5), 0.2);
+}
+
+TEST(Gp, DimensionMismatchOnPredictThrows) {
+  auto g = makeGp();
+  Rng rng(22);
+  g.fit(col({0.0, 1.0}), la::Vector{0.0, 1.0}, rng);
+  EXPECT_THROW(g.predict(la::Matrix(1, 2)), std::invalid_argument);
+}
+
+TEST(Gp, TwoDimensionalInputs) {
+  // f(x, y) = x + sin(y): ARD GP should fit with low error.
+  la::Matrix x(25, 2);
+  la::Vector y(25);
+  int r = 0;
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j, ++r) {
+      x(r, 0) = 0.5 * i;
+      x(r, 1) = 0.7 * j;
+      y[r] = x(r, 0) + std::sin(x(r, 1));
+    }
+  gp::GpConfig cfg;
+  cfg.nRestarts = 2;
+  gp::GaussianProcess g(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), cfg);
+  Rng rng(23);
+  g.fit(x, y, rng);
+  const auto [mean, var] = g.predictOne(std::vector<double>{1.25, 1.05});
+  EXPECT_NEAR(mean, 1.25 + std::sin(1.05), 0.1);
+}
+
+TEST(Gp, NoiseConfigValidation) {
+  gp::GpConfig cfg;
+  cfg.noise.lo = -1.0;
+  EXPECT_THROW(
+      gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg),
+      std::invalid_argument);
+  gp::GpConfig cfg2;
+  cfg2.noise.lo = 1.0;
+  cfg2.noise.hi = 0.5;
+  EXPECT_THROW(
+      gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg2),
+      std::invalid_argument);
+}
+
+// Parameterized: every kernel family fits the smooth target well.
+class GpKernelFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpKernelFamilies, FitsSmoothTarget) {
+  gp::KernelPtr kernel;
+  switch (GetParam()) {
+    case 0:
+      kernel = gp::makeSquaredExponential(1.0, 1.0);
+      break;
+    case 1:
+      kernel = std::make_unique<gp::ConstantKernel>(1.0) *
+               std::make_unique<gp::Matern32Kernel>(1.0);
+      break;
+    case 2:
+      kernel = std::make_unique<gp::ConstantKernel>(1.0) *
+               std::make_unique<gp::Matern52Kernel>(1.0);
+      break;
+    default:
+      kernel = std::make_unique<gp::ConstantKernel>(1.0) *
+               std::make_unique<gp::RationalQuadraticKernel>(1.0, 1.0);
+      break;
+  }
+  gp::GpConfig cfg;
+  cfg.nRestarts = 2;
+  gp::GaussianProcess g(std::move(kernel), cfg);
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 16; ++i) {
+    xs.push_back(-3.0 + 0.375 * i);
+    ys.push_back(target(xs.back()));
+  }
+  Rng rng(100 + GetParam());
+  g.fit(col(xs), ys, rng);
+  double err = 0.0;
+  int count = 0;
+  for (double x = -2.8; x <= 2.8; x += 0.37, ++count) {
+    const auto [mean, var] = g.predictOne(std::vector<double>{x});
+    err += (mean - target(x)) * (mean - target(x));
+  }
+  EXPECT_LT(std::sqrt(err / count), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GpKernelFamilies,
+                         ::testing::Values(0, 1, 2, 3));

@@ -1,0 +1,334 @@
+// Tests for covariance functions (gp/kernels.hpp): values, hyperparameter
+// round-trips, Gram-matrix structure, and — critically — analytic
+// ∂K/∂θ gradients verified against central differences for every kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "gp/kernels.hpp"
+#include "la/cholesky.hpp"
+
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+
+namespace {
+
+la::Matrix testPoints(std::size_t n, std::size_t d, int seed = 1) {
+  la::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      x(i, j) = std::sin(static_cast<double>((i + 1) * (j + 2) * seed)) * 2.0;
+  return x;
+}
+
+using KernelFactory = std::function<gp::KernelPtr()>;
+
+struct NamedFactory {
+  std::string name;
+  KernelFactory make;
+  std::size_t inputDim;
+};
+
+std::vector<NamedFactory> allKernels() {
+  return {
+      {"constant", [] { return std::make_unique<gp::ConstantKernel>(2.5); },
+       2},
+      {"rbf_iso", [] { return std::make_unique<gp::RbfKernel>(0.7); }, 2},
+      {"rbf_ard",
+       [] {
+         return std::make_unique<gp::RbfKernel>(
+             std::vector<double>{0.5, 1.5, 0.9});
+       },
+       3},
+      {"matern32", [] { return std::make_unique<gp::Matern32Kernel>(1.2); },
+       2},
+      {"matern52",
+       [] {
+         return std::make_unique<gp::Matern52Kernel>(
+             std::vector<double>{0.8, 1.1});
+       },
+       2},
+      {"rq",
+       [] {
+         return std::make_unique<gp::RationalQuadraticKernel>(0.9, 1.7);
+       },
+       2},
+      {"const_times_rbf",
+       [] { return gp::makeSquaredExponential(1.8, 0.6); }, 2},
+      {"sum",
+       [] {
+         return std::make_unique<gp::RbfKernel>(0.5) +
+                std::make_unique<gp::Matern32Kernel>(1.5);
+       },
+       2},
+      {"periodic",
+       [] { return std::make_unique<gp::PeriodicKernel>(0.9, 2.3); }, 2},
+      {"periodic_times_rbf",
+       [] {
+         return std::make_unique<gp::PeriodicKernel>(1.1, 3.0) *
+                std::make_unique<gp::RbfKernel>(2.0);
+       },
+       2},
+      {"product_of_sum",
+       [] {
+         return std::make_unique<gp::ConstantKernel>(1.3) *
+                (std::make_unique<gp::RbfKernel>(0.8) +
+                 std::make_unique<gp::ConstantKernel>(0.2));
+       },
+       2},
+  };
+}
+
+}  // namespace
+
+class KernelSuite : public ::testing::TestWithParam<NamedFactory> {};
+
+TEST_P(KernelSuite, EvalIsSymmetric) {
+  const auto k = GetParam().make();
+  const la::Matrix x = testPoints(5, GetParam().inputDim);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_DOUBLE_EQ(k->eval(x.row(i), x.row(j)),
+                       k->eval(x.row(j), x.row(i)));
+}
+
+TEST_P(KernelSuite, GramMatchesEval) {
+  const auto k = GetParam().make();
+  const la::Matrix x = testPoints(6, GetParam().inputDim);
+  const la::Matrix g = k->gram(x);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(g(i, j), k->eval(x.row(i), x.row(j)), 1e-13);
+}
+
+TEST_P(KernelSuite, GramIsPsdWithJitter) {
+  const auto k = GetParam().make();
+  const la::Matrix x = testPoints(8, GetParam().inputDim);
+  la::Matrix g = k->gram(x);
+  g.addToDiagonal(1e-8 * (g.maxAbs() + 1.0));
+  EXPECT_NO_THROW(la::Cholesky{std::move(g)});
+}
+
+TEST_P(KernelSuite, ThetaRoundTrips) {
+  const auto k = GetParam().make();
+  const auto theta = k->theta();
+  EXPECT_EQ(theta.size(), k->numParams());
+  EXPECT_EQ(k->paramNames().size(), k->numParams());
+  auto clone = k->clone();
+  // Perturb then restore.
+  auto perturbed = theta;
+  for (double& t : perturbed) t += 0.3;
+  clone->setTheta(perturbed);
+  const auto got = clone->theta();
+  for (std::size_t i = 0; i < theta.size(); ++i)
+    EXPECT_NEAR(got[i], theta[i] + 0.3, 1e-12);
+  clone->setTheta(theta);
+  const la::Matrix x = testPoints(4, GetParam().inputDim);
+  EXPECT_NEAR(clone->eval(x.row(0), x.row(1)), k->eval(x.row(0), x.row(1)),
+              1e-13);
+}
+
+TEST_P(KernelSuite, SetThetaWrongSizeThrows) {
+  const auto k = GetParam().make();
+  std::vector<double> bad(k->numParams() + 1, 0.0);
+  EXPECT_THROW(k->setTheta(bad), std::invalid_argument);
+}
+
+TEST_P(KernelSuite, BoundsAlignedWithTheta) {
+  const auto k = GetParam().make();
+  const auto b = k->thetaBounds();
+  EXPECT_EQ(b.dim(), k->numParams());
+  EXPECT_TRUE(b.contains(k->theta(), 1e-9));
+}
+
+TEST_P(KernelSuite, CloneIsIndependent) {
+  const auto k = GetParam().make();
+  auto clone = k->clone();
+  auto theta = clone->theta();
+  for (double& t : theta) t += 1.0;
+  clone->setTheta(theta);
+  const la::Matrix x = testPoints(3, GetParam().inputDim);
+  // Original unchanged.
+  const auto fresh = GetParam().make();
+  EXPECT_NEAR(k->eval(x.row(0), x.row(1)), fresh->eval(x.row(0), x.row(1)),
+              1e-13);
+}
+
+TEST_P(KernelSuite, AnalyticGradientsMatchNumeric) {
+  const auto k = GetParam().make();
+  const la::Matrix x = testPoints(5, GetParam().inputDim, 2);
+  std::vector<la::Matrix> grads;
+  k->gramGradients(x, k->gram(x), grads);
+  ASSERT_EQ(grads.size(), k->numParams());
+
+  const auto theta0 = k->theta();
+  const double h = 1e-6;
+  for (std::size_t p = 0; p < theta0.size(); ++p) {
+    auto tp = theta0;
+    tp[p] += h;
+    auto km = k->clone();
+    km->setTheta(tp);
+    const la::Matrix gPlus = km->gram(x);
+    tp[p] = theta0[p] - h;
+    km->setTheta(tp);
+    const la::Matrix gMinus = km->gram(x);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.rows(); ++j) {
+        const double numeric = (gPlus(i, j) - gMinus(i, j)) / (2.0 * h);
+        EXPECT_NEAR(grads[p](i, j), numeric, 1e-5)
+            << GetParam().name << " param " << p << " entry (" << i << ","
+            << j << ")";
+      }
+  }
+}
+
+TEST_P(KernelSuite, DescribeIsNonEmpty) {
+  EXPECT_FALSE(GetParam().make()->describe().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelSuite, ::testing::ValuesIn(allKernels()),
+    [](const ::testing::TestParamInfo<NamedFactory>& paramInfo) {
+      return paramInfo.param.name;
+    });
+
+// ------------------------------------------------ kernel-specific values
+
+TEST(RbfKernel, MatchesClosedForm) {
+  gp::RbfKernel k(2.0);
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0};
+  // exp(-|a-b|²/(2l²)) = exp(-2/8).
+  EXPECT_NEAR(k.eval(a, b), std::exp(-0.25), 1e-14);
+  EXPECT_DOUBLE_EQ(k.eval(a, a), 1.0);
+}
+
+TEST(RbfKernel, ArdScalesPerDimension) {
+  gp::RbfKernel k(std::vector<double>{1.0, 10.0});
+  const std::vector<double> origin{0.0, 0.0};
+  // A unit step along the short-scale axis decays much more.
+  const double alongX = k.eval(origin, std::vector<double>{1.0, 0.0});
+  const double alongY = k.eval(origin, std::vector<double>{0.0, 1.0});
+  EXPECT_LT(alongX, alongY);
+}
+
+TEST(RbfKernel, ShorterLengthScaleDecaysFaster) {
+  gp::RbfKernel wide(2.0), narrow(0.5);
+  const std::vector<double> a{0.0};
+  const std::vector<double> b{1.0};
+  EXPECT_LT(narrow.eval(a, b), wide.eval(a, b));
+}
+
+TEST(ConstantKernel, IsConstantEverywhere) {
+  gp::ConstantKernel k(3.5);
+  EXPECT_DOUBLE_EQ(k.eval(std::vector<double>{0.0}, std::vector<double>{9.0}),
+                   3.5);
+  EXPECT_THROW(gp::ConstantKernel(-1.0), std::invalid_argument);
+}
+
+TEST(MaternKernels, UnitAtZeroAndDecay) {
+  gp::Matern32Kernel m32(1.0);
+  gp::Matern52Kernel m52(1.0);
+  const std::vector<double> a{0.0};
+  EXPECT_DOUBLE_EQ(m32.eval(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(m52.eval(a, a), 1.0);
+  const std::vector<double> b{1.0};
+  EXPECT_LT(m32.eval(a, b), 1.0);
+  EXPECT_GT(m32.eval(a, b), 0.0);
+  // Matérn 5/2 is smoother: closer to the RBF, larger at moderate range
+  // than 3/2.
+  EXPECT_GT(m52.eval(a, b), m32.eval(a, b));
+}
+
+TEST(Matern32Kernel, ClosedFormValue) {
+  gp::Matern32Kernel k(1.0);
+  const double r = 1.5;
+  const double a = std::sqrt(3.0) * r;
+  EXPECT_NEAR(k.eval(std::vector<double>{0.0}, std::vector<double>{r}),
+              (1.0 + a) * std::exp(-a), 1e-14);
+}
+
+TEST(RationalQuadratic, ApproachesRbfForLargeAlpha) {
+  gp::RationalQuadraticKernel rq(1.0, 1e6);
+  gp::RbfKernel rbf(1.0);
+  const std::vector<double> a{0.0};
+  const std::vector<double> b{1.3};
+  EXPECT_NEAR(rq.eval(a, b), rbf.eval(a, b), 1e-4);
+}
+
+TEST(RationalQuadratic, ClosedFormValue) {
+  gp::RationalQuadraticKernel k(2.0, 0.5);
+  const double s = 9.0 / 4.0;  // (3/2)²
+  EXPECT_NEAR(k.eval(std::vector<double>{0.0}, std::vector<double>{3.0}),
+              std::pow(1.0 + s / (2.0 * 0.5), -0.5), 1e-14);
+}
+
+TEST(CompositeKernels, SumAndProductValues) {
+  auto sum = std::make_unique<gp::ConstantKernel>(2.0) +
+             std::make_unique<gp::ConstantKernel>(3.0);
+  auto prod = std::make_unique<gp::ConstantKernel>(2.0) *
+              std::make_unique<gp::ConstantKernel>(3.0);
+  const std::vector<double> x{0.0};
+  EXPECT_DOUBLE_EQ(sum->eval(x, x), 5.0);
+  EXPECT_DOUBLE_EQ(prod->eval(x, x), 6.0);
+  EXPECT_EQ(sum->numParams(), 2u);
+  EXPECT_EQ(prod->numParams(), 2u);
+}
+
+TEST(CompositeKernels, ThetaConcatenation) {
+  auto k = gp::makeSquaredExponential(4.0, 0.5);
+  const auto theta = k->theta();
+  ASSERT_EQ(theta.size(), 2u);
+  EXPECT_NEAR(theta[0], std::log(4.0), 1e-14);
+  EXPECT_NEAR(theta[1], std::log(0.5), 1e-14);
+}
+
+TEST(CompositeKernels, PaperEquation11) {
+  // σ_f²·exp(-|a-b|²/(2l²)) with σ_f² = 2.25, l = 0.8.
+  auto k = gp::makeSquaredExponential(2.25, 0.8);
+  const std::vector<double> a{0.2};
+  const std::vector<double> b{1.0};
+  const double d2 = 0.64;
+  EXPECT_NEAR(k->eval(a, b), 2.25 * std::exp(-d2 / (2.0 * 0.64)), 1e-13);
+}
+
+TEST(Kernel, CrossMatrixShape) {
+  auto k = gp::makeSquaredExponential(1.0, 1.0);
+  const la::Matrix x = testPoints(4, 2);
+  const la::Matrix y = testPoints(3, 2, 9);
+  const la::Matrix c = k->cross(x, y);
+  EXPECT_EQ(c.rows(), 4u);
+  EXPECT_EQ(c.cols(), 3u);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(c(i, j), k->eval(x.row(i), y.row(j)), 1e-14);
+}
+
+TEST(Kernel, DiagMatchesEval) {
+  auto k = gp::makeSquaredExponential(3.0, 1.0);
+  const la::Matrix x = testPoints(5, 2);
+  const la::Vector d = k->diag(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(d[i], 3.0, 1e-14);
+}
+
+TEST(PeriodicKernel, ExactPeriodicity) {
+  gp::PeriodicKernel k(1.0, 2.0);
+  const std::vector<double> a{0.3};
+  // Shifting by the period leaves the covariance unchanged.
+  EXPECT_NEAR(k.eval(a, std::vector<double>{1.1}),
+              k.eval(a, std::vector<double>{3.1}), 1e-12);
+  EXPECT_DOUBLE_EQ(k.eval(a, a), 1.0);
+  // At a full period offset, correlation returns to 1.
+  EXPECT_NEAR(k.eval(a, std::vector<double>{2.3}), 1.0, 1e-12);
+  EXPECT_THROW(gp::PeriodicKernel(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(StationaryKernel, ValidationErrors) {
+  EXPECT_THROW(gp::RbfKernel(0.0), std::invalid_argument);
+  EXPECT_THROW(gp::RbfKernel(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(gp::RbfKernel(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(gp::RationalQuadraticKernel(1.0, 0.0), std::invalid_argument);
+}

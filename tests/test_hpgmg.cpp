@@ -1,0 +1,325 @@
+// Tests for the mini-HPGMG solver: field ops, stencil construction and
+// symmetry, multigrid convergence (the key property: grid-independent
+// V-cycle contraction), FMG accuracy, and discretization order.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "hpgmg/benchmark.hpp"
+#include "hpgmg/multigrid.hpp"
+
+namespace hp = alperf::hpgmg;
+using hp::Field;
+using hp::Multigrid;
+using hp::Stencil;
+using hp::StencilType;
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+double exactU(double x, double y, double z) {
+  return std::sin(kPi * x) * std::sin(kPi * y) * std::sin(kPi * z);
+}
+
+}  // namespace
+
+TEST(Field, ConstructionAndIndexing) {
+  Field f(7);
+  EXPECT_EQ(f.n(), 7);
+  EXPECT_DOUBLE_EQ(f.h(), 1.0 / 8.0);
+  EXPECT_EQ(f.interiorPoints(), 343u);
+  f.at(1, 1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(f.at(1, 1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(0, 0, 0), 0.0);  // halo starts zero
+  EXPECT_THROW(Field(0), std::invalid_argument);
+}
+
+TEST(Field, NormsAndAxpy) {
+  Field f(3);
+  hp::setInterior(f, [](double, double, double) { return 2.0; });
+  EXPECT_DOUBLE_EQ(f.normInf(), 2.0);
+  // L2: sqrt(sum(4) * h³) = sqrt(27*4/64) = sqrt(108/64).
+  EXPECT_NEAR(f.normL2(), std::sqrt(27.0 * 4.0 / 64.0), 1e-12);
+  Field g(3);
+  hp::setInterior(g, [](double, double, double) { return 1.0; });
+  f.axpy(-2.0, g);
+  EXPECT_NEAR(f.normInf(), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(f.dotInterior(g), 0.0);
+}
+
+TEST(Field, SetInteriorUsesCoordinates) {
+  Field f(3);
+  hp::setInterior(f, [](double x, double, double) { return x; });
+  EXPECT_DOUBLE_EQ(f.at(1, 2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(f.at(3, 1, 1), 0.75);
+}
+
+TEST(Stencil, Poisson1Weights) {
+  const Stencil s(StencilType::Poisson1, 0.5);
+  EXPECT_DOUBLE_EQ(s.weight(0, 0, 0), 24.0);  // 6/h²
+  EXPECT_DOUBLE_EQ(s.weight(1, 0, 0), -4.0);
+  EXPECT_DOUBLE_EQ(s.weight(1, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(s.diagonal(), 24.0);
+  EXPECT_DOUBLE_EQ(s.flopsPerPoint(), 14.0);
+}
+
+TEST(Stencil, Poisson2IsWideStencil) {
+  // The Q1-FEM-style Laplacian K⊗M⊗M + M⊗K⊗M + M⊗M⊗K famously has zero
+  // face weights in 3D: 21 nonzeros (center + 12 edges + 8 corners).
+  const Stencil s(StencilType::Poisson2, 0.25);
+  int nnz = 0;
+  for (int a = -1; a <= 1; ++a)
+    for (int b = -1; b <= 1; ++b)
+      for (int c = -1; c <= 1; ++c)
+        if (s.weight(a, b, c) != 0.0) ++nnz;
+  EXPECT_EQ(nnz, 21);
+  EXPECT_NEAR(s.weight(1, 0, 0), 0.0, 1e-12);  // face weights cancel
+  EXPECT_GT(s.flopsPerPoint(), 40.0);  // vs 14 for the 7-point operator
+  // The affine variant's cross terms repopulate the faces.
+  const Stencil sa(StencilType::Poisson2Affine, 0.25);
+  int nnzA = 0;
+  for (int a = -1; a <= 1; ++a)
+    for (int b = -1; b <= 1; ++b)
+      for (int c = -1; c <= 1; ++c)
+        if (sa.weight(a, b, c) != 0.0) ++nnzA;
+  EXPECT_GT(nnzA, 21);
+}
+
+TEST(Stencil, SymmetricWeights) {
+  for (auto type : {StencilType::Poisson1, StencilType::Poisson2,
+                    StencilType::Poisson2Affine}) {
+    const Stencil s(type, 0.125);
+    for (int a = -1; a <= 1; ++a)
+      for (int b = -1; b <= 1; ++b)
+        for (int c = -1; c <= 1; ++c)
+          EXPECT_DOUBLE_EQ(s.weight(a, b, c), s.weight(-a, -b, -c))
+              << "type " << static_cast<int>(type);
+  }
+}
+
+TEST(Stencil, AnnihilatesConstantsUpToBoundary) {
+  // Away from the boundary, A·1 = 0 for a consistent Laplacian stencil.
+  for (auto type : {StencilType::Poisson1, StencilType::Poisson2,
+                    StencilType::Poisson2Affine}) {
+    Field u(7);
+    u.fill(1.0);  // including halo → no boundary effect at interior center
+    Field out(7);
+    const Stencil s(type, u.h());
+    s.apply(u, out);
+    EXPECT_NEAR(out.at(4, 4, 4), 0.0, 1e-10)
+        << "type " << static_cast<int>(type);
+  }
+}
+
+TEST(Stencil, Poisson1MatchesAnalyticLaplacian) {
+  // For u = sin(πx)sin(πy)sin(πz), -Δu = 3π²u; the 7-point stencil
+  // converges to it at O(h²).
+  const auto errorAt = [](int n) {
+    Field u(n);
+    hp::setInterior(u, exactU);
+    Field out(n);
+    const Stencil s(StencilType::Poisson1, u.h());
+    s.apply(u, out);
+    double maxErr = 0.0;
+    for (int i = 1; i <= n; ++i)
+      for (int j = 1; j <= n; ++j)
+        for (int k = 1; k <= n; ++k) {
+          const double expect =
+              3.0 * kPi * kPi * exactU(u.coord(i), u.coord(j), u.coord(k));
+          maxErr = std::max(maxErr, std::abs(out.at(i, j, k) - expect));
+        }
+    return maxErr;
+  };
+  const double e1 = errorAt(15);
+  const double e2 = errorAt(31);
+  EXPECT_NEAR(e1 / e2, 4.0, 0.8);  // O(h²)
+}
+
+TEST(Stencil, ResidualOfExactSolveIsZero) {
+  Field x(7), b(7), r(7);
+  hp::setInterior(x, exactU);
+  const Stencil s(StencilType::Poisson2, x.h());
+  s.apply(x, b);
+  s.residual(x, b, r);
+  EXPECT_NEAR(r.normInf(), 0.0, 1e-12);
+}
+
+TEST(Stencil, GershgorinBoundSane) {
+  for (auto type : {StencilType::Poisson1, StencilType::Poisson2,
+                    StencilType::Poisson2Affine}) {
+    const Stencil s(type, 0.1);
+    EXPECT_GT(s.gershgorinBound(), 1.0);
+    EXPECT_LT(s.gershgorinBound(), 3.0);
+  }
+}
+
+TEST(Multigrid, RequiresPow2Minus1) {
+  EXPECT_THROW(Multigrid(StencilType::Poisson1, 8), std::invalid_argument);
+  EXPECT_NO_THROW(Multigrid(StencilType::Poisson1, 7));
+}
+
+TEST(Multigrid, LevelCount) {
+  Multigrid mg(StencilType::Poisson1, 31);
+  // 31 → 15 → 7 → 3.
+  EXPECT_EQ(mg.numLevels(), 4);
+  EXPECT_EQ(mg.finestN(), 31);
+  EXPECT_GT(mg.totalDof(), 31u * 31u * 31u);
+}
+
+TEST(Multigrid, VcycleContractsResidual) {
+  // The defining multigrid property: a V-cycle reduces the residual by a
+  // grid-independent factor well below 1.
+  for (int n : {15, 31}) {
+    Multigrid mg(StencilType::Poisson1, n);
+    Field b(n), x(n);
+    hp::setInterior(b, [](double px, double py, double pz) {
+      return 3.0 * kPi * kPi * exactU(px, py, pz);
+    });
+    auto stats = mg.solve(b, x);
+    EXPECT_TRUE(stats.converged) << "n=" << n;
+    EXPECT_LT(stats.meanReduction(), 0.25) << "n=" << n;
+  }
+}
+
+TEST(Multigrid, SolveRecoversManufacturedDiscreteSolution) {
+  // b = A·u_exact ⇒ solver must recover u_exact to solver tolerance,
+  // independent of discretization error. Checks all three operators.
+  for (auto type : {StencilType::Poisson1, StencilType::Poisson2,
+                    StencilType::Poisson2Affine}) {
+    const int n = 15;
+    Field uStar(n);
+    hp::setInterior(uStar, exactU);
+    Multigrid mg(type, n);
+    Field b(n);
+    mg.stencil(0).apply(uStar, b);
+    Field x(n);
+    const auto stats = mg.solve(b, x);
+    EXPECT_TRUE(stats.converged) << "type " << static_cast<int>(type);
+    x.axpy(-1.0, uStar);
+    EXPECT_LT(x.normInf(), 1e-6) << "type " << static_cast<int>(type);
+  }
+}
+
+TEST(Multigrid, JacobiSmootherAlsoConverges) {
+  hp::MgOptions opt;
+  opt.smoother = hp::SmootherType::WeightedJacobi;
+  opt.preSmooth = 3;
+  opt.postSmooth = 3;
+  Multigrid mg(StencilType::Poisson1, 15, opt);
+  Field b(15), x(15);
+  hp::setInterior(b, [](double px, double py, double pz) {
+    return 3.0 * kPi * kPi * exactU(px, py, pz);
+  });
+  const auto stats = mg.solve(b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.meanReduction(), 0.5);
+}
+
+TEST(Multigrid, RedBlackGaussSeidelConverges) {
+  hp::MgOptions opt;
+  opt.smoother = hp::SmootherType::RedBlackGaussSeidel;
+  Multigrid mg(StencilType::Poisson1, 15, opt);
+  Field b(15), x(15);
+  hp::setInterior(b, [](double px, double py, double pz) {
+    return 3.0 * kPi * kPi * exactU(px, py, pz);
+  });
+  const auto stats = mg.solve(b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.meanReduction(), 0.35);
+}
+
+TEST(Multigrid, RedBlackBeatsJacobiPerSweep) {
+  // Gauss-Seidel smooths roughly twice as fast as weighted Jacobi, so
+  // the V-cycle contraction factor should be at least as good.
+  const auto reductionWith = [](hp::SmootherType smoother) {
+    hp::MgOptions opt;
+    opt.smoother = smoother;
+    opt.preSmooth = 2;
+    opt.postSmooth = 2;
+    Multigrid mg(StencilType::Poisson1, 15, opt);
+    Field b(15), x(15);
+    hp::setInterior(b, [](double px, double py, double pz) {
+      return 3.0 * kPi * kPi * exactU(px, py, pz);
+    });
+    return mg.solve(b, x).meanReduction();
+  };
+  EXPECT_LE(reductionWith(hp::SmootherType::RedBlackGaussSeidel),
+            reductionWith(hp::SmootherType::WeightedJacobi) + 0.02);
+}
+
+TEST(Multigrid, FmgReachesDiscretizationAccuracyOrder) {
+  // FMG + polish solves; the discrete error vs the continuum solution
+  // should drop ~4x per refinement (2nd-order operator).
+  const auto discreteError = [](int n) {
+    Multigrid mg(StencilType::Poisson1, n);
+    Field b(n), x(n);
+    hp::setInterior(b, [](double px, double py, double pz) {
+      return 3.0 * kPi * kPi * exactU(px, py, pz);
+    });
+    mg.fmgSolve(b, x);
+    Field uStar(n);
+    hp::setInterior(uStar, exactU);
+    x.axpy(-1.0, uStar);
+    return x.normInf();
+  };
+  const double e15 = discreteError(15);
+  const double e31 = discreteError(31);
+  EXPECT_NEAR(e15 / e31, 4.0, 1.2);
+}
+
+TEST(Multigrid, SizeMismatchThrows) {
+  Multigrid mg(StencilType::Poisson1, 7);
+  Field wrong(15), x(7);
+  EXPECT_THROW(mg.solve(wrong, x), std::invalid_argument);
+}
+
+TEST(Benchmark, RunsAndConverges) {
+  const auto result = hp::runBenchmark(StencilType::Poisson1, 15);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_EQ(result.dof, 15u * 15u * 15u);
+  EXPECT_GT(result.estimatedFlops, 0.0);
+  EXPECT_LT(result.finalResidual, result.initialResidual);
+}
+
+TEST(Benchmark, GridSizeForDof) {
+  EXPECT_EQ(hp::gridSizeForDof(1.0), 3);
+  EXPECT_EQ(hp::gridSizeForDof(27.0), 3);
+  EXPECT_EQ(hp::gridSizeForDof(28.0), 7);
+  EXPECT_EQ(hp::gridSizeForDof(3000.0), 15);
+  EXPECT_EQ(hp::gridSizeForDof(1e12, 63), 63);  // capped
+  EXPECT_THROW(hp::gridSizeForDof(0.0), std::invalid_argument);
+}
+
+TEST(Benchmark, WiderStencilCostsMore) {
+  const auto p1 = hp::runBenchmark(StencilType::Poisson1, 31);
+  const auto p2 = hp::runBenchmark(StencilType::Poisson2, 31);
+  EXPECT_GT(p2.estimatedFlops, p1.estimatedFlops);
+}
+
+// Parameterized: every operator converges on every tested grid size.
+class MgConvergence
+    : public ::testing::TestWithParam<std::tuple<StencilType, int>> {};
+
+TEST_P(MgConvergence, SolveConverges) {
+  const auto [type, n] = GetParam();
+  Multigrid mg(type, n);
+  Field b(n), x(n);
+  hp::setInterior(b, [](double px, double py, double pz) {
+    return std::sin(2.0 * kPi * px) * std::sin(kPi * py) *
+           std::sin(3.0 * kPi * pz);
+  });
+  const auto stats = mg.solve(b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.finalResidual, 1e-8 * stats.initialResidual + 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MgConvergence,
+    ::testing::Combine(::testing::Values(StencilType::Poisson1,
+                                         StencilType::Poisson2,
+                                         StencilType::Poisson2Affine),
+                       ::testing::Values(7, 15, 31)));

@@ -1,0 +1,248 @@
+// Tests for the incremental-update path: Cholesky::extend and
+// GaussianProcess::addObservation, plus the continuous-candidate AL
+// built on them (core/continuous.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/continuous.hpp"
+#include "gp/kernels.hpp"
+#include "la/cholesky.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::stats::Rng;
+namespace opt = alperf::opt;
+
+namespace {
+
+la::Matrix spd(std::size_t n, int seed = 1) {
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = std::sin(static_cast<double>((i + 2) * (j + 1) * seed));
+  la::Matrix s = la::gram(a);
+  s.addToDiagonal(static_cast<double>(n));
+  return s;
+}
+
+la::Matrix col(const std::vector<double>& xs) {
+  la::Matrix m(xs.size(), 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) m(i, 0) = xs[i];
+  return m;
+}
+
+double target(double x) { return std::sin(1.3 * x) + 0.25 * x; }
+
+}  // namespace
+
+TEST(CholeskyExtend, MatchesFullFactorization) {
+  const la::Matrix full = spd(6);
+  // Factor the leading 5x5 block, then extend with the last row/col.
+  la::Matrix block(5, 5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) block(i, j) = full(i, j);
+  la::Cholesky chol(block);
+  la::Vector k(5);
+  for (std::size_t i = 0; i < 5; ++i) k[i] = full(i, 5);
+  chol.extend(k, full(5, 5));
+
+  const la::Cholesky ref(full);
+  EXPECT_TRUE(chol.factor().approxEqual(ref.factor(), 1e-10));
+  EXPECT_NEAR(chol.logDet(), ref.logDet(), 1e-10);
+}
+
+TEST(CholeskyExtend, SolveAfterExtend) {
+  const la::Matrix full = spd(5, 3);
+  la::Matrix block(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) block(i, j) = full(i, j);
+  la::Cholesky chol(block);
+  la::Vector k(4);
+  for (std::size_t i = 0; i < 4; ++i) k[i] = full(i, 4);
+  chol.extend(k, full(4, 4));
+
+  la::Vector b{1.0, -2.0, 0.5, 3.0, 1.5};
+  const la::Vector x = chol.solve(b);
+  const la::Vector ax = la::matvec(full, x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(CholeskyExtend, RejectsNonSpdExtension) {
+  la::Cholesky chol(la::Matrix::identity(2));
+  // kappa too small: [[I, k], [kᵀ, 0.1]] with |k|² = 2 > 0.1 is indefinite.
+  EXPECT_THROW(chol.extend(la::Vector{1.0, 1.0}, 0.1),
+               alperf::NumericalError);
+  EXPECT_THROW(chol.extend(la::Vector{1.0}, 5.0), std::invalid_argument);
+}
+
+TEST(CholeskyExtend, RepeatedExtensions) {
+  const la::Matrix full = spd(8, 5);
+  la::Matrix seed(2, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) seed(i, j) = full(i, j);
+  la::Cholesky chol(seed);
+  for (std::size_t m = 2; m < 8; ++m) {
+    la::Vector k(m);
+    for (std::size_t i = 0; i < m; ++i) k[i] = full(i, m);
+    chol.extend(k, full(m, m));
+  }
+  const la::Cholesky ref(full);
+  EXPECT_TRUE(chol.factor().approxEqual(ref.factor(), 1e-9));
+}
+
+TEST(GpAddObservation, MatchesFullRefitExactly) {
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = 1e-2;
+  gp::GaussianProcess inc(gp::makeSquaredExponential(1.2, 0.9), cfg);
+  gp::GaussianProcess full(gp::makeSquaredExponential(1.2, 0.9), cfg);
+
+  Rng rng(1);
+  const std::vector<double> xs{0.0, 0.7, 1.4, 2.1};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(target(x));
+  inc.fit(col(xs), ys, rng);
+
+  // Add two observations incrementally.
+  inc.addObservation(std::vector<double>{2.8}, target(2.8));
+  inc.addObservation(std::vector<double>{3.5}, target(3.5));
+
+  auto xs2 = xs;
+  xs2.push_back(2.8);
+  xs2.push_back(3.5);
+  auto ys2 = ys;
+  ys2.push_back(target(2.8));
+  ys2.push_back(target(3.5));
+  full.fit(col(xs2), ys2, rng);
+
+  for (double q : {0.3, 1.0, 2.5, 3.2, 4.0}) {
+    const auto [mi, vi] = inc.predictOne(std::vector<double>{q});
+    const auto [mf, vf] = full.predictOne(std::vector<double>{q});
+    EXPECT_NEAR(mi, mf, 1e-9) << "q=" << q;
+    EXPECT_NEAR(vi, vf, 1e-9) << "q=" << q;
+  }
+  EXPECT_NEAR(inc.logMarginalLikelihood(), full.logMarginalLikelihood(),
+              1e-9);
+  EXPECT_EQ(inc.numTrainPoints(), 6u);
+}
+
+TEST(GpAddObservation, Validation) {
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  EXPECT_THROW(g.addObservation(std::vector<double>{1.0}, 0.0),
+               std::invalid_argument);  // not fitted
+  Rng rng(2);
+  g.fit(col({0.0, 1.0}), la::Vector{0.0, 1.0}, rng);
+  EXPECT_THROW(g.addObservation(std::vector<double>{1.0, 2.0}, 0.0),
+               std::invalid_argument);  // wrong dimension
+}
+
+TEST(SuggestContinuous, FindsHighVarianceRegion) {
+  // Train on [0, 2]; the domain extends to 10 → the suggestion should sit
+  // far from the data (at/near the far boundary).
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-4;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(3);
+  std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(target(x));
+  g.fit(col(xs), ys, rng);
+
+  const opt::BoxBounds bounds({0.0}, {10.0});
+  const auto s = al::suggestContinuous(g, bounds,
+                                       al::varianceAcquisition(), 8, rng);
+  EXPECT_GT(s.x[0], 5.0);
+  EXPECT_GT(s.sd, 0.1);
+  EXPECT_NEAR(s.acquisition, s.sd, 1e-6);
+}
+
+TEST(SuggestContinuous, CostEfficiencyPrefersCheapSide) {
+  // Response = log-cost rising with x; train in the middle. Variance is
+  // symmetric at both ends, so eq. 14 pushes the pick to the cheap end.
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-4;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(4);
+  const std::vector<double> xs{4.0, 5.0, 6.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(0.5 * x);  // log-cost
+  g.fit(col(xs), ys, rng);
+  const opt::BoxBounds bounds({0.0}, {10.0});
+  const auto s = al::suggestContinuous(
+      g, bounds, al::costEfficiencyAcquisition(), 8, rng);
+  EXPECT_LT(s.x[0], 4.0);
+}
+
+TEST(SuggestContinuous, Validation) {
+  gp::GpConfig cfg;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(5);
+  const opt::BoxBounds bounds({0.0}, {1.0});
+  EXPECT_THROW(
+      al::suggestContinuous(g, bounds, al::varianceAcquisition(), 4, rng),
+      std::invalid_argument);  // not fitted
+  g.fit(col({0.0, 1.0}), la::Vector{0.0, 1.0}, rng);
+  EXPECT_THROW(
+      al::suggestContinuous(g, bounds, al::varianceAcquisition(), 0, rng),
+      std::invalid_argument);
+  EXPECT_THROW(al::suggestContinuous(g, opt::BoxBounds({0.0, 0.0}, {1.0, 1.0}),
+                                     al::varianceAcquisition(), 4, rng),
+               std::invalid_argument);  // dimension mismatch
+}
+
+TEST(RunContinuousAl, LearnsSmoothFunctionOnline) {
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-3;
+  gp::GaussianProcess proto(gp::makeSquaredExponential(1.0, 1.0), cfg);
+
+  Rng rng(6);
+  const opt::BoxBounds bounds({0.0}, {8.0});
+  al::ContinuousAlConfig alCfg;
+  alCfg.iterations = 18;
+  alCfg.nStarts = 6;
+  alCfg.refitEvery = 4;
+  Rng noiseRng(7);
+  const auto result = al::runContinuousAl(
+      proto, col({1.0}), la::Vector{target(1.0)}, bounds,
+      [&noiseRng](std::span<const double> x) {
+        return target(x[0]) + noiseRng.normal(0.0, 0.01);
+      },
+      al::varianceAcquisition(), alCfg, rng);
+
+  ASSERT_EQ(result.history.size(), 18u);
+  for (const auto& rec : result.history) {
+    EXPECT_GE(rec.x[0], 0.0);
+    EXPECT_LE(rec.x[0], 8.0);
+  }
+  // The learned model predicts the target well across the box.
+  double err = 0.0;
+  int n = 0;
+  for (double q = 0.2; q <= 7.8; q += 0.4, ++n) {
+    const auto [m, v] = result.finalGp.predictOne(std::vector<double>{q});
+    err += (m - target(q)) * (m - target(q));
+  }
+  EXPECT_LT(std::sqrt(err / n), 0.15);
+  // Pick uncertainty decays.
+  EXPECT_LT(result.history.back().sdAtPick,
+            result.history.front().sdAtPick);
+}
+
+TEST(RunContinuousAl, Validation) {
+  gp::GpConfig cfg;
+  gp::GaussianProcess proto(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  Rng rng(8);
+  al::ContinuousAlConfig alCfg;
+  EXPECT_THROW(
+      al::runContinuousAl(proto, col({0.0}), la::Vector{0.0},
+                          opt::BoxBounds({0.0}, {1.0}), nullptr,
+                          al::varianceAcquisition(), alCfg, rng),
+      std::invalid_argument);
+}

@@ -1,0 +1,289 @@
+// End-to-end integration tests: cluster dataset generation → problem
+// construction → GP + active learning, reproducing the paper's pipeline
+// at reduced scale; plus an online loop driving the real mini-HPGMG
+// solver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/dataset.hpp"
+#include "core/batch.hpp"
+#include "core/tradeoff.hpp"
+#include "gp/kernels.hpp"
+#include "hpgmg/benchmark.hpp"
+#include "stats/descriptive.hpp"
+
+namespace al = alperf::al;
+namespace cl = alperf::cluster;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+namespace st = alperf::stats;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Small generated dataset shared across tests in this binary.
+const cl::GeneratedDataset& dataset() {
+  static const cl::GeneratedDataset ds = [] {
+    cl::DatasetConfig cfg;
+    cfg.sizes = {1728.0,    13824.0,    110592.0,   884736.0,
+                 7.077888e6, 5.6623104e7, 4.52984832e8};
+    cfg.npLevels = {1, 4, 16, 32, 64};
+    cfg.freqLevels = {1.2, 1.8, 2.4};
+    cfg.targetJobs = 900;
+    cfg.seed = 11;
+    return cl::DatasetGenerator(cfg).generate();
+  }();
+  return ds;
+}
+
+/// The paper's Fig. 6 style subset: poisson1, NP = 32; features
+/// (log size, freq); response log runtime; cost = runtime · cores.
+al::RegressionProblem fig6Problem() {
+  const auto& perf = dataset().performance;
+  auto sub = perf.filter([&perf](std::size_t i) {
+    return perf.categorical("Operator")[i] == "poisson1" &&
+           perf.numeric("NP")[i] == 32.0;
+  });
+  std::vector<double> cost(sub.numRows());
+  for (std::size_t i = 0; i < sub.numRows(); ++i)
+    cost[i] = sub.numeric("RuntimeS")[i] * sub.numeric("CoresUsed")[i];
+  sub.addNumeric("CostCoreS", std::move(cost));
+  return al::makeProblem(sub, {"GlobalSize", "FreqGHz"}, "RuntimeS",
+                         "CostCoreS", {"GlobalSize", "RuntimeS"});
+}
+
+gp::GaussianProcess prototype() {
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-4;
+  cfg.optStop.maxIterations = 40;
+  return gp::GaussianProcess(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), cfg);
+}
+
+}  // namespace
+
+TEST(Integration, GpFitsGeneratedRuntimeSurface) {
+  const auto problem = fig6Problem();
+  ASSERT_GE(problem.size(), 45u);
+  // Fit on ~70%, test on the rest.
+  Rng rng(1);
+  const std::size_t nTrain = problem.size() * 7 / 10;
+  la::Matrix trainX(nTrain, 2);
+  la::Vector trainY(nTrain);
+  for (std::size_t i = 0; i < nTrain; ++i) {
+    const auto row = problem.x.row(i);
+    std::copy(row.begin(), row.end(), trainX.row(i).begin());
+    trainY[i] = problem.y[i];
+  }
+  auto g = prototype();
+  g.fit(std::move(trainX), std::move(trainY), rng);
+
+  std::vector<double> pred, truth;
+  for (std::size_t i = nTrain; i < problem.size(); ++i) {
+    const auto [m, v] = g.predictOne(problem.x.row(i));
+    pred.push_back(m);
+    truth.push_back(problem.y[i]);
+  }
+  // Log-runtime spans several decades; RMSE below 0.15 decades means the
+  // surface is learned well.
+  EXPECT_LT(st::rmse(pred, truth), 0.15);
+}
+
+TEST(Integration, VarianceReductionExploresEdgesFirst) {
+  // Paper Fig. 6: AL first visits the domain edges ("star-like pattern").
+  const auto problem = fig6Problem();
+  al::AlConfig cfg;
+  cfg.maxIterations = 10;
+  al::ActiveLearner learner(problem, prototype(),
+                            std::make_unique<al::VarianceReduction>(), cfg);
+  Rng rng(2);
+  const auto result = learner.run(rng);
+
+  // Domain box over the active set.
+  double loS = 1e300, hiS = -1e300, loF = 1e300, hiF = -1e300;
+  for (std::size_t r : result.partition.active) {
+    loS = std::min(loS, problem.x(r, 0));
+    hiS = std::max(hiS, problem.x(r, 0));
+    loF = std::min(loF, problem.x(r, 1));
+    hiF = std::max(hiF, problem.x(r, 1));
+  }
+  int edgePicks = 0;
+  for (const auto& rec : result.history) {
+    const double s = problem.x(rec.chosenRow, 0);
+    const double f = problem.x(rec.chosenRow, 1);
+    const bool sEdge = (s - loS) < 0.2 * (hiS - loS) ||
+                       (hiS - s) < 0.2 * (hiS - loS);
+    const bool fEdge = (f - loF) < 0.2 * (hiF - loF) ||
+                       (hiF - f) < 0.2 * (hiF - loF);
+    if (sEdge || fEdge) ++edgePicks;
+  }
+  // At least 7 of the first 10 picks touch an edge band.
+  EXPECT_GE(edgePicks, 7);
+}
+
+TEST(Integration, NoiseBoundPreventsSigmaCollapse) {
+  // Paper Fig. 7: with σ_n² >= 1e-8 the pick-σ can collapse early; with
+  // the raised bound it stays healthy.
+  const auto problem = fig6Problem();
+  al::AlConfig cfg;
+  cfg.maxIterations = 12;
+
+  const auto runWith = [&](double noiseLo) {
+    gp::GpConfig gcfg;
+    gcfg.nRestarts = 1;
+    gcfg.noise.lo = noiseLo;
+    gcfg.noise.initial = std::max(1e-2, noiseLo);
+    gcfg.optStop.maxIterations = 40;
+    gp::GaussianProcess proto(
+        gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), gcfg);
+    al::ActiveLearner learner(problem, proto,
+                              std::make_unique<al::VarianceReduction>(),
+                              cfg);
+    Rng rng(3);  // same seed → same partition
+    return learner.run(rng);
+  };
+
+  const auto loose = runWith(1e-8);
+  const auto tight = runWith(1e-1);
+  ASSERT_EQ(loose.history.size(), tight.history.size());
+  // The raised bound keeps fitted noise at/above the floor.
+  for (const auto& rec : tight.history)
+    EXPECT_GE(rec.noiseVariance, 1e-1 - 1e-9);
+  // And its AMSD never collapses below the noise-induced floor, while the
+  // loose bound admits much smaller values at some iteration.
+  double minLoose = 1e300, minTight = 1e300;
+  for (std::size_t i = 0; i < loose.history.size(); ++i) {
+    minLoose = std::min(minLoose, loose.history[i].amsd);
+    minTight = std::min(minTight, tight.history[i].amsd);
+  }
+  EXPECT_LT(minLoose, minTight);
+}
+
+TEST(Integration, PairedStrategiesCostEfficiencySpendsLess) {
+  // Fig. 8 mechanism: Cost Efficiency accumulates cost far more slowly
+  // for the same iteration count.
+  const auto problem = fig6Problem();
+  al::BatchConfig cfg;
+  cfg.replicates = 3;
+  cfg.al.maxIterations = 15;
+  cfg.seed = 4;
+  const auto results = al::runPairedBatch(
+      problem, prototype(),
+      {[] { return std::make_unique<al::VarianceReduction>(); },
+       [] { return std::make_unique<al::CostEfficiency>(); }},
+      cfg);
+  const auto vrCost =
+      results[0].meanSeries(&al::IterationRecord::cumulativeCost);
+  const auto ceCost =
+      results[1].meanSeries(&al::IterationRecord::cumulativeCost);
+  ASSERT_EQ(vrCost.size(), 15u);
+  EXPECT_LT(ceCost.back(), vrCost.back());
+}
+
+TEST(Integration, PowerDatasetEnergyModelLearnable) {
+  const auto& power = dataset().power;
+  ASSERT_GE(power.numRows(), 30u);
+  auto sub = power.filter([&power](std::size_t i) {
+    return power.categorical("Operator")[i] == "poisson1";
+  });
+  if (sub.numRows() < 20) GTEST_SKIP() << "too few poisson1 power jobs";
+  const auto problem = al::makeProblem(
+      sub, {"GlobalSize", "NP", "FreqGHz"}, "EnergyJ", "RuntimeS",
+      {"GlobalSize", "EnergyJ"});
+  gp::GpConfig gcfg;
+  gcfg.nRestarts = 1;
+  gcfg.noise.lo = 1e-4;
+  gp::GaussianProcess g(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0, 1.0}), gcfg);
+  Rng rng(5);
+  const std::size_t nTrain = problem.size() * 3 / 4;
+  la::Matrix tx(nTrain, 3);
+  la::Vector ty(nTrain);
+  for (std::size_t i = 0; i < nTrain; ++i) {
+    const auto row = problem.x.row(i);
+    std::copy(row.begin(), row.end(), tx.row(i).begin());
+    ty[i] = problem.y[i];
+  }
+  g.fit(std::move(tx), std::move(ty), rng);
+  std::vector<double> pred, truth;
+  for (std::size_t i = nTrain; i < problem.size(); ++i) {
+    pred.push_back(g.predictOne(problem.x.row(i)).first);
+    truth.push_back(problem.y[i]);
+  }
+  // Power data is noisier (paper Fig. 1b) — accept a looser error bar.
+  EXPECT_LT(st::rmse(pred, truth), 0.4);
+}
+
+TEST(Integration, OnlineAlDrivesRealHpgmg) {
+  // The paper's target use case: AL picks a configuration, the benchmark
+  // actually runs, the measurement feeds the GP. Scaled down to three
+  // grid sizes of the real solver.
+  const std::vector<int> grids{7, 15, 31};
+  const std::vector<alperf::hpgmg::StencilType> types{
+      alperf::hpgmg::StencilType::Poisson1,
+      alperf::hpgmg::StencilType::Poisson2};
+
+  // Candidate configurations.
+  struct Config {
+    int n;
+    alperf::hpgmg::StencilType type;
+  };
+  std::vector<Config> configs;
+  for (int n : grids)
+    for (auto t : types) configs.push_back({n, t});
+
+  la::Matrix x(configs.size(), 2);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    x(i, 0) = std::log10(static_cast<double>(configs[i].n) * configs[i].n *
+                         configs[i].n);
+    x(i, 1) = configs[i].type == alperf::hpgmg::StencilType::Poisson1 ? 0.0
+                                                                      : 1.0;
+  }
+
+  gp::GpConfig gcfg;
+  gcfg.nRestarts = 1;
+  gcfg.noise.lo = 1e-3;
+  gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                        gcfg);
+  Rng rng(6);
+
+  // Seed with one measurement, then AL-style loop over the rest.
+  std::vector<std::size_t> trainIdx{0};
+  std::vector<double> trainTimes{std::log10(std::max(
+      alperf::hpgmg::runBenchmark(configs[0].type, configs[0].n).seconds,
+      1e-6))};
+  std::vector<std::size_t> pool{1, 2, 3, 4, 5};
+
+  while (!pool.empty()) {
+    la::Matrix tx(trainIdx.size(), 2);
+    la::Vector ty(trainIdx.size());
+    for (std::size_t i = 0; i < trainIdx.size(); ++i) {
+      tx(i, 0) = x(trainIdx[i], 0);
+      tx(i, 1) = x(trainIdx[i], 1);
+      ty[i] = trainTimes[i];
+    }
+    g.fit(std::move(tx), std::move(ty), rng);
+    // Pick the highest-variance candidate and actually run it.
+    std::size_t best = 0;
+    double bestVar = -1.0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const auto [m, v] = g.predictOne(x.row(pool[i]));
+      if (v > bestVar) {
+        bestVar = v;
+        best = i;
+      }
+    }
+    const std::size_t idx = pool[best];
+    const auto result =
+        alperf::hpgmg::runBenchmark(configs[idx].type, configs[idx].n);
+    EXPECT_TRUE(result.converged);
+    trainIdx.push_back(idx);
+    trainTimes.push_back(std::log10(std::max(result.seconds, 1e-6)));
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  EXPECT_EQ(trainIdx.size(), configs.size());
+}

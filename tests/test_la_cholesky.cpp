@@ -1,0 +1,172 @@
+// Unit + property tests for the Cholesky factorization (la/cholesky.hpp).
+
+#include "la/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace la = alperf::la;
+using la::Cholesky;
+using la::Matrix;
+using la::Vector;
+
+namespace {
+
+/// Deterministic SPD matrix: AᵀA + n·I from a seeded pattern.
+Matrix makeSpd(std::size_t n, int seed = 1) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = std::sin(static_cast<double>((i + 1) * (j + 2) * seed));
+  Matrix spd = la::gram(a);
+  spd.addToDiagonal(static_cast<double>(n));
+  return spd;
+}
+
+}  // namespace
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  const Matrix a = makeSpd(5);
+  const Cholesky chol(a);
+  const Matrix l = chol.factor();
+  const Matrix recon = la::matmul(l, l.transposed());
+  EXPECT_TRUE(recon.approxEqual(a, 1e-10));
+}
+
+TEST(Cholesky, FactorIsLowerTriangular) {
+  const Cholesky chol(makeSpd(4));
+  const Matrix& l = chol.factor();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = i + 1; j < 4; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix a = makeSpd(6);
+  Vector xTrue(6);
+  for (std::size_t i = 0; i < 6; ++i) xTrue[i] = static_cast<double>(i) - 2.5;
+  const Vector b = la::matvec(a, xTrue);
+  const Vector x = Cholesky(a).solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+}
+
+TEST(Cholesky, SolveMatrixMatchesColumnwise) {
+  const Matrix a = makeSpd(4);
+  Matrix b(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    b(i, 0) = static_cast<double>(i + 1);
+    b(i, 1) = std::cos(static_cast<double>(i));
+  }
+  const Cholesky chol(a);
+  const Matrix x = chol.solve(b);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const Vector xj = chol.solve(b.col(j));
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x(i, j), xj[i], 1e-12);
+  }
+}
+
+TEST(Cholesky, TriangularSolvesCompose) {
+  const Matrix a = makeSpd(5);
+  const Cholesky chol(a);
+  Vector b(5);
+  for (std::size_t i = 0; i < 5; ++i) b[i] = std::sin(static_cast<double>(i + 1));
+  // L(Lᵀ x) = b should equal solve(b).
+  const Vector viaTri = chol.solveUpper(chol.solveLower(b));
+  const Vector direct = chol.solve(b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(viaTri[i], direct[i], 1e-12);
+}
+
+TEST(Cholesky, LogDetMatchesIdentityAndScaled) {
+  EXPECT_NEAR(Cholesky(Matrix::identity(7)).logDet(), 0.0, 1e-14);
+  Matrix scaled = Matrix::identity(4);
+  scaled *= 3.0;
+  EXPECT_NEAR(Cholesky(scaled).logDet(), 4.0 * std::log(3.0), 1e-12);
+}
+
+TEST(Cholesky, LogDetMatchesProductOfEigenvaluesFor2x2) {
+  // [[2, 1], [1, 2]] has det = 3.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  EXPECT_NEAR(Cholesky(a).logDet(), std::log(3.0), 1e-12);
+}
+
+TEST(Cholesky, InverseTimesMatrixIsIdentity) {
+  const Matrix a = makeSpd(5);
+  const Matrix inv = Cholesky(a).inverse();
+  EXPECT_TRUE(la::matmul(a, inv).approxEqual(Matrix::identity(5), 1e-9));
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(Cholesky{Matrix(2, 3)}, std::invalid_argument);
+}
+
+TEST(Cholesky, AsymmetricThrows) {
+  Matrix a{{2.0, 1.0}, {0.0, 2.0}};
+  EXPECT_THROW(Cholesky{a}, std::invalid_argument);
+}
+
+TEST(Cholesky, IndefiniteThrowsAfterEscalation) {
+  // Strongly indefinite: jitter cap (relative 1e-6) cannot rescue it.
+  Matrix a{{1.0, 0.0}, {0.0, -5.0}};
+  EXPECT_THROW(Cholesky{a}, alperf::NumericalError);
+}
+
+TEST(Cholesky, NearSingularGetsJitter) {
+  // Rank-deficient PSD matrix: [1 1; 1 1].
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  const Cholesky chol(a, /*maxJitterScale=*/1e-3);
+  EXPECT_GT(chol.jitter(), 0.0);
+  // Still approximately reconstructs.
+  const Matrix recon =
+      la::matmul(chol.factor(), chol.factor().transposed());
+  EXPECT_TRUE(recon.approxEqual(a, 1e-2));
+}
+
+TEST(Cholesky, NoJitterForWellConditioned) {
+  EXPECT_DOUBLE_EQ(Cholesky(makeSpd(6)).jitter(), 0.0);
+}
+
+TEST(Cholesky, SolveSizeMismatchThrows) {
+  const Cholesky chol(makeSpd(3));
+  EXPECT_THROW(chol.solve(Vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(chol.solve(Matrix(4, 2)), std::invalid_argument);
+}
+
+TEST(CholeskyInPlace, ReturnsFalseOnNonSpd) {
+  Matrix a{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_FALSE(la::choleskyInPlace(a));
+  Matrix b{{-1.0}};
+  EXPECT_FALSE(la::choleskyInPlace(b));
+}
+
+TEST(CholeskyInPlace, OneByOne) {
+  Matrix a{{9.0}};
+  ASSERT_TRUE(la::choleskyInPlace(a));
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+}
+
+// Property sweep across sizes: solve residual is tiny and logDet matches
+// the sum of log pivot squares.
+class CholeskyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyProperty, SolveResidualSmall) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const Matrix a = makeSpd(n, 3);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = std::cos(static_cast<double>(3 * i + 1));
+  const Vector x = Cholesky(a).solve(b);
+  const Vector ax = la::matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST_P(CholeskyProperty, LogDetConsistentWithFactor) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const Cholesky chol(makeSpd(n, 5));
+  double expected = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    expected += 2.0 * std::log(chol.factor()(i, i));
+  EXPECT_NEAR(chol.logDet(), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));

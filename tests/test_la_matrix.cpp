@@ -1,0 +1,235 @@
+// Unit tests for the dense matrix substrate (la/matrix.hpp).
+
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace la = alperf::la;
+using la::Matrix;
+using la::Vector;
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructFillsValue) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerListThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AdoptDataChecksSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, Vector{1, 2, 3, 4}));
+  EXPECT_THROW(Matrix(2, 2, Vector{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, RowViewIsMutable) {
+  Matrix m(2, 2);
+  auto r = m.row(1);
+  r[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, ColCopies) {
+  Matrix m{{1, 2}, {3, 4}};
+  const Vector c = m.col(1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 4.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, FromRowsRaggedThrows) {
+  EXPECT_THROW(Matrix::fromRows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.transposed().approxEqual(m, 0.0));
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  EXPECT_TRUE(sum.approxEqual(Matrix{{5, 5}, {5, 5}}, 1e-15));
+  const Matrix diff = a - b;
+  EXPECT_TRUE(diff.approxEqual(Matrix{{-3, -1}, {1, 3}}, 1e-15));
+  const Matrix scaled = 2.0 * a;
+  EXPECT_TRUE(scaled.approxEqual(Matrix{{2, 4}, {6, 8}}, 1e-15));
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(3, 2);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, AddToDiagonal) {
+  Matrix m = Matrix::identity(3);
+  m.addToDiagonal(2.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m(i, i), 3.0);
+  Matrix rect(2, 3);
+  EXPECT_THROW(rect.addToDiagonal(1.0), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbsAndFrobenius) {
+  Matrix m{{3, -4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(m.maxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.frobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix().maxAbs(), 0.0);
+}
+
+TEST(Matmul, AgainstHandComputed) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = la::matmul(a, b);
+  EXPECT_TRUE(c.approxEqual(Matrix{{19, 22}, {43, 50}}, 1e-12));
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(la::matmul(a, Matrix::identity(3)).approxEqual(a, 1e-15));
+  EXPECT_TRUE(la::matmul(Matrix::identity(2), a).approxEqual(a, 1e-15));
+}
+
+TEST(Matmul, MismatchThrows) {
+  EXPECT_THROW(la::matmul(Matrix(2, 3), Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(Matmul, RectangularShapes) {
+  Matrix a(2, 4, 1.0);
+  Matrix b(4, 3, 2.0);
+  const Matrix c = la::matmul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(1, 2), 8.0);
+}
+
+TEST(Gram, MatchesExplicitProduct) {
+  Matrix a{{1, 2, 0}, {3, -1, 2}, {0, 4, 1}, {2, 2, 2}};
+  const Matrix g = la::gram(a);
+  const Matrix ref = la::matmul(a.transposed(), a);
+  EXPECT_TRUE(g.approxEqual(ref, 1e-12));
+}
+
+TEST(Matvec, AgainstHandComputed) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Vector y = la::matvec(a, Vector{1.0, -1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Matvec, TransposedMatchesExplicit) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y = la::matvecTransposed(a, x);
+  const Vector ref = la::matvec(a.transposed(), x);
+  ASSERT_EQ(y.size(), ref.size());
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(y[i], ref[i]);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(la::dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(la::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(la::normInf(Vector{-7.0, 2.0}), 7.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  la::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, SubtractAndSquaredDistance) {
+  const Vector a{1.0, 5.0};
+  const Vector b{4.0, 1.0};
+  const Vector d = la::subtract(a, b);
+  EXPECT_DOUBLE_EQ(d[0], -3.0);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+  EXPECT_DOUBLE_EQ(la::squaredDistance(a, b), 25.0);
+}
+
+TEST(Matrix, ToStringContainsElements) {
+  Matrix m{{1.25, 2.0}};
+  const std::string s = m.toString();
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+// Property sweep: (A·B)ᵀ == Bᵀ·Aᵀ for a range of shapes.
+class MatmulTransposeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulTransposeProperty, TransposeOfProduct) {
+  const auto [m, k, n] = GetParam();
+  Matrix a(m, k);
+  Matrix b(k, n);
+  // Deterministic pseudo-pattern.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      a(i, j) = std::sin(static_cast<double>(i * 7 + j * 3 + 1));
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j)
+      b(i, j) = std::cos(static_cast<double>(i * 5 + j * 2 + 1));
+  const Matrix lhs = la::matmul(a, b).transposed();
+  const Matrix rhs = la::matmul(b.transposed(), a.transposed());
+  EXPECT_TRUE(lhs.approxEqual(rhs, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulTransposeProperty,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{2, 3, 4},
+                                           std::tuple{5, 1, 5},
+                                           std::tuple{7, 7, 7},
+                                           std::tuple{1, 9, 2},
+                                           std::tuple{10, 4, 6}));
+
+TEST(Matrix, IndexOutOfRangeAsserts) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::logic_error);
+  EXPECT_THROW(m(0, 2), std::logic_error);
+  EXPECT_THROW(m.row(5), std::logic_error);
+}

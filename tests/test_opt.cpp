@@ -1,0 +1,319 @@
+// Tests for the optimization module: numeric gradients, box bounds,
+// projected gradient descent, L-BFGS, multi-start, and golden section.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/gradient.hpp"
+#include "opt/multistart.hpp"
+#include "opt/neldermead.hpp"
+
+namespace opt = alperf::opt;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Shifted quadratic: f(x) = Σ wᵢ (xᵢ - cᵢ)².
+class Quadratic final : public opt::Objective {
+ public:
+  Quadratic(std::vector<double> center, std::vector<double> weights)
+      : c_(std::move(center)), w_(std::move(weights)) {}
+
+  std::size_t dim() const override { return c_.size(); }
+  double value(std::span<const double> x) const override {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      s += w_[i] * (x[i] - c_[i]) * (x[i] - c_[i]);
+    return s;
+  }
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      g[i] = 2.0 * w_[i] * (x[i] - c_[i]);
+  }
+
+ private:
+  std::vector<double> c_, w_;
+};
+
+/// Rosenbrock in 2D: hard for steepest descent, classic L-BFGS check.
+class Rosenbrock final : public opt::Objective {
+ public:
+  std::size_t dim() const override { return 2; }
+  double value(std::span<const double> x) const override {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  }
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override {
+    const double b = x[1] - x[0] * x[0];
+    g[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+  }
+};
+
+}  // namespace
+
+TEST(NumericGradient, MatchesAnalyticOnQuadratic) {
+  const Quadratic q({1.0, -2.0, 0.5}, {1.0, 3.0, 0.25});
+  const std::vector<double> x{0.3, 0.7, -1.1};
+  std::vector<double> gNum(3), gAna(3);
+  opt::numericGradient(q, x, gNum);
+  q.gradient(x, gAna);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(gNum[i], gAna[i], 1e-6);
+}
+
+TEST(NumericGradient, DefaultObjectiveGradientIsNumeric) {
+  // An Objective that doesn't override gradient() gets finite differences.
+  opt::FunctionObjective f(1, [](std::span<const double> x) {
+    return std::sin(x[0]);
+  });
+  std::vector<double> g(1);
+  const std::vector<double> x{0.3};
+  f.gradient(x, g);
+  EXPECT_NEAR(g[0], std::cos(0.3), 1e-6);
+}
+
+TEST(FunctionObjective, UsesProvidedGradient) {
+  bool called = false;
+  opt::FunctionObjective f(
+      1, [](std::span<const double> x) { return x[0] * x[0]; },
+      [&called](std::span<const double> x, std::span<double> g) {
+        called = true;
+        g[0] = 2.0 * x[0];
+      });
+  std::vector<double> g(1);
+  f.gradient(std::vector<double>{3.0}, g);
+  EXPECT_TRUE(called);
+  EXPECT_DOUBLE_EQ(g[0], 6.0);
+}
+
+TEST(FunctionObjective, NullValueThrows) {
+  EXPECT_THROW(opt::FunctionObjective(1, nullptr), std::invalid_argument);
+}
+
+TEST(BoxBounds, ProjectClamps) {
+  opt::BoxBounds b({0.0, -1.0}, {1.0, 1.0});
+  std::vector<double> x{2.0, -3.0};
+  b.project(x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+  EXPECT_TRUE(b.contains(x));
+}
+
+TEST(BoxBounds, InvalidThrows) {
+  EXPECT_THROW(opt::BoxBounds({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(opt::BoxBounds({1.0}, {2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(BoxBounds, SampleInsideAndUnboundedThrows) {
+  Rng rng(1);
+  opt::BoxBounds b({-2.0, 0.0}, {2.0, 5.0});
+  for (int i = 0; i < 100; ++i) {
+    const auto x = b.sample(rng);
+    EXPECT_TRUE(b.contains(x));
+  }
+  EXPECT_THROW(opt::BoxBounds::unbounded(2).sample(rng),
+               std::invalid_argument);
+}
+
+TEST(ProjectedGradientDescent, SolvesUnconstrainedQuadratic) {
+  const Quadratic q({2.0, -1.0}, {1.0, 4.0});
+  const opt::ProjectedGradientDescent pgd;
+  const auto r = pgd.minimize(q, std::vector<double>{0.0, 0.0},
+                              opt::BoxBounds::unbounded(2));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.fval, 0.0, 1e-7);
+}
+
+TEST(ProjectedGradientDescent, RespectsActiveBound) {
+  // Minimum at x = 2 but box caps at 1 → solution sticks to the bound.
+  const Quadratic q({2.0}, {1.0});
+  const opt::ProjectedGradientDescent pgd;
+  const auto r = pgd.minimize(q, std::vector<double>{0.0},
+                              opt::BoxBounds({-1.0}, {1.0}));
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+}
+
+TEST(ProjectedGradientDescent, StartOutsideBoxGetsProjected) {
+  const Quadratic q({0.0}, {1.0});
+  const opt::ProjectedGradientDescent pgd;
+  const auto r = pgd.minimize(q, std::vector<double>{100.0},
+                              opt::BoxBounds({-1.0}, {1.0}));
+  EXPECT_NEAR(r.x[0], 0.0, 1e-5);
+}
+
+TEST(ProjectedGradientDescent, DimensionMismatchThrows) {
+  const Quadratic q({0.0}, {1.0});
+  const opt::ProjectedGradientDescent pgd;
+  EXPECT_THROW(pgd.minimize(q, std::vector<double>{0.0, 0.0},
+                            opt::BoxBounds::unbounded(2)),
+               std::invalid_argument);
+}
+
+TEST(Lbfgs, SolvesQuadraticFast) {
+  const Quadratic q({1.0, 2.0, 3.0, 4.0}, {1.0, 2.0, 3.0, 4.0});
+  const opt::Lbfgs lbfgs;
+  const auto r = lbfgs.minimize(q, std::vector<double>(4, 0.0),
+                                opt::BoxBounds::unbounded(4));
+  EXPECT_TRUE(r.converged);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(r.x[i], i + 1.0, 1e-4);
+}
+
+TEST(Lbfgs, SolvesRosenbrock) {
+  const Rosenbrock f;
+  opt::StopCriteria stop;
+  stop.maxIterations = 500;
+  const opt::Lbfgs lbfgs(stop);
+  const auto r = lbfgs.minimize(f, std::vector<double>{-1.2, 1.0},
+                                opt::BoxBounds::unbounded(2));
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Lbfgs, BeatsOrMatchesPgdOnRosenbrockBudget) {
+  const Rosenbrock f;
+  opt::StopCriteria stop;
+  stop.maxIterations = 120;
+  const auto rL = opt::Lbfgs(stop).minimize(
+      f, std::vector<double>{-1.2, 1.0}, opt::BoxBounds::unbounded(2));
+  const auto rP = opt::ProjectedGradientDescent(stop).minimize(
+      f, std::vector<double>{-1.2, 1.0}, opt::BoxBounds::unbounded(2));
+  EXPECT_LE(rL.fval, rP.fval + 1e-9);
+}
+
+TEST(Lbfgs, RespectsBounds) {
+  const Quadratic q({5.0, -5.0}, {1.0, 1.0});
+  const opt::Lbfgs lbfgs;
+  const auto r = lbfgs.minimize(q, std::vector<double>{0.0, 0.0},
+                                opt::BoxBounds({-1.0, -1.0}, {1.0, 1.0}));
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-6);
+}
+
+TEST(MultiStart, FindsGlobalOfMultimodal) {
+  // f(x) = sin(3x) + 0.1 x² on [-4, 4]: global min near x ≈ -1.67 wells;
+  // a single start from x=3 lands in a local well, multistart should do
+  // no worse and typically better.
+  opt::FunctionObjective f(1, [](std::span<const double> x) {
+    return std::sin(3.0 * x[0]) + 0.1 * x[0] * x[0];
+  });
+  const opt::BoxBounds bounds({-4.0}, {4.0});
+  const opt::Lbfgs local;
+  const auto minimizer = [&local](const opt::Objective& obj,
+                                  std::span<const double> x0,
+                                  const opt::BoxBounds& b) {
+    return local.minimize(obj, x0, b);
+  };
+  Rng rng(7);
+  const auto single = local.minimize(f, std::vector<double>{3.0}, bounds);
+  const auto multi = opt::multiStartMinimize(
+      f, std::vector<double>{3.0}, bounds, minimizer, 12, rng);
+  EXPECT_LE(multi.best.fval, single.fval + 1e-12);
+  // Global minimum value is ≈ -0.76 (well near x ≈ -1.6).
+  EXPECT_LT(multi.best.fval, -0.7);
+  EXPECT_EQ(multi.all.size(), 13u);
+}
+
+TEST(MultiStart, ZeroRestartsEqualsSingleRun) {
+  const Quadratic q({1.0}, {1.0});
+  const opt::Lbfgs local;
+  const auto minimizer = [&local](const opt::Objective& obj,
+                                  std::span<const double> x0,
+                                  const opt::BoxBounds& b) {
+    return local.minimize(obj, x0, b);
+  };
+  Rng rng(1);
+  const auto multi =
+      opt::multiStartMinimize(q, std::vector<double>{0.0},
+                              opt::BoxBounds({-5.0}, {5.0}), minimizer, 0,
+                              rng);
+  EXPECT_EQ(multi.all.size(), 1u);
+  EXPECT_NEAR(multi.best.x[0], 1.0, 1e-5);
+}
+
+TEST(NelderMead, SolvesQuadratic) {
+  const Quadratic q({2.0, -1.0, 0.5}, {1.0, 3.0, 0.5});
+  const auto r = opt::nelderMeadMinimize(q, std::vector<double>{0.0, 0.0, 0.0},
+                                         opt::BoxBounds::unbounded(3));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+  EXPECT_NEAR(r.x[2], 0.5, 1e-3);
+}
+
+TEST(NelderMead, SolvesRosenbrockDerivativeFree) {
+  const Rosenbrock f;
+  opt::NelderMeadOptions options;
+  options.maxIterations = 2000;
+  const auto r = opt::nelderMeadMinimize(f, std::vector<double>{-1.2, 1.0},
+                                         opt::BoxBounds::unbounded(2),
+                                         options);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, RespectsBounds) {
+  const Quadratic q({5.0}, {1.0});
+  const auto r = opt::nelderMeadMinimize(q, std::vector<double>{0.0},
+                                         opt::BoxBounds({-1.0}, {1.0}));
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+}
+
+TEST(NelderMead, HandlesNonSmoothObjective) {
+  // |x - 1.5| + |y + 0.5|: gradients undefined at the optimum; the
+  // simplex method converges regardless.
+  opt::FunctionObjective f(2, [](std::span<const double> x) {
+    return std::abs(x[0] - 1.5) + std::abs(x[1] + 0.5);
+  });
+  const auto r = opt::nelderMeadMinimize(f, std::vector<double>{0.0, 0.0},
+                                         opt::BoxBounds::unbounded(2));
+  EXPECT_NEAR(r.x[0], 1.5, 1e-3);
+  EXPECT_NEAR(r.x[1], -0.5, 1e-3);
+}
+
+TEST(NelderMead, Validation) {
+  const Quadratic q({0.0}, {1.0});
+  EXPECT_THROW(opt::nelderMeadMinimize(q, std::vector<double>{0.0, 0.0},
+                                       opt::BoxBounds::unbounded(2)),
+               std::invalid_argument);
+  opt::NelderMeadOptions bad;
+  bad.maxIterations = 0;
+  EXPECT_THROW(opt::nelderMeadMinimize(q, std::vector<double>{0.0},
+                                       opt::BoxBounds::unbounded(1), bad),
+               std::invalid_argument);
+}
+
+TEST(GoldenSection, FindsMinimumOfParabola) {
+  const double x =
+      opt::goldenSection([](double t) { return (t - 1.3) * (t - 1.3); },
+                         -10.0, 10.0);
+  EXPECT_NEAR(x, 1.3, 1e-6);
+}
+
+TEST(GoldenSection, Validation) {
+  EXPECT_THROW(opt::goldenSection([](double) { return 0.0; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+// Parameterized: both optimizers solve scaled quadratics across condition
+// numbers.
+class OptimizerConditioning : public ::testing::TestWithParam<double> {};
+
+TEST_P(OptimizerConditioning, LbfgsHandlesConditioning) {
+  const double kappa = GetParam();
+  const Quadratic q({1.0, 1.0}, {1.0, kappa});
+  opt::StopCriteria stop;
+  stop.maxIterations = 400;
+  const auto r = opt::Lbfgs(stop).minimize(q, std::vector<double>{-3.0, 4.0},
+                                           opt::BoxBounds::unbounded(2));
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kappas, OptimizerConditioning,
+                         ::testing::Values(1.0, 10.0, 100.0, 1000.0));

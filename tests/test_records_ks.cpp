@@ -1,0 +1,167 @@
+// Tests for campaign archival/replay (cluster/records.hpp) and the
+// Kolmogorov–Smirnov validation machinery, including a distributional
+// check on the simulator's runtime noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cluster/dataset.hpp"
+#include "cluster/records.hpp"
+#include "data/csv.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cl = alperf::cluster;
+namespace data = alperf::data;
+namespace st = alperf::stats;
+using alperf::stats::Rng;
+
+namespace {
+
+std::vector<cl::JobRecord> sampleRecords() {
+  std::vector<cl::JobRecord> recs(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    recs[i].id = i;
+    recs[i].request = {cl::Operator::Poisson2, 1e6 * (i + 1),
+                       static_cast<int>(4 << i), 1.2 + 0.3 * i};
+    recs[i].submitTime = i * 10.0;
+    recs[i].startTime = i * 10.0 + 1.0;
+    recs[i].endTime = i * 10.0 + 61.0;
+    recs[i].runtimeSeconds = 20.0 + i;
+    recs[i].nodesUsed = 1;
+    recs[i].coresUsed = static_cast<int>(4 << i);
+    recs[i].energyJoules = 1e4 + i;
+    recs[i].energyValid = i != 1;
+    recs[i].attempts = 1 + static_cast<int>(i);
+    recs[i].wastedSeconds = 5.0 * i;
+    recs[i].failed = i == 2;
+  }
+  return recs;
+}
+
+}  // namespace
+
+TEST(RecordsToTable, AllColumnsPresent) {
+  const auto recs = sampleRecords();
+  const auto t = cl::recordsToTable(recs, true);
+  EXPECT_EQ(t.numRows(), 3u);
+  for (const char* col :
+       {"JobId", "GlobalSize", "NP", "FreqGHz", "RuntimeS", "SubmitTime",
+        "StartTime", "EndTime", "QueueWaitS", "NodesUsed", "CoresUsed",
+        "PowerSamples", "EnergyValid", "Attempts", "WastedSeconds",
+        "Failed", "EnergyJ"})
+    EXPECT_TRUE(t.hasColumn(col)) << col;
+  EXPECT_EQ(t.categorical("Operator")[0], "poisson2");
+  EXPECT_DOUBLE_EQ(t.numeric("Attempts")[2], 3.0);
+  EXPECT_DOUBLE_EQ(t.numeric("Failed")[2], 1.0);
+  EXPECT_DOUBLE_EQ(t.numeric("WastedSeconds")[1], 5.0);
+  // Without energy the EnergyJ column is absent.
+  EXPECT_FALSE(cl::recordsToTable(recs, false).hasColumn("EnergyJ"));
+}
+
+TEST(RequestsFromTable, RoundTrip) {
+  const auto recs = sampleRecords();
+  const auto t = cl::recordsToTable(recs, false);
+  const auto reqs = cl::requestsFromTable(t);
+  ASSERT_EQ(reqs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(reqs[i].op, recs[i].request.op);
+    EXPECT_DOUBLE_EQ(reqs[i].globalSize, recs[i].request.globalSize);
+    EXPECT_EQ(reqs[i].np, recs[i].request.np);
+    EXPECT_DOUBLE_EQ(reqs[i].freqGhz, recs[i].request.freqGhz);
+  }
+  const auto times = cl::submitTimesFromTable(t);
+  EXPECT_DOUBLE_EQ(times[1], 10.0);
+}
+
+TEST(RequestsFromTable, CsvRoundTripAndReplay) {
+  // Archive a campaign to CSV, read it back, replay it through a fresh
+  // simulator: the workload shapes must match.
+  const auto recs = sampleRecords();
+  std::ostringstream out;
+  data::writeCsv(cl::recordsToTable(recs, false), out);
+  std::istringstream in(out.str());
+  const auto back = data::readCsv(in);
+  const auto reqs = cl::requestsFromTable(back);
+  const auto times = cl::submitTimesFromTable(back);
+
+  cl::PerfModelParams quiet;
+  quiet.noiseSigma = 1e-6;
+  quiet.spikeProbability = 0.0;
+  cl::ClusterSim sim(cl::ClusterConfig{}, cl::PerfModel(quiet), 1);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    sim.submit(reqs[i], times[i]);
+  sim.run();
+  EXPECT_EQ(sim.records().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(sim.records()[i].request.np, recs[i].request.np);
+}
+
+TEST(RequestsFromTable, Validation) {
+  data::Table empty;
+  EXPECT_THROW(cl::requestsFromTable(empty), std::invalid_argument);
+  data::Table bad;
+  bad.addCategorical("Operator", {"poisson1"});
+  bad.addNumeric("GlobalSize", {1e6});
+  bad.addNumeric("NP", {2.5});  // non-integer NP
+  bad.addNumeric("FreqGHz", {2.4});
+  EXPECT_THROW(cl::requestsFromTable(bad), std::invalid_argument);
+}
+
+TEST(SubmitTimes, StaggerFallback) {
+  data::Table t;
+  t.addNumeric("GlobalSize", {1.0, 2.0, 3.0});
+  const auto times = cl::submitTimesFromTable(t, 2.5);
+  EXPECT_DOUBLE_EQ(times[2], 5.0);
+  EXPECT_THROW(cl::submitTimesFromTable(t, -1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- KS test
+
+TEST(KsStatistic, SmallForMatchingDistribution) {
+  Rng rng(1);
+  std::vector<double> v(2000);
+  for (auto& x : v) x = rng.normal();
+  const double d = st::ksStatistic(v, st::standardNormalCdf);
+  // 95% critical value ≈ 1.36/sqrt(n) ≈ 0.030.
+  EXPECT_LT(d, 0.04);
+}
+
+TEST(KsStatistic, LargeForMismatchedDistribution) {
+  Rng rng(2);
+  std::vector<double> v(2000);
+  for (auto& x : v) x = rng.uniformReal(-1.0, 1.0);
+  const double d = st::ksStatistic(v, st::standardNormalCdf);
+  EXPECT_GT(d, 0.1);
+}
+
+TEST(KsStatistic, ExactForDegenerateSample) {
+  // Single point at the median: D = 0.5.
+  const std::vector<double> v{0.0};
+  EXPECT_NEAR(st::ksStatistic(v, st::standardNormalCdf), 0.5, 1e-12);
+}
+
+TEST(KsStatistic, Validation) {
+  EXPECT_THROW(st::ksStatistic(std::vector<double>{}, st::standardNormalCdf),
+               std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(st::ksStatistic(v, nullptr), std::invalid_argument);
+  EXPECT_THROW(st::ksStatistic(v, [](double) { return 2.0; }),
+               std::invalid_argument);
+}
+
+TEST(KsStatistic, SimulatorRuntimeNoiseIsLognormal) {
+  // Sample one job repeatedly; the log residuals around the model mean
+  // should pass a KS test against N(0, noiseSigma) once spikes are off.
+  cl::PerfModelParams params;
+  params.spikeProbability = 0.0;
+  const cl::PerfModel model(params);
+  const cl::JobRequest req{cl::Operator::Poisson1, 1.0e7, 16, 2.1};
+  const double mean = model.meanRuntime(req);
+  Rng rng(3);
+  std::vector<double> z(3000);
+  for (auto& x : z)
+    x = std::log(model.sampleRuntime(req, rng) / mean) / params.noiseSigma;
+  EXPECT_LT(st::ksStatistic(z, st::standardNormalCdf), 0.035);
+}

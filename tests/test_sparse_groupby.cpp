@@ -1,0 +1,285 @@
+// Tests for the sparse GP approximation (gp/sparse.hpp), group-by
+// aggregation (data/groupby.hpp), W-cycles, and the scheduler utilization
+// accounting added as extensions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "cluster/scheduler.hpp"
+#include "data/groupby.hpp"
+#include "gp/kernels.hpp"
+#include "gp/sparse.hpp"
+#include "hpgmg/multigrid.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cl = alperf::cluster;
+namespace data = alperf::data;
+namespace gp = alperf::gp;
+namespace hp = alperf::hpgmg;
+namespace la = alperf::la;
+namespace st = alperf::stats;
+using alperf::stats::Rng;
+
+namespace {
+
+double target(double a, double b) { return std::sin(a) + 0.3 * a - 0.2 * b; }
+
+/// Random 2-D training set from the smooth target.
+void makeData(std::size_t n, la::Matrix& x, la::Vector& y, Rng& rng) {
+  x = la::Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniformReal(0.0, 6.0);
+    x(i, 1) = rng.uniformReal(0.0, 4.0);
+    y[i] = target(x(i, 0), x(i, 1)) + rng.normal(0.0, 0.02);
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- sparse GP
+
+TEST(FarthestPointSubset, DistinctAndSpread) {
+  Rng rng(1);
+  la::Matrix x(50, 2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.uniformReal(0.0, 1.0);
+    x(i, 1) = rng.uniformReal(0.0, 1.0);
+  }
+  const auto idx = gp::farthestPointSubset(x, 10, rng);
+  EXPECT_EQ(idx.size(), 10u);
+  std::set<std::size_t> distinct(idx.begin(), idx.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  // Spread: min pairwise distance of the subset beats a random subset's
+  // on average (weak check: subset min distance is positive and sizable).
+  double minDist = 1e300;
+  for (std::size_t a = 0; a < idx.size(); ++a)
+    for (std::size_t b = a + 1; b < idx.size(); ++b)
+      minDist = std::min(minDist,
+                         la::squaredDistance(x.row(idx[a]), x.row(idx[b])));
+  EXPECT_GT(minDist, 0.01);
+}
+
+TEST(FarthestPointSubset, HandlesDuplicateRows) {
+  la::Matrix x(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) x(i, 0) = 1.0;  // all identical
+  Rng rng(2);
+  const auto idx = gp::farthestPointSubset(x, 4, rng);
+  std::set<std::size_t> distinct(idx.begin(), idx.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(SparseGp, ExactWhenInducingEqualsTraining) {
+  Rng rng(3);
+  la::Matrix x;
+  la::Vector y;
+  makeData(30, x, y, rng);
+  const double noise = 0.01;
+
+  gp::SparseGpConfig scfg;
+  scfg.numInducing = 30;
+  scfg.noiseVariance = noise;
+  gp::SparseGaussianProcess sparse(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), scfg);
+  Rng fitRng(4);
+  sparse.fit(x, y, fitRng);
+
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  cfg.noise.initial = noise;
+  gp::GaussianProcess exact(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                            cfg);
+  exact.fit(x, y, fitRng);
+
+  for (double qa : {0.5, 3.0, 5.5})
+    for (double qb : {0.5, 2.0, 3.5}) {
+      const std::vector<double> q{qa, qb};
+      const auto [ms, vs] = sparse.predictOne(q);
+      const auto [me, ve] = exact.predictOne(q);
+      EXPECT_NEAR(ms, me, 1e-6) << qa << "," << qb;
+      EXPECT_NEAR(vs, ve, 1e-6) << qa << "," << qb;
+    }
+}
+
+TEST(SparseGp, GoodApproximationWithFewInducing) {
+  Rng rng(5);
+  la::Matrix x;
+  la::Vector y;
+  makeData(200, x, y, rng);
+
+  gp::SparseGpConfig scfg;
+  scfg.numInducing = 40;
+  scfg.noiseVariance = 0.01;
+  gp::SparseGaussianProcess sparse(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), scfg);
+  Rng fitRng(6);
+  sparse.fit(x, y, fitRng);
+  EXPECT_EQ(sparse.numInducing(), 40u);
+
+  double err = 0.0;
+  int count = 0;
+  Rng qRng(7);
+  for (int i = 0; i < 50; ++i, ++count) {
+    const std::vector<double> q{qRng.uniformReal(0.5, 5.5),
+                                qRng.uniformReal(0.5, 3.5)};
+    const auto [mean, var] = sparse.predictOne(q);
+    err += (mean - target(q[0], q[1])) * (mean - target(q[0], q[1]));
+  }
+  EXPECT_LT(std::sqrt(err / count), 0.1);
+}
+
+TEST(SparseGp, VarianceSmallNearInducingLargeFar) {
+  Rng rng(8);
+  la::Matrix x;
+  la::Vector y;
+  makeData(80, x, y, rng);
+  gp::SparseGpConfig scfg;
+  scfg.numInducing = 20;
+  gp::SparseGaussianProcess sparse(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), scfg);
+  Rng fitRng(9);
+  sparse.fit(x, y, fitRng);
+  const auto [mNear, vNear] =
+      sparse.predictOne(std::vector<double>{3.0, 2.0});
+  const auto [mFar, vFar] =
+      sparse.predictOne(std::vector<double>{30.0, 20.0});
+  EXPECT_LT(vNear, vFar);
+  EXPECT_GE(vNear, 0.0);
+}
+
+TEST(SparseGp, InducingClampedToN) {
+  gp::SparseGpConfig scfg;
+  scfg.numInducing = 100;
+  gp::SparseGaussianProcess sparse(gp::makeSquaredExponential(1.0, 1.0),
+                                   scfg);
+  la::Matrix x(5, 1);
+  la::Vector y(5, 1.0);
+  for (std::size_t i = 0; i < 5; ++i) x(i, 0) = static_cast<double>(i);
+  Rng rng(10);
+  sparse.fit(x, y, rng);
+  EXPECT_EQ(sparse.numInducing(), 5u);
+}
+
+TEST(SparseGp, Validation) {
+  EXPECT_THROW(gp::SparseGaussianProcess(nullptr), std::invalid_argument);
+  gp::SparseGpConfig bad;
+  bad.noiseVariance = 0.0;
+  EXPECT_THROW(
+      gp::SparseGaussianProcess(gp::makeSquaredExponential(1.0, 1.0), bad),
+      std::invalid_argument);
+  gp::SparseGaussianProcess s(gp::makeSquaredExponential(1.0, 1.0));
+  EXPECT_THROW(s.predict(la::Matrix(1, 1)), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- groupby
+
+TEST(GroupBy, AggregatesPerCombination) {
+  data::Table t;
+  t.addCategorical("op", {"a", "a", "b", "a", "b"});
+  t.addNumeric("np", {1.0, 1.0, 2.0, 1.0, 2.0});
+  t.addNumeric("time", {10.0, 12.0, 100.0, 14.0, 120.0});
+  const auto g = data::groupByAggregate(t, {"op", "np"}, {"time"});
+  ASSERT_EQ(g.numRows(), 2u);
+  // Order of first occurrence: (a,1) then (b,2).
+  EXPECT_EQ(g.categorical("op")[0], "a");
+  EXPECT_DOUBLE_EQ(g.numeric("Count")[0], 3.0);
+  EXPECT_DOUBLE_EQ(g.numeric("time_mean")[0], 12.0);
+  EXPECT_NEAR(g.numeric("time_sd")[0], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(g.numeric("time_min")[0], 10.0);
+  EXPECT_DOUBLE_EQ(g.numeric("time_max")[0], 14.0);
+  EXPECT_EQ(g.categorical("op")[1], "b");
+  EXPECT_DOUBLE_EQ(g.numeric("time_mean")[1], 110.0);
+}
+
+TEST(GroupBy, SingletonGroupsGetZeroSd) {
+  data::Table t;
+  t.addNumeric("k", {1.0, 2.0, 3.0});
+  t.addNumeric("v", {5.0, 6.0, 7.0});
+  const auto g = data::groupByAggregate(t, {"k"}, {"v"});
+  EXPECT_EQ(g.numRows(), 3u);
+  for (double sd : g.numeric("v_sd")) EXPECT_DOUBLE_EQ(sd, 0.0);
+}
+
+TEST(GroupBy, MultipleValueColumns) {
+  data::Table t;
+  t.addNumeric("k", {1.0, 1.0});
+  t.addNumeric("a", {2.0, 4.0});
+  t.addNumeric("b", {10.0, 30.0});
+  const auto g = data::groupByAggregate(t, {"k"}, {"a", "b"});
+  EXPECT_DOUBLE_EQ(g.numeric("a_mean")[0], 3.0);
+  EXPECT_DOUBLE_EQ(g.numeric("b_mean")[0], 20.0);
+  EXPECT_EQ(g.numCols(), 1u + 1u + 8u);
+}
+
+TEST(GroupBy, Validation) {
+  data::Table t;
+  t.addNumeric("k", {1.0});
+  t.addCategorical("c", {"x"});
+  EXPECT_THROW(data::groupByAggregate(t, {}, {"k"}), std::invalid_argument);
+  EXPECT_THROW(data::groupByAggregate(t, {"k"}, {}), std::invalid_argument);
+  EXPECT_THROW(data::groupByAggregate(t, {"k"}, {"c"}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- W-cycle
+
+TEST(Multigrid, WcycleConvergesAtLeastAsFastPerCycle) {
+  constexpr double kPi = std::numbers::pi;
+  const auto reductionWith = [&](int cycleType) {
+    hp::MgOptions opt;
+    opt.cycleType = cycleType;
+    hp::Multigrid mg(hp::StencilType::Poisson2, 15, opt);
+    hp::Field b(15), x(15);
+    hp::setInterior(b, [&](double px, double py, double pz) {
+      return std::sin(kPi * px) * std::sin(2.0 * kPi * py) *
+             std::sin(kPi * pz);
+    });
+    return mg.solve(b, x).meanReduction();
+  };
+  const double v = reductionWith(1);
+  const double w = reductionWith(2);
+  EXPECT_LT(w, v + 0.02);
+  EXPECT_LT(w, 0.2);
+}
+
+TEST(Multigrid, CycleTypeValidation) {
+  hp::MgOptions opt;
+  opt.cycleType = 0;
+  EXPECT_THROW(hp::Multigrid(hp::StencilType::Poisson1, 7, opt),
+               std::invalid_argument);
+  opt.cycleType = 4;
+  EXPECT_THROW(hp::Multigrid(hp::StencilType::Poisson1, 7, opt),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- scheduler accounting
+
+TEST(ClusterSim, UtilizationAndWaitAccounting) {
+  cl::PerfModelParams params;
+  params.noiseSigma = 1e-6;
+  params.spikeProbability = 0.0;
+  cl::ClusterSim sim(cl::ClusterConfig{}, cl::PerfModel(params), 1);
+  // One 64-core job: utilization = 1 for its whole window (the makespan).
+  sim.submit({cl::Operator::Poisson1, 1.0e7, 64, 2.4}, 0.0);
+  sim.run();
+  EXPECT_NEAR(sim.coreUtilization(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sim.meanQueueWait(), 0.0);
+}
+
+TEST(ClusterSim, UtilizationBelowOneWithSerialJobs) {
+  cl::PerfModelParams params;
+  params.noiseSigma = 1e-6;
+  params.spikeProbability = 0.0;
+  cl::ClusterSim sim(cl::ClusterConfig{}, cl::PerfModel(params), 2);
+  // Two full-machine jobs run back to back; a 1-core job padds the queue.
+  sim.submit({cl::Operator::Poisson1, 1.0e7, 64, 2.4}, 0.0);
+  sim.submit({cl::Operator::Poisson1, 1.0e7, 64, 2.4}, 0.0);
+  sim.submit({cl::Operator::Poisson1, 1.0e5, 1, 2.4}, 0.0);
+  sim.run();
+  EXPECT_GT(sim.coreUtilization(), 0.3);
+  EXPECT_LT(sim.coreUtilization(), 1.0);
+  EXPECT_GT(sim.meanQueueWait(), 0.0);
+}

@@ -1,0 +1,141 @@
+// Tests for descriptive statistics and error metrics
+// (stats/descriptive.hpp), including the paper's RMSE (eq. 2).
+
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace st = alperf::stats;
+
+TEST(Descriptive, SumAndMean) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(st::sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(st::mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(st::sum(std::vector<double>{}), 0.0);
+  EXPECT_THROW(st::mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, SampleVarianceMatchesHand) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance of this classic example is 4; sample variance
+  // = 32/7.
+  EXPECT_NEAR(st::sampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(st::sampleStdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_THROW(st::sampleVariance(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Descriptive, GeometricMean) {
+  const std::vector<double> v{1.0, 10.0, 100.0};
+  EXPECT_NEAR(st::geometricMean(v), 10.0, 1e-12);
+  EXPECT_THROW(st::geometricMean(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(st::minValue(v), -1.0);
+  EXPECT_DOUBLE_EQ(st::maxValue(v), 7.0);
+  EXPECT_THROW(st::minValue(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(st::quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st::quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(st::median(v), 2.5);
+  EXPECT_DOUBLE_EQ(st::quantile(v, 1.0 / 3.0), 2.0);
+  EXPECT_THROW(st::quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, RmseMatchesHand) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> truth{1.0, 4.0, 1.0};
+  // errors 0, -2, 2 → rmse = sqrt(8/3).
+  EXPECT_NEAR(st::rmse(pred, truth), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(st::rmse(pred, pred), 0.0);
+  EXPECT_THROW(st::rmse(pred, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Descriptive, Mae) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> truth{2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(st::mae(pred, truth), 1.0);
+}
+
+TEST(Descriptive, PearsonPerfectAndInverse) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(st::pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yNeg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(st::pearson(x, yNeg), -1.0, 1e-12);
+  EXPECT_THROW(st::pearson(x, std::vector<double>{1.0, 1.0, 1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Descriptive, LinearFitExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = st::linearFit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Descriptive, LinearFitR2DropsWithNoise) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2) ? 10.0 : -10.0));
+  }
+  const auto fit = st::linearFit(x, y);
+  EXPECT_GT(fit.r2, 0.5);
+  EXPECT_LT(fit.r2, 0.999);
+}
+
+TEST(Welford, MatchesBatchStatistics) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  st::Welford w;
+  for (double x : v) w.add(x);
+  EXPECT_EQ(w.count(), v.size());
+  EXPECT_NEAR(w.mean(), st::mean(v), 1e-12);
+  EXPECT_NEAR(w.sampleVariance(), st::sampleVariance(v), 1e-12);
+  EXPECT_NEAR(w.sampleStdDev(), st::sampleStdDev(v), 1e-12);
+}
+
+TEST(Welford, RequiresSamples) {
+  st::Welford w;
+  EXPECT_THROW(w.mean(), std::invalid_argument);
+  w.add(1.0);
+  EXPECT_THROW(w.sampleVariance(), std::invalid_argument);
+}
+
+TEST(Welford, StableForLargeOffsets) {
+  // Catastrophic cancellation check: values near 1e9 with tiny variance.
+  st::Welford w;
+  for (int i = 0; i < 1000; ++i) w.add(1e9 + (i % 2 ? 0.5 : -0.5));
+  EXPECT_NEAR(w.sampleVariance(), 0.25, 1e-3);
+}
+
+// Parameterized: rmse(x, x + c) == |c| for any constant shift.
+class RmseShiftProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RmseShiftProperty, ConstantShift) {
+  const double c = GetParam();
+  std::vector<double> x, y;
+  for (int i = 0; i < 37; ++i) {
+    x.push_back(std::sin(i * 0.7));
+    y.push_back(x.back() + c);
+  }
+  EXPECT_NEAR(st::rmse(y, x), std::abs(c), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, RmseShiftProperty,
+                         ::testing::Values(-3.0, -0.5, 0.0, 0.25, 1.0, 10.0));

@@ -1,0 +1,181 @@
+// Tests for sampling helpers (stats/sampling.hpp) and numerical
+// integration (stats/integrate.hpp) — the pieces behind dataset
+// partitioning, bootstrap ensembles, and IPMI energy estimation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "stats/integrate.hpp"
+#include "stats/sampling.hpp"
+
+namespace st = alperf::stats;
+
+TEST(Sampling, PermutationIsAPermutation) {
+  st::Rng rng(1);
+  const auto p = st::permutation(20, rng);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 19u);
+}
+
+TEST(Sampling, ShuffleKeepsMultiset) {
+  st::Rng rng(2);
+  std::vector<int> v{1, 1, 2, 3, 5, 8};
+  auto sorted = v;
+  st::shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Sampling, ShuffleIsUniformish) {
+  // Element 0 should land in each of 5 slots roughly equally often.
+  st::Rng rng(3);
+  int counts[5] = {};
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    st::shuffle(v, rng);
+    for (int i = 0; i < 5; ++i)
+      if (v[i] == 0) ++counts[i];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 4000, 300);
+}
+
+TEST(Sampling, WithoutReplacementDistinct) {
+  st::Rng rng(4);
+  const auto s = st::sampleWithoutReplacement(50, 10, rng);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<std::size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (auto i : s) EXPECT_LT(i, 50u);
+  EXPECT_THROW(st::sampleWithoutReplacement(3, 4, rng),
+               std::invalid_argument);
+}
+
+TEST(Sampling, WithReplacementBounds) {
+  st::Rng rng(5);
+  const auto s = st::sampleWithReplacement(7, 100, rng);
+  EXPECT_EQ(s.size(), 100u);
+  for (auto i : s) EXPECT_LT(i, 7u);
+  EXPECT_THROW(st::sampleWithReplacement(0, 3, rng), std::invalid_argument);
+}
+
+TEST(Sampling, BootstrapHasRepeatsWithHighProbability) {
+  st::Rng rng(6);
+  const auto s = st::sampleWithReplacement(100, 100, rng);
+  std::set<std::size_t> distinct(s.begin(), s.end());
+  // E[distinct] ≈ 63; anything below 90 confirms replacement.
+  EXPECT_LT(distinct.size(), 90u);
+}
+
+TEST(Sampling, WeightedChoiceRespectsWeights) {
+  st::Rng rng(7);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {};
+  for (int i = 0; i < 40000; ++i) ++counts[st::weightedChoice(w, rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], 10000, 500);
+  EXPECT_NEAR(counts[2], 30000, 500);
+}
+
+TEST(Sampling, WeightedChoiceValidation) {
+  st::Rng rng(8);
+  EXPECT_THROW(st::weightedChoice(std::vector<double>{0.0, 0.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(st::weightedChoice(std::vector<double>{1.0, -1.0}, rng),
+               std::invalid_argument);
+}
+
+TEST(Integrate, TrapezoidUniformLinearIsExact) {
+  // ∫₀⁴ (2t+1) dt = 20 with h = 1 over 5 samples.
+  const std::vector<double> y{1.0, 3.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(st::trapezoidUniform(y, 1.0), 20.0, 1e-12);
+}
+
+TEST(Integrate, TrapezoidUniformValidation) {
+  EXPECT_THROW(st::trapezoidUniform(std::vector<double>{1.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(st::trapezoidUniform(std::vector<double>{1.0, 2.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Integrate, IrregularMatchesUniformOnRegularGrid) {
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{2.0, 4.0, 4.0, 2.0};
+  EXPECT_NEAR(st::trapezoidIrregular(t, y), st::trapezoidUniform(y, 1.0),
+              1e-12);
+}
+
+TEST(Integrate, IrregularLinearExact) {
+  const std::vector<double> t{0.0, 0.5, 2.0, 2.25, 5.0};
+  std::vector<double> y(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) y[i] = 3.0 * t[i] + 1.0;
+  // ∫₀⁵ (3t+1) dt = 42.5.
+  EXPECT_NEAR(st::trapezoidIrregular(t, y), 42.5, 1e-12);
+}
+
+TEST(Integrate, IrregularRequiresIncreasingTime) {
+  EXPECT_THROW(st::trapezoidIrregular(std::vector<double>{0.0, 0.0},
+                                      std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(st::trapezoidIrregular(std::vector<double>{1.0, 0.5},
+                                      std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Integrate, SimpsonExactForCubics) {
+  // Simpson integrates cubics exactly: ∫₀² t³ dt = 4.
+  const double v = st::simpson([](double t) { return t * t * t; }, 0.0, 2.0,
+                               2);
+  EXPECT_NEAR(v, 4.0, 1e-12);
+}
+
+TEST(Integrate, SimpsonConvergesForSmoothFunction) {
+  const double exact = 2.0;  // ∫₀^π sin t dt
+  const double coarse =
+      st::simpson([](double t) { return std::sin(t); }, 0.0, 3.14159265358979,
+                  4);
+  const double fine =
+      st::simpson([](double t) { return std::sin(t); }, 0.0, 3.14159265358979,
+                  64);
+  EXPECT_LT(std::abs(fine - exact), std::abs(coarse - exact));
+  EXPECT_NEAR(fine, exact, 1e-6);
+}
+
+TEST(Integrate, SimpsonOddNIsRounded) {
+  // n=3 is promoted to 4 internally; result should still be accurate.
+  const double v =
+      st::simpson([](double t) { return t * t; }, 0.0, 3.0, 3);
+  EXPECT_NEAR(v, 9.0, 1e-12);
+}
+
+TEST(Integrate, SimpsonValidation) {
+  EXPECT_THROW(st::simpson([](double) { return 1.0; }, 1.0, 0.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(st::simpson([](double) { return 1.0; }, 0.0, 1.0, 1),
+               std::invalid_argument);
+}
+
+// Parameterized property: trapezoid error shrinks ~h² for a smooth
+// integrand.
+class TrapezoidConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrapezoidConvergence, QuadraticOrder) {
+  const int n = GetParam();
+  const auto evalAt = [](int samples) {
+    std::vector<double> y(samples + 1);
+    const double h = 1.0 / samples;
+    for (int i = 0; i <= samples; ++i) y[i] = std::exp(i * h);
+    return std::abs(st::trapezoidUniform(y, h) - (std::exp(1.0) - 1.0));
+  };
+  const double errCoarse = evalAt(n);
+  const double errFine = evalAt(2 * n);
+  EXPECT_NEAR(errCoarse / errFine, 4.0, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, TrapezoidConvergence,
+                         ::testing::Values(8, 16, 32, 64));
