@@ -33,9 +33,12 @@
 #include "gp/sparse.hpp"
 
 // Active learning (the paper's contribution).
+#include "common/outcome.hpp"
 #include "core/batch.hpp"
 #include "core/calibration.hpp"
+#include "core/checkpoint.hpp"
 #include "core/continuous.hpp"
+#include "core/executor.hpp"
 #include "core/learner.hpp"
 #include "core/multi.hpp"
 #include "core/optimize.hpp"

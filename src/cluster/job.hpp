@@ -57,6 +57,10 @@ struct JobRecord {
   int attempts = 1;
   double wastedSeconds = 0.0;
   bool failed = false;
+  /// True when the scheduler killed the job at its walltime limit
+  /// (ClusterConfig::enforceWalltime): runtimeSeconds is then a *lower
+  /// bound* on the true runtime, not a measurement of it.
+  bool censored = false;
 
   /// IPMI-trace-derived energy estimate over the accounting window
   /// (runtime + prolog/epilog) across all allocated nodes. Only meaningful

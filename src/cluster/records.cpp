@@ -11,7 +11,7 @@ data::Table recordsToTable(std::span<const JobRecord> records,
   const std::size_t n = records.size();
   std::vector<double> id(n), size(n), np(n), freq(n), runtime(n), submit(n),
       start(n), end(n), wait(n), nodes(n), cores(n), samples(n), evalid(n),
-      attempts(n), wasted(n), failed(n);
+      attempts(n), wasted(n), failed(n), censored(n);
   std::vector<std::string> op(n);
   std::vector<double> energy(withEnergy ? n : 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -33,6 +33,7 @@ data::Table recordsToTable(std::span<const JobRecord> records,
     attempts[i] = r.attempts;
     wasted[i] = r.wastedSeconds;
     failed[i] = r.failed ? 1.0 : 0.0;
+    censored[i] = r.censored ? 1.0 : 0.0;
     if (withEnergy) energy[i] = r.energyJoules;
   }
   data::Table t;
@@ -53,6 +54,7 @@ data::Table recordsToTable(std::span<const JobRecord> records,
   t.addNumeric("Attempts", std::move(attempts));
   t.addNumeric("WastedSeconds", std::move(wasted));
   t.addNumeric("Failed", std::move(failed));
+  t.addNumeric("Censored", std::move(censored));
   if (withEnergy) t.addNumeric("EnergyJ", std::move(energy));
   return t;
 }

@@ -1,6 +1,7 @@
 #include "cluster/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -29,6 +30,15 @@ ClusterSim::ClusterSim(ClusterConfig config, PerfModel model,
              "ClusterSim: config and perf model disagree on machine shape");
   requireArg(config_.prologSeconds >= 0.0 && config_.epilogSeconds >= 0.0,
              "ClusterSim: overheads must be non-negative");
+  requireArg(config_.failureProbability >= 0.0 &&
+                 config_.failureProbability <= 1.0,
+             "ClusterSim: failureProbability must be in [0, 1]");
+  requireArg(config_.maxRetries >= 0,
+             "ClusterSim: maxRetries must be non-negative");
+  requireArg(std::isfinite(config_.walltimeMargin) &&
+                 config_.walltimeMargin >= 1.0,
+             "ClusterSim: walltimeMargin must be >= 1 (requested walltime "
+             "below the mean runtime would kill typical jobs)");
   freeCores_.assign(config_.nodes, config_.coresPerNode);
   loadPerNode_.resize(config_.nodes);
 }
@@ -82,10 +92,24 @@ void ClusterSim::startJob(const PendingJob& job, double now) {
 
   double runtime = model_.sampleRuntime(job.request, rng_);
   // Failure injection: the attempt may crash part-way through its run.
-  const bool crashes = config_.failureProbability > 0.0 &&
-                       rng_.bernoulli(config_.failureProbability);
+  bool crashes = config_.failureProbability > 0.0 &&
+                 rng_.bernoulli(config_.failureProbability);
   const bool retriesLeft = job.attempt <= config_.maxRetries;
   if (crashes) runtime *= rng_.uniformReal(0.05, 0.95);
+
+  // Walltime enforcement: the scheduler kills any attempt still running at
+  // its requested walltime. The kill pre-empts a later crash and is
+  // terminal (SLURM does not requeue TIMEOUTs by default): the partial run
+  // completes as a censored record whose runtime is the walltime bound.
+  bool censored = false;
+  if (config_.enforceWalltime) {
+    const double limit = config_.walltimeMargin * model_.meanRuntime(job.request);
+    if (runtime > limit) {
+      runtime = limit;
+      censored = true;
+      crashes = false;
+    }
+  }
 
   const double computeBegin = now + config_.prologSeconds;
   const double computeEnd = computeBegin + runtime;
@@ -104,6 +128,7 @@ void ClusterSim::startJob(const PendingJob& job, double now) {
     rec.nodesUsed = placement.nodesUsed();
     rec.coresUsed = cores;
     rec.failed = crashes;
+    rec.censored = censored;
     placements_[job.id] = placement;
   }
 
@@ -283,6 +308,32 @@ double ClusterSim::coreUtilization() const {
   return busyCoreSeconds /
          (static_cast<double>(config_.nodes) * config_.coresPerNode *
           makespan_);
+}
+
+Measurement measureJob(const ClusterConfig& config, const PerfModel& model,
+                       const JobRequest& request, std::uint64_t seed) {
+  ClusterSim sim(config, model, seed);
+  sim.submit(request, 0.0);
+  sim.run();
+  const JobRecord& rec = sim.records().front();
+
+  // Campaign costs are core-seconds of allocation: the machine is blocked
+  // for the whole window (prolog + run + epilog), not just the compute.
+  const double cores = static_cast<double>(rec.coresUsed);
+  const double windowCost = (rec.endTime - rec.startTime) * cores;
+  const double wasted = rec.wastedSeconds * cores;
+
+  if (rec.failed) {
+    // Retries exhausted inside the scheduler: everything was burned,
+    // including the terminal attempt's own window.
+    return Measurement::failed(wasted + windowCost, rec.attempts);
+  }
+  Measurement m = rec.censored
+                      ? Measurement::censored(rec.runtimeSeconds, windowCost)
+                      : Measurement::ok(rec.runtimeSeconds, windowCost);
+  m.wastedCost = wasted;
+  m.attempts = rec.attempts;
+  return m;
 }
 
 double ClusterSim::meanQueueWait() const {

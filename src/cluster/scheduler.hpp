@@ -13,6 +13,7 @@
 #include "cluster/job.hpp"
 #include "cluster/perf_model.hpp"
 #include "cluster/power.hpp"
+#include "common/outcome.hpp"
 
 namespace alperf::cluster {
 
@@ -34,6 +35,12 @@ struct ClusterConfig {
   /// maxRetries extra attempts before it is marked failed for good.
   double failureProbability = 0.0;
   int maxRetries = 3;
+
+  /// When set, the scheduler kills any attempt whose sampled runtime
+  /// exceeds its requested walltime (walltimeMargin × mean runtime), like
+  /// SLURM's TIMEOUT. A kill is terminal — the partial run is reported as
+  /// a *censored* record whose runtime is the walltime lower bound.
+  bool enforceWalltime = false;
 };
 
 /// Where a job's ranks were placed: `cores[i]` ranks on node i.
@@ -125,5 +132,16 @@ class ClusterSim {
   bool finished_ = false;
   double makespan_ = 0.0;
 };
+
+/// Reference fallible measurement backend: simulates `request` alone on
+/// the cluster and maps the accounting record to a Measurement. The
+/// response is the application runtime in seconds; costs are core-seconds
+/// of allocation (window × cores), with crashed attempts' windows reported
+/// as wastedCost. Scheduler-requeued crashes that exhaust
+/// config.maxRetries yield Failed; a walltime kill (when
+/// config.enforceWalltime) yields Censored with the walltime lower bound.
+/// Deterministic in `seed` — retries at the executor layer should vary it.
+Measurement measureJob(const ClusterConfig& config, const PerfModel& model,
+                       const JobRequest& request, std::uint64_t seed);
 
 }  // namespace alperf::cluster

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file outcome.hpp
+/// Measurement outcome taxonomy for fault-tolerant experiment execution.
+///
+/// Real measurement campaigns lose jobs to crashes, sensor gaps, and
+/// walltime kills (the paper's Power dataset is smaller than Performance
+/// for exactly this reason, Sec. IV). A measurement backend therefore
+/// reports one of three outcomes instead of a bare double:
+///
+///   Ok        the experiment completed; `y` is the response and `cost`
+///             the resources it consumed.
+///   Failed    the attempt crashed; `cost` is the resources burned before
+///             the crash. No response is available.
+///   Censored  the job was killed at its walltime limit; `y` is a *lower
+///             bound* on the true response and `cost` what the truncated
+///             run consumed.
+///
+/// Failed attempts still charge their burned cost against the campaign
+/// budget — losing an experiment is not free.
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace alperf {
+
+enum class MeasurementStatus { Ok, Failed, Censored };
+
+/// Human-readable status name ("ok" / "failed" / "censored").
+inline std::string toString(MeasurementStatus status) {
+  switch (status) {
+    case MeasurementStatus::Ok:
+      return "ok";
+    case MeasurementStatus::Failed:
+      return "failed";
+    case MeasurementStatus::Censored:
+      return "censored";
+  }
+  throw std::invalid_argument("toString: unknown MeasurementStatus");
+}
+
+/// Result of one experiment execution (possibly spanning several backend
+/// attempts, e.g. a scheduler that requeues crashed jobs internally).
+struct Measurement {
+  MeasurementStatus status = MeasurementStatus::Ok;
+  /// Ok: the observed response. Censored: a lower bound on it.
+  /// Failed: meaningless (0).
+  double y = 0.0;
+  /// Cost of the recorded (final) attempt, in the problem's cost unit.
+  double cost = 0.0;
+  /// Cost burned by earlier failed attempts folded into this measurement.
+  double wastedCost = 0.0;
+  /// Total attempts behind this measurement (1 = clean run).
+  int attempts = 1;
+
+  /// Completed measurement. Throws std::invalid_argument on non-finite
+  /// `y` — NaN/Inf must never masquerade as a successful observation.
+  static Measurement ok(double y, double cost) {
+    requireArg(std::isfinite(y), "Measurement::ok: non-finite response");
+    requireArg(std::isfinite(cost) && cost >= 0.0,
+               "Measurement::ok: cost must be finite and >= 0");
+    return {MeasurementStatus::Ok, y, cost, 0.0, 1};
+  }
+
+  /// Crashed attempt(s): only the burned cost and attempt count survive.
+  static Measurement failed(double costBurned, int attempts = 1) {
+    requireArg(std::isfinite(costBurned) && costBurned >= 0.0,
+               "Measurement::failed: cost must be finite and >= 0");
+    requireArg(attempts >= 1, "Measurement::failed: attempts must be >= 1");
+    return {MeasurementStatus::Failed, 0.0, costBurned, 0.0, attempts};
+  }
+
+  /// Walltime-killed job: the response is only known to exceed
+  /// `lowerBound`.
+  static Measurement censored(double lowerBound, double cost) {
+    requireArg(std::isfinite(lowerBound),
+               "Measurement::censored: non-finite lower bound");
+    requireArg(std::isfinite(cost) && cost >= 0.0,
+               "Measurement::censored: cost must be finite and >= 0");
+    return {MeasurementStatus::Censored, lowerBound, cost, 0.0, 1};
+  }
+
+  /// True when the measurement carries a usable response (Ok or Censored).
+  bool usable() const { return status != MeasurementStatus::Failed; }
+
+  /// Everything this measurement charged the campaign, including waste.
+  double totalCost() const { return cost + wastedCost; }
+};
+
+}  // namespace alperf

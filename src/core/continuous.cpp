@@ -119,6 +119,59 @@ ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
   return suggestion;
 }
 
+namespace {
+
+/// The GP's training set grown by one observation.
+std::pair<la::Matrix, la::Vector> grownTrainingSet(
+    const gp::GaussianProcess& gp, std::span<const double> xNew,
+    double yNew) {
+  const la::Matrix& x = gp.trainX();
+  la::Matrix grown(x.rows() + 1, x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto src = x.row(i);
+    std::copy(src.begin(), src.end(), grown.row(i).begin());
+  }
+  std::copy(xNew.begin(), xNew.end(), grown.row(x.rows()).begin());
+  la::Vector yAll = gp.trainY();
+  yAll.push_back(yNew);
+  return {std::move(grown), std::move(yAll)};
+}
+
+/// Full refit on the grown set; when the refit's LML is non-finite or
+/// its Cholesky fails even after jitter escalation, rolls back to
+/// `lastGoodTheta` and recomputes only the posterior. Returns false when
+/// even the fallback fails.
+bool refitGrownWithFallback(gp::GaussianProcess& gp,
+                            std::span<const double> xNew, double yNew,
+                            bool optimize,
+                            std::vector<double>& lastGoodTheta,
+                            int& fitFallbacks, stats::Rng& rng) {
+  auto [grown, yAll] = grownTrainingSet(gp, xNew, yNew);
+  bool ok = false;
+  gp.config().optimize = optimize;
+  try {
+    gp.fit(la::Matrix(grown), la::Vector(yAll), rng);
+    ok = std::isfinite(gp.logMarginalLikelihood());
+  } catch (const NumericalError&) {
+    ok = false;
+  }
+  if (!ok) {
+    try {
+      gp.setThetaFull(lastGoodTheta);
+      gp.config().optimize = false;
+      gp.fit(std::move(grown), std::move(yAll), rng);
+      ok = std::isfinite(gp.logMarginalLikelihood());
+    } catch (const NumericalError&) {
+      ok = false;
+    }
+    if (ok) ++fitFallbacks;
+  }
+  if (ok) lastGoodTheta = gp.thetaFull();
+  return ok;
+}
+
+}  // namespace
+
 ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
                                    la::Vector seedY,
                                    const opt::BoxBounds& bounds,
@@ -127,41 +180,94 @@ ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
                                    const ContinuousAlConfig& config,
                                    stats::Rng& rng) {
   requireArg(oracle != nullptr, "runContinuousAl: null oracle");
-  requireArg(config.iterations >= 1 && config.refitEvery >= 1,
+  // The infallible wrapper: a NaN/Inf response is an API violation here,
+  // and Measurement::ok rejects it with a clear error before it can reach
+  // a Cholesky. Backends that legitimately fail use the fallible overload.
+  const FallibleOracle wrapped = [&oracle](std::span<const double> x) {
+    const double y = oracle(x);
+    requireArg(std::isfinite(y),
+               "runContinuousAl: oracle returned non-finite response");
+    return Measurement::ok(y, 0.0);
+  };
+  RetryPolicy failFast;
+  failFast.maxRetries = 0;
+  return runContinuousAl(std::move(gp), std::move(seedX), std::move(seedY),
+                         bounds, wrapped, failFast, acq, config, rng);
+}
+
+ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
+                                   la::Vector seedY,
+                                   const opt::BoxBounds& bounds,
+                                   const FallibleOracle& oracle,
+                                   const RetryPolicy& policy,
+                                   const AcquisitionFn& acq,
+                                   const ContinuousAlConfig& config,
+                                   stats::Rng& rng) {
+  requireArg(oracle != nullptr, "runContinuousAl: null oracle");
+  requireArg(config.iterations >= 1 && config.refitEvery >= 1 &&
+                 config.maxConsecutiveFailures >= 1,
              "runContinuousAl: invalid config");
+  policy.validate();
+  // The seed fit is a precondition, not a campaign step: without any
+  // posterior there is nothing to fall back to, so failures throw.
   gp.config().optimize = true;
   gp.fit(std::move(seedX), std::move(seedY), rng);
 
   ContinuousAlResult result{.history = {}, .finalGp = gp};
+  ExperimentExecutor executor(policy);
+  std::vector<double> lastGoodTheta = gp.thetaFull();
+  int consecutiveFailures = 0;
   for (int iter = 0; iter < config.iterations; ++iter) {
     const auto suggestion =
         suggestContinuous(gp, bounds, acq, config.nStarts, rng);
-    const double y = oracle(suggestion.x);
+    const ExecutionResult er =
+        executor.execute([&] { return oracle(suggestion.x); });
 
     ContinuousAlRecord rec;
     rec.x = suggestion.x;
-    rec.y = y;
     rec.sdAtPick = suggestion.sd;
     rec.acquisition = suggestion.acquisition;
+    rec.wastedCost = er.wastedCost;
+    result.wastedCost += er.wastedCost;
+
+    if (er.quarantined) {
+      rec.measured = false;
+      rec.failedAttempts = er.attempts;
+      result.history.push_back(std::move(rec));
+      if (++consecutiveFailures >= config.maxConsecutiveFailures) {
+        result.stopReason = StopReason::OracleExhausted;
+        break;
+      }
+      continue;  // no observation: the GP stays as it is
+    }
+    consecutiveFailures = 0;
+    rec.y = er.measurement.y;
+    rec.failedAttempts = er.attempts - 1;
+    if (er.measurement.status == MeasurementStatus::Censored) rec.censored = 1.0;
     result.history.push_back(std::move(rec));
 
+    bool ok;
     if ((iter + 1) % config.refitEvery == 0) {
       // Full refit: re-optimize hyperparameters on the grown dataset.
-      la::Matrix x = gp.trainX();
-      la::Vector yAll = gp.trainY();
-      la::Matrix grown(x.rows() + 1, x.cols());
-      for (std::size_t i = 0; i < x.rows(); ++i) {
-        const auto src = x.row(i);
-        std::copy(src.begin(), src.end(), grown.row(i).begin());
-      }
-      std::copy(suggestion.x.begin(), suggestion.x.end(),
-                grown.row(x.rows()).begin());
-      yAll.push_back(y);
-      gp.config().optimize = true;
-      gp.fit(std::move(grown), std::move(yAll), rng);
+      ok = refitGrownWithFallback(gp, suggestion.x, er.measurement.y,
+                                  /*optimize=*/true, lastGoodTheta,
+                                  result.fitFallbacks, rng);
     } else {
-      // Cheap O(n²) incremental update between refits.
-      gp.addObservation(suggestion.x, y);
+      // Cheap O(n²) incremental update between refits; an extension whose
+      // pivot collapses falls back to a posterior-only rebuild.
+      try {
+        gp.addObservation(suggestion.x, er.measurement.y);
+        ok = true;
+      } catch (const NumericalError&) {
+        ok = refitGrownWithFallback(gp, suggestion.x, er.measurement.y,
+                                    /*optimize=*/false, lastGoodTheta,
+                                    result.fitFallbacks, rng);
+        if (ok) ++result.fitFallbacks;
+      }
+    }
+    if (!ok) {
+      result.stopReason = StopReason::FitFailed;
+      break;
     }
   }
   result.finalGp = gp;

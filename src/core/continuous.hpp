@@ -16,6 +16,8 @@
 
 #include <functional>
 
+#include "core/executor.hpp"
+#include "core/learner.hpp"
 #include "gp/gp.hpp"
 #include "opt/gradient.hpp"
 
@@ -65,6 +67,9 @@ ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
                                        int nStarts, stats::Rng& rng);
 
 /// Ground-truth measurement: given x, run the experiment and return y.
+/// Must return a finite value; runContinuousAl throws
+/// std::invalid_argument on NaN/Inf (use the FallibleOracle overload for
+/// backends that can fail).
 using Oracle = std::function<double(std::span<const double>)>;
 
 struct ContinuousAlConfig {
@@ -73,6 +78,10 @@ struct ContinuousAlConfig {
   /// Full hyperparameter refit cadence; between refits the GP is updated
   /// incrementally in O(n²).
   int refitEvery = 5;
+  /// Fallible path only: stop with StopReason::OracleExhausted after this
+  /// many *consecutive* suggestions whose retries were all exhausted (the
+  /// backend is evidently down; measuring further would only burn budget).
+  int maxConsecutiveFailures = 3;
 };
 
 struct ContinuousAlRecord {
@@ -80,11 +89,27 @@ struct ContinuousAlRecord {
   double y = 0.0;
   double sdAtPick = 0.0;
   double acquisition = 0.0;
+  /// Fault accounting (always 0 on the infallible path); mirrors
+  /// IterationRecord's semantics.
+  double failedAttempts = 0.0;
+  double wastedCost = 0.0;
+  double censored = 0.0;
+  /// False when retries were exhausted: x was never measured and y is
+  /// meaningless; the GP was not updated this iteration.
+  bool measured = true;
 };
 
 struct ContinuousAlResult {
   std::vector<ContinuousAlRecord> history;
   gp::GaussianProcess finalGp;
+  /// MaxIterations on a completed run; OracleExhausted when the loop gave
+  /// up after maxConsecutiveFailures unmeasurable suggestions.
+  StopReason stopReason = StopReason::MaxIterations;
+  /// Refits that rolled back to the last good hyperparameters because the
+  /// fresh fit's LML was non-finite or its Cholesky failed.
+  int fitFallbacks = 0;
+  /// Total cost burned by failed attempts (incl. backoff surcharges).
+  double wastedCost = 0.0;
 };
 
 /// Online loop: seed the GP with (seedX, seedY), then repeatedly suggest
@@ -93,6 +118,19 @@ ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
                                    la::Vector seedY,
                                    const opt::BoxBounds& bounds,
                                    const Oracle& oracle,
+                                   const AcquisitionFn& acq,
+                                   const ContinuousAlConfig& config,
+                                   stats::Rng& rng);
+
+/// Fault-tolerant variant: measurements flow through an
+/// ExperimentExecutor under `policy`. Failed suggestions burn cost but do
+/// not update the GP; censored measurements train on their lower bound; a
+/// refit whose LML diverges falls back to the last good hyperparameters.
+ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
+                                   la::Vector seedY,
+                                   const opt::BoxBounds& bounds,
+                                   const FallibleOracle& oracle,
+                                   const RetryPolicy& policy,
                                    const AcquisitionFn& acq,
                                    const ContinuousAlConfig& config,
                                    stats::Rng& rng);

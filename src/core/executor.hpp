@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file executor.hpp
+/// Fault-tolerant experiment execution between the AL loops and their
+/// measurement backends.
+///
+/// A backend (real cluster, simulator, instrumented application) is a
+/// *fallible oracle*: it may return Failed or Censored measurements
+/// instead of a clean response (common/outcome.hpp). The
+/// ExperimentExecutor wraps one oracle call site with a RetryPolicy:
+/// failed attempts are retried with a capped exponential cost surcharge
+/// (the cost-domain analogue of retry backoff — requeued jobs burn queue
+/// time and scheduler overhead), every burned unit is charged to the
+/// campaign ledger, and a point whose retries are exhausted is reported
+/// as quarantined so the caller can exclude it from future selection.
+
+#include <functional>
+#include <span>
+
+#include "common/outcome.hpp"
+
+namespace alperf::al {
+
+/// Fallible measurement oracle over a continuous design point.
+using FallibleOracle = std::function<Measurement(std::span<const double>)>;
+
+/// Fallible oracle over discrete problem rows (pool-based AL): given the
+/// problem-row index of the selected experiment, run it.
+using FallibleRowOracle = std::function<Measurement(std::size_t row)>;
+
+/// Retry behaviour for failed attempts.
+struct RetryPolicy {
+  /// Extra attempts after the first failure before the point is
+  /// quarantined (0 = fail fast).
+  int maxRetries = 3;
+  /// Fixed cost surcharge of the first retry (requeue/backoff overhead,
+  /// in the problem's cost unit; 0 = only the backend-reported burn).
+  double backoffCostBase = 0.0;
+  /// The surcharge of retry k is backoffCostBase·backoffGrowth^(k-1) ...
+  double backoffGrowth = 2.0;
+  /// ... capped at this value.
+  double backoffCostCap = 1e9;
+
+  /// Throws std::invalid_argument on nonsense values.
+  void validate() const;
+
+  /// Cost surcharge charged for retry number `retry` (1-based).
+  double backoffCost(int retry) const;
+};
+
+/// Aggregate outcome of executing one experiment under a RetryPolicy.
+struct ExecutionResult {
+  /// The final attempt's measurement (Failed when quarantined).
+  Measurement measurement;
+  /// Total attempts, including the backend's internal ones.
+  int attempts = 0;
+  /// Cost burned by failed attempts plus retry surcharges. Excludes the
+  /// final successful measurement's own cost.
+  double wastedCost = 0.0;
+  /// True when retries were exhausted without a usable measurement; the
+  /// caller must exclude the point from future selection.
+  bool quarantined = false;
+
+  /// Everything the campaign was charged for this execution.
+  double totalCost() const {
+    return wastedCost + (quarantined ? 0.0 : measurement.totalCost());
+  }
+};
+
+/// Drives retries for one oracle around a RetryPolicy and keeps a
+/// campaign-level ledger of waste. The executor is deliberately agnostic
+/// of *what* is being measured: callers adapt row- or x-based oracles via
+/// execute()'s thunk, so both the discrete and the continuous loop share
+/// one retry state machine.
+class ExperimentExecutor {
+ public:
+  explicit ExperimentExecutor(RetryPolicy policy = {});
+
+  /// Runs `attempt` until it yields a usable measurement or the policy's
+  /// retries are exhausted. Non-finite Ok responses are demoted to Failed
+  /// (they must never reach a Cholesky). Every failed attempt's burned
+  /// cost, plus the policy's backoff surcharge, is accumulated into the
+  /// result and the ledger.
+  ExecutionResult execute(const std::function<Measurement()>& attempt);
+
+  /// Ledger: total cost burned by failed attempts across all execute()
+  /// calls, total failed attempts, and how many executions ended
+  /// quarantined.
+  double totalWastedCost() const { return totalWastedCost_; }
+  int totalFailedAttempts() const { return totalFailedAttempts_; }
+  int totalQuarantined() const { return totalQuarantined_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  double totalWastedCost_ = 0.0;
+  int totalFailedAttempts_ = 0;
+  int totalQuarantined_ = 0;
+};
+
+}  // namespace alperf::al

@@ -25,16 +25,25 @@ std::string toString(StopReason reason) {
       return "budget";
     case StopReason::AmsdConverged:
       return "amsd_converged";
+    case StopReason::OracleExhausted:
+      return "oracle_exhausted";
+    case StopReason::FitFailed:
+      return "fit_failed";
   }
   throw std::invalid_argument("toString: unknown StopReason");
 }
 
 data::Table historyToTable(const AlResult& result) {
-  const std::size_t n = result.history.size();
+  return historyToTable(std::span<const IterationRecord>(result.history));
+}
+
+data::Table historyToTable(std::span<const IterationRecord> history) {
+  const std::size_t n = history.size();
   std::vector<double> iteration(n), chosen(n), sigma(n), mu(n), amsd(n),
-      rmse(n), pickCost(n), cumCost(n), noiseVar(n), lml(n);
+      rmse(n), pickCost(n), cumCost(n), noiseVar(n), lml(n), failed(n),
+      wasted(n), censored(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& rec = result.history[i];
+    const auto& rec = history[i];
     iteration[i] = rec.iteration;
     chosen[i] = static_cast<double>(rec.chosenRow);
     sigma[i] = rec.sigmaAtPick;
@@ -45,6 +54,9 @@ data::Table historyToTable(const AlResult& result) {
     cumCost[i] = rec.cumulativeCost;
     noiseVar[i] = rec.noiseVariance;
     lml[i] = rec.lml;
+    failed[i] = rec.failedAttempts;
+    wasted[i] = rec.wastedCost;
+    censored[i] = rec.censored;
   }
   data::Table t;
   t.addNumeric("Iteration", std::move(iteration));
@@ -57,7 +69,46 @@ data::Table historyToTable(const AlResult& result) {
   t.addNumeric("CumulativeCost", std::move(cumCost));
   t.addNumeric("NoiseVariance", std::move(noiseVar));
   t.addNumeric("LML", std::move(lml));
+  t.addNumeric("FailedAttempts", std::move(failed));
+  t.addNumeric("WastedCost", std::move(wasted));
+  t.addNumeric("Censored", std::move(censored));
   return t;
+}
+
+std::vector<IterationRecord> historyFromTable(const data::Table& table) {
+  const std::size_t n = table.numRows();
+  std::vector<IterationRecord> history(n);
+  const auto fill = [&](const std::string& name,
+                        double IterationRecord::* field, bool required) {
+    if (!table.hasColumn(name)) {
+      requireArg(!required, "historyFromTable: missing column '" + name + "'");
+      return;
+    }
+    const auto col = table.numeric(name);
+    for (std::size_t i = 0; i < n; ++i) history[i].*field = col[i];
+  };
+  requireArg(table.hasColumn("Iteration") && table.hasColumn("ChosenRow"),
+             "historyFromTable: not a learning-trace table");
+  const auto iter = table.numeric("Iteration");
+  const auto chosen = table.numeric("ChosenRow");
+  for (std::size_t i = 0; i < n; ++i) {
+    history[i].iteration = static_cast<int>(iter[i]);
+    history[i].chosenRow = static_cast<std::size_t>(chosen[i]);
+  }
+  fill("SigmaAtPick", &IterationRecord::sigmaAtPick, true);
+  fill("MuAtPick", &IterationRecord::muAtPick, true);
+  fill("AMSD", &IterationRecord::amsd, true);
+  fill("RMSE", &IterationRecord::rmse, true);
+  fill("PickCost", &IterationRecord::pickCost, true);
+  fill("CumulativeCost", &IterationRecord::cumulativeCost, true);
+  fill("NoiseVariance", &IterationRecord::noiseVariance, true);
+  fill("LML", &IterationRecord::lml, true);
+  // Fault columns are absent in traces archived before the fault-tolerant
+  // execution layer existed.
+  fill("FailedAttempts", &IterationRecord::failedAttempts, false);
+  fill("WastedCost", &IterationRecord::wastedCost, false);
+  fill("Censored", &IterationRecord::censored, false);
+  return history;
 }
 
 ActiveLearner::ActiveLearner(RegressionProblem problem,
@@ -82,56 +133,164 @@ AlResult ActiveLearner::run(stats::Rng& rng) const {
 
 AlResult ActiveLearner::runWithPartition(const data::TriPartition& partition,
                                          stats::Rng& rng) const {
-  AlResult result{.history = {},
-                  .partition = partition,
-                  .stopReason = StopReason::PoolExhausted,
-                  .finalGp = gpPrototype_};
+  return runLoop(initialState(partition), nullptr, nullptr, rng);
+}
 
-  std::vector<std::size_t> train = partition.initial;
-  std::vector<std::size_t> pool = partition.active;
+AlResult ActiveLearner::runFallible(const FallibleRowOracle& oracle,
+                                    const RetryPolicy& policy,
+                                    stats::Rng& rng) const {
+  const auto partition = data::triPartition(
+      problem_.size(), config_.nInitial, config_.activeFraction, rng);
+  return runFallibleWithPartition(oracle, policy, partition, rng);
+}
 
-  // Test design matrix/response, fixed for the whole run.
-  la::Matrix testX(partition.test.size(), problem_.dim());
-  la::Vector testY(partition.test.size());
-  for (std::size_t i = 0; i < partition.test.size(); ++i) {
-    const auto row = problem_.x.row(partition.test[i]);
-    std::copy(row.begin(), row.end(), testX.row(i).begin());
-    testY[i] = problem_.y[partition.test[i]];
+AlResult ActiveLearner::runFallibleWithPartition(
+    const FallibleRowOracle& oracle, const RetryPolicy& policy,
+    const data::TriPartition& partition, stats::Rng& rng) const {
+  requireArg(oracle != nullptr, "runFallible: null oracle");
+  policy.validate();
+  return runLoop(initialState(partition), &oracle, &policy, rng);
+}
+
+AlResult ActiveLearner::resume(const Checkpoint& checkpoint,
+                               stats::Rng& rng) const {
+  validateCheckpoint(checkpoint);
+  return runLoop(checkpoint, nullptr, nullptr, rng);
+}
+
+AlResult ActiveLearner::resumeFallible(const Checkpoint& checkpoint,
+                                       const FallibleRowOracle& oracle,
+                                       const RetryPolicy& policy,
+                                       stats::Rng& rng) const {
+  validateCheckpoint(checkpoint);
+  requireArg(oracle != nullptr, "resumeFallible: null oracle");
+  policy.validate();
+  return runLoop(checkpoint, &oracle, &policy, rng);
+}
+
+Checkpoint ActiveLearner::initialState(
+    const data::TriPartition& partition) const {
+  Checkpoint state;
+  state.partition = partition;
+  state.train = partition.initial;
+  state.trainY.reserve(state.train.size());
+  for (std::size_t row : state.train) {
+    requireArg(row < problem_.size(), "ActiveLearner: partition row range");
+    state.trainY.push_back(problem_.y[row]);
   }
+  state.pool = partition.active;
+  return state;
+}
+
+void ActiveLearner::validateCheckpoint(const Checkpoint& cp) const {
+  requireArg(cp.hasRngState, "resume: checkpoint has no RNG state");
+  requireArg(cp.trainY.size() == cp.train.size(),
+             "resume: train/trainY size mismatch");
+  requireArg(!cp.train.empty(), "resume: empty training set");
+  const auto inRange = [this](const std::vector<std::size_t>& rows) {
+    return std::all_of(rows.begin(), rows.end(), [this](std::size_t r) {
+      return r < problem_.size();
+    });
+  };
+  requireArg(inRange(cp.train) && inRange(cp.pool) && inRange(cp.quarantined),
+             "resume: checkpoint row index out of range for this problem");
+  requireArg(cp.iteration >= 0 &&
+                 cp.history.size() == static_cast<std::size_t>(cp.iteration),
+             "resume: iteration count disagrees with history length");
+  requireArg(cp.gpTheta.empty() ||
+                 cp.gpTheta.size() == gpPrototype_.thetaFull().size(),
+             "resume: GP hyperparameter count mismatch");
+}
+
+AlResult ActiveLearner::runLoop(Checkpoint state,
+                                const FallibleRowOracle* oracle,
+                                const RetryPolicy* policy,
+                                stats::Rng& rng) const {
+  if (state.hasRngState) rng.restoreState(state.rngState);
+
+  AlResult result{.history = {},
+                  .partition = state.partition,
+                  .stopReason = StopReason::PoolExhausted,
+                  .finalGp = gpPrototype_,
+                  .checkpoint = {},
+                  .fitFallbacks = 0};
 
   gp::GaussianProcess gp = gpPrototype_;
+  if (!state.gpTheta.empty()) gp.setThetaFull(state.gpTheta);
+  std::vector<double> lastGoodTheta = gp.thetaFull();
   const double baseNoiseLo = gpPrototype_.config().noise.lo;
 
+  ExperimentExecutor executor(policy ? *policy : RetryPolicy{});
+
   const auto buildTrain = [&](la::Matrix& x, la::Vector& y) {
-    x = la::Matrix(train.size(), problem_.dim());
-    y.resize(train.size());
-    for (std::size_t i = 0; i < train.size(); ++i) {
-      const auto row = problem_.x.row(train[i]);
+    x = la::Matrix(state.train.size(), problem_.dim());
+    for (std::size_t i = 0; i < state.train.size(); ++i) {
+      const auto row = problem_.x.row(state.train[i]);
       std::copy(row.begin(), row.end(), x.row(i).begin());
-      y[i] = problem_.y[train[i]];
     }
+    y = state.trainY;
   };
 
-  double cumulativeCost = 0.0;
-  int iteration = 0;
+  // Attempts a (re)fit; on divergence rolls back to the last good
+  // hyperparameters and recomputes only the posterior. Returns false when
+  // even the fallback cannot produce a finite posterior.
+  const auto fitWithFallback = [&](bool optimize) {
+    la::Matrix trainX;
+    la::Vector trainY;
+    buildTrain(trainX, trainY);
+    gp.config().optimize = optimize;
+    bool ok = false;
+    try {
+      gp.fit(la::Matrix(trainX), la::Vector(trainY), rng);
+      ok = std::isfinite(gp.logMarginalLikelihood());
+    } catch (const NumericalError&) {
+      ok = false;
+    }
+    if (!ok) {
+      try {
+        gp.setThetaFull(lastGoodTheta);
+        gp.config().optimize = false;
+        gp.fit(std::move(trainX), std::move(trainY), rng);
+        ok = std::isfinite(gp.logMarginalLikelihood());
+      } catch (const NumericalError&) {
+        ok = false;
+      }
+      if (ok) ++result.fitFallbacks;
+    }
+    if (ok) lastGoodTheta = gp.thetaFull();
+    return ok;
+  };
+
+  // Test design matrix/response, fixed for the whole run.
+  la::Matrix testX(state.partition.test.size(), problem_.dim());
+  la::Vector testY(state.partition.test.size());
+  for (std::size_t i = 0; i < state.partition.test.size(); ++i) {
+    const auto row = problem_.x.row(state.partition.test[i]);
+    std::copy(row.begin(), row.end(), testX.row(i).begin());
+    testY[i] = problem_.y[state.partition.test[i]];
+  }
+
   while (true) {
-    if (pool.empty()) {
-      result.stopReason = StopReason::PoolExhausted;
+    if (state.pool.empty()) {
+      result.stopReason = state.quarantined.empty()
+                              ? StopReason::PoolExhausted
+                              : StopReason::OracleExhausted;
       break;
     }
-    if (config_.maxIterations >= 0 && iteration >= config_.maxIterations) {
+    if (config_.maxIterations >= 0 &&
+        state.iteration >= config_.maxIterations) {
       result.stopReason = StopReason::MaxIterations;
       break;
     }
-    if (cumulativeCost >= config_.costBudget) {
+    if (state.cumulativeCost >= config_.costBudget) {
       result.stopReason = StopReason::Budget;
       break;
     }
     if (config_.amsdWindow > 0 && config_.amsdRelTol > 0.0 &&
-        result.history.size() >
+        state.history.size() >
             static_cast<std::size_t>(config_.amsdWindow)) {
       bool converged = true;
-      const auto& h = result.history;
+      const auto& h = state.history;
       for (std::size_t i = h.size() - config_.amsdWindow; i < h.size(); ++i) {
         const double prev = h[i - 1].amsd;
         if (prev <= 0.0 ||
@@ -147,47 +306,47 @@ AlResult ActiveLearner::runWithPartition(const data::TriPartition& partition,
     }
 
     // Fit the GP (full hyperparameter refit on the configured cadence).
-    gp.config().optimize = (iteration % config_.refitEvery) == 0;
     if (config_.dynamicNoiseBound) {
       const double lo = std::max(
-          baseNoiseLo, 1.0 / std::sqrt(static_cast<double>(train.size())));
+          baseNoiseLo,
+          1.0 / std::sqrt(static_cast<double>(state.train.size())));
       gp.config().noise.lo = std::min(lo, gp.config().noise.hi);
     }
-    la::Matrix trainX;
-    la::Vector trainY;
-    buildTrain(trainX, trainY);
-    gp.fit(std::move(trainX), std::move(trainY), rng);
+    if (!fitWithFallback((state.iteration % config_.refitEvery) == 0)) {
+      result.stopReason = StopReason::FitFailed;
+      break;
+    }
 
     // Progress metrics over the remaining pool and the test set.
-    la::Matrix poolX(pool.size(), problem_.dim());
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      const auto row = problem_.x.row(pool[i]);
+    la::Matrix poolX(state.pool.size(), problem_.dim());
+    for (std::size_t i = 0; i < state.pool.size(); ++i) {
+      const auto row = problem_.x.row(state.pool[i]);
       std::copy(row.begin(), row.end(), poolX.row(i).begin());
     }
     const auto poolPred = gp.predict(poolX);
     const auto poolSd = poolPred.stdDev();
     const double amsd = stats::mean(poolSd);
     double rmse = 0.0;
-    if (!partition.test.empty()) {
+    if (!state.partition.test.empty()) {
       const auto testPred = gp.predict(testX);
       rmse = stats::rmse(testPred.mean, testY);
     }
 
     // Let the strategy pick.
     const SelectionContext ctx{gp, problem_,
-                               std::span<const std::size_t>(pool), rng};
+                               std::span<const std::size_t>(state.pool), rng};
     std::vector<std::size_t> picks;
     if (config_.batchSize == 1) {
       picks.push_back(strategy_->select(ctx));
     } else {
       picks = strategy_->selectBatch(
-          ctx, std::min(config_.batchSize, pool.size()));
+          ctx, std::min(config_.batchSize, state.pool.size()));
     }
     ALPERF_ASSERT(!picks.empty(), "strategy returned no pick");
 
     IterationRecord rec;
-    rec.iteration = iteration;
-    rec.chosenRow = pool[picks.front()];
+    rec.iteration = state.iteration;
+    rec.chosenRow = state.pool[picks.front()];
     rec.sigmaAtPick = poolSd[picks.front()];
     rec.muAtPick = poolPred.mean[picks.front()];
     rec.amsd = amsd;
@@ -199,24 +358,52 @@ AlResult ActiveLearner::runWithPartition(const data::TriPartition& partition,
     std::vector<std::size_t> sorted = picks;
     std::sort(sorted.rbegin(), sorted.rend());
     for (std::size_t pos : sorted) {
-      ALPERF_ASSERT(pos < pool.size(), "pick position out of range");
-      rec.pickCost += problem_.cost[pool[pos]];
-      train.push_back(pool[pos]);
-      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pos));
+      ALPERF_ASSERT(pos < state.pool.size(), "pick position out of range");
+      const std::size_t row = state.pool[pos];
+      if (oracle == nullptr) {
+        // Table-driven path: the response is already in the database.
+        rec.pickCost += problem_.cost[row];
+        state.train.push_back(row);
+        state.trainY.push_back(problem_.y[row]);
+      } else {
+        // Fallible path: measure through the executor; quarantine on
+        // retry exhaustion, train on censored lower bounds.
+        const ExecutionResult er =
+            executor.execute([&] { return (*oracle)(row); });
+        rec.wastedCost += er.wastedCost;
+        if (er.quarantined) {
+          rec.failedAttempts += er.attempts;
+          state.quarantined.push_back(row);
+        } else {
+          rec.failedAttempts += er.attempts - 1;
+          rec.pickCost += er.measurement.cost;
+          if (er.measurement.status == MeasurementStatus::Censored)
+            rec.censored = 1.0;
+          state.train.push_back(row);
+          state.trainY.push_back(er.measurement.y);
+        }
+      }
+      state.pool.erase(state.pool.begin() + static_cast<std::ptrdiff_t>(pos));
     }
-    cumulativeCost += rec.pickCost;
-    rec.cumulativeCost = cumulativeCost;
-    result.history.push_back(rec);
-    ++iteration;
+    state.cumulativeCost += rec.pickCost + rec.wastedCost;
+    rec.cumulativeCost = state.cumulativeCost;
+    state.history.push_back(rec);
+    ++state.iteration;
   }
 
-  // Final model on everything consumed.
-  la::Matrix trainX;
-  la::Vector trainY;
-  buildTrain(trainX, trainY);
-  gp.config().optimize = true;
-  gp.fit(std::move(trainX), std::move(trainY), rng);
+  // Snapshot the loop state *before* the final fit consumes the RNG, so a
+  // resumed run re-enters the loop with the exact stream a straight run
+  // would have had.
+  state.gpTheta = lastGoodTheta;
+  state.rngState = rng.saveState();
+  state.hasRngState = true;
+  result.history = state.history;
+
+  // Final model on everything consumed (fallback as in the loop: a
+  // diverged final refit must not discard the campaign).
+  fitWithFallback(true);
   result.finalGp = gp;
+  result.checkpoint = std::move(state);
   return result;
 }
 

@@ -7,9 +7,16 @@
 /// retraining the GP and tracking the paper's three progress metrics —
 /// σ_f(x) at the pick, AMSD over the remaining pool, and Test-set RMSE —
 /// plus cumulative experiment cost.
+///
+/// Two execution paths share one loop: the classic table-driven path
+/// (responses come from the problem's y column) and the fault-tolerant
+/// path, where a FallibleRowOracle measures each pick and may fail or
+/// censor it (executor.hpp). Either path can be checkpointed and resumed
+/// bit-for-bit (checkpoint.hpp).
 
 #include <limits>
 
+#include "core/executor.hpp"
 #include "core/strategy.hpp"
 #include "data/partition.hpp"
 
@@ -41,7 +48,19 @@ struct AlConfig {
   std::size_t batchSize = 1;
 };
 
-enum class StopReason { PoolExhausted, MaxIterations, Budget, AmsdConverged };
+enum class StopReason {
+  PoolExhausted,
+  MaxIterations,
+  Budget,
+  AmsdConverged,
+  /// The pool was drained and at least one point ended quarantined: the
+  /// campaign ran out of *measurable* experiments, not experiments.
+  OracleExhausted,
+  /// A hyperparameter refit diverged and even the last-good-θ fallback
+  /// could not produce a finite posterior; the trace up to that point is
+  /// preserved.
+  FitFailed,
+};
 
 /// One row of the learning trace (per iteration; in batch mode the pick
 /// fields describe the first experiment of the batch).
@@ -56,6 +75,30 @@ struct IterationRecord {
   double cumulativeCost = 0.0;
   double noiseVariance = 0.0;  ///< fitted σ_n² this iteration
   double lml = 0.0;
+  /// Fault accounting (always 0 on the infallible path): oracle attempts
+  /// lost to failures this iteration and the cost they burned (including
+  /// retry-backoff surcharges), both already folded into cumulativeCost.
+  double failedAttempts = 0.0;
+  double wastedCost = 0.0;
+  /// 1.0 when the trained observation is a walltime-censored lower bound.
+  double censored = 0.0;
+};
+
+/// Complete mid-campaign state of the AL loop — everything needed to
+/// continue a run bit-for-bit after a process restart. Produced at every
+/// loop exit (AlResult::checkpoint) and serializable via checkpoint.hpp.
+struct Checkpoint {
+  data::TriPartition partition;        ///< the run's original partition
+  std::vector<std::size_t> train;      ///< consumed rows, in training order
+  la::Vector trainY;                   ///< measured responses for `train`
+  std::vector<std::size_t> pool;       ///< remaining selectable rows
+  std::vector<std::size_t> quarantined;///< rows excluded after retry exhaustion
+  std::vector<IterationRecord> history;
+  double cumulativeCost = 0.0;
+  int iteration = 0;
+  std::vector<double> gpTheta;         ///< GP thetaFull() at the last fit
+  stats::Rng::State rngState{};        ///< engine state at loop exit
+  bool hasRngState = false;
 };
 
 struct AlResult {
@@ -63,6 +106,19 @@ struct AlResult {
   data::TriPartition partition;
   StopReason stopReason = StopReason::PoolExhausted;
   gp::GaussianProcess finalGp;  ///< fitted on everything consumed
+
+  /// Loop state at the stop point; feed to ActiveLearner::resume (after a
+  /// round-trip through save/loadCheckpoint if the process died) to
+  /// continue the campaign.
+  Checkpoint checkpoint;
+  /// Refits that fell back to the last good hyperparameters because the
+  /// fresh fit diverged (non-finite LML or failed Cholesky).
+  int fitFallbacks = 0;
+
+  /// Rows whose measurements kept failing until retries were exhausted.
+  const std::vector<std::size_t>& quarantined() const {
+    return checkpoint.quarantined;
+  }
 
   /// Convenience extraction of one metric across iterations.
   std::vector<double> series(double IterationRecord::* field) const;
@@ -73,9 +129,15 @@ std::string toString(StopReason reason);
 
 /// Renders the learning trace as a Table (one row per iteration, columns
 /// Iteration / ChosenRow / SigmaAtPick / MuAtPick / AMSD / RMSE /
-/// PickCost / CumulativeCost / NoiseVariance / LML) — ready for
-/// data::writeCsv so traces can be archived and plotted externally.
+/// PickCost / CumulativeCost / NoiseVariance / LML / FailedAttempts /
+/// WastedCost / Censored) — ready for data::writeCsv so traces can be
+/// archived and plotted externally.
+data::Table historyToTable(std::span<const IterationRecord> history);
 data::Table historyToTable(const AlResult& result);
+
+/// Inverse of historyToTable (checkpoint loading); missing fault columns
+/// are tolerated for traces archived by older versions.
+std::vector<IterationRecord> historyFromTable(const data::Table& table);
 
 class ActiveLearner {
  public:
@@ -91,10 +153,36 @@ class ActiveLearner {
   AlResult runWithPartition(const data::TriPartition& partition,
                             stats::Rng& rng) const;
 
+  /// Fault-tolerant loop: every pick is measured through `oracle` under
+  /// `policy`. Failed attempts charge their burned cost to the budget;
+  /// points whose retries are exhausted are quarantined and never picked
+  /// again; censored measurements train on their lower bound.
+  AlResult runFallible(const FallibleRowOracle& oracle,
+                       const RetryPolicy& policy, stats::Rng& rng) const;
+  AlResult runFallibleWithPartition(const FallibleRowOracle& oracle,
+                                    const RetryPolicy& policy,
+                                    const data::TriPartition& partition,
+                                    stats::Rng& rng) const;
+
+  /// Continues a checkpointed campaign bit-for-bit: the concatenation of
+  /// the checkpointed history and the resumed run's new records equals
+  /// the trace of an uninterrupted run with the same seed. The
+  /// checkpoint's RNG state overwrites `rng`. Pass the oracle/policy pair
+  /// for campaigns started with runFallible.
+  AlResult resume(const Checkpoint& checkpoint, stats::Rng& rng) const;
+  AlResult resumeFallible(const Checkpoint& checkpoint,
+                          const FallibleRowOracle& oracle,
+                          const RetryPolicy& policy, stats::Rng& rng) const;
+
   const RegressionProblem& problem() const { return problem_; }
   const AlConfig& config() const { return config_; }
 
  private:
+  Checkpoint initialState(const data::TriPartition& partition) const;
+  void validateCheckpoint(const Checkpoint& cp) const;
+  AlResult runLoop(Checkpoint state, const FallibleRowOracle* oracle,
+                   const RetryPolicy* policy, stats::Rng& rng) const;
+
   RegressionProblem problem_;
   gp::GaussianProcess gpPrototype_;
   StrategyPtr strategy_;

@@ -14,6 +14,17 @@ void RegressionProblem::validate() const {
              "RegressionProblem: cost length and y length differ");
   requireArg(y.size() > 0, "RegressionProblem: empty problem");
   requireArg(x.cols() > 0, "RegressionProblem: no features");
+  // A NaN/Inf response or cost would poison the GP's Cholesky (or the
+  // budget ledger) many iterations after the bad row was consumed; reject
+  // it at construction, where the row index is still known.
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    requireArg(std::isfinite(y[i]),
+               "RegressionProblem: non-finite response at row " +
+                   std::to_string(i));
+    requireArg(std::isfinite(cost[i]) && cost[i] >= 0.0,
+               "RegressionProblem: cost at row " + std::to_string(i) +
+                   " must be finite and >= 0");
+  }
 }
 
 RegressionProblem makeProblem(

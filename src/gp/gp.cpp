@@ -36,6 +36,7 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
     : kernel_(other.kernel_->clone()),
       config_(other.config_),
       noiseVar_(other.noiseVar_),
+      diagnostics_(other.diagnostics_),
       x_(other.x_),
       y_(other.y_),
       chol_(other.chol_ ? std::make_unique<la::Cholesky>(*other.chol_)
@@ -54,6 +55,16 @@ std::vector<double> GaussianProcess::thetaFull() const {
   auto t = kernel_->theta();
   t.push_back(std::log(noiseVar_));
   return t;
+}
+
+void GaussianProcess::setThetaFull(std::span<const double> thetaFull) {
+  const std::size_t p = kernel_->numParams();
+  requireArg(thetaFull.size() == p + 1,
+             "setThetaFull: wrong hyperparameter count");
+  for (const double t : thetaFull)
+    requireArg(std::isfinite(t), "setThetaFull: non-finite hyperparameter");
+  kernel_->setTheta(thetaFull.subspan(0, p));
+  noiseVar_ = std::exp(thetaFull[p]);
 }
 
 opt::BoxBounds GaussianProcess::thetaFullBounds() const {
@@ -92,6 +103,7 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
   try {
     chol = std::make_unique<la::Cholesky>(std::move(ky));
   } catch (const NumericalError&) {
+    ++diagnostics_.choleskyFailures;
     return out;  // -inf: optimizer will back off
   }
 
@@ -99,7 +111,10 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
   const double n = static_cast<double>(y_.size());
   const double value =
       -0.5 * la::dot(y_, alpha) - 0.5 * chol->logDet() - 0.5 * n * kLog2Pi;
-  if (!std::isfinite(value)) return out;
+  if (!std::isfinite(value)) {
+    ++diagnostics_.nonFiniteObjectives;
+    return out;
+  }
   out.value = value;
 
   if (wantGrad) {
@@ -144,6 +159,7 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
   try {
     chol = std::make_unique<la::Cholesky>(std::move(ky));
   } catch (const NumericalError&) {
+    ++diagnostics_.choleskyFailures;
     return kNegInf;
   }
   const la::Vector alpha = chol->solve(y_);
@@ -154,13 +170,20 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
   double logp = 0.0;
   for (std::size_t i = 0; i < y_.size(); ++i) {
     const double kii = kinv(i, i);
-    if (!(kii > 0.0)) return kNegInf;
+    if (!(kii > 0.0)) {
+      ++diagnostics_.nonFiniteObjectives;
+      return kNegInf;
+    }
     const double looVar = 1.0 / kii;
     const double looMu = y_[i] - alpha[i] / kii;
     const double r = y_[i] - looMu;
     logp += -0.5 * std::log(looVar) - r * r / (2.0 * looVar) - 0.5 * kLog2Pi;
   }
-  return std::isfinite(logp) ? logp : kNegInf;
+  if (!std::isfinite(logp)) {
+    ++diagnostics_.nonFiniteObjectives;
+    return kNegInf;
+  }
+  return logp;
 }
 
 void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
@@ -214,6 +237,10 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
       kernel_->setTheta(
           std::span<const double>(result.best.x).subspan(0, p));
       noiseVar_ = std::exp(result.best.x[p]);
+    } else {
+      // Every optimizer proposal failed; the previous hyperparameters are
+      // kept. Record the degraded fit so campaign loops can react.
+      ++diagnostics_.rejectedFits;
     }
   }
   computePosterior();

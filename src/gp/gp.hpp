@@ -52,6 +52,28 @@ struct GpConfig {
                             .fTol = 1e-10};
 };
 
+/// Counters of numerical failures swallowed during hyperparameter
+/// search. The optimizer legitimately probes hyperparameters where the
+/// kernel matrix is not SPD or the objective is non-finite — those
+/// proposals are rejected with an infinite objective value rather than
+/// aborting the fit — but callers running long campaigns need to *see*
+/// degraded fits instead of having them silently absorbed. Counters
+/// accumulate across fit() calls on the same instance until reset().
+struct FitDiagnostics {
+  /// K_y was not SPD even after jitter escalation at a proposed θ.
+  int choleskyFailures = 0;
+  /// The selection objective (LML / LOO) evaluated to NaN or ±Inf.
+  int nonFiniteObjectives = 0;
+  /// fit() found no finite optimum at all and kept the previous
+  /// hyperparameters — the degraded-fit case the executor watches for.
+  int rejectedFits = 0;
+
+  void reset() { *this = FitDiagnostics{}; }
+  int total() const {
+    return choleskyFailures + nonFiniteObjectives + rejectedFits;
+  }
+};
+
 /// Posterior predictive distribution at a batch of query points
 /// (paper eqs. 4–6): elementwise mean and variance of the latent f.
 struct Prediction {
@@ -142,6 +164,15 @@ class GaussianProcess {
   /// Current full hyperparameter vector [kernel θ..., log σ_n²].
   std::vector<double> thetaFull() const;
 
+  /// Overwrites the hyperparameters from a thetaFull()-layout vector
+  /// (e.g. restoring a checkpoint or rolling back to the last good fit).
+  /// Does not recompute any existing posterior; follow with fit().
+  void setThetaFull(std::span<const double> thetaFull);
+
+  /// Numerical-failure counters accumulated by fit()/evaluation calls.
+  const FitDiagnostics& diagnostics() const { return diagnostics_; }
+  void resetDiagnostics() { diagnostics_.reset(); }
+
   /// Log-space bounds aligned with thetaFull().
   opt::BoxBounds thetaFullBounds() const;
 
@@ -166,6 +197,9 @@ class GaussianProcess {
   KernelPtr kernel_;
   GpConfig config_;
   double noiseVar_;
+  /// Mutable: evalLml/evalLoo are const but must record swallowed
+  /// failures.
+  mutable FitDiagnostics diagnostics_;
 
   la::Matrix x_;
   la::Vector y_;

@@ -10,6 +10,7 @@
 /// distributions, so every bench and test is bit-reproducible everywhere.
 
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
@@ -124,6 +125,24 @@ class Rng {
     double u = uniform01();
     while (u <= 0.0) u = uniform01();
     return -std::log(u) / rate;
+  }
+
+  /// Full serializable engine state: the four xoshiro words plus the
+  /// Box–Muller spare (bit-cast) and its validity flag. Restoring this
+  /// state reproduces the stream bit-for-bit — the basis of campaign
+  /// checkpoint/resume.
+  using State = std::array<std::uint64_t, 6>;
+
+  State saveState() const {
+    return {state_[0], state_[1], state_[2], state_[3],
+            std::bit_cast<std::uint64_t>(spare_),
+            hasSpare_ ? std::uint64_t{1} : std::uint64_t{0}};
+  }
+
+  void restoreState(const State& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s[i];
+    spare_ = std::bit_cast<double>(s[4]);
+    hasSpare_ = s[5] != 0;
   }
 
  private:

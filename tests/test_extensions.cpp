@@ -130,7 +130,7 @@ TEST(HistoryToTable, RoundTripsThroughCsv) {
   const auto result = smallRun();
   const auto table = al::historyToTable(result);
   ASSERT_EQ(table.numRows(), result.history.size());
-  EXPECT_EQ(table.numCols(), 10u);
+  EXPECT_EQ(table.numCols(), 13u);
   for (std::size_t i = 0; i < table.numRows(); ++i) {
     EXPECT_DOUBLE_EQ(table.numeric("RMSE")[i], result.history[i].rmse);
     EXPECT_DOUBLE_EQ(table.numeric("CumulativeCost")[i],
@@ -157,7 +157,7 @@ TEST(HistoryToTable, EmptyHistory) {
                          gp::makeSquaredExponential(1.0, 1.0))};
   const auto table = al::historyToTable(empty);
   EXPECT_EQ(table.numRows(), 0u);
-  EXPECT_EQ(table.numCols(), 10u);
+  EXPECT_EQ(table.numCols(), 13u);
 }
 
 TEST(StopReasonNames, AllDistinct) {

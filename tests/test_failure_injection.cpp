@@ -1,15 +1,19 @@
 // Failure-injection tests: crashed job attempts must requeue, burn
 // accounted time, respect retry limits, and never corrupt the core
-// accounting — plus the analytic posterior input-gradient added for
+// accounting; walltime kills must censor, not retry; non-finite
+// responses must be rejected at every boundary before they can reach a
+// Cholesky — plus the analytic posterior input-gradient added for
 // gradient-based continuous suggestions.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "cluster/scheduler.hpp"
 #include "core/continuous.hpp"
+#include "core/problem.hpp"
 #include "gp/kernels.hpp"
 
 namespace al = alperf::al;
@@ -116,6 +120,188 @@ TEST(FailureInjection, WastedTimeGrowsWithFailureRate) {
     return w;
   };
   EXPECT_GT(totalWaste(0.6, 5), totalWaste(0.1, 5));
+}
+
+// ---------------------------------------- walltime enforcement
+
+TEST(WalltimeKill, CensorsInsteadOfRetrying) {
+  // Lognormal runtime noise with margin 1.0: roughly half the attempts
+  // exceed the requested walltime and must come back censored at exactly
+  // the limit, terminally (attempts == 1, nothing requeued).
+  cl::PerfModelParams noisy = quiet();
+  noisy.noiseSigma = 0.4;
+  cl::ClusterConfig cfg;
+  cfg.enforceWalltime = true;
+  cfg.walltimeMargin = 1.0;
+  cl::PerfModel model(noisy);
+  cl::ClusterSim sim(cfg, model, 21);
+  const cl::JobRequest req{cl::Operator::Poisson1, 1.0e6, 8, 2.4};
+  for (int i = 0; i < 40; ++i) sim.submit(req, i * 1.0);
+  sim.run();
+  const double limit = model.meanRuntime(req);
+  int censored = 0;
+  for (const auto& rec : sim.records()) {
+    EXPECT_FALSE(rec.failed);
+    EXPECT_EQ(rec.attempts, 1);
+    EXPECT_LE(rec.runtimeSeconds, limit * (1.0 + 1e-12));
+    if (rec.censored) {
+      ++censored;
+      EXPECT_DOUBLE_EQ(rec.runtimeSeconds, limit);
+    }
+  }
+  EXPECT_GT(censored, 5);
+  EXPECT_LT(censored, 35);
+}
+
+TEST(WalltimeKill, DisabledByDefault) {
+  cl::PerfModelParams noisy = quiet();
+  noisy.noiseSigma = 0.4;
+  cl::ClusterSim sim(cl::ClusterConfig{}, cl::PerfModel(noisy), 21);
+  for (int i = 0; i < 40; ++i)
+    sim.submit({cl::Operator::Poisson1, 1.0e6, 8, 2.4}, i * 1.0);
+  sim.run();
+  for (const auto& rec : sim.records()) EXPECT_FALSE(rec.censored);
+}
+
+TEST(ClusterConfigValidation, RejectsNonsense) {
+  const cl::PerfModel model{quiet()};
+  const auto make = [&](auto mutate) {
+    cl::ClusterConfig cfg;
+    mutate(cfg);
+    cl::ClusterSim sim(cfg, model, 1);
+  };
+  EXPECT_THROW(make([](cl::ClusterConfig& c) { c.failureProbability = -0.1; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](cl::ClusterConfig& c) { c.failureProbability = 1.5; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](cl::ClusterConfig& c) { c.maxRetries = -1; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](cl::ClusterConfig& c) { c.walltimeMargin = 0.5; }),
+               std::invalid_argument);
+  EXPECT_THROW(make([](cl::ClusterConfig& c) { c.nodes = 0; }),
+               std::invalid_argument);
+  EXPECT_NO_THROW(make([](cl::ClusterConfig&) {}));
+}
+
+// ---------------------------------------- measureJob outcome mapping
+
+TEST(MeasureJob, CleanRunIsOk) {
+  const cl::JobRequest req{cl::Operator::Poisson1, 1.0e6, 8, 2.4};
+  const auto m = cl::measureJob(cl::ClusterConfig{}, cl::PerfModel(quiet()),
+                                req, 5);
+  EXPECT_EQ(m.status, alperf::MeasurementStatus::Ok);
+  EXPECT_GT(m.y, 0.0);
+  EXPECT_GT(m.cost, 0.0);
+  EXPECT_DOUBLE_EQ(m.wastedCost, 0.0);
+  EXPECT_EQ(m.attempts, 1);
+  EXPECT_TRUE(m.usable());
+}
+
+TEST(MeasureJob, ExhaustedRetriesAreFailed) {
+  const cl::JobRequest req{cl::Operator::Poisson1, 1.0e6, 8, 2.4};
+  const auto m = cl::measureJob(failing(1.0, 2), cl::PerfModel(quiet()),
+                                req, 5);
+  EXPECT_EQ(m.status, alperf::MeasurementStatus::Failed);
+  EXPECT_FALSE(m.usable());
+  EXPECT_EQ(m.attempts, 3);       // 1 initial + 2 retries, all crashed
+  EXPECT_GT(m.totalCost(), 0.0);  // burning the machine is not free
+}
+
+TEST(MeasureJob, WalltimeKillIsCensoredAtTheLimit) {
+  cl::PerfModelParams noisy = quiet();
+  noisy.noiseSigma = 0.4;
+  cl::ClusterConfig cfg;
+  cfg.enforceWalltime = true;
+  cfg.walltimeMargin = 1.0;
+  const cl::PerfModel model(noisy);
+  const cl::JobRequest req{cl::Operator::Poisson1, 1.0e6, 8, 2.4};
+  int censored = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto m = cl::measureJob(cfg, model, req, seed);
+    ASSERT_NE(m.status, alperf::MeasurementStatus::Failed);
+    if (m.status == alperf::MeasurementStatus::Censored) {
+      ++censored;
+      EXPECT_DOUBLE_EQ(m.y, model.meanRuntime(req));  // the lower bound
+      EXPECT_GT(m.cost, 0.0);
+    }
+  }
+  EXPECT_GT(censored, 3);   // ~half the seeds overrun a margin-1.0 walltime
+  EXPECT_LT(censored, 27);  // ...and ~half do not
+}
+
+// ---------------------------------------- non-finite response rejection
+
+TEST(NonFiniteResponses, MeasurementFactoriesReject) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(alperf::Measurement::ok(nan, 1.0), std::invalid_argument);
+  EXPECT_THROW(alperf::Measurement::ok(inf, 1.0), std::invalid_argument);
+  EXPECT_THROW(alperf::Measurement::ok(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(alperf::Measurement::censored(nan, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(alperf::Measurement::failed(-2.0), std::invalid_argument);
+  EXPECT_THROW(alperf::Measurement::failed(1.0, 0), std::invalid_argument);
+}
+
+TEST(NonFiniteResponses, ProblemValidationRejectsBadRows) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(2, 1);
+  p.x(0, 0) = 0.0;
+  p.x(1, 0) = 1.0;
+  p.y = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  p.cost = {1.0, 1.0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.y[1] = 2.0;
+  EXPECT_NO_THROW(p.validate());
+  p.cost[0] = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.cost[0] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(NonFiniteResponses, PlainContinuousOracleThrows) {
+  Rng rng(9);
+  la::Matrix x(4, 1);
+  la::Vector y(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = std::sin(static_cast<double>(i));
+  }
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-4;
+  gp::GaussianProcess g(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  const al::Oracle bad = [](std::span<const double>) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  al::ContinuousAlConfig alCfg;
+  alCfg.iterations = 2;
+  alCfg.nStarts = 2;
+  EXPECT_THROW(al::runContinuousAl(g, x, y, opt::BoxBounds({0.0}, {3.0}),
+                                   bad, al::varianceAcquisition(), alCfg,
+                                   rng),
+               std::invalid_argument);
+}
+
+TEST(NonFiniteResponses, ExecutorDemotesNonFiniteOkToFailed) {
+  // A backend that bypasses the Measurement factories and hands back a raw
+  // "Ok" NaN must still never reach the GP: the executor demotes it.
+  al::RetryPolicy policy;
+  policy.maxRetries = 1;
+  al::ExperimentExecutor executor(policy);
+  int calls = 0;
+  const auto result = executor.execute([&] {
+    ++calls;
+    alperf::Measurement m;  // aggregate, skipping ok()'s validation
+    m.status = alperf::MeasurementStatus::Ok;
+    m.y = std::numeric_limits<double>::quiet_NaN();
+    m.cost = 2.0;
+    return m;
+  });
+  EXPECT_EQ(calls, 2);  // retried once, then gave up
+  EXPECT_TRUE(result.quarantined);
+  EXPECT_FALSE(result.measurement.usable());
+  EXPECT_DOUBLE_EQ(result.wastedCost, 4.0);  // both attempts' burn
 }
 
 // ---------------------------------------- analytic posterior gradients
