@@ -7,7 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
 #include "gp/gp.hpp"
 #include "gp/kernels.hpp"
 #include "gp/sparse.hpp"
@@ -174,4 +177,63 @@ static void BM_HpgmgStencilApply(benchmark::State& state) {
 }
 BENCHMARK(BM_HpgmgStencilApply)->Arg(31)->Arg(63);
 
-BENCHMARK_MAIN();
+static void BM_GpFitThreads(benchmark::State& state) {
+  // Multi-start hyperparameter fit at the requested thread count: the
+  // nRestarts+1 L-BFGS starts run concurrently on the pool.
+  const int threads = static_cast<int>(state.range(0));
+  alperf::Parallelism::setThreads(threads);
+  Rng rng(9);
+  const la::Matrix x = randomPoints(96, 2, rng);
+  const la::Vector y = smoothResponse(x, rng);
+  for (auto _ : state) {
+    gp::GpConfig cfg;
+    cfg.nRestarts = 3;
+    cfg.optStop.maxIterations = 25;
+    gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                          cfg);
+    Rng fitRng(10);
+    g.fit(x, y, fitRng);
+    benchmark::DoNotOptimize(g.logMarginalLikelihood());
+  }
+  alperf::Parallelism::setThreads(0);
+}
+BENCHMARK(BM_GpFitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_PoolScoringThreads(benchmark::State& state) {
+  // Predictive mean/variance over a 500-point candidate pool — the inner
+  // loop of every scored acquisition strategy — at the requested thread
+  // count.
+  const int threads = static_cast<int>(state.range(0));
+  alperf::Parallelism::setThreads(threads);
+  Rng rng(11);
+  const la::Matrix x = randomPoints(128, 2, rng);
+  const la::Vector y = smoothResponse(x, rng);
+  gp::GpConfig cfg;
+  cfg.optimize = false;
+  gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                        cfg);
+  g.fit(x, y, rng);
+  const la::Matrix pool = randomPoints(500, 2, rng);
+  for (auto _ : state) {
+    const auto pred = g.predict(pool);
+    benchmark::DoNotOptimize(pred.variance[0]);
+  }
+  alperf::Parallelism::setThreads(0);
+}
+BENCHMARK(BM_PoolScoringThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// BENCHMARK_MAIN plus a perf-registry dump: the ScopedTimer entries
+// ("gp.fit", "gp.predict", "gp.addObservation") accumulated across all
+// benchmark iterations, as one JSON line.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  alperf::PerfRegistry::instance().reset();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("perf_stats %s\n",
+              alperf::PerfRegistry::instance().toJson().c_str());
+  return 0;
+}

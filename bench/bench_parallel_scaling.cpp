@@ -1,0 +1,129 @@
+// Parallel scaling report: runs the same AL campaign (ARD kernel,
+// multi-start refits, ~500-point candidate pool) at 1/2/4/8 threads,
+// checks the traces are bit-identical, and reports wall time, speedup,
+// and the perf-counter breakdown as JSON. The thread counts are requests
+// to the pool — on a machine with fewer cores the extra workers time-slice
+// and the speedup saturates at the core count.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::Parallelism;
+using alperf::PerfRegistry;
+using alperf::stats::Rng;
+
+namespace {
+
+/// ~630-row 2-D synthetic problem; with nInitial + activeFraction below,
+/// the strategy scores a ~500-point candidate pool each iteration.
+al::RegressionProblem syntheticProblem(std::size_t n = 630) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(n, 2);
+  p.y.resize(n);
+  p.cost.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    p.x(i, 0) = 12.0 * t;
+    p.x(i, 1) = std::cos(5.0 * t);
+    p.y[i] = std::sin(7.0 * t) + 0.25 * t * t + 0.1 * std::cos(20.0 * t);
+    p.cost[i] = 1.0 + t;
+  }
+  p.featureNames = {"x0", "x1"};
+  p.responseName = "y";
+  return p;
+}
+
+struct RunOutcome {
+  double millis = 0.0;
+  std::vector<al::IterationRecord> history;
+  std::string perfJson;
+};
+
+RunOutcome runAt(int threads) {
+  Parallelism::setThreads(threads);
+  PerfRegistry::instance().reset();
+
+  gp::GpConfig gcfg;
+  gcfg.nRestarts = 3;
+  gcfg.noise.lo = 1e-4;
+  gp::GaussianProcess proto(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                            gcfg);
+  al::AlConfig cfg;
+  cfg.nInitial = 6;
+  cfg.activeFraction = 0.8;
+  cfg.maxIterations = 25;
+  cfg.refitEvery = 2;
+  al::ActiveLearner learner(syntheticProblem(), std::move(proto),
+                            std::make_unique<al::CostEfficiency>(), cfg);
+
+  Rng rng(42);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = learner.run(rng);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunOutcome out;
+  out.millis =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.history = std::move(result.history);
+  out.perfJson = PerfRegistry::instance().toJson();
+  return out;
+}
+
+bool identical(const std::vector<al::IterationRecord>& a,
+               const std::vector<al::IterationRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].chosenRow != b[i].chosenRow || a[i].amsd != b[i].amsd ||
+        a[i].rmse != b[i].rmse || a[i].lml != b[i].lml ||
+        a[i].sigmaAtPick != b[i].sigmaAtPick)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# bench_parallel_scaling: AL campaign (pool ~500, "
+              "refitEvery=2, nRestarts=3, 25 iterations)\n");
+  std::printf("# hardware_concurrency=%u (requested thread counts above "
+              "this time-slice)\n", hw);
+
+  const RunOutcome base = runAt(1);
+  std::printf("{\"threads\":1,\"millis\":%.1f,\"speedup\":1.00,"
+              "\"trace_identical\":true}\n", base.millis);
+  std::printf("# perf@1: %s\n", base.perfJson.c_str());
+
+  bool allIdentical = true;
+  for (const int t : {2, 4, 8}) {
+    const RunOutcome r = runAt(t);
+    const bool same = identical(base.history, r.history);
+    allIdentical = allIdentical && same;
+    std::printf("{\"threads\":%d,\"millis\":%.1f,\"speedup\":%.2f,"
+                "\"trace_identical\":%s}\n",
+                t, r.millis, base.millis / r.millis,
+                same ? "true" : "false");
+    if (t == 4) std::printf("# perf@4: %s\n", r.perfJson.c_str());
+  }
+  Parallelism::setThreads(0);
+
+  if (!allIdentical) {
+    std::printf("# FAIL: traces diverged across thread counts\n");
+    return 1;
+  }
+  std::printf("# traces bit-identical across 1/2/4/8 threads\n");
+  return 0;
+}

@@ -8,9 +8,10 @@
 //   alperf_tool learn --data CSV --features A,B --response R
 //                     [--cost C] [--log A,R] [--strategy vr|ce|random]
 //                     [--iterations N] [--noise-lo X] [--seed S]
-//                     [--trace OUT.csv]
+//                     [--trace OUT.csv] [--perf]
 //       Run GPR-driven active learning over the job database and report
-//       the learning trace and final model quality.
+//       the learning trace and final model quality; --perf appends the
+//       perf-counter JSON (see docs/PERFORMANCE.md).
 //
 //   alperf_tool tradeoff --data CSV --features A,B --response R --cost C
 //                        [--log ...] [--replicates R] [--seed S]
@@ -48,11 +49,16 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0)
       throw std::invalid_argument("expected --option, got '" + key + "'");
-    args.options[key.substr(2)] = argv[i + 1];
+    // Options take one value; a trailing option or one followed by another
+    // --option is a boolean flag (e.g. --perf).
+    std::string value;
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+      value = argv[++i];
+    args.options[key.substr(2)] = value;
   }
   return args;
 }
@@ -73,7 +79,7 @@ void usage() {
       "  alperf_tool learn --data CSV --features A,B --response R\n"
       "                    [--cost C] [--log A,R] [--strategy vr|ce|random]\n"
       "                    [--iterations N] [--noise-lo X] [--seed S]\n"
-      "                    [--trace OUT.csv]\n"
+      "                    [--trace OUT.csv] [--perf]\n"
       "  alperf_tool tradeoff --data CSV --features A,B --response R\n"
       "                    --cost C [--log ...] [--replicates R] [--seed S]\n");
 }
@@ -138,6 +144,7 @@ int cmdLearn(const Args& args) {
   al::ActiveLearner learner(problem, makePrototype(args, problem.dim()),
                             makeStrategy(args.get("strategy", "ce")), cfg);
   Rng rng(std::stoull(args.get("seed", "7")));
+  alperf::PerfRegistry::instance().reset();
   const auto result = learner.run(rng);
 
   std::printf("stopped after %zu experiments (%s)\n", result.history.size(),
@@ -154,6 +161,9 @@ int cmdLearn(const Args& args) {
     data::writeCsv(al::historyToTable(result), args.get("trace", ""));
     std::printf("trace written to %s\n", args.get("trace", "").c_str());
   }
+  if (args.has("perf"))
+    std::printf("perf_stats %s\n",
+                alperf::PerfRegistry::instance().toJson().c_str());
   return 0;
 }
 

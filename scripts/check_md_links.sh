@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks that every relative link in the repository's *.md files points at
+# an existing file or directory. External (http/https/mailto) links and
+# pure in-page anchors are skipped; "path#anchor" links are checked for
+# the path part only. Exits 1 listing every broken link.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+while IFS= read -r -d '' md; do
+  dir="$(dirname "$md")"
+  # Extract inline markdown link targets: [text](target)
+  grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+      *' '*|*'<'*) continue ;;  # lambda captures in code snippets, not links
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    # Links are resolved relative to the file containing them.
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: ${md#"$root"/}: $target"
+      # Propagate failure out of the pipeline subshell via a marker file.
+      touch "$root/.md_link_check_failed"
+    fi
+  done
+done < <(find "$root" -name '*.md' -not -path '*/build*' -not -path '*/.git/*' -print0)
+
+if [ -e "$root/.md_link_check_failed" ]; then
+  rm -f "$root/.md_link_check_failed"
+  status=1
+else
+  echo "All markdown links OK."
+fi
+exit "$status"

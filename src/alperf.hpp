@@ -5,6 +5,10 @@
 /// prefer granular includes can include the per-module headers directly
 /// (each module's header set is self-contained).
 
+// Parallelism & instrumentation.
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+
 // Substrates.
 #include "la/cholesky.hpp"
 #include "la/matrix.hpp"

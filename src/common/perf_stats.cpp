@@ -1,0 +1,73 @@
+#include "common/perf_stats.hpp"
+
+#include <cstdio>
+
+namespace alperf {
+
+PerfRegistry& PerfRegistry::instance() {
+  static PerfRegistry registry;
+  return registry;
+}
+
+void PerfRegistry::addTiming(const std::string& name, std::uint64_t nanos) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PerfEntry& e = entries_[name];
+  if (e.name.empty()) e.name = name;
+  ++e.count;
+  e.totalNanos += nanos;
+}
+
+void PerfRegistry::increment(const std::string& name, std::uint64_t by) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PerfEntry& e = entries_[name];
+  if (e.name.empty()) e.name = name;
+  e.count += by;
+}
+
+std::uint64_t PerfRegistry::count(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+std::vector<PerfEntry> PerfRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PerfEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry);
+  return out;  // std::map iteration is already name-sorted
+}
+
+void PerfRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+std::string PerfRegistry::toJson() const {
+  const auto entries = snapshot();
+  std::string out = "{";
+  char buf[64];
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + entries[i].name + "\":{\"count\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(entries[i].count));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", entries[i].totalMillis());
+    out += ",\"millis\":";
+    out += buf;
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+ScopedTimer::~ScopedTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  PerfRegistry::instance().addTiming(
+      name_, static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                     .count()));
+}
+
+}  // namespace alperf

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file perf_stats.hpp
+/// Lightweight process-global performance counters and scoped timers.
+///
+/// The AL hot path (GP fits, pool scoring, incremental posterior updates)
+/// records wall time and invocation counts here so campaigns and benches
+/// can report where the analysis loop spends its time and which code path
+/// (full refactorization vs Cholesky extension, parallel vs sequential)
+/// actually ran. Counters are deliberately kept out of learning traces —
+/// traces stay bit-identical across thread counts; timings do not.
+///
+/// Usage:
+///   { ScopedTimer t("gp.fit"); ... }                     // time a scope
+///   PerfRegistry::instance().increment("al.fit.full");   // count an event
+///   std::cout << PerfRegistry::instance().toJson();      // report
+///
+/// All operations are thread-safe. Overhead is one mutexed map update per
+/// event — instrument phases (a fit, a pool scoring pass), not inner loops.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace alperf {
+
+/// One named statistic: how many times it fired and, for timers, the total
+/// wall time spent (0 for pure counters).
+struct PerfEntry {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t totalNanos = 0;
+
+  double totalMillis() const { return static_cast<double>(totalNanos) / 1e6; }
+};
+
+/// Process-global registry of PerfEntry, keyed by name.
+class PerfRegistry {
+ public:
+  /// The global registry.
+  static PerfRegistry& instance();
+
+  /// Adds one timed sample to `name` (count += 1, totalNanos += nanos).
+  void addTiming(const std::string& name, std::uint64_t nanos);
+
+  /// Bumps the counter `name` by `by` (no time attributed).
+  void increment(const std::string& name, std::uint64_t by = 1);
+
+  /// Current count for `name` (0 when never recorded).
+  std::uint64_t count(const std::string& name) const;
+
+  /// All entries, sorted by name.
+  std::vector<PerfEntry> snapshot() const;
+
+  /// Clears all entries (start of a measured section).
+  void reset();
+
+  /// One-line JSON object: {"name":{"count":N,"millis":M},...}, entries
+  /// sorted by name — the format bench_micro_gp and bench_parallel_scaling
+  /// emit.
+  std::string toJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PerfEntry> entries_;
+};
+
+/// RAII wall-clock timer: records elapsed time into the global registry
+/// under `name` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer();
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace alperf

@@ -1,0 +1,201 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace alperf {
+
+namespace {
+
+/// True on threads owned by some ThreadPool: a parallelFor issued from a
+/// worker (nested parallelism) must run inline rather than wait on the
+/// pool it is part of.
+thread_local bool tlsInsidePool = false;
+
+}  // namespace
+
+/// One in-flight parallel region. Workers claim chunks off an atomic
+/// cursor; which thread runs which chunk is scheduling-dependent, but the
+/// body's output contract (each index writes only its own slots) makes the
+/// result independent of that assignment.
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable wake;   ///< workers: new region or shutdown
+  std::condition_variable done;   ///< caller: all workers left the region
+  bool stop = false;
+  std::uint64_t generation = 0;   ///< bumped per region, guards spurious wakes
+
+  // Region state (valid while pending > 0 or the caller is draining).
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> cursor{0};
+  int pending = 0;                ///< workers still inside the region
+  std::exception_ptr error;       ///< first captured exception
+  /// A region is in flight. A parallelFor arriving while set (the caller
+  /// nesting from inside its own region body, or a second external
+  /// thread) runs inline instead of clobbering the active region.
+  std::atomic<bool> busy{false};
+
+  /// Claims and runs chunks until the range is exhausted. Captures the
+  /// first exception and stops contributing; other threads keep draining.
+  void runChunks() {
+    while (true) {
+      const std::size_t begin = cursor.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  requireArg(threads >= 1, "ThreadPool: threads must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int i = 1; i < threads; ++i)
+    workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerMain() {
+  tlsInsidePool = true;
+  Impl& s = *impl_;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(s.mu);
+  while (true) {
+    s.wake.wait(lk, [&] { return s.stop || s.generation != seen; });
+    if (s.stop) return;
+    seen = s.generation;
+    lk.unlock();
+    s.runChunks();
+    lk.lock();
+    if (--s.pending == 0) s.done.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
+                             const std::function<void(std::size_t)>& fn) {
+  requireArg(static_cast<bool>(fn), "parallelFor: null body");
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  // Inline (sequential) execution: no workers, a range that fits in one
+  // chunk, or a nested call from inside a pool worker.
+  if (workers_.empty() || n <= chunk || tlsInsidePool) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Impl& s = *impl_;
+  bool expected = false;
+  if (!s.busy.compare_exchange_strong(expected, true)) {
+    // The pool is already serving a region (nested call from the region's
+    // own caller, or a concurrent external caller): run inline.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.fn = &fn;
+    s.n = n;
+    s.chunk = chunk;
+    s.cursor.store(0, std::memory_order_relaxed);
+    s.error = nullptr;
+    s.pending = static_cast<int>(workers_.size());
+    ++s.generation;
+  }
+  s.wake.notify_all();
+  s.runChunks();  // the calling thread participates
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(s.mu);
+    s.done.wait(lk, [&] { return s.pending == 0; });
+    s.fn = nullptr;
+    err = s.error;
+    s.error = nullptr;
+  }
+  s.busy.store(false);
+  if (err) std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------- global
+
+namespace {
+
+std::mutex& globalMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+int gThreads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> gPool;
+
+int autoThreads() {
+  const int env = Parallelism::parseThreads(std::getenv("ALPERF_THREADS"));
+  if (env > 0) return env;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace
+
+int Parallelism::parseThreads(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v <= 0 || v > 1 << 20) return 0;
+  return static_cast<int>(v);
+}
+
+int Parallelism::threads() {
+  std::lock_guard<std::mutex> lk(globalMutex());
+  if (gThreads == 0) gThreads = autoThreads();
+  return gThreads;
+}
+
+void Parallelism::setThreads(int n) {
+  std::lock_guard<std::mutex> lk(globalMutex());
+  gThreads = n > 0 ? n : autoThreads();
+  gPool.reset();  // recreated lazily at the new size
+}
+
+ThreadPool& Parallelism::pool() {
+  std::lock_guard<std::mutex> lk(globalMutex());
+  if (gThreads == 0) gThreads = autoThreads();
+  if (!gPool || gPool->size() != gThreads)
+    gPool = std::make_unique<ThreadPool>(gThreads);
+  return *gPool;
+}
+
+void parallelFor(std::size_t n, std::size_t chunk,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (Parallelism::threads() == 1) {
+    requireArg(static_cast<bool>(fn), "parallelFor: null body");
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Parallelism::pool().parallelFor(n, chunk, fn);
+}
+
+}  // namespace alperf

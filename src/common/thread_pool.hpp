@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Deterministic data parallelism for the AL hot path.
+///
+/// A small fixed-size worker pool with one primitive, parallelFor(): invoke
+/// a function for every index of a range, in fixed-size chunks, using the
+/// calling thread plus the pool workers. The contract the rest of the
+/// library builds on:
+///
+///   * The body must be a pure function of its index with respect to shared
+///     state: it may read shared inputs and must write only to slots owned
+///     by that index. Under that contract the result is bit-identical for
+///     every thread count, including 1.
+///   * `Parallelism::setThreads(1)` (or ALPERF_THREADS=1) degrades every
+///     parallelFor to a plain sequential loop on the calling thread — the
+///     reference execution the determinism tests compare against.
+///   * Nested parallelFor calls (a body that itself calls parallelFor, e.g.
+///     a GP predict inside a parallel EMCM ensemble) run inline on the
+///     worker — no pool-in-pool deadlock, no oversubscription.
+///
+/// Exceptions thrown by the body are captured and the first one (in
+/// completion order) is rethrown on the calling thread after the loop
+/// drains.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace alperf {
+
+/// Fixed-size worker pool. `threads` counts the calling thread, so a pool
+/// of size N spawns N-1 background workers; size 1 spawns none and runs
+/// everything inline. Most code should use the free parallelFor() /
+/// Parallelism below instead of instantiating pools directly.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers. threads must be >= 1.
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers (blocks until the current parallelFor, if any,
+  /// completes).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency, including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invokes fn(i) for every i in [0, n), splitting the range into chunks
+  /// of `chunk` consecutive indices claimed dynamically by the caller and
+  /// the workers. Runs inline when the pool has no workers, when n fits in
+  /// one chunk, or when a region is already in flight — whether the nested
+  /// call comes from a pool worker, from the region's own calling thread,
+  /// or from a second external thread. One pool serves one parallel region
+  /// at a time; everything else degrades to sequential execution.
+  void parallelFor(std::size_t n, std::size_t chunk,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::thread> workers_;
+
+  void workerMain();
+};
+
+/// Process-global parallelism configuration and pool.
+///
+/// The thread count resolves, in order: the last setThreads() call, the
+/// ALPERF_THREADS environment variable (read once, at first use), and
+/// std::thread::hardware_concurrency(). A value of 1 is the determinism
+/// anchor: all parallel paths become bit-identical sequential loops.
+struct Parallelism {
+  /// Current global thread count (>= 1).
+  static int threads();
+
+  /// Overrides the thread count; n <= 0 restores the automatic value
+  /// (ALPERF_THREADS or hardware_concurrency). Destroys and lazily
+  /// recreates the global pool — call only while no parallelFor is
+  /// running.
+  static void setThreads(int n);
+
+  /// The global pool, created on first use at the current thread count.
+  static ThreadPool& pool();
+
+  /// Parses a thread-count string (the ALPERF_THREADS format): returns the
+  /// positive integer value, or 0 when the string is null, empty, not a
+  /// number, or not positive. Exposed for testing.
+  static int parseThreads(const char* value);
+};
+
+/// parallelFor on the global pool; sequential when Parallelism::threads()
+/// is 1. See ThreadPool::parallelFor for the determinism contract.
+void parallelFor(std::size_t n, std::size_t chunk,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace alperf

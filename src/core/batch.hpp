@@ -10,14 +10,18 @@
 
 namespace alperf::al {
 
+/// Controls a replicated batch: how many runs, the shared per-run AL
+/// configuration, and the seed the per-replicate partitions/RNGs derive
+/// from.
 struct BatchConfig {
-  int replicates = 10;
-  AlConfig al;
-  std::uint64_t seed = 1;
+  int replicates = 10;     ///< number of independent realizations
+  AlConfig al;             ///< per-run AL configuration (shared)
+  std::uint64_t seed = 1;  ///< master seed; per-replicate RNGs split off it
 };
 
+/// The R completed runs plus cross-run aggregation helpers.
 struct BatchResult {
-  std::vector<AlResult> runs;
+  std::vector<AlResult> runs;  ///< one AlResult per replicate, in order
 
   /// Per-iteration mean of a metric across runs, truncated to the
   /// shortest run.

@@ -10,6 +10,8 @@
 
 namespace alperf::al {
 
+/// Summary of how well the GP's claimed uncertainties match held-out
+/// errors.
 struct CalibrationReport {
   /// Fraction of test points inside the central `level` interval of the
   /// predictive distribution (ideal: ≈ level).
@@ -19,7 +21,7 @@ struct CalibrationReport {
   /// RMS of standardized residuals (ideal: ≈ 1; >> 1 = overconfident,
   /// << 1 = underconfident).
   double rmsZ = 0.0;
-  std::size_t n = 0;
+  std::size_t n = 0;  ///< number of test points assessed
 };
 
 /// Evaluates the fitted GP's predictive distribution (observation noise

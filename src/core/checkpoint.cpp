@@ -67,6 +67,8 @@ void saveCheckpoint(const Checkpoint& checkpoint, const std::string& prefix) {
   put("FormatVersion", fmtWord(kFormatVersion));
   put("Iteration", fmtWord(static_cast<std::uint64_t>(checkpoint.iteration)));
   put("CumulativeCost", fmtDouble(checkpoint.cumulativeCost));
+  put("TrainAtLastFit",
+      fmtWord(static_cast<std::uint64_t>(checkpoint.trainAtLastFit)));
   put("GpThetaCount",
       fmtWord(static_cast<std::uint64_t>(checkpoint.gpTheta.size())));
   for (std::size_t i = 0; i < checkpoint.gpTheta.size(); ++i)
@@ -132,6 +134,10 @@ Checkpoint loadCheckpoint(const std::string& prefix) {
              "loadCheckpoint: unsupported checkpoint format version");
   cp.iteration = static_cast<int>(parseWord(get("Iteration")));
   cp.cumulativeCost = parseDouble(get("CumulativeCost"));
+  // Absent in checkpoints written before incremental posterior reuse;
+  // 0 means "no chain to rebuild" and reproduces the old resume behavior.
+  if (const auto it = kv.find("TrainAtLastFit"); it != kv.end())
+    cp.trainAtLastFit = static_cast<std::size_t>(parseWord(it->second));
   const std::size_t nTheta = parseWord(get("GpThetaCount"));
   cp.gpTheta.resize(nTheta);
   for (std::size_t i = 0; i < nTheta; ++i)

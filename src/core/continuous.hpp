@@ -31,11 +31,13 @@ using AcquisitionFn = std::function<double(double mean, double sd)>;
 AcquisitionFn varianceAcquisition();        ///< a = sd
 AcquisitionFn costEfficiencyAcquisition();  ///< a = sd − mean (eq. 14)
 
+/// The best point the acquisition search found, with the posterior it
+/// saw there.
 struct ContinuousSuggestion {
-  std::vector<double> x;
-  double acquisition = 0.0;
-  double mean = 0.0;
-  double sd = 0.0;
+  std::vector<double> x;       ///< suggested input (inside the box)
+  double acquisition = 0.0;    ///< acquisition value at x
+  double mean = 0.0;           ///< predictive mean at x
+  double sd = 0.0;             ///< predictive SD at x
 };
 
 /// Maximizes `acq` over the box with `nStarts` random multi-starts of
@@ -72,9 +74,10 @@ ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
 /// backends that can fail).
 using Oracle = std::function<double(std::span<const double>)>;
 
+/// Loop controls for the online continuous-candidate learner.
 struct ContinuousAlConfig {
-  int iterations = 30;
-  int nStarts = 8;
+  int iterations = 30;  ///< experiments to run after the seed set
+  int nStarts = 8;      ///< multi-starts per acquisition maximization
   /// Full hyperparameter refit cadence; between refits the GP is updated
   /// incrementally in O(n²).
   int refitEvery = 5;
@@ -84,11 +87,12 @@ struct ContinuousAlConfig {
   int maxConsecutiveFailures = 3;
 };
 
+/// One online iteration: where the learner went and what it measured.
 struct ContinuousAlRecord {
-  std::vector<double> x;
-  double y = 0.0;
-  double sdAtPick = 0.0;
-  double acquisition = 0.0;
+  std::vector<double> x;     ///< measured input
+  double y = 0.0;            ///< measured response (lower bound if censored)
+  double sdAtPick = 0.0;     ///< predictive SD at x before measuring
+  double acquisition = 0.0;  ///< acquisition value that won the search
   /// Fault accounting (always 0 on the infallible path); mirrors
   /// IterationRecord's semantics.
   double failedAttempts = 0.0;
@@ -99,9 +103,10 @@ struct ContinuousAlRecord {
   bool measured = true;
 };
 
+/// Full online trace plus the final model and fault accounting.
 struct ContinuousAlResult {
   std::vector<ContinuousAlRecord> history;
-  gp::GaussianProcess finalGp;
+  gp::GaussianProcess finalGp;  ///< trained on seed + measured points
   /// MaxIterations on a completed run; OracleExhausted when the loop gave
   /// up after maxConsecutiveFailures unmeasurable suggestions.
   StopReason stopReason = StopReason::MaxIterations;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/perf_stats.hpp"
 #include "stats/descriptive.hpp"
 
 namespace alperf::al {
@@ -200,6 +201,8 @@ void ActiveLearner::validateCheckpoint(const Checkpoint& cp) const {
   requireArg(cp.gpTheta.empty() ||
                  cp.gpTheta.size() == gpPrototype_.thetaFull().size(),
              "resume: GP hyperparameter count mismatch");
+  requireArg(cp.trainAtLastFit <= cp.train.size(),
+             "resume: trainAtLastFit exceeds training-set size");
 }
 
 AlResult ActiveLearner::runLoop(Checkpoint state,
@@ -231,10 +234,37 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     y = state.trainY;
   };
 
+  // Incremental-posterior bookkeeping: `chainValid` means gp currently
+  // holds a factorization of a prefix of state.train at the current
+  // hyperparameters, so new points can be appended via Cholesky extension.
+  // `fullFitTrainCount` is the training-set size at the last full
+  // factorization — checkpointed so resume can rebuild the same chain.
+  std::size_t fullFitTrainCount = 0;
+  bool chainValid = false;
+
   // Attempts a (re)fit; on divergence rolls back to the last good
   // hyperparameters and recomputes only the posterior. Returns false when
-  // even the fallback cannot produce a finite posterior.
+  // even the fallback cannot produce a finite posterior. Posterior-only
+  // updates (optimize false) extend the existing factorization when
+  // incrementalPosterior allows; anything else is a full refactorization.
   const auto fitWithFallback = [&](bool optimize) {
+    ScopedTimer timer("al.fit");
+    if (!optimize && config_.incrementalPosterior && chainValid &&
+        gp.fitted() && gp.numTrainPoints() <= state.train.size()) {
+      bool ok = true;
+      try {
+        for (std::size_t i = gp.numTrainPoints(); i < state.train.size(); ++i)
+          gp.addObservation(problem_.x.row(state.train[i]), state.trainY[i]);
+        ok = std::isfinite(gp.logMarginalLikelihood());
+      } catch (const NumericalError&) {
+        ok = false;
+      }
+      if (ok) {
+        PerfRegistry::instance().increment("al.fit.incremental");
+        return true;
+      }
+      chainValid = false;  // degraded extension: refactorize from scratch
+    }
     la::Matrix trainX;
     la::Vector trainY;
     buildTrain(trainX, trainY);
@@ -257,9 +287,46 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       }
       if (ok) ++result.fitFallbacks;
     }
-    if (ok) lastGoodTheta = gp.thetaFull();
+    if (ok) {
+      lastGoodTheta = gp.thetaFull();
+      chainValid = true;
+      fullFitTrainCount = state.train.size();
+      PerfRegistry::instance().increment("al.fit.full");
+    } else {
+      chainValid = false;
+    }
     return ok;
   };
+
+  // Resuming a campaign whose posterior was maintained incrementally:
+  // rebuild the exact factorization chain the uninterrupted run carried —
+  // a full factorization of the first trainAtLastFit points at the
+  // checkpointed θ, extended point-by-point with the tail. Without this a
+  // resumed run would refactorize the whole set from scratch and drift
+  // from the original trace at float precision. Consumes no RNG
+  // (optimization stays off).
+  if (config_.incrementalPosterior && state.trainAtLastFit > 0 &&
+      !state.gpTheta.empty()) {
+    try {
+      la::Matrix px(state.trainAtLastFit, problem_.dim());
+      la::Vector py(state.trainAtLastFit);
+      for (std::size_t i = 0; i < state.trainAtLastFit; ++i) {
+        const auto row = problem_.x.row(state.train[i]);
+        std::copy(row.begin(), row.end(), px.row(i).begin());
+        py[i] = state.trainY[i];
+      }
+      gp.config().optimize = false;
+      gp.fit(std::move(px), std::move(py), rng);
+      for (std::size_t i = state.trainAtLastFit; i < state.train.size(); ++i)
+        gp.addObservation(problem_.x.row(state.train[i]), state.trainY[i]);
+      if (std::isfinite(gp.logMarginalLikelihood())) {
+        chainValid = true;
+        fullFitTrainCount = state.trainAtLastFit;
+      }
+    } catch (const NumericalError&) {
+      chainValid = false;  // the loop's full-fit path will recover
+    }
+  }
 
   // Test design matrix/response, fixed for the whole run.
   la::Matrix testX(state.partition.test.size(), problem_.dim());
@@ -395,6 +462,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   // resumed run re-enters the loop with the exact stream a straight run
   // would have had.
   state.gpTheta = lastGoodTheta;
+  state.trainAtLastFit = fullFitTrainCount;
   state.rngState = rng.saveState();
   state.hasRngState = true;
   result.history = state.history;

@@ -39,6 +39,15 @@ struct AlConfig {
   /// paper's behaviour); between refits only the posterior is updated.
   int refitEvery = 1;
 
+  /// Between hyperparameter refits (refitEvery > 1, or after a fallback to
+  /// the last good θ), condition the existing posterior on the new points
+  /// via an O(n²) Cholesky extension instead of an O(n³) refactorization.
+  /// Set false to force a full refactorization every iteration — the
+  /// reference the incremental-vs-full golden test compares against (they
+  /// agree to ~1e-10, not bit-for-bit, so flipping this changes traces at
+  /// float precision when refitEvery > 1).
+  bool incrementalPosterior = true;
+
   /// Paper Sec. V-B4 proposal: replace the fixed σ_n lower bound with the
   /// dynamic schedule σ_n² ≥ 1/√N (N = training-set size).
   bool dynamicNoiseBound = false;
@@ -97,6 +106,13 @@ struct Checkpoint {
   double cumulativeCost = 0.0;
   int iteration = 0;
   std::vector<double> gpTheta;         ///< GP thetaFull() at the last fit
+  /// Training-set size at the last *full* posterior factorization. Lets
+  /// resume rebuild the incremental-Cholesky chain exactly: refit the
+  /// first trainAtLastFit points with the checkpointed θ, then replay the
+  /// tail as extensions — reproducing an uninterrupted run bit-for-bit
+  /// even when incrementalPosterior is active. 0 = no full fit recorded
+  /// (fresh runs, or checkpoints from before this field existed).
+  std::size_t trainAtLastFit = 0;
   stats::Rng::State rngState{};        ///< engine state at loop exit
   bool hasRngState = false;
 };

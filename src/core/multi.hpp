@@ -28,11 +28,13 @@ struct MultiResponseProblem {
   void validate() const;
 };
 
+/// Loop controls for the multi-response learner (a subset of AlConfig
+/// plus the aggregation choices that only exist here).
 struct MultiAlConfig {
-  std::size_t nInitial = 1;
-  double activeFraction = 0.8;
-  int maxIterations = -1;
-  int refitEvery = 1;
+  std::size_t nInitial = 1;     ///< seed experiments
+  double activeFraction = 0.8;  ///< Active : Test split of the rest
+  int maxIterations = -1;       ///< -1 = run until the pool is empty
+  int refitEvery = 1;           ///< full hyperparameter refit cadence
   /// Aggregation of per-response normalized SDs at each candidate:
   /// true = max (worst-known response drives selection),
   /// false = mean.
@@ -42,17 +44,20 @@ struct MultiAlConfig {
   bool costAware = false;
 };
 
+/// Per-iteration trace entry; metric vectors are indexed like
+/// MultiResponseProblem::responses.
 struct MultiIterationRecord {
   int iteration = 0;
-  std::size_t chosenRow = 0;
+  std::size_t chosenRow = 0;  ///< job consumed this iteration
   std::vector<double> rmse;  ///< per-response test RMSE
   std::vector<double> amsd;  ///< per-response AMSD over the pool
   double cumulativeCost = 0.0;
 };
 
+/// Full trace, the partition it ran on, and the fitted per-response GPs.
 struct MultiAlResult {
   std::vector<MultiIterationRecord> history;
-  data::TriPartition partition;
+  data::TriPartition partition;               ///< Initial/Active/Test rows
   std::vector<gp::GaussianProcess> finalGps;  ///< one per response
 };
 

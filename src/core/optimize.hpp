@@ -56,18 +56,20 @@ class ProbabilityOfImprovement final : public ScoredStrategy {
 double normalPdf(double z);
 double normalCdf(double z);
 
+/// One step of the optimization loop's trace.
 struct OptimizationRecord {
   int iteration = 0;
-  std::size_t chosenRow = 0;
-  double observed = 0.0;
-  double bestSoFar = 0.0;
-  double cumulativeCost = 0.0;
+  std::size_t chosenRow = 0;       ///< pool row the acquisition picked
+  double observed = 0.0;           ///< response measured at that row
+  double bestSoFar = 0.0;          ///< incumbent minimum after this step
+  double cumulativeCost = 0.0;     ///< budget spent so far
 };
 
+/// Trace plus the incumbent the search converged on.
 struct OptimizationResult {
   std::vector<OptimizationRecord> history;
-  std::size_t bestRow = 0;
-  double bestValue = 0.0;
+  std::size_t bestRow = 0;   ///< pool row of the best observation
+  double bestValue = 0.0;    ///< smallest observed response
 };
 
 /// Pool-based minimization loop: seed with `nInitial` random pool rows,

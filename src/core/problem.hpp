@@ -16,17 +16,20 @@
 
 namespace alperf::al {
 
+/// A pool-based regression task: one row per runnable job, with the
+/// response and cost of every row known up front (table-driven mode) or
+/// supplied by an oracle as rows are picked.
 struct RegressionProblem {
   la::Matrix x;     ///< n×d design matrix (already transformed/scaled)
   la::Vector y;     ///< response, one per row (typically log10-transformed)
   la::Vector cost;  ///< per-experiment cost on the *linear* scale
                     ///< (e.g. core-seconds); used for budget accounting
 
-  std::vector<std::string> featureNames;
-  std::string responseName;
+  std::vector<std::string> featureNames;  ///< column names, for reports
+  std::string responseName;               ///< response column name
 
-  std::size_t size() const { return y.size(); }
-  std::size_t dim() const { return x.cols(); }
+  std::size_t size() const { return y.size(); }  ///< number of jobs
+  std::size_t dim() const { return x.cols(); }   ///< number of features
 
   /// Throws std::invalid_argument if the three parts disagree in size or
   /// the problem is empty.

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
 #include "stats/sampling.hpp"
 
 namespace alperf::al {
@@ -26,6 +28,11 @@ std::size_t argmax(std::span<const double> v) {
   return static_cast<std::size_t>(
       std::max_element(v.begin(), v.end()) - v.begin());
 }
+
+/// Chunk size for elementwise score transforms over the candidate pool.
+/// Each index writes only its own slot, so the parallel result is
+/// bit-identical to the sequential loop.
+constexpr std::size_t kScoreChunk = 256;
 
 }  // namespace
 
@@ -52,6 +59,7 @@ std::vector<std::size_t> Strategy::selectBatch(const SelectionContext& ctx,
 
 std::size_t ScoredStrategy::select(const SelectionContext& ctx) {
   requireArg(!ctx.candidates.empty(), "select: empty candidate pool");
+  ScopedTimer timer("al.score");
   return argmax(scores(ctx));
 }
 
@@ -59,6 +67,7 @@ std::vector<std::size_t> ScoredStrategy::selectBatch(
     const SelectionContext& ctx, std::size_t batchSize) {
   requireArg(batchSize >= 1 && batchSize <= ctx.candidates.size(),
              "selectBatch: bad batch size");
+  ScopedTimer timer("al.score");
   const auto s = scores(ctx);
   std::vector<std::size_t> order(s.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -78,8 +87,9 @@ std::vector<double> VarianceReduction::scores(const SelectionContext& ctx) {
 std::vector<double> CostEfficiency::scores(const SelectionContext& ctx) {
   const auto pred = ctx.gp.predict(candidateMatrix(ctx));
   std::vector<double> s(pred.mean.size());
-  for (std::size_t i = 0; i < s.size(); ++i)
+  parallelFor(s.size(), kScoreChunk, [&](std::size_t i) {
     s[i] = std::sqrt(pred.variance[i]) - pred.mean[i];
+  });
   return s;
 }
 
@@ -87,8 +97,9 @@ std::vector<double> CostWeightedVariance::scores(
     const SelectionContext& ctx) {
   const auto pred = ctx.gp.predict(candidateMatrix(ctx));
   std::vector<double> s(pred.mean.size());
-  for (std::size_t i = 0; i < s.size(); ++i)
+  parallelFor(s.size(), kScoreChunk, [&](std::size_t i) {
     s[i] = std::sqrt(pred.variance[i]) / std::pow(10.0, pred.mean[i]);
+  });
   return s;
 }
 
@@ -110,9 +121,21 @@ std::vector<double> Emcm::scores(const SelectionContext& ctx) {
   const la::Vector& trainY = ctx.gp.trainY();
   const std::size_t n = trainY.size();
 
-  std::vector<double> s(cand.rows(), 0.0);
-  for (int k = 0; k < ensembleSize_; ++k) {
-    const auto idx = stats::sampleWithReplacement(n, n, ctx.rng);
+  // Draw every bootstrap resample from ctx.rng up front, in ensemble
+  // order — the exact stream a sequential loop would consume — so the
+  // ensemble members can then be fitted concurrently.
+  const std::size_t nk = static_cast<std::size_t>(ensembleSize_);
+  std::vector<std::vector<std::size_t>> resamples;
+  resamples.reserve(nk);
+  for (std::size_t k = 0; k < nk; ++k)
+    resamples.push_back(stats::sampleWithReplacement(n, n, ctx.rng));
+
+  // Each member writes its own row of perK; the reduction below runs in
+  // ensemble order, so the summation order (and hence the float result)
+  // matches the sequential loop for any thread count.
+  la::Matrix perK(nk, cand.rows());
+  parallelFor(nk, 1, [&](std::size_t k) {
+    const auto& idx = resamples[k];
     la::Matrix bx(n, trainX.cols());
     la::Vector by(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -121,14 +144,21 @@ std::vector<double> Emcm::scores(const SelectionContext& ctx) {
       by[i] = trainY[idx[i]];
     }
     // Weak learner: same kernel, hyperparameters frozen (no re-opt) —
-    // the Monte-Carlo variance estimate the paper critiques.
+    // the Monte-Carlo variance estimate the paper critiques. With
+    // optimize off, fit() never touches its rng; a local dummy keeps the
+    // shared ctx.rng out of the parallel region entirely.
     gp::GaussianProcess weak(ctx.gp);
     weak.config().optimize = false;
-    weak.fit(std::move(bx), std::move(by), ctx.rng);
+    stats::Rng unused(0);
+    weak.fit(std::move(bx), std::move(by), unused);
     const auto weakPred = weak.predict(cand);
-    for (std::size_t i = 0; i < s.size(); ++i)
-      s[i] += std::abs(mainPred.mean[i] - weakPred.mean[i]);
-  }
+    for (std::size_t i = 0; i < cand.rows(); ++i)
+      perK(k, i) = std::abs(mainPred.mean[i] - weakPred.mean[i]);
+  });
+
+  std::vector<double> s(cand.rows(), 0.0);
+  for (std::size_t k = 0; k < nk; ++k)
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] += perK(k, i);
   for (std::size_t i = 0; i < s.size(); ++i)
     s[i] = s[i] / ensembleSize_ * la::norm2(cand.row(i));
   return s;

@@ -26,15 +26,16 @@ struct TradeoffCurve {
 TradeoffCurve aggregateTradeoff(const BatchResult& batch,
                                 int gridPoints = 200);
 
+/// Where (and by how much) the challenger strategy beats the baseline.
 struct CrossoverReport {
-  bool found = false;
+  bool found = false;          ///< false = challenger never takes over
   double crossoverCost = 0.0;  ///< the paper's C
   /// Relative error reduction of `challenger` vs `baseline` at each
   /// requested multiple of C, as (multiplier, reduction in [0,1]).
   std::vector<std::pair<double, double>> reductions;
   /// Largest reduction at any grid cost >= C.
   double maxReduction = 0.0;
-  double maxReductionCost = 0.0;
+  double maxReductionCost = 0.0;  ///< grid cost where maxReduction occurs
 };
 
 /// Finds the first cost after which `challenger` has lower error than

@@ -4,6 +4,8 @@
 #include <limits>
 #include <numbers>
 
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
 #include "opt/gradient.hpp"
 #include "opt/multistart.hpp"
 
@@ -88,7 +90,8 @@ const la::Vector& GaussianProcess::trainY() const {
 }
 
 GaussianProcess::LmlResult GaussianProcess::evalLml(
-    std::span<const double> thetaFull, bool wantGrad) const {
+    std::span<const double> thetaFull, bool wantGrad,
+    FitDiagnostics& diag) const {
   const std::size_t p = kernel_->numParams();
   requireArg(thetaFull.size() == p + 1, "evalLml: wrong hyperparameter count");
   LmlResult out{kNegInf, {}};
@@ -103,7 +106,7 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
   try {
     chol = std::make_unique<la::Cholesky>(std::move(ky));
   } catch (const NumericalError&) {
-    ++diagnostics_.choleskyFailures;
+    ++diag.choleskyFailures;
     return out;  // -inf: optimizer will back off
   }
 
@@ -112,7 +115,7 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
   const double value =
       -0.5 * la::dot(y_, alpha) - 0.5 * chol->logDet() - 0.5 * n * kLog2Pi;
   if (!std::isfinite(value)) {
-    ++diagnostics_.nonFiniteObjectives;
+    ++diag.nonFiniteObjectives;
     return out;
   }
   out.value = value;
@@ -145,7 +148,8 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
   return out;
 }
 
-double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
+double GaussianProcess::evalLoo(std::span<const double> thetaFull,
+                                FitDiagnostics& diag) const {
   const std::size_t p = kernel_->numParams();
   requireArg(thetaFull.size() == p + 1, "evalLoo: wrong hyperparameter count");
 
@@ -159,7 +163,7 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
   try {
     chol = std::make_unique<la::Cholesky>(std::move(ky));
   } catch (const NumericalError&) {
-    ++diagnostics_.choleskyFailures;
+    ++diag.choleskyFailures;
     return kNegInf;
   }
   const la::Vector alpha = chol->solve(y_);
@@ -171,7 +175,7 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
   for (std::size_t i = 0; i < y_.size(); ++i) {
     const double kii = kinv(i, i);
     if (!(kii > 0.0)) {
-      ++diagnostics_.nonFiniteObjectives;
+      ++diag.nonFiniteObjectives;
       return kNegInf;
     }
     const double looVar = 1.0 / kii;
@@ -180,7 +184,7 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
     logp += -0.5 * std::log(looVar) - r * r / (2.0 * looVar) - 0.5 * kLog2Pi;
   }
   if (!std::isfinite(logp)) {
-    ++diagnostics_.nonFiniteObjectives;
+    ++diag.nonFiniteObjectives;
     return kNegInf;
   }
   return logp;
@@ -189,6 +193,7 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull) const {
 void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
   requireArg(x.rows() == y.size(), "GaussianProcess::fit: X/y size mismatch");
   requireArg(y.size() >= 1, "GaussianProcess::fit: need at least one point");
+  ScopedTimer timer("gp.fit");
   x_ = std::move(x);
   y_ = std::move(y);
   chol_.reset();
@@ -197,42 +202,53 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
     const std::size_t p = kernel_->numParams();
     const bool useLml = config_.selection == ModelSelection::MarginalLikelihood;
 
-    // Minimize the negative selection objective over [kernel θ, log σ_n²].
-    const auto negValue = [this, useLml](std::span<const double> t) {
-      const double v = useLml ? evalLml(t, false).value : evalLoo(t);
-      return std::isfinite(v) ? -v : std::numeric_limits<double>::infinity();
-    };
-    // For LML the value and analytic gradient come from one factorization;
-    // LOO falls back to finite differences.
-    const opt::FunctionObjective obj =
-        useLml ? opt::FunctionObjective(
-                     p + 1, negValue,
-                     opt::FunctionObjective::CombinedFn(
-                         [this](std::span<const double> t,
-                                std::span<double> g) {
-                           const auto r = evalLml(t, true);
-                           if (r.grad.empty()) {
-                             for (auto& v : g) v = 0.0;
-                           } else {
-                             for (std::size_t i = 0; i < g.size(); ++i)
-                               g[i] = -r.grad[i];
-                           }
-                           return std::isfinite(r.value)
-                                      ? -r.value
-                                      : std::numeric_limits<
-                                            double>::infinity();
-                         }))
-               : opt::FunctionObjective(p + 1, negValue);
+    // The starts run concurrently; each gets its own diagnostics sink so
+    // the counters don't race. Sums are order-independent, so merging after
+    // the fact is identical to sequential counting.
+    const std::size_t nStarts = static_cast<std::size_t>(config_.nRestarts) + 1;
+    std::vector<FitDiagnostics> startDiags(nStarts);
 
     const opt::Lbfgs local(config_.optStop);
-    const auto minimizer = [&local](const opt::Objective& f,
-                                    std::span<const double> x0,
-                                    const opt::BoxBounds& b) {
-      return local.minimize(f, x0, b);
+    const auto bounds = thetaFullBounds();
+    const auto runStart = [&, p, useLml](std::size_t start,
+                                         std::span<const double> x0) {
+      FitDiagnostics& diag = startDiags[start];
+      // Minimize the negative selection objective over [kernel θ, log σ_n²].
+      const auto negValue = [this, useLml, &diag](std::span<const double> t) {
+        const double v =
+            useLml ? evalLml(t, false, diag).value : evalLoo(t, diag);
+        return std::isfinite(v) ? -v : std::numeric_limits<double>::infinity();
+      };
+      // For LML the value and analytic gradient come from one factorization;
+      // LOO falls back to finite differences.
+      const opt::FunctionObjective obj =
+          useLml ? opt::FunctionObjective(
+                       p + 1, negValue,
+                       opt::FunctionObjective::CombinedFn(
+                           [this, &diag](std::span<const double> t,
+                                         std::span<double> g) {
+                             const auto r = evalLml(t, true, diag);
+                             if (r.grad.empty()) {
+                               for (auto& v : g) v = 0.0;
+                             } else {
+                               for (std::size_t i = 0; i < g.size(); ++i)
+                                 g[i] = -r.grad[i];
+                             }
+                             return std::isfinite(r.value)
+                                        ? -r.value
+                                        : std::numeric_limits<
+                                              double>::infinity();
+                           }))
+                 : opt::FunctionObjective(p + 1, negValue);
+      return local.minimize(obj, x0, bounds);
     };
-    const auto result = opt::multiStartMinimize(
-        obj, thetaFull(), thetaFullBounds(), minimizer, config_.nRestarts,
-        rng);
+
+    const auto result = opt::multiStartMinimizeParallel(
+        runStart, thetaFull(), bounds, config_.nRestarts, rng);
+    for (const auto& d : startDiags) {
+      diagnostics_.choleskyFailures += d.choleskyFailures;
+      diagnostics_.nonFiniteObjectives += d.nonFiniteObjectives;
+    }
     if (std::isfinite(result.best.fval)) {
       kernel_->setTheta(
           std::span<const double>(result.best.x).subspan(0, p));
@@ -250,6 +266,7 @@ void GaussianProcess::addObservation(std::span<const double> x, double y) {
   requireArg(fitted(), "GaussianProcess::addObservation: not fitted");
   requireArg(x.size() == x_.cols(),
              "GaussianProcess::addObservation: dimension mismatch");
+  ScopedTimer timer("gp.addObservation");
   const std::size_t n = x_.rows();
 
   la::Vector k(n);
@@ -287,16 +304,20 @@ Prediction GaussianProcess::predict(const la::Matrix& xStar,
   requireArg(fitted(), "GaussianProcess::predict: not fitted");
   requireArg(xStar.cols() == x_.cols(),
              "GaussianProcess::predict: dimension mismatch");
+  ScopedTimer timer("gp.predict");
   const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
   Prediction pred;
   pred.mean = la::matvecTransposed(kCross, alpha_);
   pred.variance.resize(xStar.rows());
-  for (std::size_t j = 0; j < xStar.rows(); ++j) {
+  // Each query point's variance is independent (its own triangular solve),
+  // so chunks of the loop run on the pool; every thread writes only its own
+  // slots, keeping the result bit-identical to the sequential loop.
+  parallelFor(xStar.rows(), 8, [&](std::size_t j) {
     const la::Vector v = chol_->solveLower(kCross.col(j));
     double var = kernel_->eval(xStar.row(j), xStar.row(j)) - la::dot(v, v);
     if (includeNoise) var += noiseVar_;
     pred.variance[j] = std::max(var, 0.0);
-  }
+  });
   return pred;
 }
 
@@ -387,13 +408,13 @@ double GaussianProcess::logMarginalLikelihood() const {
 double GaussianProcess::logMarginalLikelihoodAt(
     std::span<const double> thetaFull) const {
   requireArg(fitted(), "GaussianProcess: not fitted");
-  return evalLml(thetaFull, false).value;
+  return evalLml(thetaFull, false, diagnostics_).value;
 }
 
 std::vector<double> GaussianProcess::logMarginalLikelihoodGradientAt(
     std::span<const double> thetaFull) const {
   requireArg(fitted(), "GaussianProcess: not fitted");
-  auto r = evalLml(thetaFull, true);
+  auto r = evalLml(thetaFull, true, diagnostics_);
   requireArg(std::isfinite(r.value),
              "logMarginalLikelihoodGradientAt: LML undefined here");
   return std::move(r.grad);
@@ -402,7 +423,7 @@ std::vector<double> GaussianProcess::logMarginalLikelihoodGradientAt(
 double GaussianProcess::looLogPseudoLikelihoodAt(
     std::span<const double> thetaFull) const {
   requireArg(fitted(), "GaussianProcess: not fitted");
-  return evalLoo(thetaFull);
+  return evalLoo(thetaFull, diagnostics_);
 }
 
 }  // namespace alperf::gp

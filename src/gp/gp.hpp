@@ -9,6 +9,10 @@
 /// configurable box bounds (the knob the paper studies in Fig. 7). All
 /// hyperparameters — kernel θ plus log σ_n² — are jointly optimized in log
 /// space by multi-start L-BFGS on the selected model-selection objective.
+/// The optimizer starts run concurrently on the global thread pool
+/// (common/thread_pool.hpp) and batch prediction scores query points in
+/// parallel chunks; both paths are bit-identical to their sequential
+/// (threads = 1) execution.
 
 #include <memory>
 #include <utility>
@@ -40,8 +44,12 @@ struct GpConfig {
   /// computes the posterior (used to inspect fixed-hyperparameter GPRs,
   /// Fig. 3a).
   bool optimize = true;
-  /// Extra random optimizer starts inside the bounds (scikit-learn's
-  /// n_restarts_optimizer).
+  /// Extra random optimizer starts inside the bounds — the role of
+  /// scikit-learn's n_restarts_optimizer, but unlike scikit-learn (which
+  /// runs restarts one after another) the nRestarts + 1 starts here are
+  /// minimized concurrently on the global thread pool, with all start
+  /// points pre-drawn from the caller's RNG so the selected optimum is
+  /// identical to a sequential run.
   int nRestarts = 2;
   ModelSelection selection = ModelSelection::MarginalLikelihood;
   NoiseConfig noise;
@@ -96,7 +104,9 @@ class GaussianProcess {
 
   /// Fits hyperparameters (unless config.optimize is false) and computes
   /// the posterior for the given data. X is n×d, y length n, n >= 1.
-  /// `rng` drives the random optimizer restarts.
+  /// `rng` drives the random optimizer restarts (drawn up front, so the
+  /// stream consumed is independent of the thread count; with
+  /// config.optimize false the rng is never touched).
   void fit(la::Matrix x, la::Vector y, stats::Rng& rng);
 
   /// Conditions the fitted posterior on one additional observation
@@ -187,10 +197,14 @@ class GaussianProcess {
   };
 
   /// LML (and optionally its gradient) at thetaFull on (x_, y_).
-  /// Returns -inf value on numerical failure instead of throwing.
-  LmlResult evalLml(std::span<const double> thetaFull, bool wantGrad) const;
+  /// Returns -inf value on numerical failure instead of throwing; swallowed
+  /// failures are recorded into `diag` (per-start sinks during the parallel
+  /// hyperparameter search, diagnostics_ everywhere else).
+  LmlResult evalLml(std::span<const double> thetaFull, bool wantGrad,
+                    FitDiagnostics& diag) const;
 
-  double evalLoo(std::span<const double> thetaFull) const;
+  double evalLoo(std::span<const double> thetaFull,
+                 FitDiagnostics& diag) const;
 
   void computePosterior();
 

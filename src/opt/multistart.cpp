@@ -1,6 +1,21 @@
 #include "opt/multistart.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace alperf::opt {
+
+namespace {
+
+/// Lowest-objective run, earliest index on ties — shared by both variants
+/// so they agree bit-for-bit.
+std::size_t bestIndex(const std::vector<OptResult>& all) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < all.size(); ++i)
+    if (all[i].fval < all[best].fval) best = i;
+  return best;
+}
+
+}  // namespace
 
 MultiStartResult multiStartMinimize(const Objective& f,
                                     std::span<const double> x0,
@@ -15,10 +30,33 @@ MultiStartResult multiStartMinimize(const Objective& f,
     const auto start = bounds.sample(rng);
     out.all.push_back(local(f, start, bounds));
   }
-  std::size_t bestIdx = 0;
-  for (std::size_t i = 1; i < out.all.size(); ++i)
-    if (out.all[i].fval < out.all[bestIdx].fval) bestIdx = i;
-  out.best = out.all[bestIdx];
+  out.best = out.all[bestIndex(out.all)];
+  return out;
+}
+
+MultiStartResult multiStartMinimizeParallel(const StartRunner& runStart,
+                                            std::span<const double> x0,
+                                            const BoxBounds& bounds,
+                                            int nRestarts, stats::Rng& rng) {
+  requireArg(nRestarts >= 0,
+             "multiStartMinimizeParallel: nRestarts must be >= 0");
+  requireArg(static_cast<bool>(runStart),
+             "multiStartMinimizeParallel: null start runner");
+  const std::size_t nStarts = static_cast<std::size_t>(nRestarts) + 1;
+
+  // Draw every start sequentially before any minimization so the RNG
+  // stream is byte-identical to the sequential variant's.
+  std::vector<std::vector<double>> starts;
+  starts.reserve(nStarts);
+  starts.emplace_back(x0.begin(), x0.end());
+  for (int k = 0; k < nRestarts; ++k) starts.push_back(bounds.sample(rng));
+
+  MultiStartResult out;
+  out.all.resize(nStarts);
+  parallelFor(nStarts, 1, [&](std::size_t k) {
+    out.all[k] = runStart(k, starts[k]);
+  });
+  out.best = out.all[bestIndex(out.all)];
   return out;
 }
 

@@ -25,11 +25,33 @@ struct MultiStartResult {
 
 /// Runs `local` from `x0` and from `nRestarts` random interior points;
 /// returns the run with the lowest objective value. Bounds must be finite
-/// when nRestarts > 0.
+/// when nRestarts > 0. Strictly sequential — use this when the objective
+/// is not safe to evaluate from multiple threads.
 MultiStartResult multiStartMinimize(const Objective& f,
                                     std::span<const double> x0,
                                     const BoxBounds& bounds,
                                     const LocalMinimizer& local,
                                     int nRestarts, stats::Rng& rng);
+
+/// One start of a parallel multi-start: minimize from start index `start`
+/// at initial point `x0` and return the local optimum. Invoked
+/// concurrently from multiple threads — the callable must not share
+/// mutable state across starts (give each start its own objective or
+/// accumulator; the GP module keys per-start diagnostics off `start`).
+using StartRunner =
+    std::function<OptResult(std::size_t start, std::span<const double> x0)>;
+
+/// Thread-parallel multi-start on the global thread pool
+/// (common/thread_pool.hpp), bit-identical to multiStartMinimize for any
+/// thread count:
+///   * all random starts are drawn from `rng` up front, in start order —
+///     the exact stream the sequential version consumes;
+///   * starts minimize concurrently (each is deterministic given its x0);
+///   * the winner is the lowest objective value, ties broken by lowest
+///     start index — the same rule the sequential scan applies.
+MultiStartResult multiStartMinimizeParallel(const StartRunner& runStart,
+                                            std::span<const double> x0,
+                                            const BoxBounds& bounds,
+                                            int nRestarts, stats::Rng& rng);
 
 }  // namespace alperf::opt

@@ -1,0 +1,220 @@
+// Determinism contract of the parallel AL hot path: every parallel code
+// path (multi-start GP fitting, pool scoring, EMCM ensembles) must produce
+// bit-identical results for any thread count, and the incremental-Cholesky
+// posterior reuse must match a full refactorization to tight tolerance.
+// The CI tsan job builds this binary alongside test_thread_pool.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::Parallelism;
+using alperf::PerfRegistry;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Restores the global thread count on scope exit.
+struct ThreadGuard {
+  ~ThreadGuard() { Parallelism::setThreads(0); }
+};
+
+al::RegressionProblem syntheticProblem(std::size_t n = 60) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(n, 2);
+  p.y.resize(n);
+  p.cost.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    p.x(i, 0) = 10.0 * t;
+    p.x(i, 1) = std::cos(3.0 * t);
+    p.y[i] = std::sin(6.0 * t) + 0.3 * t * t;
+    p.cost[i] = 1.0 + 0.5 * t;
+  }
+  p.featureNames = {"x0", "x1"};
+  p.responseName = "y";
+  return p;
+}
+
+gp::GaussianProcess smallGp(int nRestarts = 2) {
+  gp::GpConfig cfg;
+  cfg.nRestarts = nRestarts;
+  cfg.noise.lo = 1e-4;
+  return gp::GaussianProcess(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                             cfg);
+}
+
+void expectIdenticalHistory(const std::vector<al::IterationRecord>& a,
+                            const std::vector<al::IterationRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].chosenRow, b[i].chosenRow) << "iter " << i;
+    EXPECT_EQ(a[i].sigmaAtPick, b[i].sigmaAtPick) << "iter " << i;
+    EXPECT_EQ(a[i].muAtPick, b[i].muAtPick) << "iter " << i;
+    EXPECT_EQ(a[i].amsd, b[i].amsd) << "iter " << i;
+    EXPECT_EQ(a[i].rmse, b[i].rmse) << "iter " << i;
+    EXPECT_EQ(a[i].noiseVariance, b[i].noiseVariance) << "iter " << i;
+    EXPECT_EQ(a[i].lml, b[i].lml) << "iter " << i;
+  }
+}
+
+al::AlResult runCampaign(al::StrategyPtr strategy, unsigned seed,
+                         al::AlConfig cfg = {}) {
+  cfg.nInitial = 4;
+  if (cfg.maxIterations < 0) cfg.maxIterations = 12;
+  al::ActiveLearner learner(syntheticProblem(), smallGp(),
+                            std::move(strategy), cfg);
+  Rng rng(seed);
+  return learner.run(rng);
+}
+
+TEST(ParallelDeterminism, GpFitThetaIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto problem = syntheticProblem();
+  la::Matrix x = problem.x;
+  la::Vector y = problem.y;
+
+  Parallelism::setThreads(1);
+  gp::GaussianProcess seq = smallGp(3);
+  Rng rngSeq(7);
+  seq.fit(x, y, rngSeq);
+
+  Parallelism::setThreads(4);
+  gp::GaussianProcess par = smallGp(3);
+  Rng rngPar(7);
+  par.fit(x, y, rngPar);
+
+  const auto ts = seq.thetaFull();
+  const auto tp = par.thetaFull();
+  ASSERT_EQ(ts.size(), tp.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) EXPECT_EQ(ts[i], tp[i]) << i;
+  EXPECT_EQ(seq.logMarginalLikelihood(), par.logMarginalLikelihood());
+  // The RNG streams must also align: both fits drew the same start points.
+  EXPECT_EQ(rngSeq(), rngPar());
+}
+
+TEST(ParallelDeterminism, PredictIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto problem = syntheticProblem(80);
+  gp::GaussianProcess g = smallGp();
+  g.config().optimize = false;
+  Rng rng(3);
+  g.fit(problem.x, problem.y, rng);
+
+  Parallelism::setThreads(1);
+  const auto seq = g.predict(problem.x);
+  Parallelism::setThreads(4);
+  const auto par = g.predict(problem.x);
+  ASSERT_EQ(seq.variance.size(), par.variance.size());
+  for (std::size_t i = 0; i < seq.variance.size(); ++i) {
+    EXPECT_EQ(seq.mean[i], par.mean[i]) << i;
+    EXPECT_EQ(seq.variance[i], par.variance[i]) << i;
+  }
+}
+
+TEST(ParallelDeterminism, CampaignTraceIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  al::AlConfig cfg;
+  cfg.refitEvery = 2;  // exercise the incremental posterior path too
+  Parallelism::setThreads(1);
+  const auto seq =
+      runCampaign(std::make_unique<al::CostEfficiency>(), 11, cfg);
+  Parallelism::setThreads(4);
+  const auto par =
+      runCampaign(std::make_unique<al::CostEfficiency>(), 11, cfg);
+  expectIdenticalHistory(seq.history, par.history);
+}
+
+TEST(ParallelDeterminism, EmcmScoresIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  al::AlConfig cfg;
+  cfg.maxIterations = 6;
+  Parallelism::setThreads(1);
+  const auto seq = runCampaign(std::make_unique<al::Emcm>(4), 17, cfg);
+  Parallelism::setThreads(4);
+  const auto par = runCampaign(std::make_unique<al::Emcm>(4), 17, cfg);
+  expectIdenticalHistory(seq.history, par.history);
+}
+
+TEST(IncrementalPosterior, MatchesFullRefactorizationTo1e10) {
+  // Golden test: with refitEvery > 1, the incremental-Cholesky campaign
+  // must track the force-refactorize campaign to 1e-10 on every metric.
+  al::AlConfig inc;
+  inc.refitEvery = 3;
+  inc.incrementalPosterior = true;
+  al::AlConfig full = inc;
+  full.incrementalPosterior = false;
+
+  const auto a =
+      runCampaign(std::make_unique<al::VarianceReduction>(), 23, inc);
+  const auto b =
+      runCampaign(std::make_unique<al::VarianceReduction>(), 23, full);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].chosenRow, b.history[i].chosenRow) << i;
+    EXPECT_NEAR(a.history[i].amsd, b.history[i].amsd, 1e-10) << i;
+    EXPECT_NEAR(a.history[i].rmse, b.history[i].rmse, 1e-10) << i;
+    EXPECT_NEAR(a.history[i].sigmaAtPick, b.history[i].sigmaAtPick, 1e-10)
+        << i;
+    EXPECT_NEAR(a.history[i].lml, b.history[i].lml, 1e-8) << i;
+  }
+}
+
+TEST(IncrementalPosterior, GpExtensionMatchesFullRefitTo1e10) {
+  const auto problem = syntheticProblem(40);
+  gp::GaussianProcess incremental = smallGp();
+  incremental.config().optimize = false;
+  Rng rng(5);
+
+  // Fit on the first 30 points, then extend one at a time.
+  la::Matrix x0(30, 2);
+  la::Vector y0(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    std::copy(problem.x.row(i).begin(), problem.x.row(i).end(),
+              x0.row(i).begin());
+    y0[i] = problem.y[i];
+  }
+  incremental.fit(std::move(x0), std::move(y0), rng);
+  for (std::size_t i = 30; i < 40; ++i)
+    incremental.addObservation(problem.x.row(i), problem.y[i]);
+
+  gp::GaussianProcess full = smallGp();
+  full.config().optimize = false;
+  full.fit(problem.x, problem.y, rng);
+
+  EXPECT_NEAR(incremental.logMarginalLikelihood(),
+              full.logMarginalLikelihood(), 1e-10);
+  const auto pi = incremental.predict(problem.x);
+  const auto pf = full.predict(problem.x);
+  for (std::size_t i = 0; i < pi.mean.size(); ++i) {
+    EXPECT_NEAR(pi.mean[i], pf.mean[i], 1e-10) << i;
+    EXPECT_NEAR(pi.variance[i], pf.variance[i], 1e-10) << i;
+  }
+}
+
+TEST(IncrementalPosterior, CampaignActuallyTakesTheIncrementalPath) {
+  PerfRegistry::instance().reset();
+  al::AlConfig cfg;
+  cfg.refitEvery = 3;
+  const auto result =
+      runCampaign(std::make_unique<al::VarianceReduction>(), 29, cfg);
+  EXPECT_FALSE(result.history.empty());
+  // 12 iterations at refitEvery=3: 4 full fits in-loop + the final fit,
+  // the other 8 iterations extend the factorization.
+  EXPECT_GT(PerfRegistry::instance().count("al.fit.incremental"), 0u);
+  EXPECT_GT(PerfRegistry::instance().count("al.fit.full"), 0u);
+  EXPECT_GT(PerfRegistry::instance().count("gp.fit"), 0u);
+  PerfRegistry::instance().reset();
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Unit tests for the deterministic thread pool (common/thread_pool.hpp):
+// index coverage, inline fallbacks, nested parallelism, exception
+// propagation, global configuration, and a contention stress loop meant to
+// run under ThreadSanitizer (the CI tsan job builds exactly this binary).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using alperf::Parallelism;
+using alperf::ThreadPool;
+
+/// Restores the global thread count on scope exit so tests don't leak
+/// their configuration into each other.
+struct ThreadGuard {
+  ~ThreadGuard() { Parallelism::setThreads(0); }
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallelFor(n, 7, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallelFor(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleThreadRunsSequentiallyInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallelFor(100, 8, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, RangeWithinOneChunkRunsInline) {
+  ThreadPool pool(4);
+  // n <= chunk: the calling thread runs everything itself, in order.
+  std::vector<std::size_t> order;
+  pool.parallelFor(8, 8, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  const std::size_t outer = 16, inner = 32;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallelFor(outer, 1, [&](std::size_t i) {
+    pool.parallelFor(inner, 4, [&](std::size_t j) {
+      hits[i * inner + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(256, 4,
+                                [&](std::size_t i) {
+                                  if (i == 137)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> sum{0};
+  pool.parallelFor(64, 4, [&](std::size_t) {
+    sum.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ThreadPool, RejectsInvalidArguments) {
+  EXPECT_THROW(ThreadPool bad(0), std::invalid_argument);
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallelFor(4, 1, nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, StressManysmallRegions) {
+  // Rapid-fire regions over shared atomics: the TSan target.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallelFor(97, 3, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200L * (96L * 97L / 2L));
+}
+
+TEST(Parallelism, SetThreadsOverridesAndRestores) {
+  ThreadGuard guard;
+  Parallelism::setThreads(3);
+  EXPECT_EQ(Parallelism::threads(), 3);
+  EXPECT_EQ(Parallelism::pool().size(), 3);
+  Parallelism::setThreads(1);
+  EXPECT_EQ(Parallelism::threads(), 1);
+  Parallelism::setThreads(0);  // back to automatic
+  EXPECT_GE(Parallelism::threads(), 1);
+}
+
+TEST(Parallelism, FreeParallelForMatchesSequential) {
+  ThreadGuard guard;
+  const std::size_t n = 500;
+  std::vector<double> seq(n), par(n);
+  Parallelism::setThreads(1);
+  alperf::parallelFor(n, 16, [&](std::size_t i) {
+    seq[i] = static_cast<double>(i) * 1.5;
+  });
+  Parallelism::setThreads(4);
+  alperf::parallelFor(n, 16, [&](std::size_t i) {
+    par[i] = static_cast<double>(i) * 1.5;
+  });
+  EXPECT_EQ(seq, par);
+}
+
+TEST(Parallelism, ParseThreadsAcceptsOnlyPositiveIntegers) {
+  EXPECT_EQ(Parallelism::parseThreads(nullptr), 0);
+  EXPECT_EQ(Parallelism::parseThreads(""), 0);
+  EXPECT_EQ(Parallelism::parseThreads("4"), 4);
+  EXPECT_EQ(Parallelism::parseThreads("1"), 1);
+  EXPECT_EQ(Parallelism::parseThreads("0"), 0);
+  EXPECT_EQ(Parallelism::parseThreads("-2"), 0);
+  EXPECT_EQ(Parallelism::parseThreads("abc"), 0);
+  EXPECT_EQ(Parallelism::parseThreads("4abc"), 0);
+  EXPECT_EQ(Parallelism::parseThreads("9999999999"), 0);  // > cap
+}
+
+TEST(PerfRegistry, CountsAndTimesAreThreadSafe) {
+  auto& reg = alperf::PerfRegistry::instance();
+  reg.reset();
+  ThreadPool pool(4);
+  pool.parallelFor(100, 1, [&](std::size_t) {
+    alperf::ScopedTimer t("test.timer");
+    reg.increment("test.counter");
+  });
+  EXPECT_EQ(reg.count("test.counter"), 100u);
+  const auto snap = reg.snapshot();
+  bool sawTimer = false;
+  for (const auto& e : snap)
+    if (e.name == "test.timer") {
+      sawTimer = true;
+      EXPECT_EQ(e.count, 100u);
+    }
+  EXPECT_TRUE(sawTimer);
+  const std::string json = reg.toJson();
+  EXPECT_NE(json.find("\"test.counter\""), std::string::npos);
+  reg.reset();
+  EXPECT_EQ(reg.count("test.counter"), 0u);
+}
+
+}  // namespace
