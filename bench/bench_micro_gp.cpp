@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -15,6 +16,7 @@
 #include "gp/kernels.hpp"
 #include "gp/sparse.hpp"
 #include "hpgmg/multigrid.hpp"
+#include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "stats/rng.hpp"
 
@@ -101,6 +103,41 @@ static void BM_GpFit(benchmark::State& state) {
 }
 BENCHMARK(BM_GpFit)->RangeMultiplier(2)->Range(16, 128)
     ->Unit(benchmark::kMillisecond);
+
+namespace {
+
+/// One n=1000 hyperparameter fit with a tight optimizer budget — the unit
+/// the PR-4 acceptance criterion compares: optimized path (blocked LA +
+/// distance cache) vs the seed path (scalar reference kernels, no cache).
+double fitLargeOnce(bool optimizedPath) {
+  const std::size_t n = 1000;
+  Rng rng(11);
+  const la::Matrix x = randomPoints(n, 4, rng);
+  const la::Vector y = smoothResponse(x, rng);
+  la::setBlockedKernels(optimizedPath);
+  gp::GpConfig cfg;
+  cfg.nRestarts = 0;
+  cfg.optStop.maxIterations = 2;
+  cfg.useDistanceCache = optimizedPath;
+  gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1, 1, 1, 1}),
+                        cfg);
+  Rng fitRng(12);
+  g.fit(x, y, fitRng);
+  la::setBlockedKernels(true);
+  return g.logMarginalLikelihood();
+}
+
+}  // namespace
+
+static void BM_GpFitLargeOptimized(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(fitLargeOnce(true));
+}
+BENCHMARK(BM_GpFitLargeOptimized)->Unit(benchmark::kMillisecond);
+
+static void BM_GpFitLargeSeedPath(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(fitLargeOnce(false));
+}
+BENCHMARK(BM_GpFitLargeSeedPath)->Unit(benchmark::kMillisecond);
 
 static void BM_GpPredict(benchmark::State& state) {
   const std::size_t n = state.range(0);
@@ -233,6 +270,23 @@ int main(int argc, char** argv) {
   alperf::PerfRegistry::instance().reset();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  {
+    // Direct A/B for the fit-time acceptance number, independent of
+    // google-benchmark's adaptive iteration counts.
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fitLargeOnce(false));
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fitLargeOnce(true));
+    const auto t2 = std::chrono::steady_clock::now();
+    const double seedMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double optMs =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    std::printf(
+        "gp_fit_cache {\"n\":1000,\"seed_millis\":%.1f,"
+        "\"optimized_millis\":%.1f,\"speedup\":%.2f}\n",
+        seedMs, optMs, seedMs / optMs);
+  }
   std::printf("perf_stats %s\n",
               alperf::PerfRegistry::instance().toJson().c_str());
   return 0;

@@ -1,0 +1,337 @@
+// Micro-benchmarks for the dense linear-algebra kernels (la/blas.hpp):
+// blocked vs seed-reference Cholesky / gemm / trsm / multi-RHS solve across
+// problem sizes and thread counts, plus the GP gram distance cache. Emits
+// the same perf_stats JSON line as bench_micro_gp, preceded by summary
+// lines:
+//
+//   la_speedup {"kernel":"cholesky","n":1024,"threads":1,
+//               "ref_millis":...,"blocked_millis":...,"speedup":...}
+//   la_determinism {"kernel":"cholesky","n":512,"bit_identical":true}
+//   gram_cache {"n":1000,"uncached_millis":...,"cached_millis":...,
+//               "speedup":...,"hit_rate":1.0}
+//
+// The reference benches stop at n=1024: the seed scalar kernels are an
+// order of magnitude slower and n=2048 would dominate the suite's runtime
+// for no extra information. CI's perf-smoke job runs the /512 sizes only.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "gp/distance_cache.hpp"
+#include "gp/kernels.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "stats/rng.hpp"
+
+namespace la = alperf::la;
+namespace gp = alperf::gp;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Diagonally dominant random SPD matrix in O(n²) (no O(n³) gram setup).
+la::Matrix makeSpd(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = rng.uniformReal(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+    a(i, i) = static_cast<double>(n);
+  }
+  return a;
+}
+
+la::Matrix makeDense(std::size_t rows, std::size_t cols, unsigned seed) {
+  Rng rng(seed);
+  la::Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      a(i, j) = rng.uniformReal(-1.0, 1.0);
+  return a;
+}
+
+/// Restores the previous kernel selection on scope exit.
+struct KernelGuard {
+  bool prev;
+  explicit KernelGuard(bool blocked) : prev(la::blockedKernelsEnabled()) {
+    la::setBlockedKernels(blocked);
+  }
+  ~KernelGuard() { la::setBlockedKernels(prev); }
+};
+
+double wallMillis(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Cholesky
+
+static void BM_CholeskyBlocked(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const la::Matrix spd = makeSpd(n, 1);
+  KernelGuard guard(true);
+  for (auto _ : state) {
+    la::Matrix work = spd;
+    benchmark::DoNotOptimize(la::choleskyInPlaceBlocked(work));
+    benchmark::DoNotOptimize(work.data().data());
+  }
+  // n³/3 multiply-adds → GFLOP/s shows up as items_per_second.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n / 3);
+}
+BENCHMARK(BM_CholeskyBlocked)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_CholeskyReference(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const la::Matrix spd = makeSpd(n, 1);
+  KernelGuard guard(false);
+  for (auto _ : state) {
+    la::Matrix work = spd;
+    benchmark::DoNotOptimize(la::choleskyInPlaceReference(work));
+    benchmark::DoNotOptimize(work.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n / 3);
+}
+BENCHMARK(BM_CholeskyReference)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_CholeskyThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t n = 1024;
+  alperf::Parallelism::setThreads(threads);
+  const la::Matrix spd = makeSpd(n, 1);
+  KernelGuard guard(true);
+  for (auto _ : state) {
+    la::Matrix work = spd;
+    benchmark::DoNotOptimize(la::choleskyInPlaceBlocked(work));
+  }
+  alperf::Parallelism::setThreads(0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n / 3);
+}
+BENCHMARK(BM_CholeskyThreads)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------------------- gemm
+
+static void BM_GemmBlocked(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const la::Matrix a = makeDense(n, n, 2);
+  const la::Matrix b = makeDense(n, n, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(la::matmulBlocked(a, b).data().data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_GemmBlocked)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_GemmReference(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const la::Matrix a = makeDense(n, n, 2);
+  const la::Matrix b = makeDense(n, n, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(la::matmulReference(a, b).data().data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_GemmReference)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_GemmThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t n = 1024;
+  alperf::Parallelism::setThreads(threads);
+  const la::Matrix a = makeDense(n, n, 2);
+  const la::Matrix b = makeDense(n, n, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(la::matmulBlocked(a, b).data().data());
+  alperf::Parallelism::setThreads(0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------- trsm / solve(Matrix)
+
+static void BM_TrsmBlocked(benchmark::State& state) {
+  // L·X = B for 256 right-hand sides, L the n×n Cholesky factor.
+  const std::size_t n = state.range(0);
+  la::Matrix spd = makeSpd(n, 4);
+  la::choleskyInPlaceBlocked(spd);
+  const la::Matrix b = makeDense(n, 256, 5);
+  for (auto _ : state) {
+    la::Matrix x = b;
+    la::trsmLowerLeft(spd, x);
+    benchmark::DoNotOptimize(x.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * 256 / 2);
+}
+BENCHMARK(BM_TrsmBlocked)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SolveMultiRhsBlocked(benchmark::State& state) {
+  // Cholesky::solve(Matrix) through the in-place trsm pair.
+  const std::size_t n = state.range(0);
+  KernelGuard guard(true);
+  const la::Cholesky chol(makeSpd(n, 4));
+  const la::Matrix b = makeDense(n, 256, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(chol.solve(b).data().data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * 256);
+}
+BENCHMARK(BM_SolveMultiRhsBlocked)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_SolveMultiRhsReference(benchmark::State& state) {
+  // The seed path: per-column col() copy + two vector substitutions.
+  const std::size_t n = state.range(0);
+  KernelGuard guard(false);
+  const la::Cholesky chol(makeSpd(n, 4));
+  const la::Matrix b = makeDense(n, 256, 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(chol.solve(b).data().data());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n * 256);
+}
+BENCHMARK(BM_SolveMultiRhsReference)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// -------------------------------------------------------- gram/dist cache
+
+static void BM_GramUncached(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const la::Matrix x = makeDense(n, 4, 6);
+  const auto k = gp::makeSquaredExponential(1.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(k->gram(x).maxAbs());
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GramUncached)->Arg(250)->Arg(512)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_GramCached(benchmark::State& state) {
+  // Distances precomputed once (as in one GP fit); each iteration is the
+  // per-theta cost: one pointwise k(s) per pair.
+  const std::size_t n = state.range(0);
+  const la::Matrix x = makeDense(n, 4, 6);
+  const auto k = gp::makeSquaredExponential(1.0, 1.0);
+  gp::DistanceCache cache;
+  cache.sync(x);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(k->gram(x, cache).maxAbs());
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GramCached)->Arg(250)->Arg(512)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------------ main
+
+namespace {
+
+/// Direct A/B timings for the acceptance numbers, independent of
+/// google-benchmark's adaptive iteration counts.
+void printSpeedupSummaries() {
+  {
+    const std::size_t n = 1024;
+    const la::Matrix spd = makeSpd(n, 1);
+    alperf::Parallelism::setThreads(1);
+    la::Matrix ref = spd, blk = spd;
+    const double refMs =
+        wallMillis([&] { la::choleskyInPlaceReference(ref); });
+    const double blkMs = wallMillis([&] { la::choleskyInPlaceBlocked(blk); });
+    alperf::Parallelism::setThreads(0);
+    std::printf(
+        "la_speedup {\"kernel\":\"cholesky\",\"n\":%zu,\"threads\":1,"
+        "\"ref_millis\":%.2f,\"blocked_millis\":%.2f,\"speedup\":%.2f}\n",
+        n, refMs, blkMs, refMs / blkMs);
+  }
+  {
+    // Bit-identity of the blocked factor across thread counts.
+    const std::size_t n = 512;
+    const la::Matrix spd = makeSpd(n, 7);
+    alperf::Parallelism::setThreads(1);
+    la::Matrix base = spd;
+    la::choleskyInPlaceBlocked(base);
+    bool identical = true;
+    for (int t : {2, 4, 8}) {
+      alperf::Parallelism::setThreads(t);
+      la::Matrix work = spd;
+      la::choleskyInPlaceBlocked(work);
+      const auto a = base.data();
+      const auto b = work.data();
+      for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i]) {
+          identical = false;
+          break;
+        }
+    }
+    alperf::Parallelism::setThreads(0);
+    std::printf(
+        "la_determinism {\"kernel\":\"cholesky\",\"n\":%zu,"
+        "\"bit_identical\":%s}\n",
+        n, identical ? "true" : "false");
+  }
+  {
+    const std::size_t n = 1000;
+    const la::Matrix x = makeDense(n, 4, 6);
+    const auto k = gp::makeSquaredExponential(1.0, 1.0);
+    gp::DistanceCache cache;
+    const double syncMs = wallMillis([&] { cache.sync(x); });
+    double uncachedMs = 0.0, cachedMs = 0.0;
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+      uncachedMs += wallMillis([&] {
+        benchmark::DoNotOptimize(k->gram(x).maxAbs());
+      });
+      cachedMs += wallMillis([&] {
+        benchmark::DoNotOptimize(k->gram(x, cache).maxAbs());
+      });
+    }
+    std::printf(
+        "gram_cache {\"n\":%zu,\"sync_millis\":%.2f,"
+        "\"uncached_millis\":%.2f,\"cached_millis\":%.2f,"
+        "\"speedup\":%.2f,\"hit_rate\":1.0}\n",
+        n, syncMs, uncachedMs / reps, cachedMs / reps,
+        uncachedMs / cachedMs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  alperf::PerfRegistry::instance().reset();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printSpeedupSummaries();
+  std::printf("perf_stats %s\n",
+              alperf::PerfRegistry::instance().toJson().c_str());
+  return 0;
+}

@@ -161,9 +161,18 @@ int cmdLearn(const Args& args) {
     data::writeCsv(al::historyToTable(result), args.get("trace", ""));
     std::printf("trace written to %s\n", args.get("trace", "").c_str());
   }
-  if (args.has("perf"))
-    std::printf("perf_stats %s\n",
-                alperf::PerfRegistry::instance().toJson().c_str());
+  if (args.has("perf")) {
+    // Dumps every registered counter, which now includes the dense-LA
+    // kernels (la.cholesky, la.gemm, la.trsm) and the gram/distance cache
+    // (gp.gram.hit/miss, gp.distcache.append/rebuild).
+    auto& reg = alperf::PerfRegistry::instance();
+    std::printf("perf_stats %s\n", reg.toJson().c_str());
+    const double hits = static_cast<double>(reg.count("gp.gram.hit"));
+    const double misses = static_cast<double>(reg.count("gp.gram.miss"));
+    if (hits + misses > 0.0)
+      std::printf("gram cache hit rate %.1f%% (%.0f hit / %.0f miss)\n",
+                  100.0 * hits / (hits + misses), hits, misses);
+  }
   return 0;
 }
 

@@ -247,6 +247,14 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   // even the fallback cannot produce a finite posterior. Posterior-only
   // updates (optimize false) extend the existing factorization when
   // incrementalPosterior allows; anything else is a full refactorization.
+  //
+  // The GP's pairwise-distance cache (gp/distance_cache.hpp) lives across
+  // all of these paths untouched by this layer: buildTrain reproduces the
+  // previous rows bit-for-bit and only appends, so each refit takes the
+  // cache's O(k·n·d) append path (gp.distcache.append), and
+  // gp.addObservation keeps it warm on the incremental path too. Rolling
+  // back hyperparameters never invalidates it — distances don't depend on
+  // theta.
   const auto fitWithFallback = [&](bool optimize) {
     ScopedTimer timer("al.fit");
     if (!optimize && config_.incrementalPosterior && chainValid &&

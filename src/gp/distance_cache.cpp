@@ -1,0 +1,68 @@
+#include "gp/distance_cache.hpp"
+
+#include <algorithm>
+
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace alperf::gp {
+
+bool DistanceCache::matches(const la::Matrix& x) const {
+  if (x.rows() != x_.rows() || x.cols() != x_.cols()) return false;
+  const auto a = x.data();
+  const auto b = x_.data();
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+void DistanceCache::clear() {
+  x_ = la::Matrix();
+  sq_.clear();
+  sqDiff_.clear();
+}
+
+void DistanceCache::fillFrom(std::size_t first) {
+  const std::size_t n = x_.rows();
+  const std::size_t d = x_.cols();
+  if (n < 2 || first >= n) return;
+  const std::size_t start = first < 1 ? 1 : first;
+  // Each index owns all pairs of one point j (a contiguous slice of the
+  // packed arrays), so the parallel fill is race-free and, being pure
+  // writes of independent values, trivially deterministic.
+  parallelFor(n - start, 8, [&](std::size_t idx) {
+    const std::size_t j = start + idx;
+    const double* xj = x_.data().data() + j * d;
+    double* sqOut = sq_.data() + pairIndex(0, j);
+    double* diffOut = sqDiff_.data() + pairIndex(0, j) * d;
+    for (std::size_t i = 0; i < j; ++i) {
+      const double* xi = x_.data().data() + i * d;
+      double s = 0.0;
+      for (std::size_t m = 0; m < d; ++m) {
+        const double dm = xi[m] - xj[m];
+        const double dm2 = dm * dm;
+        diffOut[i * d + m] = dm2;
+        s += dm2;
+      }
+      sqOut[i] = s;
+    }
+  });
+}
+
+void DistanceCache::sync(const la::Matrix& x) {
+  if (matches(x)) return;
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t oldN = x_.rows();
+  const bool isAppend =
+      oldN > 0 && n > oldN && d == x_.cols() &&
+      std::equal(x_.data().begin(), x_.data().end(), x.data().begin());
+  const std::size_t first = isAppend ? oldN : 0;
+  PerfRegistry::instance().increment(isAppend ? "gp.distcache.append"
+                                              : "gp.distcache.rebuild");
+  x_ = x;
+  const std::size_t nPairs = n < 2 ? 0 : n * (n - 1) / 2;
+  sq_.resize(nPairs);
+  sqDiff_.resize(nPairs * d);
+  fillFrom(first);
+}
+
+}  // namespace alperf::gp

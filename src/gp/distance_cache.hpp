@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file distance_cache.hpp
+/// Precomputed pairwise geometry for the GP fit path.
+///
+/// One hyperparameter fit evaluates the LML at hundreds of theta values
+/// across the multi-start optimizer, and every evaluation needs the train
+/// Gram matrix and its gradients. The pairwise distances those matrices are
+/// built from depend only on the *data*, not on theta — so they are computed
+/// once per fit and every kernel evaluation reduces to the cheap pointwise
+/// function k(s) of a cached scaled distance.
+///
+/// Invalidation contract (explicit, checked, never implicit):
+///  - The cache snapshots the exact train matrix it was built from.
+///    `matches(x)` is a bitwise comparison against that snapshot.
+///  - `sync(x)` is the only mutation point. It is a no-op when the cache
+///    matches, an O(k·n·d) append when `x` extends the snapshot by k rows
+///    (the AL-loop refit case: points only accumulate), and a full O(n²·d)
+///    rebuild otherwise.
+///  - Hyperparameter changes never touch the cache — distances are
+///    theta-independent by construction.
+///  - Consumers (`Kernel::gram`/`gramGradients` cached overloads) verify
+///    `matches(x)` and fall back to the uncached path on mismatch, so a
+///    stale cache can cost speed but never correctness.
+///
+/// Owned by GaussianProcess, synced at the top of fit()/addObservation()
+/// before any parallel region, then read-only — safe to share across the
+/// multi-start optimizer threads.
+
+#include <cstddef>
+
+#include "la/matrix.hpp"
+
+namespace alperf::gp {
+
+class DistanceCache {
+ public:
+  /// True when the cache was built from exactly this matrix (bitwise).
+  bool matches(const la::Matrix& x) const;
+
+  /// Brings the cache in sync with `x` (see invalidation contract above).
+  /// Bumps the gp.distcache.append / gp.distcache.rebuild counters.
+  void sync(const la::Matrix& x);
+
+  /// Drops everything; the next sync() rebuilds from scratch.
+  void clear();
+
+  bool empty() const { return x_.rows() == 0; }
+  std::size_t numPoints() const { return x_.rows(); }
+  std::size_t dim() const { return x_.cols(); }
+  std::size_t numPairs() const {
+    const std::size_t n = x_.rows();
+    return n < 2 ? 0 : n * (n - 1) / 2;
+  }
+
+  /// Packed index of the unordered pair (i, j) with i < j. Pairs are
+  /// grouped by the larger index: all pairs of point j occupy the
+  /// contiguous range [j(j-1)/2, j(j+1)/2), so appending point n adds
+  /// entries only at the end of the arrays.
+  static std::size_t pairIndex(std::size_t i, std::size_t j) {
+    return j * (j - 1) / 2 + i;
+  }
+
+  /// Unscaled squared Euclidean distance per pair, indexed by pairIndex().
+  const la::Vector& squaredDistances() const { return sq_; }
+
+  /// Per-dimension squared differences (a_m − b_m)², pair-major:
+  /// squaredDiffs()[p·dim() + m]. What ARD gradients consume.
+  const la::Vector& squaredDiffs() const { return sqDiff_; }
+
+  /// The snapshot the cache was built from.
+  const la::Matrix& points() const { return x_; }
+
+ private:
+  /// Fills pair entries for points [first, n) against all earlier points.
+  void fillFrom(std::size_t first);
+
+  la::Matrix x_;
+  la::Vector sq_;
+  la::Vector sqDiff_;
+};
+
+}  // namespace alperf::gp

@@ -41,6 +41,7 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
       diagnostics_(other.diagnostics_),
       x_(other.x_),
       y_(other.y_),
+      distCache_(other.distCache_),
       chol_(other.chol_ ? std::make_unique<la::Cholesky>(*other.chol_)
                         : nullptr),
       alpha_(other.alpha_),
@@ -89,6 +90,27 @@ const la::Vector& GaussianProcess::trainY() const {
   return y_;
 }
 
+la::Matrix GaussianProcess::trainGram(const Kernel& k) const {
+  if (config_.useDistanceCache && distCache_.matches(x_)) {
+    PerfRegistry::instance().increment("gp.gram.hit");
+    return k.gram(x_, distCache_);
+  }
+  PerfRegistry::instance().increment("gp.gram.miss");
+  return k.gram(x_);
+}
+
+void GaussianProcess::trainGramGradients(
+    const Kernel& k, const la::Matrix& km,
+    std::vector<la::Matrix>& grads) const {
+  if (config_.useDistanceCache && distCache_.matches(x_)) {
+    PerfRegistry::instance().increment("gp.gram.hit");
+    k.gramGradients(x_, km, distCache_, grads);
+    return;
+  }
+  PerfRegistry::instance().increment("gp.gram.miss");
+  k.gramGradients(x_, km, grads);
+}
+
 GaussianProcess::LmlResult GaussianProcess::evalLml(
     std::span<const double> thetaFull, bool wantGrad,
     FitDiagnostics& diag) const {
@@ -100,7 +122,10 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
   k->setTheta(thetaFull.subspan(0, p));
   const double noiseVar = std::exp(thetaFull[p]);
 
-  la::Matrix ky = k->gram(x_);
+  // One gram build per evaluation: the same matrix seeds K_y here and is
+  // reused for the gradient matrices below (the seed code rebuilt it).
+  const la::Matrix km = trainGram(*k);
+  la::Matrix ky = km;
   ky.addToDiagonal(noiseVar);
   std::unique_ptr<la::Cholesky> chol;
   try {
@@ -130,7 +155,7 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
 
     std::vector<la::Matrix> grads;
     grads.reserve(p);
-    k->gramGradients(x_, k->gram(x_), grads);
+    trainGramGradients(*k, km, grads);
     ALPERF_ASSERT(grads.size() == p, "kernel returned wrong gradient count");
     out.grad.resize(p + 1);
     for (std::size_t j = 0; j < p; ++j) {
@@ -157,7 +182,7 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull,
   k->setTheta(thetaFull.subspan(0, p));
   const double noiseVar = std::exp(thetaFull[p]);
 
-  la::Matrix ky = k->gram(x_);
+  la::Matrix ky = trainGram(*k);
   ky.addToDiagonal(noiseVar);
   std::unique_ptr<la::Cholesky> chol;
   try {
@@ -197,6 +222,14 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
   x_ = std::move(x);
   y_ = std::move(y);
   chol_.reset();
+  // Sync the pairwise-distance cache before the parallel multi-start
+  // below: inside it the cache is shared read-only across threads. In the
+  // AL loop rows only accumulate, so this is usually the O(k·n·d) append
+  // path, not a rebuild.
+  if (config_.useDistanceCache)
+    distCache_.sync(x_);
+  else
+    distCache_.clear();
 
   if (config_.optimize) {
     const std::size_t p = kernel_->numParams();
@@ -282,6 +315,8 @@ void GaussianProcess::addObservation(std::span<const double> x, double y) {
   std::copy(x.begin(), x.end(), grownX.row(n).begin());
   x_ = std::move(grownX);
   y_.push_back(y);
+  // Keep the cache warm for the next full fit: appending one row is O(n·d).
+  if (config_.useDistanceCache) distCache_.sync(x_);
 
   alpha_ = chol_->solve(y_);
   const double nd = static_cast<double>(y_.size());
@@ -290,7 +325,7 @@ void GaussianProcess::addObservation(std::span<const double> x, double y) {
 }
 
 void GaussianProcess::computePosterior() {
-  la::Matrix ky = kernel_->gram(x_);
+  la::Matrix ky = trainGram(*kernel_);
   ky.addToDiagonal(noiseVar_);
   chol_ = std::make_unique<la::Cholesky>(std::move(ky));
   alpha_ = chol_->solve(y_);

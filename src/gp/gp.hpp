@@ -17,6 +17,7 @@
 #include <memory>
 #include <utility>
 
+#include "gp/distance_cache.hpp"
 #include "gp/kernel.hpp"
 #include "la/cholesky.hpp"
 #include "opt/gradient.hpp"
@@ -52,6 +53,14 @@ struct GpConfig {
   /// identical to a sequential run.
   int nRestarts = 2;
   ModelSelection selection = ModelSelection::MarginalLikelihood;
+  /// Reuse pairwise train distances across every LML/LOO evaluation of a
+  /// fit (they depend on the data only, never on theta). Synced once at
+  /// the top of fit()/addObservation(), read-only inside the parallel
+  /// multi-start search. Off → every gram call recomputes distances (the
+  /// seed behaviour, kept for A/B verification; results agree to ~1e-12
+  /// because cached evaluation multiplies by 1/l² instead of dividing
+  /// each coordinate difference by l).
+  bool useDistanceCache = true;
   NoiseConfig noise;
   /// Budget for each local optimizer run.
   opt::StopCriteria optStop{.maxIterations = 80,
@@ -206,6 +215,14 @@ class GaussianProcess {
   double evalLoo(std::span<const double> thetaFull,
                  FitDiagnostics& diag) const;
 
+  /// Gram of `k` over the train inputs, through the distance cache when it
+  /// is enabled and in sync (bumps gp.gram.hit / gp.gram.miss).
+  la::Matrix trainGram(const Kernel& k) const;
+
+  /// Cached-path counterpart for the LML gradient matrices.
+  void trainGramGradients(const Kernel& k, const la::Matrix& km,
+                          std::vector<la::Matrix>& grads) const;
+
   void computePosterior();
 
   KernelPtr kernel_;
@@ -217,6 +234,10 @@ class GaussianProcess {
 
   la::Matrix x_;
   la::Vector y_;
+  /// Pairwise train geometry shared by all theta evaluations of one fit.
+  /// Mutated only in fit()/addObservation() before any parallel region;
+  /// see distance_cache.hpp for the invalidation contract.
+  DistanceCache distCache_;
   std::unique_ptr<la::Cholesky> chol_;
   la::Vector alpha_;
   double lml_ = 0.0;

@@ -24,6 +24,16 @@ void Kernel::evalGradX(std::span<const double> a, std::span<const double> b,
   }
 }
 
+la::Matrix Kernel::gram(const la::Matrix& x, const DistanceCache&) const {
+  return gram(x);
+}
+
+void Kernel::gramGradients(const la::Matrix& x, const la::Matrix& k,
+                           const DistanceCache&,
+                           std::vector<la::Matrix>& grads) const {
+  gramGradients(x, k, grads);
+}
+
 la::Matrix Kernel::gram(const la::Matrix& x) const {
   const std::size_t n = x.rows();
   la::Matrix k(n, n);

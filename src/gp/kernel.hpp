@@ -20,6 +20,8 @@
 
 namespace alperf::gp {
 
+class DistanceCache;
+
 class Kernel;
 using KernelPtr = std::unique_ptr<Kernel>;
 
@@ -61,11 +63,26 @@ class Kernel {
   /// Gram matrix K(X, X). Default builds from eval() exploiting symmetry.
   virtual la::Matrix gram(const la::Matrix& x) const;
 
+  /// Gram matrix reusing precomputed pairwise distances. `cache` must have
+  /// been synced to `x` (DistanceCache::sync); implementations verify
+  /// `cache.matches(x)` and fall back to the uncached path on mismatch, so
+  /// staleness can never corrupt results. Default ignores the cache.
+  /// Stationary kernels override: only the pointwise k(s) function is
+  /// re-evaluated per theta, distances come from the cache.
+  virtual la::Matrix gram(const la::Matrix& x,
+                          const DistanceCache& cache) const;
+
   /// Appends ∂K(X,X)/∂θ_j for each of this kernel's parameters to `grads`.
   /// `k` is the precomputed gram(x) of *this* kernel (an optimization —
   /// several kernels reuse it).
   virtual void gramGradients(const la::Matrix& x, const la::Matrix& k,
                              std::vector<la::Matrix>& grads) const = 0;
+
+  /// Cached-distance variant of gramGradients; same contract as the cached
+  /// gram() overload. Default ignores the cache.
+  virtual void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                             const DistanceCache& cache,
+                             std::vector<la::Matrix>& grads) const;
 
   /// Cross-covariance K(X, Y) (rows of X vs rows of Y).
   la::Matrix cross(const la::Matrix& x, const la::Matrix& y) const;

@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "gp/distance_cache.hpp"
+#include "la/blas.hpp"
 
 namespace alperf::gp {
 
@@ -185,6 +188,95 @@ void StationaryKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
   for (auto& g : gs) grads.push_back(std::move(g));
 }
 
+la::Matrix StationaryKernel::gram(const la::Matrix& x,
+                                  const DistanceCache& cache) const {
+  // Stale cache (or ARD dimension mismatch) → correct-but-slower fallback.
+  if (!cache.matches(x) ||
+      (!isotropic() && x.cols() != lengths_.size()))
+    return gram(x);
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  la::Matrix k(n, n);
+  double* kd = k.data().data();
+  const double kDiag = kOfS(0.0);
+  const double* sq = cache.squaredDistances().data();
+  const double* sqd = cache.squaredDiffs().data();
+  std::vector<double> invL2(lengths_.size());
+  for (std::size_t m = 0; m < lengths_.size(); ++m)
+    invL2[m] = 1.0 / (lengths_[m] * lengths_[m]);
+  // Index j owns row j and the upper entries of column j — disjoint
+  // writes, so the parallel build is deterministic.
+  parallelFor(n, 8, [&](std::size_t j) {
+    kd[j * n + j] = kDiag;
+    const std::size_t base = j < 1 ? 0 : DistanceCache::pairIndex(0, j);
+    if (isotropic()) {
+      const double il2 = invL2[0];
+      for (std::size_t i = 0; i < j; ++i) {
+        const double v = kOfS(sq[base + i] * il2);
+        kd[i * n + j] = v;
+        kd[j * n + i] = v;
+      }
+    } else {
+      for (std::size_t i = 0; i < j; ++i) {
+        const double s =
+            la::dotUnrolled(sqd + (base + i) * d, invL2.data(), d);
+        const double v = kOfS(s);
+        kd[i * n + j] = v;
+        kd[j * n + i] = v;
+      }
+    }
+  });
+  return k;
+}
+
+void StationaryKernel::gramGradients(const la::Matrix& x, const la::Matrix& k,
+                                     const DistanceCache& cache,
+                                     std::vector<la::Matrix>& grads) const {
+  if (!cache.matches(x) ||
+      (!isotropic() && x.cols() != lengths_.size())) {
+    gramGradients(x, k, grads);
+    return;
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double* sq = cache.squaredDistances().data();
+  const double* sqd = cache.squaredDiffs().data();
+  if (isotropic()) {
+    const double il2 = 1.0 / (lengths_[0] * lengths_[0]);
+    la::Matrix g(n, n);
+    double* gd = g.data().data();
+    parallelFor(n, 8, [&](std::size_t j) {
+      const std::size_t base = j < 1 ? 0 : DistanceCache::pairIndex(0, j);
+      for (std::size_t i = 0; i < j; ++i) {
+        const double s = sq[base + i] * il2;
+        const double v = dkds(s) * (-2.0 * s);
+        gd[i * n + j] = v;
+        gd[j * n + i] = v;
+      }
+    });
+    grads.push_back(std::move(g));
+    return;
+  }
+  std::vector<double> invL2(d);
+  for (std::size_t m = 0; m < d; ++m)
+    invL2[m] = 1.0 / (lengths_[m] * lengths_[m]);
+  std::vector<la::Matrix> gs(d, la::Matrix(n, n));
+  parallelFor(n, 8, [&](std::size_t j) {
+    const std::size_t base = j < 1 ? 0 : DistanceCache::pairIndex(0, j);
+    for (std::size_t i = 0; i < j; ++i) {
+      const double* diffs = sqd + (base + i) * d;
+      const double s = la::dotUnrolled(diffs, invL2.data(), d);
+      const double dk = dkds(s);
+      for (std::size_t m = 0; m < d; ++m) {
+        const double v = dk * (-2.0 * diffs[m] * invL2[m]);
+        gs[m].data()[i * n + j] = v;
+        gs[m].data()[j * n + i] = v;
+      }
+    }
+  });
+  for (auto& g : gs) grads.push_back(std::move(g));
+}
+
 std::string StationaryKernel::describeLengths() const {
   std::ostringstream os;
   os << "l=[";
@@ -320,6 +412,58 @@ void RationalQuadraticKernel::gramGradients(
       gl(i, j) = gl(j, i) = vl;
       ga(i, j) = ga(j, i) = va;
     }
+  grads.push_back(std::move(gl));
+  grads.push_back(std::move(ga));
+}
+
+la::Matrix RationalQuadraticKernel::gram(const la::Matrix& x,
+                                         const DistanceCache& cache) const {
+  if (!cache.matches(x)) return gram(x);
+  const std::size_t n = x.rows();
+  la::Matrix k(n, n);
+  double* kd = k.data().data();
+  const double* sq = cache.squaredDistances().data();
+  const double il2 = 1.0 / (length_ * length_);
+  parallelFor(n, 8, [&](std::size_t j) {
+    kd[j * n + j] = 1.0;
+    const std::size_t base = j < 1 ? 0 : DistanceCache::pairIndex(0, j);
+    for (std::size_t i = 0; i < j; ++i) {
+      const double s = sq[base + i] * il2;
+      const double v = std::pow(1.0 + s / (2.0 * alpha_), -alpha_);
+      kd[i * n + j] = v;
+      kd[j * n + i] = v;
+    }
+  });
+  return k;
+}
+
+void RationalQuadraticKernel::gramGradients(
+    const la::Matrix& x, const la::Matrix& k, const DistanceCache& cache,
+    std::vector<la::Matrix>& grads) const {
+  if (!cache.matches(x)) {
+    gramGradients(x, k, grads);
+    return;
+  }
+  const std::size_t n = x.rows();
+  la::Matrix gl(n, n);  // ∂k/∂log l
+  la::Matrix ga(n, n);  // ∂k/∂log α
+  double* gld = gl.data().data();
+  double* gad = ga.data().data();
+  const double* sq = cache.squaredDistances().data();
+  const double il2 = 1.0 / (length_ * length_);
+  parallelFor(n, 8, [&](std::size_t j) {
+    const std::size_t base = j < 1 ? 0 : DistanceCache::pairIndex(0, j);
+    for (std::size_t i = 0; i < j; ++i) {
+      const double s = sq[base + i] * il2;
+      const double baseV = 1.0 + s / (2.0 * alpha_);
+      const double kv = std::pow(baseV, -alpha_);
+      const double vl = s * std::pow(baseV, -alpha_ - 1.0);
+      const double va =
+          kv * (-alpha_ * std::log(baseV) + s / (2.0 * baseV));
+      gld[i * n + j] = gld[j * n + i] = vl;
+      gad[i * n + j] = gad[j * n + i] = va;
+    }
+  });
   grads.push_back(std::move(gl));
   grads.push_back(std::move(ga));
 }
@@ -482,10 +626,22 @@ la::Matrix SumKernel::gram(const la::Matrix& x) const {
   return a_->gram(x) + b_->gram(x);
 }
 
+la::Matrix SumKernel::gram(const la::Matrix& x,
+                           const DistanceCache& cache) const {
+  return a_->gram(x, cache) + b_->gram(x, cache);
+}
+
 void SumKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
                               std::vector<la::Matrix>& grads) const {
   a_->gramGradients(x, a_->gram(x), grads);
   b_->gramGradients(x, b_->gram(x), grads);
+}
+
+void SumKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
+                              const DistanceCache& cache,
+                              std::vector<la::Matrix>& grads) const {
+  a_->gramGradients(x, a_->gram(x, cache), cache, grads);
+  b_->gramGradients(x, b_->gram(x, cache), cache, grads);
 }
 
 ProductKernel::ProductKernel(KernelPtr a, KernelPtr b)
@@ -559,6 +715,11 @@ la::Matrix ProductKernel::gram(const la::Matrix& x) const {
   return hadamard(a_->gram(x), b_->gram(x));
 }
 
+la::Matrix ProductKernel::gram(const la::Matrix& x,
+                               const DistanceCache& cache) const {
+  return hadamard(a_->gram(x, cache), b_->gram(x, cache));
+}
+
 void ProductKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
                                   std::vector<la::Matrix>& grads) const {
   const la::Matrix ka = a_->gram(x);
@@ -566,6 +727,18 @@ void ProductKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
   std::vector<la::Matrix> ga, gb;
   a_->gramGradients(x, ka, ga);
   b_->gramGradients(x, kb, gb);
+  for (auto& g : ga) grads.push_back(hadamard(g, kb));
+  for (auto& g : gb) grads.push_back(hadamard(ka, g));
+}
+
+void ProductKernel::gramGradients(const la::Matrix& x, const la::Matrix&,
+                                  const DistanceCache& cache,
+                                  std::vector<la::Matrix>& grads) const {
+  const la::Matrix ka = a_->gram(x, cache);
+  const la::Matrix kb = b_->gram(x, cache);
+  std::vector<la::Matrix> ga, gb;
+  a_->gramGradients(x, ka, cache, ga);
+  b_->gramGradients(x, kb, cache, gb);
   for (auto& g : ga) grads.push_back(hadamard(g, kb));
   for (auto& g : gb) grads.push_back(hadamard(ka, g));
 }

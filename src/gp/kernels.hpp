@@ -41,6 +41,7 @@ class ConstantKernel final : public Kernel {
               std::span<const double> b) const override;
   void evalGradX(std::span<const double> a, std::span<const double> b,
                  std::span<double> grad) const override;
+  using Kernel::gramGradients;
   void gramGradients(const la::Matrix& x, const la::Matrix& k,
                      std::vector<la::Matrix>& grads) const override;
   std::string describe() const override;
@@ -72,7 +73,15 @@ class StationaryKernel : public Kernel {
               std::span<const double> b) const override;
   void evalGradX(std::span<const double> a, std::span<const double> b,
                  std::span<double> grad) const override;
+  using Kernel::gram;
+  /// Cached path: s_ij = cached unscaled geometry · 1/l², so each theta
+  /// evaluation costs one kOfS() per pair instead of a d-dim distance.
+  la::Matrix gram(const la::Matrix& x,
+                  const DistanceCache& cache) const override;
   void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     const DistanceCache& cache,
                      std::vector<la::Matrix>& grads) const override;
 
  protected:
@@ -149,7 +158,13 @@ class RationalQuadraticKernel final : public Kernel {
               std::span<const double> b) const override;
   void evalGradX(std::span<const double> a, std::span<const double> b,
                  std::span<double> grad) const override;
+  using Kernel::gram;
+  la::Matrix gram(const la::Matrix& x,
+                  const DistanceCache& cache) const override;
   void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     const DistanceCache& cache,
                      std::vector<la::Matrix>& grads) const override;
   std::string describe() const override;
 
@@ -185,6 +200,7 @@ class PeriodicKernel final : public Kernel {
               std::span<const double> b) const override;
   void evalGradX(std::span<const double> a, std::span<const double> b,
                  std::span<double> grad) const override;
+  using Kernel::gramGradients;
   void gramGradients(const la::Matrix& x, const la::Matrix& k,
                      std::vector<la::Matrix>& grads) const override;
   std::string describe() const override;
@@ -211,7 +227,12 @@ class SumKernel final : public Kernel {
   void evalGradX(std::span<const double> a, std::span<const double> b,
                  std::span<double> grad) const override;
   la::Matrix gram(const la::Matrix& x) const override;
+  la::Matrix gram(const la::Matrix& x,
+                  const DistanceCache& cache) const override;
   void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     const DistanceCache& cache,
                      std::vector<la::Matrix>& grads) const override;
   std::string describe() const override;
 
@@ -235,7 +256,12 @@ class ProductKernel final : public Kernel {
   void evalGradX(std::span<const double> a, std::span<const double> b,
                  std::span<double> grad) const override;
   la::Matrix gram(const la::Matrix& x) const override;
+  la::Matrix gram(const la::Matrix& x,
+                  const DistanceCache& cache) const override;
   void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     std::vector<la::Matrix>& grads) const override;
+  void gramGradients(const la::Matrix& x, const la::Matrix& k,
+                     const DistanceCache& cache,
                      std::vector<la::Matrix>& grads) const override;
   std::string describe() const override;
 

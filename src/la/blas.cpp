@@ -1,0 +1,381 @@
+#include "la/blas.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/thread_pool.hpp"
+
+namespace alperf::la {
+
+namespace {
+
+/// -1 = uninitialized (resolve from ALPERF_LA_KERNELS on first use),
+/// 0 = reference, 1 = blocked.
+std::atomic<int> gBlockedState{-1};
+
+int resolveBlockedState() {
+  const char* v = std::getenv("ALPERF_LA_KERNELS");
+  if (v != nullptr && std::string_view(v) == "reference") return 0;
+  return 1;
+}
+
+}  // namespace
+
+bool blockedKernelsEnabled() {
+  int s = gBlockedState.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = resolveBlockedState();
+    gBlockedState.store(s, std::memory_order_relaxed);
+  }
+  return s == 1;
+}
+
+void setBlockedKernels(bool on) {
+  gBlockedState.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+double dotUnrolled(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+// --------------------------------------------------------------- reference
+
+Matrix matmulReference(const Matrix& a, const Matrix& b) {
+  requireArg(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both b and c.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ci = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      auto bk = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix gramReference(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    auto r = a.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double ri = r[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += ri * r[j];
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+bool choleskyInPlaceReference(Matrix& a) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Zero the strict upper triangle so the factor is exactly L.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  return true;
+}
+
+// ----------------------------------------------------------------- blocked
+
+namespace {
+
+constexpr std::size_t kB = kLaBlock;
+
+/// ci[0..jw) += alpha · Σ_t av[t] · bp[t·ldb + j] — the register-blocked
+/// row micro-kernel behind gemm/syrk/trsm and the Cholesky trailing
+/// update. The 4-way unrolled body is a left-associated chain of adds,
+/// i.e. the exact operation sequence of four consecutive axpys: per
+/// element the t-contributions still accumulate in ascending order, so
+/// every caller stays bit-identical at any thread count. The inner j
+/// loops are element-wise (no reduction) and vectorize without any
+/// floating-point reassociation.
+inline void rowUpdate(double* ci, const double* av, const double* bp,
+                      std::size_t ldb, std::size_t nb, std::size_t jw,
+                      double alpha) {
+  std::size_t t = 0;
+  for (; t + 4 <= nb; t += 4) {
+    const double v0 = alpha * av[t];
+    const double v1 = alpha * av[t + 1];
+    const double v2 = alpha * av[t + 2];
+    const double v3 = alpha * av[t + 3];
+    const double* b0 = bp + t * ldb;
+    const double* b1 = b0 + ldb;
+    const double* b2 = b1 + ldb;
+    const double* b3 = b2 + ldb;
+    for (std::size_t j = 0; j < jw; ++j)
+      ci[j] = ci[j] + v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+  }
+  for (; t < nb; ++t) {
+    const double v = alpha * av[t];
+    if (v == 0.0) continue;
+    const double* bt = bp + t * ldb;
+    for (std::size_t j = 0; j < jw; ++j) ci[j] += v * bt[j];
+  }
+}
+
+}  // namespace
+
+Matrix matmulBlocked(const Matrix& a, const Matrix& b) {
+  requireArg(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  const std::size_t m = a.rows(), kDim = a.cols(), p = b.cols();
+  Matrix c(m, p);
+  if (m == 0 || kDim == 0 || p == 0) return c;
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* cd = c.data().data();
+  const std::size_t rowTiles = (m + kB - 1) / kB;
+  // Each result row tile is owned by exactly one index; k tiles ascend, so
+  // per element the accumulation order matches the reference kernel.
+  parallelFor(rowTiles, 1, [&](std::size_t ti) {
+    const std::size_t i0 = ti * kB;
+    const std::size_t iw = std::min(kB, m - i0);
+    for (std::size_t k0 = 0; k0 < kDim; k0 += kB) {
+      const std::size_t kw = std::min(kB, kDim - k0);
+      for (std::size_t j0 = 0; j0 < p; j0 += kB) {
+        const std::size_t jw = std::min(kB, p - j0);
+        for (std::size_t i = i0; i < i0 + iw; ++i)
+          rowUpdate(cd + i * p + j0, ad + i * kDim + k0,
+                    bd + k0 * p + j0, p, kw, jw, 1.0);
+      }
+    }
+  });
+  return c;
+}
+
+void syrkUpdate(Matrix& c, const Matrix& a, double alpha) {
+  requireArg(c.rows() == c.cols() && c.rows() == a.rows(),
+             "syrkUpdate: c must be square of edge a.rows()");
+  const std::size_t n = a.rows(), kDim = a.cols();
+  if (n == 0) return;
+  const double* ad = a.data().data();
+  double* cd = c.data().data();
+  const std::size_t nt = (n + kB - 1) / kB;
+  const std::size_t nPairs = nt * (nt + 1) / 2;
+  // One lower-triangle tile pair (bi >= bj) per index; the owning task also
+  // writes the mirrored upper tile, so no two tasks touch the same element.
+  parallelFor(nPairs, 1, [&](std::size_t pIdx) {
+    std::size_t bj = 0, rem = pIdx;
+    while (rem >= nt - bj) {
+      rem -= nt - bj;
+      ++bj;
+    }
+    const std::size_t bi = bj + rem;
+    const std::size_t i0 = bi * kB, iw = std::min(kB, n - i0);
+    const std::size_t j0 = bj * kB, jw = std::min(kB, n - j0);
+    double pt[kB * kB];
+    for (std::size_t k0 = 0; k0 < kDim; k0 += kB) {
+      const std::size_t kw = std::min(kB, kDim - k0);
+      // Transposed j-panel so the inner update streams contiguously.
+      for (std::size_t jj = 0; jj < jw; ++jj) {
+        const double* src = ad + (j0 + jj) * kDim + k0;
+        for (std::size_t t = 0; t < kw; ++t) pt[t * jw + jj] = src[t];
+      }
+      for (std::size_t i = 0; i < iw; ++i)
+        rowUpdate(cd + (i0 + i) * n + j0, ad + (i0 + i) * kDim + k0, pt,
+                  jw, kw, jw, alpha);
+    }
+    if (bi != bj) {
+      // Mirror into the upper tile — exact copy, so c stays symmetric.
+      for (std::size_t i = 0; i < iw; ++i)
+        for (std::size_t j = 0; j < jw; ++j)
+          cd[(j0 + j) * n + (i0 + i)] = cd[(i0 + i) * n + (j0 + j)];
+    }
+  });
+}
+
+Matrix gramBlocked(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  if (a.cols() == 0) return g;
+  syrkUpdate(g, a.transposed(), 1.0);
+  return g;
+}
+
+bool choleskyInPlaceBlocked(Matrix& a) {
+  const std::size_t n = a.rows();
+  if (n == 0) return true;
+  double* ad = a.data().data();
+  const std::size_t lda = n;
+  for (std::size_t k0 = 0; k0 < n; k0 += kB) {
+    const std::size_t nb = std::min(kB, n - k0);
+    // 1) Scalar factorization of the diagonal block; contributions from
+    //    earlier panels were already subtracted by step 3.
+    for (std::size_t c = 0; c < nb; ++c) {
+      const std::size_t j = k0 + c;
+      double* rj = ad + j * lda + k0;
+      const double d = rj[c] - dotUnrolled(rj, rj, c);
+      if (!(d > 0.0) || !std::isfinite(d)) return false;
+      const double ljj = std::sqrt(d);
+      rj[c] = ljj;
+      for (std::size_t i = j + 1; i < k0 + nb; ++i) {
+        double* ri = ad + i * lda + k0;
+        ri[c] = (ri[c] - dotUnrolled(ri, rj, c)) / ljj;
+      }
+    }
+    const std::size_t r0 = k0 + nb;
+    if (r0 >= n) break;
+    // 2) Panel triangular solve L_ik = A_ik·L_kk⁻ᵀ, each trailing row owned
+    //    by one parallel index.
+    parallelFor(n - r0, kB, [&](std::size_t idx) {
+      const std::size_t i = r0 + idx;
+      double* ri = ad + i * lda + k0;
+      for (std::size_t c = 0; c < nb; ++c) {
+        const double* rc = ad + (k0 + c) * lda + k0;
+        ri[c] = (ri[c] - dotUnrolled(ri, rc, c)) / rc[c];
+      }
+    });
+    // 3) Trailing-matrix update A₂₂ -= L₂₁·L₂₁ᵀ over lower-triangle tiles;
+    //    each tile pair is owned by one parallel index, and within a tile
+    //    the panel columns accumulate in ascending order, so the factor is
+    //    bit-identical at every thread count.
+    const std::size_t nt = (n - r0 + kB - 1) / kB;
+    const std::size_t nPairs = nt * (nt + 1) / 2;
+    parallelFor(nPairs, 1, [&](std::size_t pIdx) {
+      std::size_t bj = 0, rem = pIdx;
+      while (rem >= nt - bj) {
+        rem -= nt - bj;
+        ++bj;
+      }
+      const std::size_t bi = bj + rem;
+      const std::size_t i0 = r0 + bi * kB, iw = std::min(kB, n - i0);
+      const std::size_t j0 = r0 + bj * kB, jw = std::min(kB, n - j0);
+      double pt[kB * kB];
+      for (std::size_t jj = 0; jj < jw; ++jj) {
+        const double* src = ad + (j0 + jj) * lda + k0;
+        for (std::size_t t = 0; t < nb; ++t) pt[t * jw + jj] = src[t];
+      }
+      for (std::size_t i = 0; i < iw; ++i)
+        rowUpdate(ad + (i0 + i) * lda + j0, ad + (i0 + i) * lda + k0, pt,
+                  jw, nb, jw, -1.0);
+    });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double* ri = ad + i * lda;
+    std::fill(ri + i + 1, ri + n, 0.0);
+  }
+  return true;
+}
+
+void trsmLowerLeft(const Matrix& l, Matrix& b) {
+  requireArg(l.rows() == l.cols() && l.rows() == b.rows(),
+             "trsmLowerLeft: dimension mismatch");
+  const std::size_t n = l.rows(), m = b.cols();
+  if (n == 0 || m == 0) return;
+  const double* ld = l.data().data();
+  double* bd = b.data().data();
+  const std::size_t mt = (m + kB - 1) / kB;
+  // Columns of B are independent: one column tile per parallel index, with
+  // ascending-k updates inside, keeps the result thread-count invariant.
+  parallelFor(mt, 1, [&](std::size_t tc) {
+    const std::size_t j0 = tc * kB;
+    const std::size_t jw = std::min(kB, m - j0);
+    for (std::size_t k0 = 0; k0 < n; k0 += kB) {
+      const std::size_t nb = std::min(kB, n - k0);
+      for (std::size_t r = 0; r < nb; ++r) {
+        const std::size_t i = k0 + r;
+        double* bi = bd + i * m + j0;
+        const double* li = ld + i * n + k0;
+        rowUpdate(bi, li, bd + k0 * m + j0, m, r, jw, -1.0);
+        const double lii = li[r];
+        for (std::size_t j = 0; j < jw; ++j) bi[j] /= lii;
+      }
+      for (std::size_t i = k0 + nb; i < n; ++i)
+        rowUpdate(bd + i * m + j0, ld + i * n + k0, bd + k0 * m + j0, m,
+                  nb, jw, -1.0);
+    }
+  });
+}
+
+void trsmUpperLeft(const Matrix& l, Matrix& b) {
+  requireArg(l.rows() == l.cols() && l.rows() == b.rows(),
+             "trsmUpperLeft: dimension mismatch");
+  const std::size_t n = l.rows(), m = b.cols();
+  if (n == 0 || m == 0) return;
+  const double* ld = l.data().data();
+  double* bd = b.data().data();
+  const std::size_t mt = (m + kB - 1) / kB;
+  const std::size_t nTiles = (n + kB - 1) / kB;
+  parallelFor(mt, 1, [&](std::size_t tc) {
+    const std::size_t j0 = tc * kB;
+    const std::size_t jw = std::min(kB, m - j0);
+    for (std::size_t tk = nTiles; tk-- > 0;) {
+      const std::size_t k0 = tk * kB;
+      const std::size_t nb = std::min(kB, n - k0);
+      // In-tile backward substitution (rows bottom-up).
+      for (std::size_t r = nb; r-- > 0;) {
+        const std::size_t i = k0 + r;
+        double* bi = bd + i * m + j0;
+        for (std::size_t t = r + 1; t < nb; ++t) {
+          const double v = ld[(k0 + t) * n + i];
+          if (v == 0.0) continue;
+          const double* bt = bd + (k0 + t) * m + j0;
+          for (std::size_t j = 0; j < jw; ++j) bi[j] -= v * bt[j];
+        }
+        const double lii = ld[i * n + i];
+        for (std::size_t j = 0; j < jw; ++j) bi[j] /= lii;
+      }
+      // Update every row above the tile; iterating t outermost keeps the
+      // reads of L contiguous (row k0+t of L holds the needed column
+      // entries l(k0+t, i) for all i). The 4-way unroll over t is the
+      // same ascending left-associated chain as four single-t sweeps.
+      std::size_t t = 0;
+      for (; t + 4 <= nb; t += 4) {
+        const double* l0 = ld + (k0 + t) * n;
+        const double* l1 = l0 + n;
+        const double* l2 = l1 + n;
+        const double* l3 = l2 + n;
+        const double* b0 = bd + (k0 + t) * m + j0;
+        const double* b1 = b0 + m;
+        const double* b2 = b1 + m;
+        const double* b3 = b2 + m;
+        for (std::size_t i = 0; i < k0; ++i) {
+          const double v0 = l0[i], v1 = l1[i], v2 = l2[i], v3 = l3[i];
+          double* bi = bd + i * m + j0;
+          for (std::size_t j = 0; j < jw; ++j)
+            bi[j] = bi[j] - v0 * b0[j] - v1 * b1[j] - v2 * b2[j] -
+                    v3 * b3[j];
+        }
+      }
+      for (; t < nb; ++t) {
+        const double* lrow = ld + (k0 + t) * n;
+        const double* bt = bd + (k0 + t) * m + j0;
+        for (std::size_t i = 0; i < k0; ++i) {
+          const double v = lrow[i];
+          if (v == 0.0) continue;
+          double* bi = bd + i * m + j0;
+          for (std::size_t j = 0; j < jw; ++j) bi[j] -= v * bt[j];
+        }
+      }
+    }
+  });
+}
+
+}  // namespace alperf::la

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file blas.hpp
+/// Cache-blocked, SIMD-friendly dense kernels (BLAS-3 style) plus the seed
+/// scalar reference implementations they are verified against.
+///
+/// All blocked kernels share one determinism contract: the matrix is tiled
+/// into fixed kLaBlock-edge blocks, every output block is written by exactly
+/// one parallelFor index, and every per-element accumulation runs in a fixed
+/// (ascending-k) order. Results are therefore bit-identical for every thread
+/// count, including 1. They are NOT guaranteed bit-identical to the
+/// reference kernels (unrolled multi-lane accumulators reassociate sums);
+/// the property tests pin blocked-vs-reference agreement to 1e-12 relative
+/// error on random SPD inputs.
+///
+/// Kernel selection: blocked kernels are the default. Set the environment
+/// variable ALPERF_LA_KERNELS=reference (read once, at first use) or call
+/// setBlockedKernels(false) to fall back to the seed scalar kernels for A/B
+/// verification. The dispatch happens inside matmul(), gram(),
+/// choleskyInPlace() and the Cholesky solve paths — callers never change.
+
+#include <cstddef>
+
+#include "la/matrix.hpp"
+
+namespace alperf::la {
+
+/// Tile edge shared by every blocked kernel (64×64 doubles = 32 KiB, two
+/// tiles fit in a typical L2 slice). Fixed — never derived from the thread
+/// count — so block boundaries, and hence rounding, are identical for every
+/// parallelism level.
+inline constexpr std::size_t kLaBlock = 64;
+
+/// True when the blocked kernels are active (the default). The first call
+/// reads ALPERF_LA_KERNELS; "reference" selects the seed scalar kernels.
+bool blockedKernelsEnabled();
+
+/// Overrides the kernel selection (true = blocked, false = reference).
+void setBlockedKernels(bool on);
+
+/// Four-lane unrolled dot product: deterministic lane layout, breaks the
+/// serial dependence chain of a naive accumulation so the FPU pipelines.
+/// Used by the triangular-substitution kernels.
+double dotUnrolled(const double* a, const double* b, std::size_t n);
+
+// --------------------------------------------------------------- reference
+// The seed scalar kernels, retained verbatim for A/B verification and as
+// the oracle for the blocked property tests.
+
+/// Seed i-k-j matrix product.
+Matrix matmulReference(const Matrix& a, const Matrix& b);
+
+/// Seed scalar AᵀA.
+Matrix gramReference(const Matrix& a);
+
+/// Seed scalar (unblocked) in-place Cholesky; lower triangle overwritten,
+/// strict upper zeroed. Returns false on a non-positive pivot.
+bool choleskyInPlaceReference(Matrix& a);
+
+// ----------------------------------------------------------------- blocked
+
+/// Tiled matrix product A·B, parallel over row tiles of the result. Per
+/// element the accumulation order is ascending k, matching the reference.
+Matrix matmulBlocked(const Matrix& a, const Matrix& b);
+
+/// c += alpha·a·aᵀ (c must be square of edge a.rows(); both triangles are
+/// written — the upper triangle is mirrored from the lower, so the result
+/// is exactly symmetric). Tiled syrk, parallel over lower-triangle tiles.
+void syrkUpdate(Matrix& c, const Matrix& a, double alpha);
+
+/// Blocked AᵀA via syrkUpdate on the transpose.
+Matrix gramBlocked(const Matrix& a);
+
+/// Blocked right-looking in-place Cholesky: scalar panel factorization,
+/// then the panel triangular solve and the trailing-matrix syrk update run
+/// tile-parallel on the global pool. Lower triangle overwritten, strict
+/// upper zeroed. Returns false on a non-positive or non-finite pivot.
+/// For n <= kLaBlock this degrades to exactly the reference kernel.
+bool choleskyInPlaceBlocked(Matrix& a);
+
+/// In-place multi-RHS forward substitution: solves L·X = B for all columns
+/// of B at once (B overwritten with X). Blocked over L's row panels and
+/// parallel over column tiles of B; per element the update order is
+/// ascending k.
+void trsmLowerLeft(const Matrix& l, Matrix& b);
+
+/// In-place multi-RHS backward substitution: solves Lᵀ·X = B (B overwritten
+/// with X). Blocked over L's row panels in descending order, parallel over
+/// column tiles of B.
+void trsmUpperLeft(const Matrix& l, Matrix& b);
+
+}  // namespace alperf::la

@@ -2,30 +2,19 @@
 
 #include <cmath>
 
+#include "common/perf_stats.hpp"
+#include "la/blas.hpp"
+
 namespace alperf::la {
 
 bool choleskyInPlace(Matrix& a) {
-  const std::size_t n = a.rows();
-  for (std::size_t j = 0; j < n; ++j) {
-    double d = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
-    if (!(d > 0.0) || !std::isfinite(d)) return false;
-    const double ljj = std::sqrt(d);
-    a(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
-      a(i, j) = s / ljj;
-    }
-  }
-  // Zero the strict upper triangle so factor() is exactly L.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
-  return true;
+  return blockedKernelsEnabled() ? choleskyInPlaceBlocked(a)
+                                 : choleskyInPlaceReference(a);
 }
 
 Cholesky::Cholesky(Matrix a, double maxJitterScale, double symTol) {
   requireArg(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  PerfRegistry::instance().increment("la.cholesky");
   const std::size_t n = a.rows();
   // Symmetry check relative to the largest element.
   const double scale = a.maxAbs();
@@ -60,6 +49,16 @@ Vector Cholesky::solveLower(std::span<const double> b) const {
   requireArg(b.size() == dim(), "Cholesky::solveLower: size mismatch");
   const std::size_t n = dim();
   Vector x(b.begin(), b.end());
+  if (blockedKernelsEnabled()) {
+    // L is row-major, so the row-dot form is already cache-optimal; the
+    // unrolled dot supplies the instruction-level parallelism.
+    const double* ld = l_.data().data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* li = ld + i * n;
+      x[i] = (x[i] - dotUnrolled(li, x.data(), i)) / li[i];
+    }
+    return x;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     double s = x[i];
     auto li = l_.row(i);
@@ -73,6 +72,32 @@ Vector Cholesky::solveUpper(std::span<const double> b) const {
   requireArg(b.size() == dim(), "Cholesky::solveUpper: size mismatch");
   const std::size_t n = dim();
   Vector x(b.begin(), b.end());
+  if (blockedKernelsEnabled()) {
+    // Blocked backward substitution on Lᵀ: solve one kLaBlock tile
+    // bottom-up, then push its contribution into everything above with
+    // contiguous axpy sweeps over rows of L (the naive column traversal
+    // strides by n on every load).
+    const double* ld = l_.data().data();
+    const std::size_t nTiles = (n + kLaBlock - 1) / kLaBlock;
+    for (std::size_t tk = nTiles; tk-- > 0;) {
+      const std::size_t k0 = tk * kLaBlock;
+      const std::size_t nb = std::min(kLaBlock, n - k0);
+      for (std::size_t r = nb; r-- > 0;) {
+        const std::size_t i = k0 + r;
+        double s = x[i];
+        for (std::size_t t = r + 1; t < nb; ++t)
+          s -= ld[(k0 + t) * n + i] * x[k0 + t];
+        x[i] = s / ld[i * n + i];
+      }
+      for (std::size_t t = 0; t < nb; ++t) {
+        const double v = x[k0 + t];
+        if (v == 0.0) continue;
+        const double* lrow = ld + (k0 + t) * n;
+        for (std::size_t i = 0; i < k0; ++i) x[i] -= lrow[i] * v;
+      }
+    }
+    return x;
+  }
   for (std::size_t ii = n; ii-- > 0;) {
     double s = x[ii];
     for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
@@ -87,11 +112,20 @@ Vector Cholesky::solve(std::span<const double> b) const {
 
 Matrix Cholesky::solve(const Matrix& b) const {
   requireArg(b.rows() == dim(), "Cholesky::solve: row count mismatch");
-  Matrix x(b.rows(), b.cols());
-  for (std::size_t j = 0; j < b.cols(); ++j) {
-    const Vector xj = solve(b.col(j));
-    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  if (!blockedKernelsEnabled()) {
+    Matrix x(b.rows(), b.cols());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      const Vector xj = solve(b.col(j));
+      for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+    }
+    return x;
   }
+  // True multi-RHS path: one copy of B, both triangular solves in place
+  // across all columns at once (column-tiled, parallel over tiles).
+  PerfRegistry::instance().increment("la.trsm");
+  Matrix x = b;
+  trsmLowerLeft(l_, x);
+  trsmUpperLeft(l_, x);
   return x;
 }
 

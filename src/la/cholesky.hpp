@@ -34,13 +34,20 @@ class Cholesky {
   /// Solves A·x = b. b length must equal dim().
   Vector solve(std::span<const double> b) const;
 
-  /// Solves A·X = B column-by-column.
+  /// Solves A·X = B for all columns of B at once. With the blocked kernels
+  /// active (the default, see la/blas.hpp) this runs the in-place
+  /// multi-RHS trsm pair — one allocation for X, column-tile parallel;
+  /// with ALPERF_LA_KERNELS=reference it falls back to the seed
+  /// per-column loop.
   Matrix solve(const Matrix& b) const;
 
-  /// Solves L·x = b (forward substitution).
+  /// Solves L·x = b (forward substitution; unrolled-dot row sweep when the
+  /// blocked kernels are active).
   Vector solveLower(std::span<const double> b) const;
 
-  /// Solves Lᵀ·x = b (backward substitution).
+  /// Solves Lᵀ·x = b (backward substitution; blocked with contiguous axpy
+  /// panel updates when the blocked kernels are active — the naive loop
+  /// walks a column of a row-major matrix, striding by n per element).
   Vector solveUpper(std::span<const double> b) const;
 
   /// log|A| = 2·Σ log L_ii.
@@ -63,6 +70,9 @@ class Cholesky {
 
 /// Attempts a raw in-place Cholesky of `a` (lower triangle overwritten).
 /// Returns false without throwing if a non-positive pivot is hit.
+/// Dispatches to the blocked right-looking kernel (la/blas.hpp) unless the
+/// reference kernels were selected via ALPERF_LA_KERNELS=reference or
+/// setBlockedKernels(false).
 bool choleskyInPlace(Matrix& a);
 
 }  // namespace alperf::la

@@ -5,6 +5,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/perf_stats.hpp"
+#include "la/blas.hpp"
+
 namespace alperf::la {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -118,34 +121,13 @@ Matrix operator*(Matrix m, double s) { return m *= s; }
 Matrix operator*(double s, Matrix m) { return m *= s; }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  requireArg(a.cols() == b.rows(), "matmul: inner dimension mismatch");
-  Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous in both b and c.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto ci = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      auto bk = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  }
-  return c;
+  PerfRegistry::instance().increment("la.gemm");
+  return blockedKernelsEnabled() ? matmulBlocked(a, b)
+                                 : matmulReference(a, b);
 }
 
 Matrix gram(const Matrix& a) {
-  Matrix g(a.cols(), a.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    auto r = a.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double ri = r[i];
-      if (ri == 0.0) continue;
-      for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += ri * r[j];
-    }
-  }
-  for (std::size_t i = 0; i < a.cols(); ++i)
-    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
-  return g;
+  return blockedKernelsEnabled() ? gramBlocked(a) : gramReference(a);
 }
 
 Vector matvec(const Matrix& a, std::span<const double> x) {

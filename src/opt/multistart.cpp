@@ -1,5 +1,6 @@
 #include "opt/multistart.hpp"
 
+#include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
 
 namespace alperf::opt {
@@ -42,7 +43,9 @@ MultiStartResult multiStartMinimizeParallel(const StartRunner& runStart,
              "multiStartMinimizeParallel: nRestarts must be >= 0");
   requireArg(static_cast<bool>(runStart),
              "multiStartMinimizeParallel: null start runner");
+  ScopedTimer timer("opt.multistart");
   const std::size_t nStarts = static_cast<std::size_t>(nRestarts) + 1;
+  PerfRegistry::instance().increment("opt.multistart.starts", nStarts);
 
   // Draw every start sequentially before any minimization so the RNG
   // stream is byte-identical to the sequential variant's.

@@ -1,0 +1,272 @@
+// DistanceCache invalidation-contract tests: append vs rebuild detection,
+// theta-independence (hyperparameter changes never invalidate), cached
+// kernel evaluations matching the uncached path, and end-to-end GP fits
+// agreeing with the cache disabled.
+
+#include "gp/distance_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/perf_stats.hpp"
+#include "gp/gp.hpp"
+#include "gp/kernels.hpp"
+#include "stats/rng.hpp"
+
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::PerfRegistry;
+using alperf::stats::Rng;
+
+namespace {
+
+la::Matrix randomPoints(std::size_t n, std::size_t d, unsigned seed) {
+  Rng rng(seed);
+  la::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t m = 0; m < d; ++m)
+      x(i, m) = rng.uniformReal(-2.0, 2.0);
+  return x;
+}
+
+la::Vector smoothResponse(const la::Matrix& x) {
+  la::Vector y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t m = 0; m < x.cols(); ++m)
+      s += std::sin(x(i, m)) + 0.3 * x(i, m);
+    y[i] = s;
+  }
+  return y;
+}
+
+std::uint64_t counter(const char* name) {
+  return PerfRegistry::instance().count(name);
+}
+
+}  // namespace
+
+TEST(DistanceCache, StoresExactPairwiseGeometry) {
+  const la::Matrix x = randomPoints(17, 3, 1);
+  gp::DistanceCache cache;
+  cache.sync(x);
+
+  ASSERT_TRUE(cache.matches(x));
+  ASSERT_EQ(cache.numPoints(), 17u);
+  ASSERT_EQ(cache.numPairs(), 17u * 16u / 2u);
+  const la::Vector& sq = cache.squaredDistances();
+  const la::Vector& sqd = cache.squaredDiffs();
+  for (std::size_t j = 1; j < 17; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const std::size_t p = gp::DistanceCache::pairIndex(i, j);
+      double want = 0.0;
+      for (std::size_t m = 0; m < 3; ++m) {
+        const double dm = x(i, m) - x(j, m);
+        EXPECT_DOUBLE_EQ(sqd[p * 3 + m], dm * dm);
+        want += dm * dm;
+      }
+      EXPECT_NEAR(sq[p], want, 1e-15 * (want + 1.0));
+    }
+  }
+}
+
+TEST(DistanceCache, SyncDetectsAppendVsRebuild) {
+  PerfRegistry::instance().reset();
+  const la::Matrix x = randomPoints(10, 2, 2);
+  gp::DistanceCache cache;
+
+  cache.sync(x);  // cold build counts as a rebuild
+  EXPECT_EQ(counter("gp.distcache.rebuild"), 1u);
+  EXPECT_EQ(counter("gp.distcache.append"), 0u);
+
+  cache.sync(x);  // bitwise match → no-op
+  EXPECT_EQ(counter("gp.distcache.rebuild"), 1u);
+  EXPECT_EQ(counter("gp.distcache.append"), 0u);
+
+  // Extend by two rows, keeping the prefix bit-identical → append path.
+  la::Matrix extended(12, 2);
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t m = 0; m < 2; ++m) extended(i, m) = x(i, m);
+  extended(10, 0) = 0.5;
+  extended(10, 1) = -1.5;
+  extended(11, 0) = 1.25;
+  extended(11, 1) = 0.75;
+  cache.sync(extended);
+  EXPECT_EQ(counter("gp.distcache.append"), 1u);
+  EXPECT_EQ(counter("gp.distcache.rebuild"), 1u);
+  EXPECT_TRUE(cache.matches(extended));
+  EXPECT_EQ(cache.numPairs(), 12u * 11u / 2u);
+
+  // Appended pairs are correct, not just present.
+  const std::size_t p = gp::DistanceCache::pairIndex(3, 11);
+  double want = 0.0;
+  for (std::size_t m = 0; m < 2; ++m) {
+    const double dm = extended(3, m) - extended(11, m);
+    want += dm * dm;
+  }
+  EXPECT_NEAR(cache.squaredDistances()[p], want, 1e-15);
+
+  // Mutating an interior point breaks the prefix → full rebuild.
+  la::Matrix mutated = extended;
+  mutated(4, 1) += 1e-9;
+  cache.sync(mutated);
+  EXPECT_EQ(counter("gp.distcache.rebuild"), 2u);
+  EXPECT_TRUE(cache.matches(mutated));
+  EXPECT_FALSE(cache.matches(extended));
+}
+
+TEST(DistanceCache, ThetaChangesNeverInvalidate) {
+  const la::Matrix x = randomPoints(20, 2, 3);
+  gp::DistanceCache cache;
+  cache.sync(x);
+
+  // Evaluate the same cache under wildly different hyperparameters; it
+  // stays valid (distances are theta-independent) and each cached gram
+  // matches its uncached counterpart.
+  for (const double l : {0.1, 1.0, 7.5}) {
+    const auto k = gp::makeSquaredExponential(2.0, l);
+    ASSERT_TRUE(cache.matches(x));
+    const la::Matrix cached = k->gram(x, cache);
+    const la::Matrix plain = k->gram(x);
+    for (std::size_t i = 0; i < 20; ++i)
+      for (std::size_t j = 0; j < 20; ++j)
+        EXPECT_NEAR(cached(i, j), plain(i, j),
+                    1e-14 * (std::abs(plain(i, j)) + 1.0));
+  }
+  EXPECT_TRUE(cache.matches(x));
+}
+
+TEST(DistanceCache, CachedGramGradientsMatchUncached) {
+  const la::Matrix x = randomPoints(15, 3, 4);
+  gp::DistanceCache cache;
+  cache.sync(x);
+  const auto k =
+      gp::makeSquaredExponentialArd(1.5, {0.8, 1.2, 2.0});
+
+  const la::Matrix km = k->gram(x, cache);
+  std::vector<la::Matrix> cachedGrads;
+  k->gramGradients(x, km, cache, cachedGrads);
+  std::vector<la::Matrix> plainGrads;
+  k->gramGradients(x, k->gram(x), plainGrads);
+
+  ASSERT_EQ(cachedGrads.size(), plainGrads.size());
+  for (std::size_t g = 0; g < cachedGrads.size(); ++g)
+    for (std::size_t i = 0; i < 15; ++i)
+      for (std::size_t j = 0; j < 15; ++j)
+        EXPECT_NEAR(cachedGrads[g](i, j), plainGrads[g](i, j),
+                    1e-12 * (std::abs(plainGrads[g](i, j)) + 1.0))
+            << "grad " << g << " (" << i << "," << j << ")";
+}
+
+TEST(DistanceCache, MismatchedCacheFallsBackToUncached) {
+  const la::Matrix x = randomPoints(12, 2, 5);
+  const la::Matrix other = randomPoints(12, 2, 6);
+  gp::DistanceCache cache;
+  cache.sync(other);  // deliberately stale for x
+
+  const auto k = gp::makeSquaredExponential(1.0, 1.0);
+  const la::Matrix viaCache = k->gram(x, cache);  // must ignore the cache
+  const la::Matrix plain = k->gram(x);
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j)
+      EXPECT_DOUBLE_EQ(viaCache(i, j), plain(i, j));
+}
+
+TEST(DistanceCache, GpFitMatchesUncachedPath) {
+  // Golden test at frozen hyperparameters. The cached gram differs from
+  // the uncached one only in last-bit rounding (s = Σd² · l⁻² vs
+  // Σ(d/l)²); a free hyperparameter search amplifies that into a
+  // different-but-equally-good optimum, so the contract is pinned where
+  // it is well defined: identical theta in → identical model out.
+  const la::Matrix x = randomPoints(40, 2, 7);
+  const la::Vector y = smoothResponse(x);
+
+  const auto runFit = [&](bool useCache) {
+    gp::GpConfig cfg;
+    cfg.optimize = false;
+    cfg.noise.lo = 1e-2;
+    cfg.noise.initial = 1e-2;
+    cfg.useDistanceCache = useCache;
+    gp::GaussianProcess model(
+        gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), cfg);
+    Rng rng(99);
+    model.fit(x, y, rng);
+    return model;
+  };
+  const gp::GaussianProcess cached = runFit(true);
+  const gp::GaussianProcess plain = runFit(false);
+
+  EXPECT_NEAR(cached.logMarginalLikelihood(), plain.logMarginalLikelihood(),
+              1e-10 * (std::abs(plain.logMarginalLikelihood()) + 1.0));
+
+  const la::Matrix xs = randomPoints(8, 2, 8);
+  const auto pc = cached.predict(xs);
+  const auto pp = plain.predict(xs);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(pc.mean[i], pp.mean[i], 1e-10 * (std::abs(pp.mean[i]) + 1.0));
+    EXPECT_NEAR(pc.variance[i], pp.variance[i],
+                1e-10 * (pp.variance[i] + 1.0));
+  }
+
+  // The quantities the optimizer consumes agree at every theta it could
+  // visit, cached or not.
+  const std::vector<double> probes[] = {
+      {0.0, 0.0, 0.0, std::log(1e-2)},
+      {0.7, -0.3, 0.4, std::log(5e-2)},
+      {-0.5, 0.8, -0.2, std::log(2e-2)}};
+  for (const auto& theta : probes) {
+    const double lc = cached.logMarginalLikelihoodAt(theta);
+    const double lp = plain.logMarginalLikelihoodAt(theta);
+    EXPECT_NEAR(lc, lp, 1e-10 * (std::abs(lp) + 1.0));
+    const auto gc = cached.logMarginalLikelihoodGradientAt(theta);
+    const auto gpd = plain.logMarginalLikelihoodGradientAt(theta);
+    ASSERT_EQ(gc.size(), gpd.size());
+    for (std::size_t i = 0; i < gc.size(); ++i)
+      EXPECT_NEAR(gc[i], gpd[i], 1e-9 * (std::abs(gpd[i]) + 1.0));
+  }
+}
+
+TEST(DistanceCache, AddObservationKeepsCacheWarm) {
+  PerfRegistry::instance().reset();
+  const la::Matrix x = randomPoints(25, 2, 9);
+  const la::Vector y = smoothResponse(x);
+
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  gp::GaussianProcess model(
+      gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}), cfg);
+  Rng rng(5);
+  model.fit(x, y, rng);
+  const std::uint64_t rebuildsAfterFit = counter("gp.distcache.rebuild");
+  EXPECT_GE(counter("gp.gram.hit"), 1u);
+
+  // Growing the train set one point at a time must take the append path;
+  // no further rebuilds.
+  const double p0[] = {0.3, -0.7};
+  const double p1[] = {-1.1, 0.4};
+  model.addObservation(std::span<const double>(p0, 2), 0.5);
+  model.addObservation(std::span<const double>(p1, 2), -0.25);
+  EXPECT_EQ(counter("gp.distcache.append"), 2u);
+  EXPECT_EQ(counter("gp.distcache.rebuild"), rebuildsAfterFit);
+
+  // A refit on the bit-identical grown set starts from a matching cache:
+  // still no rebuild (this is exactly the AL-loop refit pattern).
+  la::Matrix grown(27, 2);
+  la::Vector grownY(27);
+  for (std::size_t i = 0; i < 25; ++i) {
+    grown(i, 0) = x(i, 0);
+    grown(i, 1) = x(i, 1);
+    grownY[i] = y[i];
+  }
+  grown(25, 0) = p0[0];
+  grown(25, 1) = p0[1];
+  grownY[25] = 0.5;
+  grown(26, 0) = p1[0];
+  grown(26, 1) = p1[1];
+  grownY[26] = -0.25;
+  model.fit(grown, grownY, rng);
+  EXPECT_EQ(counter("gp.distcache.rebuild"), rebuildsAfterFit);
+}

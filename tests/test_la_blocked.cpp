@@ -1,0 +1,222 @@
+// Property tests for the blocked dense kernels (la/blas.hpp): every blocked
+// kernel is pinned against the retained seed reference implementation on
+// random inputs, including sizes above the 64-edge tile, non-multiples of
+// it, and the kernel-selection flag plumbing through Cholesky/matmul/gram.
+
+#include "la/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/cholesky.hpp"
+#include "stats/rng.hpp"
+
+namespace la = alperf::la;
+using alperf::stats::Rng;
+using la::Matrix;
+using la::Vector;
+
+namespace {
+
+Matrix randomMatrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      m(i, j) = rng.uniformReal(-1.0, 1.0);
+  return m;
+}
+
+/// Random symmetric diagonally dominant SPD matrix.
+Matrix randomSpd(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = rng.uniformReal(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+    a(i, i) = static_cast<double>(n) + 1.0;
+  }
+  return a;
+}
+
+double maxRelError(const Matrix& got, const Matrix& want) {
+  EXPECT_EQ(got.rows(), want.rows());
+  EXPECT_EQ(got.cols(), want.cols());
+  const double scale = want.maxAbs() + 1.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < got.rows(); ++i)
+    for (std::size_t j = 0; j < got.cols(); ++j)
+      worst = std::max(worst, std::abs(got(i, j) - want(i, j)) / scale);
+  return worst;
+}
+
+/// Restores the kernel selection after each test body.
+struct KernelGuard {
+  bool prev = la::blockedKernelsEnabled();
+  ~KernelGuard() { la::setBlockedKernels(prev); }
+};
+
+}  // namespace
+
+TEST(BlockedKernels, GemmMatchesReferenceAcrossShapes) {
+  // Includes > 1 tile, non-multiples of the tile edge, and thin shapes.
+  const std::size_t shapes[][3] = {
+      {3, 4, 5},   {64, 64, 64}, {96, 130, 57},
+      {257, 96, 33}, {1, 200, 1}, {130, 1, 130}};
+  for (const auto& s : shapes) {
+    const Matrix a = randomMatrix(s[0], s[1], 1);
+    const Matrix b = randomMatrix(s[1], s[2], 2);
+    const Matrix got = la::matmulBlocked(a, b);
+    const Matrix want = la::matmulReference(a, b);
+    // Same per-element ascending-k accumulation order → bitwise equal.
+    for (std::size_t i = 0; i < got.rows(); ++i)
+      for (std::size_t j = 0; j < got.cols(); ++j)
+        ASSERT_EQ(got(i, j), want(i, j))
+            << "shape " << s[0] << "x" << s[1] << "x" << s[2] << " at ("
+            << i << "," << j << ")";
+  }
+}
+
+TEST(BlockedKernels, GramMatchesReference) {
+  for (const std::size_t n : {5ul, 64ul, 96ul, 257ul}) {
+    const Matrix a = randomMatrix(n, 130, static_cast<unsigned>(n));
+    const Matrix got = la::gramBlocked(a.transposed());
+    const Matrix want = la::gramReference(a.transposed());
+    EXPECT_LE(maxRelError(got, want), 1e-12) << "n=" << n;
+    // Exact symmetry by construction (mirrored tiles).
+    for (std::size_t i = 0; i < got.rows(); ++i)
+      for (std::size_t j = 0; j < i; ++j)
+        ASSERT_EQ(got(i, j), got(j, i));
+  }
+}
+
+TEST(BlockedKernels, SyrkUpdateAccumulates) {
+  const Matrix a = randomMatrix(70, 90, 3);
+  Matrix c = randomSpd(70, 4);
+  const Matrix before = c;
+  la::syrkUpdate(c, a, -1.0);
+  const Matrix want = before - la::matmulReference(a, a.transposed());
+  EXPECT_LE(maxRelError(c, want), 1e-12);
+}
+
+TEST(BlockedKernels, CholeskyMatchesReferenceProperty) {
+  for (const std::size_t n : {8ul, 64ul, 96ul, 130ul, 257ul}) {
+    const Matrix spd = randomSpd(n, static_cast<unsigned>(n) + 10);
+    Matrix blocked = spd;
+    Matrix reference = spd;
+    ASSERT_TRUE(la::choleskyInPlaceBlocked(blocked)) << "n=" << n;
+    ASSERT_TRUE(la::choleskyInPlaceReference(reference)) << "n=" << n;
+    EXPECT_LE(maxRelError(blocked, reference), 1e-12) << "n=" << n;
+    // Strict upper triangle must be exactly zero.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        ASSERT_EQ(blocked(i, j), 0.0);
+  }
+}
+
+TEST(BlockedKernels, CholeskyReconstructs) {
+  const Matrix spd = randomSpd(200, 21);
+  Matrix l = spd;
+  ASSERT_TRUE(la::choleskyInPlaceBlocked(l));
+  const Matrix recon = la::matmulBlocked(l, l.transposed());
+  EXPECT_LE(maxRelError(recon, spd), 1e-12);
+}
+
+TEST(BlockedKernels, CholeskyRejectsNonSpd) {
+  Matrix notSpd = randomSpd(100, 22);
+  notSpd(80, 80) = -5.0;  // forces a negative pivot in a later panel
+  Matrix work = notSpd;
+  EXPECT_FALSE(la::choleskyInPlaceBlocked(work));
+}
+
+TEST(BlockedKernels, TrsmSolvesLowerAndUpper) {
+  const std::size_t n = 150;
+  Matrix l = randomSpd(n, 23);
+  ASSERT_TRUE(la::choleskyInPlaceBlocked(l));
+  const Matrix xTrue = randomMatrix(n, 70, 24);
+
+  Matrix b = la::matmulReference(l, xTrue);
+  la::trsmLowerLeft(l, b);
+  EXPECT_LE(maxRelError(b, xTrue), 1e-10);
+
+  Matrix bu = la::matmulReference(l.transposed(), xTrue);
+  la::trsmUpperLeft(l, bu);
+  EXPECT_LE(maxRelError(bu, xTrue), 1e-10);
+}
+
+TEST(BlockedKernels, MultiRhsSolveMatchesPerColumn) {
+  const std::size_t n = 130;
+  const Matrix spd = randomSpd(n, 25);
+  const Matrix b = randomMatrix(n, 37, 26);
+  KernelGuard guard;
+
+  la::setBlockedKernels(true);
+  const la::Cholesky blocked(spd);
+  const Matrix gotX = blocked.solve(b);
+
+  la::setBlockedKernels(false);
+  const la::Cholesky reference(spd);
+  const Matrix wantX = reference.solve(b);
+
+  EXPECT_LE(maxRelError(gotX, wantX), 1e-10);
+}
+
+TEST(BlockedKernels, VectorSolvesMatchReference) {
+  const std::size_t n = 97;
+  const Matrix spd = randomSpd(n, 27);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = std::sin(static_cast<double>(i));
+  KernelGuard guard;
+
+  la::setBlockedKernels(true);
+  const la::Cholesky blocked(spd);
+  const Vector xb = blocked.solve(b);
+  const Vector lb = blocked.solveLower(b);
+  const Vector ub = blocked.solveUpper(b);
+
+  la::setBlockedKernels(false);
+  const la::Cholesky reference(spd);
+  const Vector xr = reference.solve(b);
+  const Vector lr = reference.solveLower(b);
+  const Vector ur = reference.solveUpper(b);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(xb[i], xr[i], 1e-10 * (std::abs(xr[i]) + 1.0));
+    EXPECT_NEAR(lb[i], lr[i], 1e-10 * (std::abs(lr[i]) + 1.0));
+    EXPECT_NEAR(ub[i], ur[i], 1e-10 * (std::abs(ur[i]) + 1.0));
+  }
+}
+
+TEST(BlockedKernels, DispatchFlagSelectsKernels) {
+  KernelGuard guard;
+  const Matrix a = randomMatrix(70, 70, 28);
+  const Matrix b = randomMatrix(70, 70, 29);
+  la::setBlockedKernels(false);
+  const Matrix viaReference = la::matmul(a, b);
+  la::setBlockedKernels(true);
+  const Matrix viaBlocked = la::matmul(a, b);
+  // gemm keeps the reference accumulation order exactly.
+  for (std::size_t i = 0; i < 70; ++i)
+    for (std::size_t j = 0; j < 70; ++j)
+      ASSERT_EQ(viaBlocked(i, j), viaReference(i, j));
+}
+
+TEST(BlockedKernels, DotUnrolledMatchesNaive) {
+  Rng rng(30);
+  for (const std::size_t n : {0ul, 1ul, 3ul, 4ul, 7ul, 64ul, 1001ul}) {
+    Vector a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniformReal(-1.0, 1.0);
+      b[i] = rng.uniformReal(-1.0, 1.0);
+    }
+    double naive = 0.0;
+    for (std::size_t i = 0; i < n; ++i) naive += a[i] * b[i];
+    EXPECT_NEAR(la::dotUnrolled(a.data(), b.data(), n), naive,
+                1e-13 * (std::abs(naive) + 1.0));
+  }
+}

@@ -13,7 +13,10 @@
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/learner.hpp"
+#include "gp/distance_cache.hpp"
 #include "gp/kernels.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
 
 namespace al = alperf::al;
 namespace gp = alperf::gp;
@@ -199,6 +202,87 @@ TEST(IncrementalPosterior, GpExtensionMatchesFullRefitTo1e10) {
   for (std::size_t i = 0; i < pi.mean.size(); ++i) {
     EXPECT_NEAR(pi.mean[i], pf.mean[i], 1e-10) << i;
     EXPECT_NEAR(pi.variance[i], pf.variance[i], 1e-10) << i;
+  }
+}
+
+la::Matrix determinismSpd(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = rng.uniformReal(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+    a(i, i) = static_cast<double>(n) + 1.0;
+  }
+  return a;
+}
+
+void expectBitIdentical(const la::Matrix& got, const la::Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.rows(); ++i)
+    for (std::size_t j = 0; j < got.cols(); ++j)
+      ASSERT_EQ(got(i, j), want(i, j)) << "(" << i << "," << j << ")";
+}
+
+TEST(ParallelDeterminism, BlockedCholeskyBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // 300 spans several 64-wide panels and a ragged tail tile.
+  const la::Matrix spd = determinismSpd(300, 31);
+
+  Parallelism::setThreads(1);
+  la::Matrix baseline = spd;
+  ASSERT_TRUE(la::choleskyInPlaceBlocked(baseline));
+
+  for (const int threads : {2, 4, 8}) {
+    Parallelism::setThreads(threads);
+    la::Matrix l = spd;
+    ASSERT_TRUE(la::choleskyInPlaceBlocked(l));
+    expectBitIdentical(l, baseline);
+  }
+}
+
+TEST(ParallelDeterminism, BlockedGemmAndTrsmBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(37);
+  la::Matrix a(130, 97), b(97, 150);
+  for (double& v : a.data()) v = rng.uniformReal(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.uniformReal(-1.0, 1.0);
+  la::Matrix l = determinismSpd(130, 41);
+  ASSERT_TRUE(la::choleskyInPlaceBlocked(l));
+  la::Matrix rhs(130, 80);
+  for (double& v : rhs.data()) v = rng.uniformReal(-1.0, 1.0);
+
+  Parallelism::setThreads(1);
+  const la::Matrix gemmBase = la::matmulBlocked(a, b);
+  la::Matrix trsmBase = rhs;
+  la::trsmLowerLeft(l, trsmBase);
+  la::trsmUpperLeft(l, trsmBase);
+
+  for (const int threads : {2, 4, 8}) {
+    Parallelism::setThreads(threads);
+    expectBitIdentical(la::matmulBlocked(a, b), gemmBase);
+    la::Matrix x = rhs;
+    la::trsmLowerLeft(l, x);
+    la::trsmUpperLeft(l, x);
+    expectBitIdentical(x, trsmBase);
+  }
+}
+
+TEST(ParallelDeterminism, CachedGramBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto problem = syntheticProblem(90);
+  const auto kernel = gp::makeSquaredExponentialArd(1.3, {0.9, 1.7});
+  gp::DistanceCache cache;
+  cache.sync(problem.x);
+
+  Parallelism::setThreads(1);
+  const la::Matrix base = kernel->gram(problem.x, cache);
+  for (const int threads : {2, 4, 8}) {
+    Parallelism::setThreads(threads);
+    expectBitIdentical(kernel->gram(problem.x, cache), base);
   }
 }
 
