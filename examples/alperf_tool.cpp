@@ -8,10 +8,11 @@
 //   alperf_tool learn --data CSV --features A,B --response R
 //                     [--cost C] [--log A,R] [--strategy vr|ce|random]
 //                     [--iterations N] [--noise-lo X] [--seed S]
-//                     [--trace OUT.csv] [--perf]
+//                     [--trace OUT.csv] [--perf] [--health]
 //       Run GPR-driven active learning over the job database and report
 //       the learning trace and final model quality; --perf appends the
-//       perf-counter JSON (see docs/PERFORMANCE.md).
+//       perf-counter JSON (see docs/PERFORMANCE.md), --health the
+//       numerical-health report (see docs/ROBUSTNESS.md).
 //
 //   alperf_tool tradeoff --data CSV --features A,B --response R --cost C
 //                        [--log ...] [--replicates R] [--seed S]
@@ -79,7 +80,7 @@ void usage() {
       "  alperf_tool learn --data CSV --features A,B --response R\n"
       "                    [--cost C] [--log A,R] [--strategy vr|ce|random]\n"
       "                    [--iterations N] [--noise-lo X] [--seed S]\n"
-      "                    [--trace OUT.csv] [--perf]\n"
+      "                    [--trace OUT.csv] [--perf] [--health]\n"
       "  alperf_tool tradeoff --data CSV --features A,B --response R\n"
       "                    --cost C [--log ...] [--replicates R] [--seed S]\n");
 }
@@ -145,6 +146,7 @@ int cmdLearn(const Args& args) {
                             makeStrategy(args.get("strategy", "ce")), cfg);
   Rng rng(std::stoull(args.get("seed", "7")));
   alperf::PerfRegistry::instance().reset();
+  alperf::HealthMonitor::instance().reset();
   const auto result = learner.run(rng);
 
   std::printf("stopped after %zu experiments (%s)\n", result.history.size(),
@@ -172,6 +174,11 @@ int cmdLearn(const Args& args) {
     if (hits + misses > 0.0)
       std::printf("gram cache hit rate %.1f%% (%.0f hit / %.0f miss)\n",
                   100.0 * hits / (hits + misses), hits, misses);
+  }
+  if (args.has("health")) {
+    // Numerical-health report: recovery/containment counter totals plus
+    // the ring buffer of recent incidents (docs/ROBUSTNESS.md).
+    std::printf("%s", alperf::HealthMonitor::instance().report().c_str());
   }
   return 0;
 }

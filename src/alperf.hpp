@@ -6,6 +6,8 @@
 /// (each module's header set is self-contained).
 
 // Parallelism & instrumentation.
+#include "common/fault_inject.hpp"
+#include "common/health.hpp"
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
 

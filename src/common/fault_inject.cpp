@@ -1,0 +1,211 @@
+#include "common/fault_inject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/perf_stats.hpp"
+
+namespace alperf {
+
+namespace {
+
+std::atomic<long long> g_iteration{-1};
+std::atomic<int> g_optimizing{-1};
+
+/// Splits `spec` into fault tokens at ';' and whitespace.
+std::vector<std::string> tokenize(const std::string& spec) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (const char c : spec) {
+    if (c == ';' || c == ' ' || c == '\t' || c == '\n') {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+long long parseCondValue(const std::string& token, const std::string& value) {
+  requireArg(!value.empty(), "ALPERF_FAULTS: empty condition value in '" +
+                                 token + "'");
+  long long out = 0;
+  for (const char c : value) {
+    requireArg(c >= '0' && c <= '9',
+               "ALPERF_FAULTS: condition value must be a non-negative "
+               "integer in '" +
+                   token + "'");
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+/// The injection points compiled into the library. A typo'd site would
+/// otherwise arm successfully and silently never fire.
+constexpr const char* kKnownSites[] = {
+    "gram.nan", "chol.fail", "extend.fail", "lml.nan",
+    "lml.inf",  "grad.nan",  "theta.nan",
+};
+
+bool knownSite(const std::string& site) {
+  for (const char* s : kKnownSites)
+    if (site == s) return true;
+  return false;
+}
+
+FaultSpec parseFault(const std::string& token) {
+  FaultSpec fault;
+  const std::size_t at = token.find('@');
+  fault.site = token.substr(0, at);
+  requireArg(!fault.site.empty(),
+             "ALPERF_FAULTS: empty fault site in '" + token + "'");
+  requireArg(knownSite(fault.site),
+             "ALPERF_FAULTS: unknown fault site '" + fault.site + "' in '" +
+                 token + "'");
+  if (at == std::string::npos) return fault;
+
+  const std::string conds = token.substr(at + 1);
+  requireArg(!conds.empty(),
+             "ALPERF_FAULTS: '@' with no conditions in '" + token + "'");
+  std::size_t pos = 0;
+  while (pos <= conds.size()) {
+    std::size_t end = conds.find(',', pos);
+    if (end == std::string::npos) end = conds.size();
+    const std::string cond = conds.substr(pos, end - pos);
+    const std::size_t eq = cond.find('=');
+    requireArg(eq != std::string::npos && eq > 0,
+               "ALPERF_FAULTS: condition must be key=value in '" + token +
+                   "'");
+    const std::string key = cond.substr(0, eq);
+    const long long value = parseCondValue(token, cond.substr(eq + 1));
+    if (key == "iter") {
+      fault.match.iter = value;
+    } else if (key == "n") {
+      fault.match.n = value;
+    } else if (key == "eval") {
+      fault.match.eval = value;
+    } else if (key == "start") {
+      fault.match.start = value;
+    } else if (key == "attempt") {
+      fault.match.attempt = value;
+    } else if (key == "opt") {
+      fault.match.opt = value;
+    } else {
+      requireArg(false, "ALPERF_FAULTS: unknown condition key '" + key +
+                            "' in '" + token + "'");
+    }
+    pos = end + 1;
+  }
+  return fault;
+}
+
+bool condMatches(long long want, long long have) {
+  return want < 0 || want == have;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex mu;
+  std::vector<FaultSpec> specs;
+  std::atomic<bool> armed{false};
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  // ALPERF_FAULTS is read once, at first use — the same contract as
+  // ALPERF_THREADS / ALPERF_LA_KERNELS.
+  if (const char* env = std::getenv("ALPERF_FAULTS")) arm(env);
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+std::vector<FaultSpec> FaultInjector::parse(const std::string& spec) {
+  std::vector<FaultSpec> faults;
+  for (const auto& token : tokenize(spec)) faults.push_back(parseFault(token));
+  return faults;
+}
+
+void FaultInjector::arm(const std::string& spec) {
+  auto faults = parse(spec);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->specs = std::move(faults);
+  impl_->armed.store(!impl_->specs.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->specs.clear();
+  impl_->armed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::armed() const {
+  return impl_->armed.load(std::memory_order_relaxed);
+}
+
+std::vector<FaultSpec> FaultInjector::armedSpecs() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->specs;
+}
+
+bool FaultInjector::fire(std::string_view site, const FaultAttrs& attrs) {
+  if (!armed()) return false;
+
+  FaultAttrs have = attrs;
+  if (have.iter < 0) have.iter = FaultContext::iteration();
+  if (have.opt < 0) have.opt = FaultContext::optimizing();
+
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& f : impl_->specs) {
+      if (f.site != site) continue;
+      if (condMatches(f.match.iter, have.iter) &&
+          condMatches(f.match.n, have.n) &&
+          condMatches(f.match.eval, have.eval) &&
+          condMatches(f.match.start, have.start) &&
+          condMatches(f.match.attempt, have.attempt) &&
+          condMatches(f.match.opt, have.opt)) {
+        hit = true;
+        break;
+      }
+    }
+  }
+  if (hit) {
+    auto& reg = PerfRegistry::instance();
+    reg.increment("fault.injected");
+    reg.increment("fault.injected." + std::string(site));
+  }
+  return hit;
+}
+
+void FaultContext::setIteration(long long iter) {
+  g_iteration.store(iter, std::memory_order_relaxed);
+}
+
+long long FaultContext::iteration() {
+  return g_iteration.load(std::memory_order_relaxed);
+}
+
+void FaultContext::setOptimizing(int opt) {
+  g_optimizing.store(opt, std::memory_order_relaxed);
+}
+
+int FaultContext::optimizing() {
+  return g_optimizing.load(std::memory_order_relaxed);
+}
+
+OptimizingScope::OptimizingScope(bool optimizing)
+    : previous_(FaultContext::optimizing()) {
+  FaultContext::setOptimizing(optimizing ? 1 : 0);
+}
+
+OptimizingScope::~OptimizingScope() { FaultContext::setOptimizing(previous_); }
+
+}  // namespace alperf

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file fault_inject.hpp
+/// Deterministic fault-injection harness for the numerics robustness layer.
+///
+/// Long unattended AL campaigns must survive near-singular gram matrices,
+/// non-finite likelihoods and diverged optimizer runs. Every recovery path
+/// that handles those conditions is hard to reach with natural inputs, so
+/// this harness lets tests (and operators, via the ALPERF_FAULTS
+/// environment variable) force each one on demand.
+///
+/// Design contract — determinism first:
+///
+///   * A fault is a *predicate over deterministic attributes* of the
+///     injection point (campaign iteration, matrix dimension, per-start
+///     objective-evaluation index, ...), never a consumable token or a
+///     global call counter. Whether a given call fires therefore does not
+///     depend on thread interleaving: armed or not, traces are
+///     bit-identical at any thread count.
+///   * When nothing is armed, fire() is a single relaxed atomic load — the
+///     unarmed hot path performs no floating-point work, takes no locks
+///     and cannot perturb the bit-identity guarantees of the blocked LA
+///     kernels, the distance cache or the incremental-posterior paths.
+///   * Every fired injection bumps the PerfRegistry counters
+///     `fault.injected` and `fault.injected.<site>`, so a run can prove
+///     (CI does) that no injection happened when ALPERF_FAULTS was unset.
+///
+/// Spec grammar (ALPERF_FAULTS or FaultInjector::arm()):
+///
+///   spec     := fault (';' fault)*          (whitespace also separates)
+///   fault    := site [ '@' cond (',' cond)* ]
+///   cond     := key '=' non-negative-integer
+///   key      := 'iter' | 'n' | 'eval' | 'start' | 'attempt' | 'opt'
+///
+/// Examples: "gram.nan@iter=7", "chol.fail@n=256", "lml.inf@eval=3",
+/// "chol.fail@iter=2,opt=1", "gram.nan@iter=1;gram.nan@iter=2".
+/// A fault with no conditions fires at every matching site.
+///
+/// Sites injected by the library (see docs/ROBUSTNESS.md for the table):
+///   gram.nan     poison the train gram matrix with a NaN
+///   chol.fail    make a Cholesky factorization attempt fail
+///   extend.fail  make an incremental Cholesky extension fail
+///   lml.nan      LML/LOO objective evaluates to NaN
+///   lml.inf      LML/LOO objective evaluates to +Inf
+///   grad.nan     poison the analytic LML gradient
+///   theta.nan    poison the optimized hyperparameter vector
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alperf {
+
+/// Deterministic attributes of a prospective injection point. -1 means
+/// "unknown / not applicable"; an armed condition on an unknown attribute
+/// never matches.
+struct FaultAttrs {
+  long long iter = -1;     ///< AL campaign iteration (ambient default)
+  long long n = -1;        ///< matrix dimension at the site
+  long long eval = -1;     ///< objective-evaluation index within one start
+  long long start = -1;    ///< multi-start index
+  long long attempt = -1;  ///< factorization attempt index (0 = raw)
+  long long opt = -1;      ///< 1 inside a hyperparameter-optimizing fit
+};
+
+/// One armed fault: a site name plus exact-match conditions (-1 = any).
+struct FaultSpec {
+  std::string site;
+  FaultAttrs match;
+};
+
+/// Process-global injector. Armed from the ALPERF_FAULTS environment
+/// variable at first use, or programmatically via arm()/disarm().
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Replaces the armed faults with those parsed from `spec`. An empty
+  /// spec disarms. Throws std::invalid_argument on grammar errors.
+  void arm(const std::string& spec);
+
+  /// Removes all armed faults.
+  void disarm();
+
+  /// True when at least one fault is armed (one relaxed atomic load).
+  bool armed() const;
+
+  /// True — and counted in fault.injected(.site) — when an armed fault
+  /// matches `site` under `attrs`. Attributes left at -1 fall back to the
+  /// ambient campaign context (iteration, optimizing phase) where one
+  /// exists. Returns false immediately when nothing is armed.
+  bool fire(std::string_view site, const FaultAttrs& attrs = {});
+
+  /// Snapshot of the armed faults (for reporting/tests).
+  std::vector<FaultSpec> armedSpecs() const;
+
+  /// Parses a spec string without arming it. Exposed for tests.
+  static std::vector<FaultSpec> parse(const std::string& spec);
+
+ private:
+  FaultInjector();
+
+  struct Impl;
+  Impl* impl_;  // never destroyed (process-global singleton)
+};
+
+/// Ambient campaign context: serially-written, concurrently-readable
+/// attributes that deep call sites (la::Cholesky, gp::evalLml) cannot
+/// receive as parameters. AL loops set the iteration once per (serial)
+/// loop step; gp::fit brackets itself with the optimizing flag. Reads are
+/// atomic; the values are constant during any parallel region.
+struct FaultContext {
+  static void setIteration(long long iter);  ///< -1 = outside a campaign
+  static long long iteration();
+  static void setOptimizing(int opt);  ///< 1 / 0 / -1 = unknown
+  static int optimizing();
+};
+
+/// RAII for FaultContext::setOptimizing — restores the previous value on
+/// scope exit (including exceptions thrown by a failed fit).
+class OptimizingScope {
+ public:
+  explicit OptimizingScope(bool optimizing);
+  ~OptimizingScope();
+  OptimizingScope(const OptimizingScope&) = delete;
+  OptimizingScope& operator=(const OptimizingScope&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace alperf

@@ -1,0 +1,79 @@
+#include "common/health.hpp"
+
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+#include "common/fault_inject.hpp"
+#include "common/perf_stats.hpp"
+
+namespace alperf {
+
+struct HealthMonitor::Impl {
+  mutable std::mutex mu;
+  std::deque<HealthIncident> ring;
+  std::uint64_t seq = 0;
+};
+
+HealthMonitor::HealthMonitor() : impl_(new Impl) {}
+
+HealthMonitor& HealthMonitor::instance() {
+  static HealthMonitor monitor;
+  return monitor;
+}
+
+void HealthMonitor::record(const std::string& kind,
+                           const std::string& detail) {
+  PerfRegistry::instance().increment("health." + kind);
+  HealthIncident incident;
+  incident.kind = kind;
+  incident.detail = detail;
+  incident.iteration = FaultContext::iteration();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  incident.seq = ++impl_->seq;
+  impl_->ring.push_back(std::move(incident));
+  if (impl_->ring.size() > kRingCapacity) impl_->ring.pop_front();
+}
+
+std::vector<HealthIncident> HealthMonitor::recent() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return {impl_->ring.begin(), impl_->ring.end()};
+}
+
+std::uint64_t HealthMonitor::total() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->seq;
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ring.clear();
+  impl_->seq = 0;
+}
+
+std::string HealthMonitor::report() const {
+  std::ostringstream os;
+  os << "numerical health: " << total() << " incident(s) recorded\n";
+  bool anyCounter = false;
+  for (const auto& entry : PerfRegistry::instance().snapshot()) {
+    if (entry.name.rfind("health.", 0) != 0) continue;
+    os << "  " << entry.name << " = " << entry.count << "\n";
+    anyCounter = true;
+  }
+  if (!anyCounter) os << "  (no health counters recorded)\n";
+  const auto incidents = recent();
+  if (!incidents.empty()) {
+    os << "recent incidents (oldest first, ring capacity " << kRingCapacity
+       << "):\n";
+    for (const auto& inc : incidents) {
+      os << "  [" << inc.seq << "]";
+      if (inc.iteration >= 0) os << " iter=" << inc.iteration;
+      os << " " << inc.kind;
+      if (!inc.detail.empty()) os << " — " << inc.detail;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace alperf

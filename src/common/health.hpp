@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file health.hpp
+/// Process-global numerical-health monitor.
+///
+/// The numerics layers (la, gp, opt, core) recover from many conditions —
+/// jitter-escalated factorizations, non-finite likelihoods, diverged
+/// refits — that must not abort a campaign but must not be silently
+/// absorbed either. Every recovery or containment event is recorded here:
+///
+///   * a PerfRegistry counter `health.<kind>` is bumped, so campaigns,
+///     benches and `alperf_tool learn --health` can report totals
+///     alongside the existing perf counters;
+///   * the incident (kind, human-readable detail, ambient campaign
+///     iteration) is pushed into a fixed-capacity ring buffer of the most
+///     recent incidents, so an operator can see *what* degraded, not just
+///     how often.
+///
+/// Counts are order-independent sums and therefore deterministic for any
+/// thread count; the ring-buffer *ordering* of incidents recorded
+/// concurrently (e.g. per-start LML failures) is not, and nothing may
+/// assert on it. Recording takes one mutex — incidents are exceptional,
+/// never per-element work.
+///
+/// Event kinds recorded by the library (counter = "health." + kind):
+///   chol.recovered      factorization needed jitter escalation
+///   chol.failed         factorization failed at the jitter cap
+///   chol.nonfinite      NaN/Inf input contained at the Cholesky boundary
+///   chol.extend         incremental Cholesky extension failed
+///   lml.nonfinite       model-selection objective evaluated to NaN/Inf
+///   grad.nonfinite      analytic LML gradient contained a NaN/Inf
+///   theta.nonfinite     optimized hyperparameters were non-finite
+///   theta.clamped       optimized hyperparameters clamped into bounds
+///   fit.rejected        no optimizer start produced a finite objective
+///   fit.retry           degradation ladder rung 2: escalated-jitter retry
+///   fit.fallback.theta  rung 3: posterior-only refit at last good theta
+///   fit.fallback.prior  rung 4: prior-only posterior
+///   model.unhealthy     campaign stopped: model persistently degraded
+///   watchdog            campaign stopped: wall-clock budget exhausted
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alperf {
+
+/// One recorded incident. `seq` increases monotonically from 1 across the
+/// monitor's lifetime (reset() restarts it), so gaps reveal evictions.
+struct HealthIncident {
+  std::uint64_t seq = 0;
+  std::string kind;    ///< e.g. "chol.recovered"
+  std::string detail;  ///< human-readable context
+  long long iteration = -1;  ///< ambient campaign iteration (-1 = none)
+};
+
+/// Process-global aggregator of numerical-health incidents.
+class HealthMonitor {
+ public:
+  /// Incidents kept in the ring buffer (older ones are evicted).
+  static constexpr std::size_t kRingCapacity = 64;
+
+  static HealthMonitor& instance();
+
+  /// Records one incident: bumps `health.<kind>` in the PerfRegistry and
+  /// pushes the incident (stamped with the ambient campaign iteration)
+  /// into the ring buffer. Thread-safe.
+  void record(const std::string& kind, const std::string& detail);
+
+  /// The retained incidents, oldest first.
+  std::vector<HealthIncident> recent() const;
+
+  /// Total incidents recorded since construction / the last reset().
+  std::uint64_t total() const;
+
+  /// Clears the ring buffer and the sequence counter. Does NOT reset the
+  /// health.* PerfRegistry counters — use PerfRegistry::reset() for that.
+  void reset();
+
+  /// Multi-line report: health.* counter totals followed by the retained
+  /// incidents — the payload of `alperf_tool learn --health`.
+  std::string report() const;
+
+ private:
+  HealthMonitor();
+
+  struct Impl;
+  Impl* impl_;  // never destroyed (process-global singleton)
+};
+
+}  // namespace alperf

@@ -147,7 +147,11 @@ Checkpoint loadCheckpoint(const std::string& prefix) {
   cp.hasRngState = true;
 
   // --- trace.
-  cp.history = historyFromTable(data::readCsv(prefix + ".trace.csv"));
+  // Traces legitimately carry non-finite values (a prior-only degraded
+  // iteration records LML = -inf), so the load-time NaN/Inf guard is
+  // relaxed for this one file; .meta.csv and .sets.csv stay strict.
+  cp.history = historyFromTable(
+      data::readCsv(prefix + ".trace.csv", {.rejectNonFinite = false}));
 
   // --- sets.
   const data::Table sets = data::readCsv(prefix + ".sets.csv");

@@ -1,8 +1,11 @@
 #include "core/continuous.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fault_inject.hpp"
+#include "common/health.hpp"
 #include "opt/multistart.hpp"
 
 namespace alperf::al {
@@ -137,37 +140,56 @@ std::pair<la::Matrix, la::Vector> grownTrainingSet(
   return {std::move(grown), std::move(yAll)};
 }
 
-/// Full refit on the grown set; when the refit's LML is non-finite or
-/// its Cholesky fails even after jitter escalation, rolls back to
-/// `lastGoodTheta` and recomputes only the posterior. Returns false when
-/// even the fallback fails.
+/// Full refit on the grown set, walking the same degradation ladder as
+/// ActiveLearner (docs/ROBUSTNESS.md): the requested fit, the same fit
+/// with the jitter cap escalated to `recoveryJitterScale`, a posterior-
+/// only refit at `lastGoodTheta`, and finally a prior-only posterior
+/// (which cannot fail). Returns true when the model ended with a genuine
+/// GP posterior, false when it is degraded to the prior.
 bool refitGrownWithFallback(gp::GaussianProcess& gp,
                             std::span<const double> xNew, double yNew,
-                            bool optimize,
+                            bool optimize, double recoveryJitterScale,
                             std::vector<double>& lastGoodTheta,
                             int& fitFallbacks, stats::Rng& rng) {
   auto [grown, yAll] = grownTrainingSet(gp, xNew, yNew);
-  bool ok = false;
-  gp.config().optimize = optimize;
-  try {
-    gp.fit(la::Matrix(grown), la::Vector(yAll), rng);
-    ok = std::isfinite(gp.logMarginalLikelihood());
-  } catch (const NumericalError&) {
-    ok = false;
+  const double baseJitterScale = gp.config().jitterScaleMax;
+  const auto tryFit = [&](bool opt) {
+    gp.config().optimize = opt;
+    try {
+      gp.fit(la::Matrix(grown), la::Vector(yAll), rng);
+      return std::isfinite(gp.logMarginalLikelihood());
+    } catch (const NumericalError&) {
+      return false;
+    }
+  };
+  bool ok = tryFit(optimize);
+  if (!ok) {
+    HealthMonitor::instance().record("fit.retry",
+                                     "refit with escalated jitter cap");
+    gp.config().jitterScaleMax =
+        std::max(baseJitterScale, recoveryJitterScale);
+    ok = tryFit(optimize);
   }
   if (!ok) {
-    try {
-      gp.setThetaFull(lastGoodTheta);
-      gp.config().optimize = false;
-      gp.fit(std::move(grown), std::move(yAll), rng);
-      ok = std::isfinite(gp.logMarginalLikelihood());
-    } catch (const NumericalError&) {
-      ok = false;
+    gp.setThetaFull(lastGoodTheta);
+    ok = tryFit(false);
+    if (ok) {
+      ++fitFallbacks;
+      HealthMonitor::instance().record(
+          "fit.fallback.theta", "posterior refit at last good theta");
     }
-    if (ok) ++fitFallbacks;
   }
-  if (ok) lastGoodTheta = gp.thetaFull();
-  return ok;
+  gp.config().jitterScaleMax = baseJitterScale;
+  if (ok) {
+    lastGoodTheta = gp.thetaFull();
+    return true;
+  }
+  gp.setThetaFull(lastGoodTheta);
+  gp.fitPriorOnly(std::move(grown), std::move(yAll));
+  ++fitFallbacks;
+  HealthMonitor::instance().record("fit.fallback.prior",
+                                   "prior-only posterior installed");
+  return false;
 }
 
 }  // namespace
@@ -210,6 +232,8 @@ ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
   policy.validate();
   // The seed fit is a precondition, not a campaign step: without any
   // posterior there is nothing to fall back to, so failures throw.
+  // Iteration-scoped fault specs must not hit it either.
+  FaultContext::setIteration(-1);
   gp.config().optimize = true;
   gp.fit(std::move(seedX), std::move(seedY), rng);
 
@@ -217,7 +241,18 @@ ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
   ExperimentExecutor executor(policy);
   std::vector<double> lastGoodTheta = gp.thetaFull();
   int consecutiveFailures = 0;
+  int consecutiveDegraded = 0;
+  const auto loopStart = std::chrono::steady_clock::now();
   for (int iter = 0; iter < config.iterations; ++iter) {
+    FaultContext::setIteration(iter);
+    if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      loopStart)
+            .count() > config.wallClockBudgetSec) {
+      HealthMonitor::instance().record("watchdog",
+                                       "wall-clock budget exhausted");
+      result.stopReason = StopReason::WatchdogExpired;
+      break;
+    }
     const auto suggestion =
         suggestContinuous(gp, bounds, acq, config.nStarts, rng);
     const ExecutionResult er =
@@ -246,30 +281,37 @@ ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
     if (er.measurement.status == MeasurementStatus::Censored) rec.censored = 1.0;
     result.history.push_back(std::move(rec));
 
-    bool ok;
+    bool healthy;
     if ((iter + 1) % config.refitEvery == 0) {
       // Full refit: re-optimize hyperparameters on the grown dataset.
-      ok = refitGrownWithFallback(gp, suggestion.x, er.measurement.y,
-                                  /*optimize=*/true, lastGoodTheta,
-                                  result.fitFallbacks, rng);
+      healthy = refitGrownWithFallback(
+          gp, suggestion.x, er.measurement.y, /*optimize=*/true,
+          config.recoveryJitterScale, lastGoodTheta, result.fitFallbacks,
+          rng);
     } else {
       // Cheap O(n²) incremental update between refits; an extension whose
       // pivot collapses falls back to a posterior-only rebuild.
       try {
         gp.addObservation(suggestion.x, er.measurement.y);
-        ok = true;
+        healthy = true;
       } catch (const NumericalError&) {
-        ok = refitGrownWithFallback(gp, suggestion.x, er.measurement.y,
-                                    /*optimize=*/false, lastGoodTheta,
-                                    result.fitFallbacks, rng);
-        if (ok) ++result.fitFallbacks;
+        healthy = refitGrownWithFallback(
+            gp, suggestion.x, er.measurement.y, /*optimize=*/false,
+            config.recoveryJitterScale, lastGoodTheta, result.fitFallbacks,
+            rng);
+        if (healthy) ++result.fitFallbacks;
       }
     }
-    if (!ok) {
-      result.stopReason = StopReason::FitFailed;
+    if (healthy) {
+      consecutiveDegraded = 0;
+    } else if (++consecutiveDegraded > config.maxConsecutiveDegraded) {
+      HealthMonitor::instance().record(
+          "model.unhealthy", "consecutive degraded-fit limit exceeded");
+      result.stopReason = StopReason::ModelUnhealthy;
       break;
     }
   }
+  FaultContext::setIteration(-1);
   result.finalGp = gp;
   return result;
 }

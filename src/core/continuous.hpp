@@ -85,6 +85,16 @@ struct ContinuousAlConfig {
   /// many *consecutive* suggestions whose retries were all exhausted (the
   /// backend is evidently down; measuring further would only burn budget).
   int maxConsecutiveFailures = 3;
+
+  /// Numerical self-healing knobs — same ladder and semantics as
+  /// AlConfig (docs/ROBUSTNESS.md): more than `maxConsecutiveDegraded`
+  /// consecutive prior-only iterations stop the loop with
+  /// StopReason::ModelUnhealthy; `recoveryJitterScale` is the escalated
+  /// Cholesky jitter cap of the retry rung; the wall-clock watchdog stops
+  /// with StopReason::WatchdogExpired (infinity disables).
+  int maxConsecutiveDegraded = 2;
+  double recoveryJitterScale = 1e-2;
+  double wallClockBudgetSec = std::numeric_limits<double>::infinity();
 };
 
 /// One online iteration: where the learner went and what it measured.

@@ -1,9 +1,12 @@
 #include "core/learner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fault_inject.hpp"
+#include "common/health.hpp"
 #include "common/perf_stats.hpp"
 #include "stats/descriptive.hpp"
 
@@ -30,6 +33,10 @@ std::string toString(StopReason reason) {
       return "oracle_exhausted";
     case StopReason::FitFailed:
       return "fit_failed";
+    case StopReason::ModelUnhealthy:
+      return "model_unhealthy";
+    case StopReason::WatchdogExpired:
+      return "watchdog_expired";
   }
   throw std::invalid_argument("toString: unknown StopReason");
 }
@@ -242,11 +249,16 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   std::size_t fullFitTrainCount = 0;
   bool chainValid = false;
 
-  // Attempts a (re)fit; on divergence rolls back to the last good
-  // hyperparameters and recomputes only the posterior. Returns false when
-  // even the fallback cannot produce a finite posterior. Posterior-only
-  // updates (optimize false) extend the existing factorization when
-  // incrementalPosterior allows; anything else is a full refactorization.
+  // Attempts a (re)fit, walking the degradation ladder on divergence
+  // (docs/ROBUSTNESS.md): (1) the requested fit; (2) the same fit with
+  // the Cholesky jitter cap raised to recoveryJitterScale; (3) a
+  // posterior-only refit at the last good hyperparameters; (4) a
+  // prior-only posterior, which cannot fail. Returns true when the model
+  // ended with a genuine GP posterior (rungs 1–3) and false when it is
+  // degraded to the prior — the loop's unhealthy-model stop counts those.
+  // Posterior-only updates (optimize false) extend the existing
+  // factorization when incrementalPosterior allows; anything else is a
+  // full refactorization.
   //
   // The GP's pairwise-distance cache (gp/distance_cache.hpp) lives across
   // all of these paths untouched by this layer: buildTrain reproduces the
@@ -255,6 +267,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   // gp.addObservation keeps it warm on the incremental path too. Rolling
   // back hyperparameters never invalidates it — distances don't depend on
   // theta.
+  const double baseJitterScale = gpPrototype_.config().jitterScaleMax;
   const auto fitWithFallback = [&](bool optimize) {
     ScopedTimer timer("al.fit");
     if (!optimize && config_.incrementalPosterior && chainValid &&
@@ -276,34 +289,55 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     la::Matrix trainX;
     la::Vector trainY;
     buildTrain(trainX, trainY);
-    gp.config().optimize = optimize;
-    bool ok = false;
-    try {
-      gp.fit(la::Matrix(trainX), la::Vector(trainY), rng);
-      ok = std::isfinite(gp.logMarginalLikelihood());
-    } catch (const NumericalError&) {
-      ok = false;
+    // Each rung fits a *copy* of the training set so the later rungs (and
+    // the prior-only terminal rung) still have the data to fall back on.
+    const auto tryFit = [&](bool opt) {
+      gp.config().optimize = opt;
+      try {
+        gp.fit(la::Matrix(trainX), la::Vector(trainY), rng);
+        return std::isfinite(gp.logMarginalLikelihood());
+      } catch (const NumericalError&) {
+        return false;
+      }
+    };
+    gp.config().jitterScaleMax = baseJitterScale;
+    bool ok = tryFit(optimize);
+    if (!ok) {
+      // Rung 2: identical fit, jitter cap escalated.
+      HealthMonitor::instance().record("fit.retry",
+                                       "refit with escalated jitter cap");
+      gp.config().jitterScaleMax =
+          std::max(baseJitterScale, config_.recoveryJitterScale);
+      ok = tryFit(optimize);
     }
     if (!ok) {
-      try {
-        gp.setThetaFull(lastGoodTheta);
-        gp.config().optimize = false;
-        gp.fit(std::move(trainX), std::move(trainY), rng);
-        ok = std::isfinite(gp.logMarginalLikelihood());
-      } catch (const NumericalError&) {
-        ok = false;
+      // Rung 3: posterior only, at the hyperparameters of the last
+      // healthy fit (keeps the escalated jitter cap).
+      gp.setThetaFull(lastGoodTheta);
+      ok = tryFit(false);
+      if (ok) {
+        ++result.fitFallbacks;
+        HealthMonitor::instance().record(
+            "fit.fallback.theta", "posterior refit at last good theta");
       }
-      if (ok) ++result.fitFallbacks;
     }
+    gp.config().jitterScaleMax = baseJitterScale;
     if (ok) {
       lastGoodTheta = gp.thetaFull();
       chainValid = true;
       fullFitTrainCount = state.train.size();
       PerfRegistry::instance().increment("al.fit.full");
-    } else {
-      chainValid = false;
+      return true;
     }
-    return ok;
+    // Rung 4: prior-only posterior — never fails, but the model is
+    // degraded until a later refit recovers.
+    gp.setThetaFull(lastGoodTheta);
+    gp.fitPriorOnly(std::move(trainX), std::move(trainY));
+    ++result.fitFallbacks;
+    HealthMonitor::instance().record("fit.fallback.prior",
+                                     "prior-only posterior installed");
+    chainValid = false;
+    return false;
   };
 
   // Resuming a campaign whose posterior was maintained incrementally:
@@ -345,7 +379,19 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     testY[i] = problem_.y[state.partition.test[i]];
   }
 
+  const auto loopStart = std::chrono::steady_clock::now();
+  int consecutiveDegraded = 0;
   while (true) {
+    // Ambient iteration for fault predicates and health-incident stamps.
+    FaultContext::setIteration(state.iteration);
+    if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      loopStart)
+            .count() > config_.wallClockBudgetSec) {
+      HealthMonitor::instance().record("watchdog",
+                                       "wall-clock budget exhausted");
+      result.stopReason = StopReason::WatchdogExpired;
+      break;
+    }
     if (state.pool.empty()) {
       result.stopReason = state.quarantined.empty()
                               ? StopReason::PoolExhausted
@@ -387,9 +433,18 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
           1.0 / std::sqrt(static_cast<double>(state.train.size())));
       gp.config().noise.lo = std::min(lo, gp.config().noise.hi);
     }
-    if (!fitWithFallback((state.iteration % config_.refitEvery) == 0)) {
-      result.stopReason = StopReason::FitFailed;
-      break;
+    if (fitWithFallback((state.iteration % config_.refitEvery) == 0)) {
+      consecutiveDegraded = 0;
+    } else {
+      // Prior-only rung: the campaign may continue briefly (a later refit
+      // can recover), but a persistently blind model must stop.
+      ++consecutiveDegraded;
+      if (consecutiveDegraded > config_.maxConsecutiveDegraded) {
+        HealthMonitor::instance().record(
+            "model.unhealthy", "consecutive degraded-fit limit exceeded");
+        result.stopReason = StopReason::ModelUnhealthy;
+        break;
+      }
     }
 
     // Progress metrics over the remaining pool and the test set.
@@ -465,6 +520,10 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     state.history.push_back(rec);
     ++state.iteration;
   }
+
+  // The final fit below belongs to no campaign iteration: iteration-scoped
+  // fault specs must not hit it, and its health incidents carry no stamp.
+  FaultContext::setIteration(-1);
 
   // Snapshot the loop state *before* the final fit consumes the RNG, so a
   // resumed run re-enters the loop with the exact stream a straight run

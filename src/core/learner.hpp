@@ -55,6 +55,21 @@ struct AlConfig {
   /// Batch mode: pick this many experiments per iteration (1 = the
   /// paper's greedy one-at-a-time loop).
   std::size_t batchSize = 1;
+
+  /// Numerical self-healing knobs (docs/ROBUSTNESS.md). When a refit
+  /// diverges, the loop walks a degradation ladder: retry the fit with
+  /// the jitter cap raised to `recoveryJitterScale`, then refit the
+  /// posterior at the last good hyperparameters, then fall back to a
+  /// prior-only posterior. An iteration that ends prior-only is
+  /// *degraded*; more than `maxConsecutiveDegraded` degraded iterations
+  /// in a row stop the campaign with StopReason::ModelUnhealthy.
+  int maxConsecutiveDegraded = 2;
+  double recoveryJitterScale = 1e-2;
+  /// Wall-clock watchdog: stop with StopReason::WatchdogExpired once the
+  /// loop has run this many seconds (checked at each iteration boundary;
+  /// infinity disables). A safety net for unattended campaigns, not a
+  /// precise budget — the iteration in flight always completes.
+  double wallClockBudgetSec = std::numeric_limits<double>::infinity();
 };
 
 enum class StopReason {
@@ -67,8 +82,16 @@ enum class StopReason {
   OracleExhausted,
   /// A hyperparameter refit diverged and even the last-good-θ fallback
   /// could not produce a finite posterior; the trace up to that point is
-  /// preserved.
+  /// preserved. Since the prior-only degradation rung was added this is
+  /// only reachable where no prior-only fallback exists (the continuous
+  /// loop's seed fit).
   FitFailed,
+  /// More than AlConfig::maxConsecutiveDegraded consecutive iterations
+  /// ended on the prior-only degradation rung: the model is persistently
+  /// unhealthy and further experiments would be chosen blind.
+  ModelUnhealthy,
+  /// The wall-clock watchdog (AlConfig::wallClockBudgetSec) expired.
+  WatchdogExpired,
 };
 
 /// One row of the learning trace (per iteration; in batch mode the pick

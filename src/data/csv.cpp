@@ -1,6 +1,7 @@
 #include "data/csv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -61,11 +62,17 @@ bool readRecord(std::istream& in, std::vector<std::string>& cells) {
   return true;
 }
 
-bool parsesAsDouble(const std::string& s) {
-  if (s.empty()) return false;
-  double v = 0.0;
+/// How a cell relates to "numeric": Full = the whole cell is one double;
+/// Partial = a numeric prefix followed by junk ("2.5.3") — the signature
+/// of a mangled export; None = not numeric at all.
+enum class CellParse { Full, Partial, None };
+
+CellParse classifyCell(const std::string& s, double& v) {
+  if (s.empty()) return CellParse::None;
+  v = 0.0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  return ec == std::errc{} && ptr == s.data() + s.size();
+  if (ec != std::errc{}) return CellParse::None;
+  return ptr == s.data() + s.size() ? CellParse::Full : CellParse::Partial;
 }
 
 std::string quoteIfNeeded(const std::string& s) {
@@ -81,7 +88,7 @@ std::string quoteIfNeeded(const std::string& s) {
 
 }  // namespace
 
-Table readCsv(std::istream& in) {
+Table readCsv(std::istream& in, const CsvOptions& options) {
   std::vector<std::string> header;
   if (!readRecord(in, header))
     throw std::invalid_argument("CSV: empty input (no header)");
@@ -96,23 +103,47 @@ Table readCsv(std::istream& in) {
   }
 
   Table t;
+  std::vector<double> values(rows.size());
   for (std::size_t j = 0; j < header.size(); ++j) {
-    bool numeric = !rows.empty();
-    for (const auto& r : rows)
-      if (!parsesAsDouble(r[j])) {
-        numeric = false;
-        break;
+    std::size_t nFull = 0, nPartial = 0, nNone = 0;
+    std::size_t firstPartial = rows.size();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      switch (classifyCell(rows[i][j], values[i])) {
+        case CellParse::Full:
+          ++nFull;
+          break;
+        case CellParse::Partial:
+          ++nPartial;
+          if (firstPartial == rows.size()) firstPartial = i;
+          break;
+        case CellParse::None:
+          ++nNone;
+          break;
       }
+    }
+    const bool numeric = !rows.empty() && nFull == rows.size();
     if (numeric) {
-      std::vector<double> v;
-      v.reserve(rows.size());
-      for (const auto& r : rows) {
-        double x = 0.0;
-        std::from_chars(r[j].data(), r[j].data() + r[j].size(), x);
-        v.push_back(x);
+      if (options.rejectNonFinite) {
+        for (std::size_t i = 0; i < rows.size(); ++i)
+          requireArg(std::isfinite(values[i]),
+                     "CSV: non-finite value '" + rows[i][j] + "' in column '" +
+                         header[j] + "', data row " + std::to_string(i + 1) +
+                         " (CsvOptions::rejectNonFinite opts out)");
       }
-      t.addNumeric(header[j], std::move(v));
+      t.addNumeric(header[j],
+                   std::vector<double>(values.begin(), values.end()));
     } else {
+      // A column that is numeric except for numeric-*prefix* cells is a
+      // mangled export, not a categorical column; fail loudly at the
+      // boundary instead of silently training on strings.
+      requireArg(!(options.rejectMalformedNumeric && nPartial > 0 &&
+                   nNone == 0),
+                 "CSV: malformed numeric value '" +
+                     (firstPartial < rows.size() ? rows[firstPartial][j]
+                                                 : std::string()) +
+                     "' in column '" + header[j] + "', data row " +
+                     std::to_string(firstPartial + 1) +
+                     " (CsvOptions::rejectMalformedNumeric opts out)");
       std::vector<std::string> v;
       v.reserve(rows.size());
       for (const auto& r : rows) v.push_back(r[j]);
@@ -122,10 +153,10 @@ Table readCsv(std::istream& in) {
   return t;
 }
 
-Table readCsv(const std::string& path) {
+Table readCsv(const std::string& path, const CsvOptions& options) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("CSV: cannot open '" + path + "'");
-  return readCsv(in);
+  return readCsv(in, options);
 }
 
 void writeCsv(const Table& table, std::ostream& out) {

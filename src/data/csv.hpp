@@ -13,14 +13,32 @@
 
 namespace alperf::data {
 
+/// Validation knobs for readCsv. The defaults reject data that would
+/// poison downstream numerics at the load boundary, with row/column
+/// diagnostics — far cheaper to debug than a NaN surfacing in a Cholesky
+/// three layers later.
+struct CsvOptions {
+  /// Reject NaN/Inf values in numeric columns. Opt out for files that
+  /// legitimately carry them (e.g. archived learning traces, where a
+  /// prior-only degraded iteration records LML = -inf).
+  bool rejectNonFinite = true;
+  /// Reject cells that parse only as a numeric *prefix* (e.g. "2.5.3",
+  /// "1e") in columns where every other cell is numeric — almost always a
+  /// mangled export rather than an intentional categorical column.
+  /// Columns with any fully non-numeric cell are untouched (they are
+  /// ordinary categorical columns).
+  bool rejectMalformedNumeric = true;
+};
+
 /// Reads a CSV with a header row. Column types are inferred: a column is
 /// Numeric iff every cell parses as a double, else Categorical.
-/// Throws std::invalid_argument on ragged rows and std::runtime_error if
-/// the file cannot be opened.
-Table readCsv(const std::string& path);
+/// Throws std::invalid_argument on ragged rows, non-finite or malformed
+/// numeric cells (see CsvOptions; diagnostics name the column and 1-based
+/// data row), and std::runtime_error if the file cannot be opened.
+Table readCsv(const std::string& path, const CsvOptions& options = {});
 
 /// Reads CSV from an already-open stream (same rules as readCsv).
-Table readCsv(std::istream& in);
+Table readCsv(std::istream& in, const CsvOptions& options = {});
 
 /// Writes a table as CSV with a header row. Numeric cells use max
 /// round-trip precision. Throws std::runtime_error if the file cannot

@@ -1,9 +1,12 @@
 #include "gp/gp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numbers>
 
+#include "common/fault_inject.hpp"
+#include "common/health.hpp"
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
 #include "opt/gradient.hpp"
@@ -14,6 +17,25 @@ namespace alperf::gp {
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kLog2Pi = 1.8378770664093453;  // log(2π)
+
+/// Fault hook shared by the model-selection objectives: under an armed
+/// `lml.nan` / `lml.inf` spec, replaces a finite objective value with the
+/// corresponding non-finite one so the containment path downstream is
+/// exercised. Identity when unarmed.
+double maybePoisonObjective(double value, std::size_t n, long long evalIdx,
+                            long long startIdx) {
+  auto& faults = FaultInjector::instance();
+  if (!faults.armed()) return value;
+  FaultAttrs attrs;
+  attrs.n = static_cast<long long>(n);
+  attrs.eval = evalIdx;
+  attrs.start = startIdx;
+  if (faults.fire("lml.nan", attrs))
+    return std::numeric_limits<double>::quiet_NaN();
+  if (faults.fire("lml.inf", attrs))
+    return std::numeric_limits<double>::infinity();
+  return value;
+}
 }  // namespace
 
 la::Vector Prediction::stdDev() const {
@@ -45,7 +67,8 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
       chol_(other.chol_ ? std::make_unique<la::Cholesky>(*other.chol_)
                         : nullptr),
       alpha_(other.alpha_),
-      lml_(other.lml_) {}
+      lml_(other.lml_),
+      priorOnly_(other.priorOnly_) {}
 
 GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
   if (this == &other) return *this;
@@ -91,12 +114,26 @@ const la::Vector& GaussianProcess::trainY() const {
 }
 
 la::Matrix GaussianProcess::trainGram(const Kernel& k) const {
+  la::Matrix km;
   if (config_.useDistanceCache && distCache_.matches(x_)) {
     PerfRegistry::instance().increment("gp.gram.hit");
-    return k.gram(x_, distCache_);
+    km = k.gram(x_, distCache_);
+  } else {
+    PerfRegistry::instance().increment("gp.gram.miss");
+    km = k.gram(x_);
   }
-  PerfRegistry::instance().increment("gp.gram.miss");
-  return k.gram(x_);
+  // Fault hook: a `gram.nan` spec poisons one diagonal element, modelling
+  // a corrupted kernel evaluation. Diagonal, so the matrix stays
+  // symmetric and the NaN is contained at the Cholesky boundary rather
+  // than tripping the symmetry precondition.
+  auto& faults = FaultInjector::instance();
+  if (faults.armed() && km.rows() > 0) {
+    FaultAttrs attrs;
+    attrs.n = static_cast<long long>(km.rows());
+    if (faults.fire("gram.nan", attrs))
+      km(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  return km;
 }
 
 void GaussianProcess::trainGramGradients(
@@ -112,8 +149,8 @@ void GaussianProcess::trainGramGradients(
 }
 
 GaussianProcess::LmlResult GaussianProcess::evalLml(
-    std::span<const double> thetaFull, bool wantGrad,
-    FitDiagnostics& diag) const {
+    std::span<const double> thetaFull, bool wantGrad, FitDiagnostics& diag,
+    long long evalIdx, long long startIdx) const {
   const std::size_t p = kernel_->numParams();
   requireArg(thetaFull.size() == p + 1, "evalLml: wrong hyperparameter count");
   LmlResult out{kNegInf, {}};
@@ -129,7 +166,7 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
   ky.addToDiagonal(noiseVar);
   std::unique_ptr<la::Cholesky> chol;
   try {
-    chol = std::make_unique<la::Cholesky>(std::move(ky));
+    chol = std::make_unique<la::Cholesky>(std::move(ky), config_.jitterScaleMax);
   } catch (const NumericalError&) {
     ++diag.choleskyFailures;
     return out;  // -inf: optimizer will back off
@@ -137,10 +174,13 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
 
   const la::Vector alpha = chol->solve(y_);
   const double n = static_cast<double>(y_.size());
-  const double value =
-      -0.5 * la::dot(y_, alpha) - 0.5 * chol->logDet() - 0.5 * n * kLog2Pi;
+  const double value = maybePoisonObjective(
+      -0.5 * la::dot(y_, alpha) - 0.5 * chol->logDet() - 0.5 * n * kLog2Pi,
+      y_.size(), evalIdx, startIdx);
   if (!std::isfinite(value)) {
     ++diag.nonFiniteObjectives;
+    HealthMonitor::instance().record("lml.nonfinite",
+                                     "LML evaluated non-finite");
     return out;
   }
   out.value = value;
@@ -169,12 +209,32 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
     double trNoise = 0.0;
     for (std::size_t i = 0; i < alpha.size(); ++i) trNoise += inner(i, i);
     out.grad[p] = 0.5 * trNoise * noiseVar;
+
+    auto& faults = FaultInjector::instance();
+    if (faults.armed()) {
+      FaultAttrs attrs;
+      attrs.n = static_cast<long long>(y_.size());
+      attrs.eval = evalIdx;
+      attrs.start = startIdx;
+      if (faults.fire("grad.nan", attrs))
+        out.grad[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    for (const double g : out.grad)
+      if (!std::isfinite(g)) {
+        // A poisoned gradient would steer L-BFGS into garbage silently;
+        // reject the proposal outright instead.
+        ++diag.nonFiniteGradients;
+        HealthMonitor::instance().record("grad.nonfinite",
+                                         "LML gradient contained NaN/Inf");
+        return LmlResult{kNegInf, {}};
+      }
   }
   return out;
 }
 
 double GaussianProcess::evalLoo(std::span<const double> thetaFull,
-                                FitDiagnostics& diag) const {
+                                FitDiagnostics& diag, long long evalIdx,
+                                long long startIdx) const {
   const std::size_t p = kernel_->numParams();
   requireArg(thetaFull.size() == p + 1, "evalLoo: wrong hyperparameter count");
 
@@ -186,7 +246,7 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull,
   ky.addToDiagonal(noiseVar);
   std::unique_ptr<la::Cholesky> chol;
   try {
-    chol = std::make_unique<la::Cholesky>(std::move(ky));
+    chol = std::make_unique<la::Cholesky>(std::move(ky), config_.jitterScaleMax);
   } catch (const NumericalError&) {
     ++diag.choleskyFailures;
     return kNegInf;
@@ -208,8 +268,11 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull,
     const double r = y_[i] - looMu;
     logp += -0.5 * std::log(looVar) - r * r / (2.0 * looVar) - 0.5 * kLog2Pi;
   }
+  logp = maybePoisonObjective(logp, y_.size(), evalIdx, startIdx);
   if (!std::isfinite(logp)) {
     ++diag.nonFiniteObjectives;
+    HealthMonitor::instance().record("lml.nonfinite",
+                                     "LOO objective evaluated non-finite");
     return kNegInf;
   }
   return logp;
@@ -219,6 +282,10 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
   requireArg(x.rows() == y.size(), "GaussianProcess::fit: X/y size mismatch");
   requireArg(y.size() >= 1, "GaussianProcess::fit: need at least one point");
   ScopedTimer timer("gp.fit");
+  // Ambient flag for fault predicates: `chol.fail@opt=1` fails the
+  // hyperparameter-optimizing fit but spares the optimize=false refits the
+  // degradation ladder falls back to.
+  OptimizingScope optScope(config_.optimize);
   x_ = std::move(x);
   y_ = std::move(y);
   chol_.reset();
@@ -246,10 +313,19 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
     const auto runStart = [&, p, useLml](std::size_t start,
                                          std::span<const double> x0) {
       FitDiagnostics& diag = startDiags[start];
+      // Per-start objective-evaluation index for fault predicates
+      // (`lml.inf@eval=3,start=0`): each start's local search is
+      // sequential, so the index is deterministic at any thread count.
+      // Shared by the value-only and combined lambdas — both live only
+      // for the minimize() call below.
+      long long evals = 0;
+      const long long startIdx = static_cast<long long>(start);
       // Minimize the negative selection objective over [kernel θ, log σ_n²].
-      const auto negValue = [this, useLml, &diag](std::span<const double> t) {
-        const double v =
-            useLml ? evalLml(t, false, diag).value : evalLoo(t, diag);
+      const auto negValue = [this, useLml, &diag, &evals,
+                             startIdx](std::span<const double> t) {
+        const long long e = evals++;
+        const double v = useLml ? evalLml(t, false, diag, e, startIdx).value
+                                : evalLoo(t, diag, e, startIdx);
         return std::isfinite(v) ? -v : std::numeric_limits<double>::infinity();
       };
       // For LML the value and analytic gradient come from one factorization;
@@ -258,9 +334,11 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
           useLml ? opt::FunctionObjective(
                        p + 1, negValue,
                        opt::FunctionObjective::CombinedFn(
-                           [this, &diag](std::span<const double> t,
-                                         std::span<double> g) {
-                             const auto r = evalLml(t, true, diag);
+                           [this, &diag, &evals, startIdx](
+                               std::span<const double> t,
+                               std::span<double> g) {
+                             const auto r =
+                                 evalLml(t, true, diag, evals++, startIdx);
                              if (r.grad.empty()) {
                                for (auto& v : g) v = 0.0;
                              } else {
@@ -281,14 +359,46 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
     for (const auto& d : startDiags) {
       diagnostics_.choleskyFailures += d.choleskyFailures;
       diagnostics_.nonFiniteObjectives += d.nonFiniteObjectives;
+      diagnostics_.nonFiniteGradients += d.nonFiniteGradients;
     }
-    if (std::isfinite(result.best.fval)) {
-      kernel_->setTheta(
-          std::span<const double>(result.best.x).subspan(0, p));
-      noiseVar_ = std::exp(result.best.x[p]);
+
+    std::vector<double> best = result.best.x;
+    auto& faults = FaultInjector::instance();
+    if (!best.empty() && faults.armed()) {
+      FaultAttrs attrs;
+      attrs.n = static_cast<long long>(y_.size());
+      if (faults.fire("theta.nan", attrs))
+        best[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    bool thetaFinite = true;
+    for (const double t : best)
+      if (!std::isfinite(t)) thetaFinite = false;
+
+    if (std::isfinite(result.best.fval) && thetaFinite) {
+      // Clamp into the box before installing. The L-BFGS runs project every
+      // iterate, so fault-free this is a bit-exact no-op; it contains any
+      // future optimizer that steps outside, and gives fault specs a
+      // deterministic place to observe clamping.
+      bool clamped = false;
+      for (std::size_t i = 0; i < best.size(); ++i) {
+        const double c = std::clamp(best[i], bounds.lo[i], bounds.hi[i]);
+        if (c != best[i]) clamped = true;
+        best[i] = c;
+      }
+      if (clamped)
+        HealthMonitor::instance().record(
+            "theta.clamped", "optimized theta clamped into bounds");
+      kernel_->setTheta(std::span<const double>(best).subspan(0, p));
+      noiseVar_ = std::exp(best[p]);
     } else {
-      // Every optimizer proposal failed; the previous hyperparameters are
-      // kept. Record the degraded fit so campaign loops can react.
+      // Every optimizer proposal failed, or the winning theta itself was
+      // non-finite; the previous hyperparameters are kept. Record the
+      // degraded fit so campaign loops can react.
+      if (!thetaFinite)
+        HealthMonitor::instance().record("theta.nonfinite",
+                                         "optimized theta was non-finite");
+      HealthMonitor::instance().record("fit.rejected",
+                                       "no finite optimum; kept prior theta");
       ++diagnostics_.rejectedFits;
     }
   }
@@ -299,6 +409,10 @@ void GaussianProcess::addObservation(std::span<const double> x, double y) {
   requireArg(fitted(), "GaussianProcess::addObservation: not fitted");
   requireArg(x.size() == x_.cols(),
              "GaussianProcess::addObservation: dimension mismatch");
+  if (priorOnly_)
+    throw NumericalError(
+        "GaussianProcess::addObservation: prior-only posterior has no "
+        "factorization to extend; a full fit() is required");
   ScopedTimer timer("gp.addObservation");
   const std::size_t n = x_.rows();
 
@@ -327,11 +441,31 @@ void GaussianProcess::addObservation(std::span<const double> x, double y) {
 void GaussianProcess::computePosterior() {
   la::Matrix ky = trainGram(*kernel_);
   ky.addToDiagonal(noiseVar_);
-  chol_ = std::make_unique<la::Cholesky>(std::move(ky));
+  chol_ = std::make_unique<la::Cholesky>(std::move(ky), config_.jitterScaleMax);
   alpha_ = chol_->solve(y_);
   const double n = static_cast<double>(y_.size());
   lml_ = -0.5 * la::dot(y_, alpha_) - 0.5 * chol_->logDet() -
          0.5 * n * kLog2Pi;
+  priorOnly_ = false;
+}
+
+void GaussianProcess::fitPriorOnly(la::Matrix x, la::Vector y) {
+  requireArg(x.rows() == y.size(),
+             "GaussianProcess::fitPriorOnly: X/y size mismatch");
+  requireArg(y.size() >= 1,
+             "GaussianProcess::fitPriorOnly: need at least one point");
+  x_ = std::move(x);
+  y_ = std::move(y);
+  chol_.reset();
+  alpha_.clear();
+  priorOnly_ = true;
+  lml_ = kNegInf;
+  // Keep the cache coherent with x_ so the recovery fit() that follows
+  // still takes the append path.
+  if (config_.useDistanceCache)
+    distCache_.sync(x_);
+  else
+    distCache_.clear();
 }
 
 Prediction GaussianProcess::predict(const la::Matrix& xStar,
@@ -340,6 +474,18 @@ Prediction GaussianProcess::predict(const la::Matrix& xStar,
   requireArg(xStar.cols() == x_.cols(),
              "GaussianProcess::predict: dimension mismatch");
   ScopedTimer timer("gp.predict");
+  if (priorOnly_) {
+    // Degraded prior-only posterior: mean 0, variance k(x,x) (+ noise).
+    Prediction prior;
+    prior.mean.assign(xStar.rows(), 0.0);
+    prior.variance.resize(xStar.rows());
+    for (std::size_t j = 0; j < xStar.rows(); ++j) {
+      double var = kernel_->eval(xStar.row(j), xStar.row(j));
+      if (includeNoise) var += noiseVar_;
+      prior.variance[j] = std::max(var, 0.0);
+    }
+    return prior;
+  }
   const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
   Prediction pred;
   pred.mean = la::matvecTransposed(kCross, alpha_);
@@ -371,6 +517,17 @@ GaussianProcess::PointGradient GaussianProcess::predictOneWithGradient(
              "predictOneWithGradient: dimension mismatch");
   const std::size_t n = x_.rows();
   const std::size_t d = x.size();
+  if (priorOnly_) {
+    PointGradient prior;
+    prior.meanGrad.assign(d, 0.0);
+    prior.variance = std::max(kernel_->eval(x, x), 0.0);
+    la::Vector selfGrad(d);
+    kernel_->evalGradX(x, x, selfGrad);
+    prior.varianceGrad.resize(d);
+    for (std::size_t j = 0; j < d; ++j)
+      prior.varianceGrad[j] = 2.0 * selfGrad[j];
+    return prior;
+  }
 
   la::Vector k(n);
   la::Matrix kGrad(n, d);  // row i: ∂k(x, x_i)/∂x
@@ -403,6 +560,7 @@ la::Matrix GaussianProcess::posteriorCovariance(const la::Matrix& xStar) const {
   requireArg(fitted(), "GaussianProcess::posteriorCovariance: not fitted");
   requireArg(xStar.cols() == x_.cols(),
              "GaussianProcess::posteriorCovariance: dimension mismatch");
+  if (priorOnly_) return kernel_->gram(xStar);
   const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
   const std::size_t m = xStar.rows();
   // V = L⁻¹ K_cross (n × m), covariance = K(X*,X*) − VᵀV.

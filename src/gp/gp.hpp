@@ -67,6 +67,10 @@ struct GpConfig {
                             .gradTol = 1e-5,
                             .stepTol = 1e-10,
                             .fTol = 1e-10};
+  /// Jitter-escalation cap passed to every K_y factorization (see
+  /// la::Cholesky). The degradation ladder raises it temporarily when
+  /// retrying a failed fit (AlConfig::recoveryJitterScale).
+  double jitterScaleMax = 1e-6;
 };
 
 /// Counters of numerical failures swallowed during hyperparameter
@@ -81,13 +85,18 @@ struct FitDiagnostics {
   int choleskyFailures = 0;
   /// The selection objective (LML / LOO) evaluated to NaN or ±Inf.
   int nonFiniteObjectives = 0;
-  /// fit() found no finite optimum at all and kept the previous
-  /// hyperparameters — the degraded-fit case the executor watches for.
+  /// The analytic LML gradient contained a NaN/Inf at a finite value —
+  /// the proposal is rejected as if the value itself were non-finite.
+  int nonFiniteGradients = 0;
+  /// fit() found no finite optimum at all (or the optimum itself was
+  /// non-finite) and kept the previous hyperparameters — the degraded-fit
+  /// case the executor watches for.
   int rejectedFits = 0;
 
   void reset() { *this = FitDiagnostics{}; }
   int total() const {
-    return choleskyFailures + nonFiniteObjectives + rejectedFits;
+    return choleskyFailures + nonFiniteObjectives + nonFiniteGradients +
+           rejectedFits;
   }
 };
 
@@ -125,7 +134,19 @@ class GaussianProcess {
   /// natural per-iteration update for the paper's online AL use case.
   void addObservation(std::span<const double> x, double y);
 
-  bool fitted() const { return chol_ != nullptr; }
+  /// Installs a *prior-only* posterior over the given data — the last
+  /// rung of the degradation ladder when every factorization of K_y
+  /// fails: predictions fall back to the prior (mean 0, variance
+  /// k(x,x)), logMarginalLikelihood() is -inf, and addObservation()
+  /// throws NumericalError (there is no factorization to extend — a full
+  /// fit() is required to leave this state). Never throws for valid
+  /// shapes: this rung must not fail.
+  void fitPriorOnly(la::Matrix x, la::Vector y);
+
+  /// True when the model is in the prior-only degraded state.
+  bool priorOnly() const { return priorOnly_; }
+
+  bool fitted() const { return chol_ != nullptr || priorOnly_; }
 
   /// Predictive mean and latent-f variance at each row of xStar
   /// (eqs. 5–6). With includeNoise, σ_n² is added to each variance
@@ -208,12 +229,17 @@ class GaussianProcess {
   /// LML (and optionally its gradient) at thetaFull on (x_, y_).
   /// Returns -inf value on numerical failure instead of throwing; swallowed
   /// failures are recorded into `diag` (per-start sinks during the parallel
-  /// hyperparameter search, diagnostics_ everywhere else).
+  /// hyperparameter search, diagnostics_ everywhere else). evalIdx/startIdx
+  /// identify the evaluation for fault injection: the per-start objective
+  /// evaluation index and the optimizer start index, both deterministic at
+  /// any thread count because each start's local search is sequential
+  /// (-1 = not inside the multi-start search).
   LmlResult evalLml(std::span<const double> thetaFull, bool wantGrad,
-                    FitDiagnostics& diag) const;
+                    FitDiagnostics& diag, long long evalIdx = -1,
+                    long long startIdx = -1) const;
 
-  double evalLoo(std::span<const double> thetaFull,
-                 FitDiagnostics& diag) const;
+  double evalLoo(std::span<const double> thetaFull, FitDiagnostics& diag,
+                 long long evalIdx = -1, long long startIdx = -1) const;
 
   /// Gram of `k` over the train inputs, through the distance cache when it
   /// is enabled and in sync (bumps gp.gram.hit / gp.gram.miss).
@@ -241,6 +267,9 @@ class GaussianProcess {
   std::unique_ptr<la::Cholesky> chol_;
   la::Vector alpha_;
   double lml_ = 0.0;
+  /// Degraded prior-only state (see fitPriorOnly()); cleared by any
+  /// successful fit()/computePosterior().
+  bool priorOnly_ = false;
 };
 
 }  // namespace alperf::gp

@@ -1,11 +1,39 @@
 #include "la/cholesky.hpp"
 
 #include <cmath>
+#include <sstream>
 
+#include "common/fault_inject.hpp"
+#include "common/health.hpp"
 #include "common/perf_stats.hpp"
 #include "la/blas.hpp"
 
 namespace alperf::la {
+
+namespace {
+
+std::string describeAttempts(const RecoveryEvent& ev, std::size_t n) {
+  std::ostringstream os;
+  os << "n=" << n << " attempts=" << ev.attempts << " jitter=" << ev.finalJitter;
+  if (ev.rcond >= 0.0) os << " rcond=" << ev.rcond;
+  return os.str();
+}
+
+}  // namespace
+
+const char* toString(CholeskyStatus status) {
+  switch (status) {
+    case CholeskyStatus::Ok:
+      return "Ok";
+    case CholeskyStatus::RecoveredWithJitter:
+      return "RecoveredWithJitter";
+    case CholeskyStatus::NonFiniteInput:
+      return "NonFiniteInput";
+    case CholeskyStatus::NotPositiveDefinite:
+      return "NotPositiveDefinite";
+  }
+  return "unknown";
+}
 
 bool choleskyInPlace(Matrix& a) {
   return blockedKernelsEnabled() ? choleskyInPlaceBlocked(a)
@@ -16,8 +44,31 @@ Cholesky::Cholesky(Matrix a, double maxJitterScale, double symTol) {
   requireArg(a.rows() == a.cols(), "Cholesky: matrix must be square");
   PerfRegistry::instance().increment("la.cholesky");
   const std::size_t n = a.rows();
-  // Symmetry check relative to the largest element.
+
+  // One sweep computes everything the recovery policy needs: NaN/Inf
+  // containment, the symmetry precondition, ‖A‖₁ for the condition
+  // estimator, and the mean diagonal for the jitter scale. Containment
+  // comes first — a NaN fails every comparison, so the symmetry check
+  // would otherwise misreport poisoned input as a precondition violation
+  // (std::invalid_argument) instead of a recoverable NumericalError.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (!std::isfinite(a(i, j))) {
+        recovery_.status = CholeskyStatus::NonFiniteInput;
+        recovery_.attempts = 0;
+        std::ostringstream os;
+        os << "non-finite element at (" << i << "," << j << "), n=" << n;
+        HealthMonitor::instance().record("chol.nonfinite", os.str());
+        throw NumericalError("Cholesky: matrix contains a non-finite element");
+      }
   const double scale = a.maxAbs();
+  double anorm1 = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double colSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) colSum += std::abs(a(i, j));
+    if (colSum > anorm1) anorm1 = colSum;
+  }
+  anorm1_ = anorm1;
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j)
       requireArg(std::abs(a(i, j) - a(j, i)) <= symTol * (scale + 1.0),
@@ -28,21 +79,93 @@ Cholesky::Cholesky(Matrix a, double maxJitterScale, double symTol) {
   meanDiag = n ? meanDiag / static_cast<double>(n) : 0.0;
   if (meanDiag == 0.0) meanDiag = 1.0;
 
-  // Try raw factorization first, then escalate jitter by decades.
+  // Try raw factorization first, then escalate jitter by decades. Attempt
+  // indices are deterministic (the loop is sequential), so a
+  // `chol.fail@attempt=K` fault spec forces exactly attempt K to fail at
+  // any thread count.
+  auto& faults = FaultInjector::instance();
   double jit = 0.0;
+  int attempt = 0;
   for (double scaleStep = 1e-12;; scaleStep *= 10.0) {
     Matrix work = a;
     if (jit > 0.0) work.addToDiagonal(jit);
-    if (choleskyInPlace(work)) {
+    bool ok = choleskyInPlace(work);
+    if (ok && faults.armed()) {
+      FaultAttrs attrs;
+      attrs.n = static_cast<long long>(n);
+      attrs.attempt = attempt;
+      if (faults.fire("chol.fail", attrs)) ok = false;
+    }
+    if (ok) {
       l_ = std::move(work);
       jitter_ = jit;
+      recovery_.attempts = attempt + 1;
+      recovery_.finalJitter = jit;
+      if (jit > 0.0) {
+        recovery_.status = CholeskyStatus::RecoveredWithJitter;
+        // Recovery is rare, so the O(n²) condition estimate is affordable
+        // here; the common no-jitter path defers it to rcond1().
+        recovery_.rcond = estimateRcond1();
+        rcondCache_ = recovery_.rcond;
+        HealthMonitor::instance().record("chol.recovered",
+                                         describeAttempts(recovery_, n));
+      }
       return;
     }
-    if (scaleStep > maxJitterScale)
+    ++attempt;
+    if (scaleStep > maxJitterScale) {
+      recovery_.status = CholeskyStatus::NotPositiveDefinite;
+      recovery_.attempts = attempt;
+      recovery_.finalJitter = jit;
+      HealthMonitor::instance().record("chol.failed",
+                                       describeAttempts(recovery_, n));
       throw NumericalError(
           "Cholesky: matrix not SPD even after jitter escalation");
+    }
     jit = scaleStep * meanDiag;
   }
+}
+
+RecoveryEvent Cholesky::recovery() const {
+  RecoveryEvent ev = recovery_;
+  if (ev.rcond < 0.0 && rcondCache_ >= 0.0) ev.rcond = rcondCache_;
+  return ev;
+}
+
+double Cholesky::rcond1() const {
+  if (rcondCache_ < 0.0) rcondCache_ = estimateRcond1();
+  return rcondCache_;
+}
+
+double Cholesky::estimateRcond1() const {
+  // Hager's 1-norm estimator (Higham's refinement): maximize ‖A⁻¹x‖₁ over
+  // the unit 1-ball via at most 5 power iterations, each two triangular
+  // solve pairs — O(n²) total, no refactorization.
+  const std::size_t n = dim();
+  if (n == 0) return 1.0;
+  if (anorm1_ <= 0.0) return 0.0;
+  Vector x(n, 1.0 / static_cast<double>(n));
+  double est = 0.0;
+  for (int it = 0; it < 5; ++it) {
+    const Vector y = solve(x);
+    double ynorm = 0.0;
+    for (const double v : y) ynorm += std::abs(v);
+    est = ynorm;
+    Vector xi(n);
+    for (std::size_t i = 0; i < n; ++i) xi[i] = y[i] >= 0.0 ? 1.0 : -1.0;
+    const Vector z = solve(xi);  // A symmetric, so Aᵀ-solve == A-solve
+    std::size_t jmax = 0;
+    for (std::size_t i = 1; i < n; ++i)
+      if (std::abs(z[i]) > std::abs(z[jmax])) jmax = i;
+    double zx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) zx += z[i] * x[i];
+    if (std::abs(z[jmax]) <= zx) break;
+    x.assign(n, 0.0);
+    x[jmax] = 1.0;
+  }
+  if (!(est > 0.0) || !std::isfinite(est)) return 0.0;
+  const double rcond = 1.0 / (anorm1_ * est);
+  return std::isfinite(rcond) ? rcond : 0.0;
 }
 
 Vector Cholesky::solveLower(std::span<const double> b) const {
@@ -140,10 +263,22 @@ Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
 void Cholesky::extend(std::span<const double> k, double kappa) {
   const std::size_t n = dim();
   requireArg(k.size() == n, "Cholesky::extend: cross-covariance size");
+  bool poisoned = false;
+  auto& faults = FaultInjector::instance();
+  if (faults.armed()) {
+    FaultAttrs attrs;
+    attrs.n = static_cast<long long>(n);
+    poisoned = faults.fire("extend.fail", attrs);
+  }
   const Vector l = solveLower(k);
-  const double pivotSq = kappa - la::dot(l, l);
-  if (!(pivotSq > 0.0) || !std::isfinite(pivotSq))
+  double pivotSq = kappa - la::dot(l, l);
+  if (poisoned) pivotSq = -1.0;
+  if (!(pivotSq > 0.0) || !std::isfinite(pivotSq)) {
+    std::ostringstream os;
+    os << "n=" << n << " pivotSq=" << pivotSq;
+    HealthMonitor::instance().record("chol.extend", os.str());
     throw NumericalError("Cholesky::extend: extended matrix not SPD");
+  }
   Matrix grown(n + 1, n + 1);
   for (std::size_t i = 0; i < n; ++i) {
     const auto src = l_.row(i);
@@ -151,6 +286,14 @@ void Cholesky::extend(std::span<const double> k, double kappa) {
   }
   for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
   grown(n, n) = std::sqrt(pivotSq);
+  // rcond of the grown matrix differs; drop the cached estimate and bump
+  // the 1-norm with the new column (a lower bound — old column sums grow
+  // by |k_j| each, which an estimate can ignore).
+  rcondCache_ = -1.0;
+  recovery_.rcond = -1.0;
+  double newCol = std::abs(kappa);
+  for (const double v : k) newCol += std::abs(v);
+  if (newCol > anorm1_) anorm1_ = newCol;
   l_ = std::move(grown);
 }
 

@@ -2,16 +2,47 @@
 
 /// \file cholesky.hpp
 /// Cholesky (L·Lᵀ) factorization of symmetric positive-definite matrices,
-/// with the jitter-escalation fallback standard in GP implementations:
-/// if the factorization fails (the kernel matrix is numerically singular),
-/// an increasing multiple of the mean diagonal is added until it succeeds
-/// or a cap is reached.
+/// with the structured recovery policy the numerics-health layer builds
+/// on: if the raw factorization fails (the kernel matrix is numerically
+/// singular), an increasing multiple of the mean diagonal is added until
+/// it succeeds or a cap is reached, and the outcome — attempt count,
+/// final jitter, condition estimate, failure kind — is recorded as a
+/// typed RecoveryEvent and reported to the HealthMonitor
+/// (common/health.hpp). Non-finite input is contained here: it throws
+/// NumericalError (recoverable) instead of propagating NaN into the
+/// factor or aborting as a precondition violation.
 
 #include <cstddef>
 
 #include "la/matrix.hpp"
 
 namespace alperf::la {
+
+/// How a factorization concluded — the failure taxonomy the GP layer's
+/// degradation ladder dispatches on.
+enum class CholeskyStatus {
+  Ok,                   ///< factorized without jitter
+  RecoveredWithJitter,  ///< succeeded after diagonal jitter escalation
+  NonFiniteInput,       ///< input contained NaN/Inf (ctor threw)
+  NotPositiveDefinite,  ///< jitter cap reached without success (ctor threw)
+};
+
+/// Human-readable name of a CholeskyStatus.
+const char* toString(CholeskyStatus status);
+
+/// Typed record of what a factorization needed to succeed. Replaces the
+/// former ad-hoc jitter loop's implicit state: campaign monitors can log
+/// or alert on it without string-parsing exception messages.
+struct RecoveryEvent {
+  CholeskyStatus status = CholeskyStatus::Ok;
+  int attempts = 1;          ///< factorization attempts (1 = raw succeeded)
+  double finalJitter = 0.0;  ///< total diagonal jitter of the final attempt
+  /// Reciprocal 1-norm condition estimate of the factorized matrix
+  /// (Hager/Higham estimator, a few O(n²) solves). Computed eagerly when
+  /// jitter was needed, lazily via Cholesky::rcond1() otherwise; -1.0
+  /// when not (yet) computed.
+  double rcond = -1.0;
+};
 
 /// Result of a Cholesky factorization A = L·Lᵀ (L lower-triangular).
 ///
@@ -21,15 +52,28 @@ namespace alperf::la {
 class Cholesky {
  public:
   /// Factorizes `a` (must be square and symmetric to within `symTol`
-  /// relative tolerance). Throws NumericalError if `a` is not SPD even
-  /// after jitter escalation up to `maxJitterScale` times the mean
-  /// diagonal magnitude.
+  /// relative tolerance; asymmetry is a precondition violation and throws
+  /// std::invalid_argument). Throws NumericalError when `a` contains a
+  /// non-finite element, and when `a` is not SPD even after jitter
+  /// escalation up to `maxJitterScale` times the mean diagonal magnitude.
+  /// Both failures are recorded with the HealthMonitor before throwing.
   explicit Cholesky(Matrix a, double maxJitterScale = 1e-6,
                     double symTol = 1e-8);
 
   std::size_t dim() const { return l_.rows(); }
   const Matrix& factor() const { return l_; }
   double jitter() const { return jitter_; }
+
+  /// The typed outcome of the factorization (rcond filled in when known —
+  /// see RecoveryEvent::rcond).
+  RecoveryEvent recovery() const;
+
+  /// Reciprocal 1-norm condition estimate 1/(‖A‖₁·‖A⁻¹‖₁) of the matrix
+  /// as factorized (i.e. including any jitter), via Hager's power method
+  /// on A⁻¹ — a handful of O(n²) triangular solves, no refactorization.
+  /// Cached after the first call; the first call is not thread-safe
+  /// against concurrent rcond1() calls on the same object.
+  double rcond1() const;
 
   /// Solves A·x = b. b length must equal dim().
   Vector solve(std::span<const double> b) const;
@@ -64,8 +108,13 @@ class Cholesky {
   void extend(std::span<const double> k, double kappa);
 
  private:
+  double estimateRcond1() const;
+
   Matrix l_;
   double jitter_ = 0.0;
+  double anorm1_ = 0.0;  ///< ‖A‖₁ of the input (pre-jitter), for rcond1()
+  RecoveryEvent recovery_;
+  mutable double rcondCache_ = -1.0;
 };
 
 /// Attempts a raw in-place Cholesky of `a` (lower triangle overwritten).

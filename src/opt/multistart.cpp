@@ -1,5 +1,7 @@
 #include "opt/multistart.hpp"
 
+#include <cmath>
+
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
 
@@ -7,13 +9,26 @@ namespace alperf::opt {
 
 namespace {
 
-/// Lowest-objective run, earliest index on ties — shared by both variants
-/// so they agree bit-for-bit.
+/// Lowest-objective run among the *finite* ones, earliest index on ties —
+/// shared by both variants so they agree bit-for-bit. Non-finite runs
+/// (NaN from a poisoned objective, ±inf from a start whose every proposal
+/// was rejected) are discarded and counted under `opt.start.nonfinite`: a
+/// NaN at index 0 would otherwise poison every `<` comparison and win by
+/// default. Falls back to index 0 when every run is non-finite — the
+/// caller's finite-fval check rejects that fit as before.
 std::size_t bestIndex(const std::vector<OptResult>& all) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < all.size(); ++i)
-    if (all[i].fval < all[best].fval) best = i;
-  return best;
+  std::size_t best = all.size();
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!std::isfinite(all[i].fval)) {
+      ++dropped;
+      continue;
+    }
+    if (best == all.size() || all[i].fval < all[best].fval) best = i;
+  }
+  if (dropped > 0)
+    PerfRegistry::instance().increment("opt.start.nonfinite", dropped);
+  return best == all.size() ? 0 : best;
 }
 
 }  // namespace

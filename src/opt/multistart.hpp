@@ -19,6 +19,11 @@ using LocalMinimizer = std::function<OptResult(
     const Objective&, std::span<const double>, const BoxBounds&)>;
 
 struct MultiStartResult {
+  /// The finite run with the lowest objective. Starts whose final value is
+  /// NaN/±Inf are discarded from the selection (counted under the
+  /// `opt.start.nonfinite` perf counter); when every run is non-finite,
+  /// `best` is the first run and carries its non-finite fval for the
+  /// caller to reject.
   OptResult best;
   std::vector<OptResult> all;  ///< per-start results, in run order
 };

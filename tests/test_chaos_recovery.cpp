@@ -1,0 +1,467 @@
+// Chaos suite for the numerical self-healing layer: every rung of the
+// degradation ladder (docs/ROBUSTNESS.md) is forced via the deterministic
+// fault-injection harness (common/fault_inject.hpp) and asserted through
+// the health counters it must leave behind. Also covers the fault-spec
+// grammar, the HealthMonitor ring buffer, the multi-start non-finite
+// discard, and the two determinism contracts: unarmed runs inject
+// nothing, and armed runs are bit-identical at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/fault_inject.hpp"
+#include "common/health.hpp"
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/continuous.hpp"
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+#include "la/cholesky.hpp"
+#include "opt/multistart.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+namespace opt = alperf::opt;
+using alperf::FaultAttrs;
+using alperf::FaultContext;
+using alperf::FaultInjector;
+using alperf::HealthMonitor;
+using alperf::Parallelism;
+using alperf::PerfRegistry;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Arms a fault spec for the test body and guarantees disarm on exit, so
+/// a failing assertion cannot leak injection into later tests.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    FaultInjector::instance().arm(spec);
+  }
+  ~FaultGuard() { FaultInjector::instance().disarm(); }
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+};
+
+/// Restores the global thread count on scope exit.
+struct ThreadGuard {
+  ~ThreadGuard() { Parallelism::setThreads(0); }
+};
+
+std::uint64_t counter(const std::string& name) {
+  return PerfRegistry::instance().count(name);
+}
+
+/// Noisy 1-D problem (same shape as the learner tests).
+al::RegressionProblem makeProblem(std::size_t n, std::uint64_t seed = 3,
+                                  double noise = 0.02) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(n, 1);
+  p.y.resize(n);
+  p.cost.resize(n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 10.0 * static_cast<double>(i) / (n - 1);
+    p.x(i, 0) = x;
+    p.y[i] = std::sin(x) + 0.2 * x + rng.normal(0.0, noise);
+    p.cost[i] = 1.0 + 0.1 * x;
+  }
+  p.featureNames = {"x"};
+  p.responseName = "y";
+  return p;
+}
+
+gp::GaussianProcess prototype() {
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-6;
+  cfg.noise.initial = 1e-2;
+  cfg.optStop.maxIterations = 40;
+  return gp::GaussianProcess(gp::makeSquaredExponential(1.0, 1.0), cfg);
+}
+
+al::AlResult runCampaign(unsigned seed, al::AlConfig cfg = {}) {
+  if (cfg.maxIterations < 0) cfg.maxIterations = 6;
+  cfg.nInitial = 3;
+  al::ActiveLearner learner(makeProblem(40), prototype(),
+                            std::make_unique<al::VarianceReduction>(), cfg);
+  Rng rng(seed);
+  return learner.run(rng);
+}
+
+/// Deterministic SPD matrix: AᵀA + n·I from a seeded pattern.
+la::Matrix makeSpd(std::size_t n, int seed = 1) {
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = std::sin(static_cast<double>((i + 1) * (j + 2) * seed));
+  la::Matrix spd = la::gram(a);
+  spd.addToDiagonal(static_cast<double>(n));
+  return spd;
+}
+
+void expectIdenticalHistory(const std::vector<al::IterationRecord>& a,
+                            const std::vector<al::IterationRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].chosenRow, b[i].chosenRow) << "iter " << i;
+    EXPECT_EQ(a[i].sigmaAtPick, b[i].sigmaAtPick) << "iter " << i;
+    EXPECT_EQ(a[i].muAtPick, b[i].muAtPick) << "iter " << i;
+    EXPECT_EQ(a[i].amsd, b[i].amsd) << "iter " << i;
+    EXPECT_EQ(a[i].rmse, b[i].rmse) << "iter " << i;
+    EXPECT_EQ(a[i].noiseVariance, b[i].noiseVariance) << "iter " << i;
+    EXPECT_EQ(a[i].lml, b[i].lml) << "iter " << i;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- grammar
+
+TEST(FaultSpec, ParsesSingleFaultWithCondition) {
+  const auto specs = FaultInjector::parse("gram.nan@iter=7");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].site, "gram.nan");
+  EXPECT_EQ(specs[0].match.iter, 7);
+  EXPECT_EQ(specs[0].match.n, -1);
+  EXPECT_EQ(specs[0].match.eval, -1);
+  EXPECT_EQ(specs[0].match.start, -1);
+  EXPECT_EQ(specs[0].match.attempt, -1);
+  EXPECT_EQ(specs[0].match.opt, -1);
+}
+
+TEST(FaultSpec, ParsesMultipleFaultsAndConditions) {
+  const auto specs =
+      FaultInjector::parse("chol.fail@n=256,attempt=0;lml.inf@eval=3 grad.nan");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].site, "chol.fail");
+  EXPECT_EQ(specs[0].match.n, 256);
+  EXPECT_EQ(specs[0].match.attempt, 0);
+  EXPECT_EQ(specs[1].site, "lml.inf");
+  EXPECT_EQ(specs[1].match.eval, 3);
+  EXPECT_EQ(specs[2].site, "grad.nan");
+  EXPECT_EQ(specs[2].match.iter, -1);
+}
+
+TEST(FaultSpec, EmptySpecDisarms) {
+  EXPECT_TRUE(FaultInjector::parse("").empty());
+  EXPECT_TRUE(FaultInjector::parse("  \t ").empty());
+  auto& inj = FaultInjector::instance();
+  inj.arm("gram.nan");
+  EXPECT_TRUE(inj.armed());
+  ASSERT_EQ(inj.armedSpecs().size(), 1u);
+  EXPECT_EQ(inj.armedSpecs()[0].site, "gram.nan");
+  inj.arm("");
+  EXPECT_FALSE(inj.armed());
+  EXPECT_TRUE(inj.armedSpecs().empty());
+}
+
+TEST(FaultSpec, GrammarErrorsThrow) {
+  EXPECT_THROW(FaultInjector::parse("@iter=1"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("gram.nan@bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("gram.nan@iter=x"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("gram.nan@iter=-2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("gram.nan@"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("gram.nan@iter"), std::invalid_argument);
+  // A typo'd site would arm and then silently never fire.
+  EXPECT_THROW(FaultInjector::parse("chol.fial"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("bogus.site@iter=1"),
+               std::invalid_argument);
+}
+
+TEST(FaultSpec, FirePredicatesMatchAttributes) {
+  FaultGuard guard("chol.fail@n=8,attempt=1");
+  auto& inj = FaultInjector::instance();
+  FaultAttrs hit;
+  hit.n = 8;
+  hit.attempt = 1;
+  FaultAttrs wrongN = hit;
+  wrongN.n = 9;
+  FaultAttrs wrongAttempt = hit;
+  wrongAttempt.attempt = 0;
+  const auto before = counter("fault.injected.chol.fail");
+  EXPECT_FALSE(inj.fire("chol.fail", wrongN));
+  EXPECT_FALSE(inj.fire("chol.fail", wrongAttempt));
+  EXPECT_FALSE(inj.fire("gram.nan", hit));  // different site
+  EXPECT_TRUE(inj.fire("chol.fail", hit));
+  EXPECT_EQ(counter("fault.injected.chol.fail") - before, 1u);
+}
+
+// ------------------------------------------------------ unarmed baseline
+
+TEST(ChaosRecovery, UnarmedCampaignInjectsNothing) {
+  FaultInjector::instance().disarm();
+  ASSERT_FALSE(FaultInjector::instance().armed());
+  const auto injectedBefore = counter("fault.injected");
+  const auto priorBefore = counter("health.fit.fallback.prior");
+  const auto result = runCampaign(11);
+  EXPECT_EQ(result.stopReason, al::StopReason::MaxIterations);
+  EXPECT_EQ(counter("fault.injected") - injectedBefore, 0u);
+  EXPECT_EQ(counter("health.fit.fallback.prior") - priorBefore, 0u);
+  EXPECT_EQ(result.fitFallbacks, 0);
+}
+
+// --------------------------------------------------- Cholesky-level rungs
+
+TEST(ChaosRecovery, CholFailAttemptZeroRecoversWithJitter) {
+  const auto before = counter("health.chol.recovered");
+  FaultGuard guard("chol.fail@attempt=0");
+  const la::Cholesky chol(makeSpd(6));
+  EXPECT_GT(chol.jitter(), 0.0);
+  const auto ev = chol.recovery();
+  EXPECT_EQ(ev.status, la::CholeskyStatus::RecoveredWithJitter);
+  EXPECT_GE(ev.attempts, 2);
+  EXPECT_EQ(ev.finalJitter, chol.jitter());
+  EXPECT_GT(ev.rcond, 0.0);  // computed eagerly on recovery
+  EXPECT_EQ(counter("health.chol.recovered") - before, 1u);
+}
+
+TEST(ChaosRecovery, CholFailUnconditionalExhaustsJitterLadder) {
+  const auto before = counter("health.chol.failed");
+  FaultGuard guard("chol.fail");
+  EXPECT_THROW(la::Cholesky{makeSpd(4)}, alperf::NumericalError);
+  EXPECT_EQ(counter("health.chol.failed") - before, 1u);
+}
+
+TEST(ChaosRecovery, ExtendFailContainedAndRecorded) {
+  la::Cholesky chol(makeSpd(4));
+  const la::Vector k(4, 0.0);
+  const auto before = counter("health.chol.extend");
+  {
+    FaultGuard guard("extend.fail");
+    EXPECT_THROW(chol.extend(k, 10.0), alperf::NumericalError);
+  }
+  EXPECT_EQ(counter("health.chol.extend") - before, 1u);
+  // Disarmed, the same extension succeeds: the factor was not corrupted.
+  EXPECT_NO_THROW(chol.extend(k, 10.0));
+  EXPECT_EQ(chol.dim(), 5u);
+}
+
+// ------------------------------------------------- campaign-level ladder
+
+TEST(ChaosRecovery, CholFailOptimizingFitWalksRetryAndThetaFallback) {
+  const auto retryBefore = counter("health.fit.retry");
+  const auto thetaBefore = counter("health.fit.fallback.theta");
+  const auto priorBefore = counter("health.fit.fallback.prior");
+  FaultGuard guard("chol.fail@iter=2,opt=1");
+  const auto result = runCampaign(11);
+  // The poisoned iteration exhausts rungs 1-2 (both optimize, opt=1) and
+  // lands on the rung-3 posterior-only refit, which the spec spares.
+  EXPECT_EQ(result.stopReason, al::StopReason::MaxIterations);
+  EXPECT_EQ(result.history.size(), 6u);
+  EXPECT_GE(result.fitFallbacks, 1);
+  EXPECT_GE(counter("health.fit.retry") - retryBefore, 1u);
+  EXPECT_GE(counter("health.fit.fallback.theta") - thetaBefore, 1u);
+  EXPECT_EQ(counter("health.fit.fallback.prior") - priorBefore, 0u);
+}
+
+TEST(ChaosRecovery, GramNanSingleIterationFallsBackToPriorAndRecovers) {
+  const auto priorBefore = counter("health.fit.fallback.prior");
+  const auto unhealthyBefore = counter("health.model.unhealthy");
+  FaultGuard guard("gram.nan@iter=2");
+  const auto result = runCampaign(11);
+  // Every rung that factorizes sees the poisoned gram, so iteration 2
+  // degrades to the prior; the next iteration's clean refit recovers.
+  EXPECT_EQ(result.stopReason, al::StopReason::MaxIterations);
+  EXPECT_EQ(result.history.size(), 6u);
+  EXPECT_GE(counter("health.fit.fallback.prior") - priorBefore, 1u);
+  EXPECT_EQ(counter("health.model.unhealthy") - unhealthyBefore, 0u);
+}
+
+TEST(ChaosRecovery, PersistentGramNanStopsModelUnhealthy) {
+  const auto unhealthyBefore = counter("health.model.unhealthy");
+  const auto priorBefore = counter("health.fit.fallback.prior");
+  FaultGuard guard("gram.nan");
+  al::AlConfig cfg;
+  cfg.maxIterations = 10;
+  const auto result = runCampaign(11, cfg);
+  // maxConsecutiveDegraded = 2 (default): iterations 0 and 1 run
+  // prior-only and are recorded; the third degraded fit stops the
+  // campaign before recording. The prior rung fires for those three
+  // in-loop fits plus the final post-loop fit.
+  EXPECT_EQ(result.stopReason, al::StopReason::ModelUnhealthy);
+  EXPECT_EQ(result.history.size(), 2u);
+  EXPECT_EQ(counter("health.model.unhealthy") - unhealthyBefore, 1u);
+  EXPECT_EQ(counter("health.fit.fallback.prior") - priorBefore, 4u);
+}
+
+TEST(ChaosRecovery, WatchdogStopsImmediately) {
+  const auto before = counter("health.watchdog");
+  al::AlConfig cfg;
+  cfg.wallClockBudgetSec = 0.0;
+  const auto result = runCampaign(11, cfg);
+  EXPECT_EQ(result.stopReason, al::StopReason::WatchdogExpired);
+  EXPECT_TRUE(result.history.empty());
+  EXPECT_EQ(counter("health.watchdog") - before, 1u);
+}
+
+TEST(ChaosRecovery, LmlInfContainedAndFitRejected) {
+  const auto lmlBefore = counter("health.lml.nonfinite");
+  const auto rejectedBefore = counter("health.fit.rejected");
+  const auto startBefore = counter("opt.start.nonfinite");
+  FaultGuard guard("lml.inf");
+  const auto result = runCampaign(11);
+  // Every optimizer evaluation is contained to -inf, so each fit is
+  // rejected and keeps the previous hyperparameters — but the posterior
+  // itself stays healthy and the campaign completes.
+  EXPECT_EQ(result.stopReason, al::StopReason::MaxIterations);
+  EXPECT_EQ(result.history.size(), 6u);
+  EXPECT_EQ(result.fitFallbacks, 0);
+  EXPECT_GE(counter("health.lml.nonfinite") - lmlBefore, 1u);
+  EXPECT_GE(counter("health.fit.rejected") - rejectedBefore, 1u);
+  EXPECT_GE(counter("opt.start.nonfinite") - startBefore, 1u);
+}
+
+TEST(ChaosRecovery, GradNanContained) {
+  const auto before = counter("health.grad.nonfinite");
+  FaultGuard guard("grad.nan");
+  const auto result = runCampaign(11);
+  EXPECT_EQ(result.stopReason, al::StopReason::MaxIterations);
+  EXPECT_EQ(result.history.size(), 6u);
+  EXPECT_GE(counter("health.grad.nonfinite") - before, 1u);
+}
+
+TEST(ChaosRecovery, ThetaNanRejectedKeepsModelAlive) {
+  const auto thetaBefore = counter("health.theta.nonfinite");
+  const auto rejectedBefore = counter("health.fit.rejected");
+  FaultGuard guard("theta.nan");
+  const auto result = runCampaign(11);
+  EXPECT_EQ(result.stopReason, al::StopReason::MaxIterations);
+  EXPECT_EQ(result.history.size(), 6u);
+  EXPECT_TRUE(result.finalGp.fitted());
+  EXPECT_GE(counter("health.theta.nonfinite") - thetaBefore, 1u);
+  EXPECT_GE(counter("health.fit.rejected") - rejectedBefore, 1u);
+}
+
+TEST(ChaosRecovery, ContinuousLoopSurvivesExtendFail) {
+  gp::GpConfig cfg;
+  cfg.nRestarts = 1;
+  cfg.noise.lo = 1e-3;
+  gp::GaussianProcess proto(gp::makeSquaredExponential(1.0, 1.0), cfg);
+  la::Matrix seedX(3, 1);
+  la::Vector seedY(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    seedX(i, 0) = static_cast<double>(i) * 3.0;
+    seedY[i] = std::sin(seedX(i, 0));
+  }
+  al::ContinuousAlConfig alCfg;
+  alCfg.iterations = 6;
+  alCfg.nStarts = 3;
+  alCfg.refitEvery = 3;  // incremental extensions between refits
+  const auto extendBefore = counter("health.chol.extend");
+  FaultGuard guard("extend.fail");
+  Rng rng(4);
+  const auto result = al::runContinuousAl(
+      proto, seedX, seedY, opt::BoxBounds({0.0}, {8.0}),
+      [](std::span<const double> x) { return std::sin(x[0]); },
+      al::varianceAcquisition(), alCfg, rng);
+  // Every incremental update fails and falls back to a full posterior
+  // rebuild; the campaign itself completes.
+  EXPECT_EQ(result.stopReason, al::StopReason::MaxIterations);
+  EXPECT_EQ(result.history.size(), 6u);
+  EXPECT_GE(result.fitFallbacks, 1);
+  EXPECT_GE(counter("health.chol.extend") - extendBefore, 1u);
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(ChaosRecovery, TraceBitIdenticalOnceDisarmed) {
+  FaultInjector::instance().disarm();
+  const auto baseline = runCampaign(17);
+  {
+    FaultGuard guard("gram.nan@iter=1");
+    const auto armed = runCampaign(17);
+    EXPECT_EQ(armed.history.size(), baseline.history.size());
+  }
+  // A fresh same-seed run after disarm must reproduce the never-armed
+  // trace exactly — injection leaves no residue in any global state.
+  const auto after = runCampaign(17);
+  expectIdenticalHistory(baseline.history, after.history);
+}
+
+TEST(ChaosRecovery, ArmedCampaignDeterministicAcrossThreadCounts) {
+  ThreadGuard threads;
+  FaultGuard guard("gram.nan@iter=2");
+  Parallelism::setThreads(1);
+  const auto seq = runCampaign(13);
+  Parallelism::setThreads(4);
+  const auto par = runCampaign(13);
+  EXPECT_EQ(seq.stopReason, par.stopReason);
+  EXPECT_EQ(seq.fitFallbacks, par.fitFallbacks);
+  expectIdenticalHistory(seq.history, par.history);
+}
+
+// ------------------------------------------------------------ health ring
+
+TEST(HealthRing, KeepsMostRecentIncidentsWithMonotoneSeq) {
+  auto& mon = HealthMonitor::instance();
+  mon.reset();
+  FaultContext::setIteration(5);
+  for (int i = 0; i < 100; ++i)
+    mon.record("test.ring", "incident " + std::to_string(i));
+  FaultContext::setIteration(-1);
+  EXPECT_EQ(mon.total(), 100u);
+  const auto recent = mon.recent();
+  ASSERT_EQ(recent.size(), HealthMonitor::kRingCapacity);
+  EXPECT_EQ(recent.front().seq, 100u - HealthMonitor::kRingCapacity + 1);
+  EXPECT_EQ(recent.back().seq, 100u);
+  for (std::size_t i = 1; i < recent.size(); ++i)
+    EXPECT_EQ(recent[i].seq, recent[i - 1].seq + 1);
+  EXPECT_EQ(recent.front().kind, "test.ring");
+  EXPECT_EQ(recent.front().iteration, 5);
+  const std::string report = mon.report();
+  EXPECT_NE(report.find("test.ring"), std::string::npos);
+  mon.reset();
+  EXPECT_TRUE(mon.recent().empty());
+  EXPECT_EQ(mon.total(), 0u);
+}
+
+// ---------------------------------------------------- multi-start discard
+
+TEST(MultiStartChaos, NonFiniteStartsDiscarded) {
+  const opt::BoxBounds bounds({0.0}, {1.0});
+  const auto runStart = [](std::size_t start,
+                           std::span<const double> x0) {
+    opt::OptResult r;
+    r.x.assign(x0.begin(), x0.end());
+    if (start == 0)
+      r.fval = std::numeric_limits<double>::quiet_NaN();
+    else if (start == 1)
+      r.fval = std::numeric_limits<double>::infinity();
+    else
+      r.fval = static_cast<double>(start);  // finite: 2, 3
+    return r;
+  };
+  const auto before = counter("opt.start.nonfinite");
+  Rng rng(2);
+  const std::vector<double> x0{0.5};
+  const auto result =
+      opt::multiStartMinimizeParallel(runStart, x0, bounds, 3, rng);
+  EXPECT_DOUBLE_EQ(result.best.fval, 2.0);
+  EXPECT_EQ(counter("opt.start.nonfinite") - before, 2u);
+}
+
+TEST(MultiStartChaos, AllNonFiniteFallsBackToFirstStart) {
+  const opt::BoxBounds bounds({0.0}, {1.0});
+  const auto runStart = [](std::size_t, std::span<const double> x0) {
+    opt::OptResult r;
+    r.x.assign(x0.begin(), x0.end());
+    r.fval = std::numeric_limits<double>::quiet_NaN();
+    return r;
+  };
+  const auto before = counter("opt.start.nonfinite");
+  Rng rng(2);
+  const std::vector<double> x0{0.5};
+  const auto result =
+      opt::multiStartMinimizeParallel(runStart, x0, bounds, 2, rng);
+  EXPECT_TRUE(std::isnan(result.best.fval));
+  EXPECT_EQ(counter("opt.start.nonfinite") - before, 3u);
+}

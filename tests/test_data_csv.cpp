@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 namespace data = alperf::data;
@@ -122,4 +123,62 @@ TEST(Csv, WriteQuotesHeaderWhenNeeded) {
 
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(data::readCsv("/nonexistent/path.csv"), std::runtime_error);
+}
+
+TEST(CsvValidation, NonFiniteValueRejectedWithDiagnostics) {
+  std::istringstream in("a,v\nx,1\ny,nan\n");
+  try {
+    data::readCsv(in);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("non-finite"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 'v'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(CsvValidation, InfinityRejected) {
+  std::istringstream in("v\n1\n-inf\n");
+  EXPECT_THROW(data::readCsv(in), std::invalid_argument);
+}
+
+TEST(CsvValidation, NonFiniteOptOutReadsValues) {
+  std::istringstream in("v\n1\nnan\ninf\n");
+  const Table t = data::readCsv(in, {.rejectNonFinite = false});
+  EXPECT_EQ(t.column("v").type, ColumnType::Numeric);
+  EXPECT_DOUBLE_EQ(t.numeric("v")[0], 1.0);
+  EXPECT_TRUE(std::isnan(t.numeric("v")[1]));
+  EXPECT_TRUE(std::isinf(t.numeric("v")[2]));
+}
+
+TEST(CsvValidation, MalformedNumericCellRejectedWithDiagnostics) {
+  // "2.5.3" parses as a numeric prefix: a mangled export, not a
+  // categorical value.
+  std::istringstream in("v\n1\n2.5.3\n");
+  try {
+    data::readCsv(in);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("malformed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'2.5.3'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 'v'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(CsvValidation, MalformedOptOutFallsBackToCategorical) {
+  std::istringstream in("v\n1\n2.5.3\n");
+  const Table t = data::readCsv(in, {.rejectMalformedNumeric = false});
+  EXPECT_EQ(t.column("v").type, ColumnType::Categorical);
+  EXPECT_EQ(t.categorical("v")[1], "2.5.3");
+}
+
+TEST(CsvValidation, TrulyCategoricalColumnUnaffected) {
+  // A cell with no numeric prefix at all keeps the column categorical
+  // under the default (strict) options.
+  std::istringstream in("v\n1\n2.5.3\nnot-a-number\n");
+  const Table t = data::readCsv(in);
+  EXPECT_EQ(t.column("v").type, ColumnType::Categorical);
 }

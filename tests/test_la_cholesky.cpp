@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "common/health.hpp"
+#include "common/perf_stats.hpp"
 
 namespace la = alperf::la;
 using la::Cholesky;
@@ -123,6 +127,91 @@ TEST(Cholesky, NearSingularGetsJitter) {
 
 TEST(Cholesky, NoJitterForWellConditioned) {
   EXPECT_DOUBLE_EQ(Cholesky(makeSpd(6)).jitter(), 0.0);
+}
+
+TEST(Cholesky, RecoveryEventCleanFit) {
+  const Cholesky chol(makeSpd(6));
+  const auto ev = chol.recovery();
+  EXPECT_EQ(ev.status, la::CholeskyStatus::Ok);
+  EXPECT_EQ(ev.attempts, 1);
+  EXPECT_DOUBLE_EQ(ev.finalJitter, 0.0);
+  EXPECT_LT(ev.rcond, 0.0);  // lazy: not computed until rcond1()
+  const double rc = chol.rcond1();
+  EXPECT_GT(rc, 0.0);
+  EXPECT_DOUBLE_EQ(chol.recovery().rcond, rc);  // cached after first call
+}
+
+TEST(Cholesky, RecoveryEventJitteredFit) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  const Cholesky chol(a, /*maxJitterScale=*/1e-3);
+  const auto ev = chol.recovery();
+  EXPECT_EQ(ev.status, la::CholeskyStatus::RecoveredWithJitter);
+  EXPECT_GE(ev.attempts, 2);
+  EXPECT_DOUBLE_EQ(ev.finalJitter, chol.jitter());
+  EXPECT_GE(ev.rcond, 0.0);  // eager on recovery
+}
+
+TEST(Cholesky, Rcond1IdentityIsOne) {
+  EXPECT_NEAR(Cholesky(Matrix::identity(8)).rcond1(), 1.0, 1e-12);
+}
+
+TEST(Cholesky, Rcond1SeparatesWellAndIllConditioned) {
+  EXPECT_GT(Cholesky(makeSpd(6)).rcond1(), 1e-4);
+  Matrix ill{{1.0, 0.0}, {0.0, 1e-12}};
+  EXPECT_LT(Cholesky(ill).rcond1(), 1e-8);
+}
+
+TEST(Cholesky, NonFiniteInputThrowsNumericalErrorAndRecords) {
+  const auto before =
+      alperf::PerfRegistry::instance().count("health.chol.nonfinite");
+  Matrix a = makeSpd(3);
+  a(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Cholesky{a}, alperf::NumericalError);
+  a(1, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Cholesky{a}, alperf::NumericalError);
+  EXPECT_EQ(
+      alperf::PerfRegistry::instance().count("health.chol.nonfinite") - before,
+      2u);
+}
+
+TEST(Cholesky, IndefiniteRecordsCholFailed) {
+  const auto before =
+      alperf::PerfRegistry::instance().count("health.chol.failed");
+  Matrix a{{1.0, 0.0}, {0.0, -5.0}};
+  EXPECT_THROW(Cholesky{a}, alperf::NumericalError);
+  EXPECT_EQ(
+      alperf::PerfRegistry::instance().count("health.chol.failed") - before,
+      1u);
+}
+
+TEST(Cholesky, StatusNamesRoundTrip) {
+  EXPECT_STREQ(la::toString(la::CholeskyStatus::Ok), "Ok");
+  EXPECT_STREQ(la::toString(la::CholeskyStatus::RecoveredWithJitter),
+               "RecoveredWithJitter");
+  EXPECT_STREQ(la::toString(la::CholeskyStatus::NonFiniteInput),
+               "NonFiniteInput");
+  EXPECT_STREQ(la::toString(la::CholeskyStatus::NotPositiveDefinite),
+               "NotPositiveDefinite");
+}
+
+TEST(Cholesky, ExtendInvalidatesRcondCache) {
+  const Matrix spd = makeSpd(5, 7);
+  Cholesky chol(Matrix{{spd(0, 0)}});
+  const double before = chol.rcond1();
+  EXPECT_GT(before, 0.0);
+  // Grow to the full 5x5 matrix; the estimate must track the new matrix.
+  for (std::size_t m = 1; m < 5; ++m) {
+    Vector k(m);
+    for (std::size_t i = 0; i < m; ++i) k[i] = spd(i, m);
+    chol.extend(k, spd(m, m));
+  }
+  const double grown = chol.rcond1();
+  const double reference = Cholesky(spd).rcond1();
+  EXPECT_GT(grown, 0.0);
+  // Same order of magnitude as a fresh factorization's estimate (the
+  // extension path only keeps a lower bound on the 1-norm).
+  EXPECT_LT(grown, reference * 10.0 + 1e-12);
+  EXPECT_GT(grown, reference / 10.0);
 }
 
 TEST(Cholesky, SolveSizeMismatchThrows) {
