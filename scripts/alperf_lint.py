@@ -1,0 +1,401 @@
+#!/usr/bin/env python3
+"""alperf-lint: project-specific determinism & hygiene invariants.
+
+The paper's AL campaigns only reproduce if every run is bit-identical at
+any thread count. Most of that discipline is enforced by Clang
+thread-safety analysis and clang-tidy (see docs/STATIC_ANALYSIS.md), but a
+few invariants are alperf-specific and expressible only as source rules.
+This checker enforces them with file:line diagnostics:
+
+  banned-rng          std::rand/srand, std::random_device and time-based
+                      seeding are banned everywhere: all stochastic
+                      behaviour must flow through stats/rng.hpp
+                      (alperf::stats::Rng, xoshiro256**), whose streams
+                      are bit-reproducible across platforms.
+  unordered-iteration std::unordered_{map,set,...} are banned in
+                      src/core, src/gp and src/la: their iteration order
+                      is implementation-defined, so any result computed
+                      by walking one silently varies across standard
+                      libraries (and across runs with different seeds of
+                      the hash). Use std::map or sorted vectors.
+  cout                Library code (src/) must not write to stdio
+                      (std::cout/std::cerr/printf): diagnostics are
+                      returned as strings (HealthMonitor::report,
+                      PerfRegistry::toJson) and the terminal belongs to
+                      examples/, bench/ and tools.
+  naked-new           Library code owns memory through make_unique /
+                      containers; naked new/delete needs an explicit
+                      allow (e.g. the intentionally leaked process-global
+                      singletons).
+  guarded-mutex       Every mutex member declared in src/ must guard
+                      something: at least one field in the same file must
+                      be annotated ALPERF_GUARDED_BY(<that mutex>).
+                      An unused capability usually means shared state
+                      was added without annotation coverage.
+
+Suppression:
+  * inline: a comment `alperf-lint: allow(<rule>)` suppresses that rule on
+    its own line and on the next code line (so the comment can sit above
+    the offending statement).
+  * allowlist file (default scripts/alperf_lint_allow.txt): lines of
+    `<rule> <path-glob>  [# reason]`; `*` as rule matches every rule.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+`--self-test` seeds one violation per rule in a temp tree, asserts each is
+detected and each suppression mechanism works, and exits nonzero on any
+miss — CI runs it so a silently broken rule cannot keep a green badge.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+import tempfile
+
+EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+DEFAULT_PATHS = ["src", "bench", "examples", "tests"]
+EXCLUDED_DIRS = {"tests/static_analysis_fixtures"}
+ALLOW_RE = re.compile(r"alperf-lint:\s*allow\(([a-z0-9-]+)\)")
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:std::)?(?:mutex|shared_mutex|recursive_mutex|Mutex)"
+    r"\s+(\w+)\s*;")
+GUARDED_BY_RE = re.compile(r"ALPERF_GUARDED_BY\(\s*(\w+)\s*\)")
+
+
+def in_dirs(relpath, prefixes):
+    return any(relpath.startswith(p + os.sep) for p in prefixes)
+
+
+# Each simple rule: (id, scope predicate over relpath, [(regex, message)]).
+SIMPLE_RULES = [
+    (
+        "banned-rng",
+        lambda rel: True,
+        [
+            (re.compile(r"std::rand\b|\bsrand\s*\("),
+             "std::rand/srand is banned: use alperf::stats::Rng "
+             "(stats/rng.hpp) for reproducible streams"),
+            (re.compile(r"\brandom_device\b"),
+             "std::random_device is nondeterministic by design: seed an "
+             "alperf::stats::Rng with an explicit constant instead"),
+            (re.compile(r"\btime\s*\(\s*(?:0|NULL|nullptr)\s*\)"),
+             "time-based seeding breaks bit-reproducibility: pass an "
+             "explicit seed through alperf::stats::Rng"),
+        ],
+    ),
+    (
+        "unordered-iteration",
+        lambda rel: in_dirs(rel, ["src/core", "src/gp", "src/la"]),
+        [
+            (re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b"),
+             "unordered containers have implementation-defined iteration "
+             "order; result paths in core/gp/la must use std::map or "
+             "sorted vectors to stay bit-identical across platforms"),
+        ],
+    ),
+    (
+        "cout",
+        lambda rel: in_dirs(rel, ["src"]),
+        [
+            (re.compile(r"std::cout\b|std::cerr\b"),
+             "library code must not stream to stdio: return report "
+             "strings (cf. HealthMonitor::report) and let examples/bench "
+             "own the terminal"),
+            (re.compile(r"\b(?:std::)?f?printf\s*\("),
+             "library code must not printf to stdio (snprintf into a "
+             "buffer is fine)"),
+        ],
+    ),
+    (
+        "naked-new",
+        lambda rel: in_dirs(rel, ["src"]),
+        [
+            (re.compile(r"\bnew\b"),
+             "naked new: own memory via std::make_unique/containers, or "
+             "add an explicit allow for intentional singleton leaks"),
+            (re.compile(r"\bdelete\b(?!\s*;)(?!\s*\w+\s*\()"),
+             "naked delete: ownership must be RAII-managed"),
+        ],
+    ),
+]
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving newlines
+    (and therefore line numbers). Handles //, /* */, "..." with escapes,
+    '...' and R"tag(...)tag" raw strings."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == "R" and nxt == '"':
+            close = text.find("(", i + 2)
+            if close == -1:
+                i += 1
+                continue
+            tag = ")" + text[i + 2:close] + '"'
+            end = text.find(tag, close)
+            end = n if end == -1 else end + len(tag)
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_inline_allows(raw_lines, stripped_lines):
+    """Maps (line number, rule) pairs suppressed by inline allow comments.
+    An allow covers its own line and the next line containing code."""
+    allowed = set()
+    for idx, line in enumerate(raw_lines):
+        for rule in ALLOW_RE.findall(line):
+            allowed.add((idx + 1, rule))
+            for j in range(idx + 1, len(stripped_lines)):
+                if stripped_lines[j].strip():
+                    allowed.add((j + 1, rule))
+                    break
+    return allowed
+
+
+def load_allowlist(path):
+    entries = []
+    if not path or not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                print(f"{path}:{lineno}: malformed allowlist entry "
+                      f"(want: <rule> <path-glob>)", file=sys.stderr)
+                sys.exit(2)
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def allowlisted(entries, rule, relpath):
+    return any((r == "*" or r == rule) and fnmatch.fnmatch(relpath, glob)
+               for r, glob in entries)
+
+
+def lint_file(root, relpath, allowlist):
+    """Returns a list of (relpath, line, rule, message) findings."""
+    with open(os.path.join(root, relpath), encoding="utf-8",
+              errors="replace") as fh:
+        raw = fh.read()
+    raw_lines = raw.splitlines()
+    stripped = strip_comments_and_strings(raw)
+    stripped_lines = stripped.splitlines()
+    inline_allows = collect_inline_allows(raw_lines, stripped_lines)
+
+    findings = []
+
+    def report(lineno, rule, message):
+        if (lineno, rule) in inline_allows:
+            return
+        if allowlisted(allowlist, rule, relpath):
+            return
+        findings.append((relpath, lineno, rule, message))
+
+    rel = relpath.replace(os.sep, "/")
+    for rule, in_scope, patterns in SIMPLE_RULES:
+        if not in_scope(rel):
+            continue
+        for regex, message in patterns:
+            for idx, line in enumerate(stripped_lines):
+                if regex.search(line):
+                    report(idx + 1, rule, message)
+
+    if in_dirs(rel, ["src"]):
+        guarded = set(GUARDED_BY_RE.findall(stripped))
+        for idx, line in enumerate(stripped_lines):
+            m = MUTEX_DECL_RE.search(line)
+            if m and m.group(1) not in guarded:
+                report(idx + 1, "guarded-mutex",
+                       f"mutex member '{m.group(1)}' guards nothing: "
+                       f"annotate the fields it protects with "
+                       f"ALPERF_GUARDED_BY({m.group(1)}) "
+                       f"(see common/thread_annotations.hpp)")
+    return findings
+
+
+def iter_source_files(root, paths):
+    for path in paths:
+        abspath = os.path.join(root, path)
+        if os.path.isfile(abspath):
+            if path.endswith(EXTENSIONS):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(abspath):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if any(rel_dir == d or rel_dir.startswith(d + "/")
+                   for d in EXCLUDED_DIRS):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def run_lint(root, paths, allowlist_path):
+    allowlist = load_allowlist(allowlist_path)
+    findings = []
+    nfiles = 0
+    for relpath in iter_source_files(root, paths):
+        nfiles += 1
+        findings.extend(lint_file(root, relpath, allowlist))
+    findings.sort()
+    for relpath, lineno, rule, message in findings:
+        print(f"{relpath}:{lineno}: [{rule}] {message}")
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"alperf-lint: {nfiles} file(s), {status}")
+    return 1 if findings else 0
+
+
+# ----------------------------------------------------------- self-test
+
+SELF_TEST_CASES = [
+    # (relpath, content, rule expected to fire)
+    ("src/core/bad_rng.cpp",
+     "#include <cstdlib>\nint f() { return std::rand(); }\n",
+     "banned-rng"),
+    ("bench/bad_seed.cpp",
+     "#include <random>\nstd::random_device rd;\n",
+     "banned-rng"),
+    ("src/gp/bad_map.hpp",
+     "#include <unordered_map>\nstd::unordered_map<int, int> cache;\n",
+     "unordered-iteration"),
+    ("src/la/bad_print.cpp",
+     "#include <iostream>\nvoid f() { std::cout << 1; }\n",
+     "cout"),
+    ("src/core/bad_new.cpp",
+     "int* f() { return new int(7); }\n",
+     "naked-new"),
+    ("src/common/bad_mutex.hpp",
+     "#include <mutex>\nstruct S { std::mutex mu; int x = 0; };\n",
+     "guarded-mutex"),
+]
+
+SELF_TEST_CLEAN = (
+    "src/core/clean.cpp",
+    "// std::rand() in a comment must not fire\n"
+    "// and neither must \"std::cout\" in a string:\n"
+    "#include <string>\n"
+    "std::string s() { return \"std::cout << new int;\"; }\n",
+)
+
+
+def self_test():
+    failures = []
+
+    def check(name, ok):
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+        if not ok:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory(prefix="alperf_lint_selftest_") as root:
+        for relpath, content, rule in SELF_TEST_CASES:
+            os.makedirs(os.path.join(root, os.path.dirname(relpath)),
+                        exist_ok=True)
+            with open(os.path.join(root, relpath), "w",
+                      encoding="utf-8") as fh:
+                fh.write(content)
+        relpath, content = SELF_TEST_CLEAN
+        os.makedirs(os.path.join(root, os.path.dirname(relpath)),
+                    exist_ok=True)
+        with open(os.path.join(root, relpath), "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+        for rel, _, rule in SELF_TEST_CASES:
+            findings = lint_file(root, rel, [])
+            check(f"{rule} fires in {rel}",
+                  any(f[2] == rule for f in findings))
+
+        check("clean file stays clean",
+              not lint_file(root, SELF_TEST_CLEAN[0], []))
+
+        # Inline allow: same line and preceding-comment-line forms.
+        rel = "src/core/allowed_new.cpp"
+        with open(os.path.join(root, rel), "w", encoding="utf-8") as fh:
+            fh.write("// alperf-lint: allow(naked-new) singleton leak\n"
+                     "int* g = new int(1);\n"
+                     "int* h = new int(2);  // alperf-lint: allow(naked-new)\n")
+        check("inline allows suppress naked-new",
+              not lint_file(root, rel, []))
+
+        # Allowlist suppression.
+        bad_rel = SELF_TEST_CASES[0][0]
+        check("allowlist suppresses banned-rng",
+              not lint_file(root, bad_rel, [("banned-rng", bad_rel)]))
+        check("wildcard allowlist suppresses everything",
+              not lint_file(root, bad_rel, [("*", "src/core/*")]))
+        check("unrelated allowlist entry does not suppress",
+              bool(lint_file(root, bad_rel, [("cout", bad_rel)])))
+
+    if failures:
+        print(f"alperf-lint self-test: {len(failures)} FAILURE(S)")
+        return 1
+    print("alperf-lint self-test: all checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        prog="alperf_lint.py",
+        description="alperf determinism & hygiene lint "
+                    "(docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file "
+                             "(default: scripts/alperf_lint_allow.txt)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/dirs relative to root "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, _, patterns in SIMPLE_RULES:
+            print(f"{rule}: {patterns[0][1]}")
+        print("guarded-mutex: every mutex member in src/ must have "
+              "ALPERF_GUARDED_BY coverage in its file")
+        return 0
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or [p for p in DEFAULT_PATHS
+                           if os.path.isdir(os.path.join(root, p))]
+    allowlist_path = args.allowlist or os.path.join(
+        root, "scripts", "alperf_lint_allow.txt")
+    return run_lint(root, paths, allowlist_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Runs the project clang-tidy baseline (.clang-tidy) over every
+# translation unit in src/, bench/, examples/ and tests/.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [-p BUILD_DIR] [-j N]
+#   scripts/run_clang_tidy.sh --self-test
+#
+#   -p BUILD_DIR  use an existing build directory's compile_commands.json
+#                 (default: build-tidy, configured on demand)
+#   -j N          parallel clang-tidy processes (default: nproc)
+#   --self-test   run clang-tidy on the seeded negative fixture
+#                 (tests/static_analysis_fixtures/tidy_negative.cpp) and
+#                 FAIL unless it reports findings — proves the tool and
+#                 config actually detect what they claim to.
+#
+# Exit codes: 0 clean / self-test detected the seeded bugs, 1 findings
+# (or self-test missed them), 3 clang-tidy not installed.
+#
+# The binary is resolved from $CLANG_TIDY, then clang-tidy, then
+# clang-tidy-<N> for recent N. CI installs it; locally a missing binary is
+# a hard error so a "clean" run can never silently mean "didn't run"
+# (scripts/verify_all.sh downgrades that to an explicit SKIP).
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+find_clang_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ]; then
+    command -v "$CLANG_TIDY" && return 0
+  fi
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    command -v "$candidate" && return 0
+  done
+  return 1
+}
+
+tidy_bin="$(find_clang_tidy)" || {
+  echo "run_clang_tidy.sh: clang-tidy not found (set CLANG_TIDY or install it)" >&2
+  exit 3
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  fixture="tests/static_analysis_fixtures/tidy_negative.cpp"
+  echo "self-test: expecting findings in $fixture"
+  if "$tidy_bin" --quiet "$fixture" -- -std=c++20 -I src 2>/dev/null \
+      | grep -q "warning:\|error:"; then
+    echo "self-test OK: clang-tidy detected the seeded bugs"
+    exit 0
+  fi
+  echo "self-test FAILED: clang-tidy reported nothing for $fixture" >&2
+  exit 1
+fi
+
+build_dir="build-tidy"
+jobs="$(nproc 2>/dev/null || echo 4)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -p) build_dir="$2"; shift 2 ;;
+    -j) jobs="$2"; shift 2 ;;
+    *) echo "run_clang_tidy.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "configuring $build_dir for compile_commands.json"
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# All first-party translation units. Headers are covered transitively via
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t sources < <(find src bench examples tests -name '*.cpp' \
+  -not -path 'tests/static_analysis_fixtures/*' | sort)
+
+echo "clang-tidy ($tidy_bin): ${#sources[@]} translation units, $jobs-way"
+printf '%s\n' "${sources[@]}" \
+  | xargs -P "$jobs" -n 4 "$tidy_bin" --quiet -p "$build_dir"
+status=$?
+if [ $status -eq 0 ]; then
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: findings above (exit $status)" >&2
+  exit 1
+fi

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-stop local verification: runs every repo-health check that needs no
+# build — markdown link integrity, the alperf-lint determinism invariants
+# (plus its self-test), and the clang-tidy baseline when clang-tidy is
+# installed (explicitly reported as SKIP otherwise; CI always runs it).
+#
+# Usage: scripts/verify_all.sh
+# Exit: 0 when every check that ran passed, 1 otherwise.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+failures=0
+
+run_check() {
+  local name="$1"
+  shift
+  echo "==> $name"
+  if "$@"; then
+    echo "==> $name: OK"
+  else
+    echo "==> $name: FAILED" >&2
+    failures=$((failures + 1))
+  fi
+  echo
+}
+
+run_check "markdown links" ./scripts/check_md_links.sh
+run_check "alperf-lint self-test" python3 scripts/alperf_lint.py --self-test
+run_check "alperf-lint" python3 scripts/alperf_lint.py
+
+# run_clang_tidy.sh exits 3 when the binary is not installed — report
+# that as an explicit SKIP rather than a silent pass.
+echo "==> clang-tidy"
+./scripts/run_clang_tidy.sh
+tidy_status=$?
+case "$tidy_status" in
+  0) echo "==> clang-tidy: OK" ;;
+  3) echo "==> clang-tidy: SKIP (not installed; the static-analysis CI job runs it)" ;;
+  *) echo "==> clang-tidy: FAILED" >&2
+     failures=$((failures + 1)) ;;
+esac
+echo
+
+if [ "$failures" -eq 0 ]; then
+  echo "verify_all: all checks passed"
+  exit 0
+fi
+echo "verify_all: $failures check(s) failed" >&2
+exit 1

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "common/perf_stats.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace alperf {
 
@@ -110,11 +110,18 @@ bool condMatches(long long want, long long have) {
 }  // namespace
 
 struct FaultInjector::Impl {
-  mutable std::mutex mu;
-  std::vector<FaultSpec> specs;
+  mutable Mutex mu;
+  std::vector<FaultSpec> specs ALPERF_GUARDED_BY(mu);
+  /// Redundant with !specs.empty(), maintained so the unarmed fire() fast
+  /// path is one relaxed load with no lock. armed() then lock is a benign
+  /// check-then-act: a stale false only delays an arm() racing with
+  /// fire(), and arm()/disarm() are test-setup operations, never
+  /// concurrent with the measurement they configure.
   std::atomic<bool> armed{false};
 };
 
+// alperf-lint: allow(naked-new) — intentionally leaked process-global
+// singleton; destruction order vs other static objects is undefined.
 FaultInjector::FaultInjector() : impl_(new Impl) {
   // ALPERF_FAULTS is read once, at first use — the same contract as
   // ALPERF_THREADS / ALPERF_LA_KERNELS.
@@ -134,13 +141,13 @@ std::vector<FaultSpec> FaultInjector::parse(const std::string& spec) {
 
 void FaultInjector::arm(const std::string& spec) {
   auto faults = parse(spec);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->specs = std::move(faults);
   impl_->armed.store(!impl_->specs.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->specs.clear();
   impl_->armed.store(false, std::memory_order_relaxed);
 }
@@ -150,7 +157,7 @@ bool FaultInjector::armed() const {
 }
 
 std::vector<FaultSpec> FaultInjector::armedSpecs() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->specs;
 }
 
@@ -163,7 +170,7 @@ bool FaultInjector::fire(std::string_view site, const FaultAttrs& attrs) {
 
   bool hit = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     for (const auto& f : impl_->specs) {
       if (f.site != site) continue;
       if (condMatches(f.match.iter, have.iter) &&

@@ -1,20 +1,22 @@
 #include "common/health.hpp"
 
 #include <deque>
-#include <mutex>
 #include <sstream>
 
 #include "common/fault_inject.hpp"
 #include "common/perf_stats.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace alperf {
 
 struct HealthMonitor::Impl {
-  mutable std::mutex mu;
-  std::deque<HealthIncident> ring;
-  std::uint64_t seq = 0;
+  mutable Mutex mu;
+  std::deque<HealthIncident> ring ALPERF_GUARDED_BY(mu);
+  std::uint64_t seq ALPERF_GUARDED_BY(mu) = 0;
 };
 
+// alperf-lint: allow(naked-new) — intentionally leaked process-global
+// singleton; destruction order vs other static objects is undefined.
 HealthMonitor::HealthMonitor() : impl_(new Impl) {}
 
 HealthMonitor& HealthMonitor::instance() {
@@ -29,31 +31,43 @@ void HealthMonitor::record(const std::string& kind,
   incident.kind = kind;
   incident.detail = detail;
   incident.iteration = FaultContext::iteration();
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   incident.seq = ++impl_->seq;
   impl_->ring.push_back(std::move(incident));
   if (impl_->ring.size() > kRingCapacity) impl_->ring.pop_front();
 }
 
 std::vector<HealthIncident> HealthMonitor::recent() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return {impl_->ring.begin(), impl_->ring.end()};
 }
 
 std::uint64_t HealthMonitor::total() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->seq;
 }
 
 void HealthMonitor::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->ring.clear();
   impl_->seq = 0;
 }
 
 std::string HealthMonitor::report() const {
+  // Snapshot the total and the ring under ONE lock acquisition: calling
+  // total() and recent() back to back (as this function originally did)
+  // lets a concurrent record() land between the two reads, producing a
+  // header count that disagrees with the listed incidents. Found by the
+  // thread-safety annotation sweep; see docs/STATIC_ANALYSIS.md.
+  std::uint64_t totalCount = 0;
+  std::vector<HealthIncident> incidents;
+  {
+    MutexLock lock(impl_->mu);
+    totalCount = impl_->seq;
+    incidents.assign(impl_->ring.begin(), impl_->ring.end());
+  }
   std::ostringstream os;
-  os << "numerical health: " << total() << " incident(s) recorded\n";
+  os << "numerical health: " << totalCount << " incident(s) recorded\n";
   bool anyCounter = false;
   for (const auto& entry : PerfRegistry::instance().snapshot()) {
     if (entry.name.rfind("health.", 0) != 0) continue;
@@ -61,7 +75,6 @@ std::string HealthMonitor::report() const {
     anyCounter = true;
   }
   if (!anyCounter) os << "  (no health counters recorded)\n";
-  const auto incidents = recent();
   if (!incidents.empty()) {
     os << "recent incidents (oldest first, ring capacity " << kRingCapacity
        << "):\n";

@@ -77,7 +77,12 @@ class HealthMonitor {
   void reset();
 
   /// Multi-line report: health.* counter totals followed by the retained
-  /// incidents — the payload of `alperf_tool learn --health`.
+  /// incidents — the payload of `alperf_tool learn --health`. The header
+  /// total and the incident list are snapshotted atomically (one lock
+  /// acquisition), so they always agree with each other; the health.*
+  /// PerfRegistry counters live behind the registry's own lock and may
+  /// run ahead of the snapshot while incidents are being recorded
+  /// concurrently.
   std::string report() const;
 
  private:

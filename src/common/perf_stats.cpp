@@ -9,29 +9,32 @@ PerfRegistry& PerfRegistry::instance() {
   return registry;
 }
 
-void PerfRegistry::addTiming(const std::string& name, std::uint64_t nanos) {
-  std::lock_guard<std::mutex> lk(mu_);
+PerfEntry& PerfRegistry::entryLocked(const std::string& name) {
   PerfEntry& e = entries_[name];
   if (e.name.empty()) e.name = name;
+  return e;
+}
+
+void PerfRegistry::addTiming(const std::string& name, std::uint64_t nanos) {
+  MutexLock lk(mu_);
+  PerfEntry& e = entryLocked(name);
   ++e.count;
   e.totalNanos += nanos;
 }
 
 void PerfRegistry::increment(const std::string& name, std::uint64_t by) {
-  std::lock_guard<std::mutex> lk(mu_);
-  PerfEntry& e = entries_[name];
-  if (e.name.empty()) e.name = name;
-  e.count += by;
+  MutexLock lk(mu_);
+  entryLocked(name).count += by;
 }
 
 std::uint64_t PerfRegistry::count(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second.count;
 }
 
 std::vector<PerfEntry> PerfRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<PerfEntry> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(entry);
@@ -39,7 +42,7 @@ std::vector<PerfEntry> PerfRegistry::snapshot() const {
 }
 
 void PerfRegistry::reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   entries_.clear();
 }
 

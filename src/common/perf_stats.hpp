@@ -21,9 +21,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace alperf {
 
@@ -44,28 +45,34 @@ class PerfRegistry {
   static PerfRegistry& instance();
 
   /// Adds one timed sample to `name` (count += 1, totalNanos += nanos).
-  void addTiming(const std::string& name, std::uint64_t nanos);
+  void addTiming(const std::string& name, std::uint64_t nanos)
+      ALPERF_EXCLUDES(mu_);
 
   /// Bumps the counter `name` by `by` (no time attributed).
-  void increment(const std::string& name, std::uint64_t by = 1);
+  void increment(const std::string& name, std::uint64_t by = 1)
+      ALPERF_EXCLUDES(mu_);
 
   /// Current count for `name` (0 when never recorded).
-  std::uint64_t count(const std::string& name) const;
+  std::uint64_t count(const std::string& name) const ALPERF_EXCLUDES(mu_);
 
   /// All entries, sorted by name.
-  std::vector<PerfEntry> snapshot() const;
+  std::vector<PerfEntry> snapshot() const ALPERF_EXCLUDES(mu_);
 
   /// Clears all entries (start of a measured section).
-  void reset();
+  void reset() ALPERF_EXCLUDES(mu_);
 
   /// One-line JSON object: {"name":{"count":N,"millis":M},...}, entries
   /// sorted by name — the format bench_micro_gp and bench_parallel_scaling
   /// emit.
-  std::string toJson() const;
+  std::string toJson() const ALPERF_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, PerfEntry> entries_;
+  /// Find-or-create for `entries_[name]` with the name field populated;
+  /// the caller must hold mu_.
+  PerfEntry& entryLocked(const std::string& name) ALPERF_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, PerfEntry> entries_ ALPERF_GUARDED_BY(mu_);
 };
 
 /// RAII wall-clock timer: records elapsed time into the global registry

@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file thread_annotations.hpp
+/// Clang thread-safety (capability) annotations and annotated lock types.
+///
+/// The determinism guarantees this library makes (bit-identical traces at
+/// any thread count, see docs/PERFORMANCE.md) were until now enforced only
+/// dynamically, by the TSan CI jobs and the chaos suite. This header moves
+/// the lock discipline to compile time: every mutex-protected shared field
+/// is annotated with the mutex that guards it, and Clang's
+/// `-Wthread-safety` analysis (promoted to an error in the static-analysis
+/// CI job) rejects any access that does not hold the right lock.
+///
+/// Conventions (see docs/STATIC_ANALYSIS.md for the full guide):
+///
+///   * Shared state guarded by a mutex is declared with
+///     `ALPERF_GUARDED_BY(mu)`. Every `alperf::Mutex` member must guard at
+///     least one field — `alperf-lint` enforces this per file.
+///   * Private helpers that assume the lock is already held are annotated
+///     `ALPERF_REQUIRES(mu)`; public entry points that take the lock
+///     themselves may advertise `ALPERF_EXCLUDES(mu)` so the analysis
+///     rejects re-entrant calls.
+///   * Fields synchronized by a protocol the analysis cannot express
+///     (e.g. the thread-pool region handshake) stay unannotated and carry
+///     a comment naming the protocol.
+///
+/// The std::mutex / std::lock_guard family carries no capability
+/// attributes under libstdc++, so guarding fields with them would make
+/// every correct access a false positive. The annotated wrappers below
+/// (Mutex, MutexLock, UniqueLock) delegate to the std types — zero-cost —
+/// while giving the analysis the acquire/release semantics it needs. On
+/// non-Clang compilers every macro expands to nothing and the wrappers
+/// are plain forwarding shims.
+
+#include <mutex>
+
+// GCC also defines __has_attribute but reports 0 for the capability
+// attributes; the __clang__ guard just keeps the intent explicit.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ALPERF_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef ALPERF_THREAD_ANNOTATION_
+#define ALPERF_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a capability ("mutex"-like).
+#define ALPERF_CAPABILITY(name) ALPERF_THREAD_ANNOTATION_(capability(name))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define ALPERF_SCOPED_CAPABILITY ALPERF_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define ALPERF_GUARDED_BY(x) ALPERF_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x`.
+#define ALPERF_PT_GUARDED_BY(x) ALPERF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function annotation: the caller must already hold the capability.
+#define ALPERF_REQUIRES(...) \
+  ALPERF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the function acquires the capability and holds it
+/// on return.
+#define ALPERF_ACQUIRE(...) \
+  ALPERF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the function releases the capability.
+#define ALPERF_RELEASE(...) \
+  ALPERF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability when returning the first
+/// argument, e.g. ALPERF_TRY_ACQUIRE(true) or ALPERF_TRY_ACQUIRE(true, mu).
+#define ALPERF_TRY_ACQUIRE(...) \
+  ALPERF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the capability (the
+/// function takes it itself; calling with it held would deadlock).
+#define ALPERF_EXCLUDES(...) \
+  ALPERF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the named capability.
+#define ALPERF_RETURN_CAPABILITY(x) ALPERF_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining the synchronization protocol that replaces
+/// the analysis.
+#define ALPERF_NO_THREAD_SAFETY_ANALYSIS \
+  ALPERF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace alperf {
+
+/// std::mutex with capability attributes. Same cost, same semantics; use
+/// this for every mutex that guards shared library state so the analysis
+/// can check the discipline.
+class ALPERF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ALPERF_ACQUIRE() { m_.lock(); }
+  void unlock() ALPERF_RELEASE() { m_.unlock(); }
+  bool try_lock() ALPERF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  // alperf-lint: allow(guarded-mutex) — this IS the capability; it guards
+  // whatever fields its owner annotates, not fields of this wrapper.
+  std::mutex m_;
+};
+
+/// std::lock_guard equivalent over Mutex, annotated so the analysis knows
+/// the capability is held for the lifetime of the guard.
+class ALPERF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ALPERF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ALPERF_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock equivalent over Mutex: relockable, and BasicLockable
+/// itself so it can drive std::condition_variable_any. Constructed locked.
+class ALPERF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ALPERF_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() ALPERF_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void lock() ALPERF_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() ALPERF_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// True while the lock is held (not tracked by the analysis; for
+  /// asserts only).
+  bool ownsLock() const { return held_; }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+}  // namespace alperf

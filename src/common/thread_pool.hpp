@@ -22,6 +22,12 @@
 /// Exceptions thrown by the body are captured and the first one (in
 /// completion order) is rethrown on the calling thread after the loop
 /// drains.
+///
+/// The pool's internal lock discipline is checked statically with Clang
+/// thread-safety annotations (see common/thread_annotations.hpp and
+/// docs/STATIC_ANALYSIS.md); the region-constant publication protocol that
+/// the analysis cannot express is documented on ThreadPool::Impl and
+/// checked dynamically by the TSan CI job.
 
 #include <cstddef>
 #include <functional>

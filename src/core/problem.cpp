@@ -12,7 +12,7 @@ void RegressionProblem::validate() const {
              "RegressionProblem: X rows and y length differ");
   requireArg(cost.size() == y.size(),
              "RegressionProblem: cost length and y length differ");
-  requireArg(y.size() > 0, "RegressionProblem: empty problem");
+  requireArg(!y.empty(), "RegressionProblem: empty problem");
   requireArg(x.cols() > 0, "RegressionProblem: no features");
   // A NaN/Inf response or cost would poison the GP's Cholesky (or the
   // budget ledger) many iterations after the bad row was consumed; reject

@@ -1,0 +1,34 @@
+// Seeded thread-safety negative fixture — NOT part of any build target.
+//
+// The static-analysis CI job compiles this file with
+//   clang++ -std=c++20 -I src -fsyntax-only -Wthread-safety \
+//           -Werror=thread-safety
+// and requires the compile to FAIL: every access below violates the
+// capability annotations from common/thread_annotations.hpp, so a clean
+// compile would mean the analysis is not actually running (wrong flags,
+// wrong compiler, or a broken macro header) — exactly the silent failure
+// mode this fixture exists to catch.
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  // VIOLATION: reads `value_` without holding mu_.
+  int unsyncedRead() const { return value_; }
+
+  // VIOLATION: writes `value_` without holding mu_.
+  void unsyncedWrite(int v) { value_ = v; }
+
+  // VIOLATION: bumpLocked requires mu_, caller does not hold it.
+  void callsLockedHelperUnlocked() { bumpLocked(); }
+
+ private:
+  void bumpLocked() ALPERF_REQUIRES(mu_) { ++value_; }
+
+  mutable alperf::Mutex mu_;
+  int value_ ALPERF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

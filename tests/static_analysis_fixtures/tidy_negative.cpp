@@ -1,0 +1,37 @@
+// Seeded clang-tidy negative fixture — NOT part of any build target.
+//
+// scripts/run_clang_tidy.sh --self-test runs the project .clang-tidy over
+// this file and fails unless findings are reported, proving the baseline
+// detects what it claims to. Each seeded bug names the check that must
+// catch it. Keep this file compiling (the self-test passes it to the
+// compiler) but deliberately dirty.
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Base {
+  virtual ~Base() = default;
+  virtual int value() const { return 0; }
+};
+
+// modernize-use-override: overriding without the keyword.
+struct Derived : Base {
+  virtual int value() const { return 1; }
+};
+
+// readability-container-size-empty: size() == 0 instead of empty().
+inline bool isEmpty(const std::vector<int>& v) { return v.size() == 0; }
+
+// performance-unnecessary-value-param: expensive copy taken by value and
+// only read.
+inline std::size_t length(std::string s) { return s.size(); }
+
+// modernize-use-nullptr: literal 0 as a pointer.
+inline const int* nothing() { return 0; }
+
+// bugprone-integer-division: integer division inside a float context.
+inline double half(int n) { return n / 2; }
+
+}  // namespace fixture

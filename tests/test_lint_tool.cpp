@@ -1,0 +1,264 @@
+// Harness for scripts/alperf_lint.py — the in-repo determinism lint
+// (docs/STATIC_ANALYSIS.md). Each banned pattern must be detected with a
+// file:line diagnostic, both suppression mechanisms must be honored,
+// clean files must pass, and exit codes must be exact (0 clean, 1
+// findings). The last two tests run the tool the way CI does: the
+// built-in self-test and a full scan of this repository, which must be
+// clean.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+#ifndef ALPERF_SOURCE_DIR
+#error "ALPERF_SOURCE_DIR must point at the repository root"
+#endif
+
+const fs::path kRepoRoot = ALPERF_SOURCE_DIR;
+const fs::path kLintScript = kRepoRoot / "scripts" / "alperf_lint.py";
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;
+};
+
+/// Runs `python3 alperf_lint.py <args>`, capturing stdout+stderr.
+RunResult runLint(const std::string& args) {
+  const fs::path outFile =
+      fs::temp_directory_path() /
+      ("alperf_lint_out_" + std::to_string(::getpid()) + ".txt");
+  const std::string cmd = "python3 \"" + kLintScript.string() + "\" " + args +
+                          " > \"" + outFile.string() + "\" 2>&1";
+  const int raw = std::system(cmd.c_str());
+  RunResult result;
+  result.exitCode = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(outFile);
+  result.output.assign(std::istreambuf_iterator<char>(in), {});
+  fs::remove(outFile);
+  return result;
+}
+
+bool havePython() {
+  return std::system("python3 -c 'pass' > /dev/null 2>&1") == 0;
+}
+
+/// Temp tree shaped like the repo (src/core/..., bench/...), torn down on
+/// destruction, so the path-scoped rules apply to fixtures.
+class LintFixtureTree {
+ public:
+  LintFixtureTree() {
+    root_ = fs::temp_directory_path() /
+            ("alperf_lint_fixture_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~LintFixtureTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void write(const std::string& relpath, const std::string& content) {
+    const fs::path full = root_ / relpath;
+    fs::create_directories(full.parent_path());
+    std::ofstream(full) << content;
+  }
+
+  RunResult lint(const std::string& extra = "") {
+    return runLint("--root \"" + root_.string() + "\" " + extra);
+  }
+
+  const fs::path& root() const { return root_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path root_;
+};
+
+class LintToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!havePython()) GTEST_SKIP() << "python3 not available";
+    ASSERT_TRUE(fs::exists(kLintScript)) << kLintScript;
+  }
+};
+
+TEST_F(LintToolTest, CleanTreeExitsZero) {
+  LintFixtureTree tree;
+  tree.write("src/core/fine.cpp",
+             "#include <map>\n"
+             "std::map<int, int> ordered;\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST_F(LintToolTest, DetectsBannedRngWithFileAndLine) {
+  LintFixtureTree tree;
+  tree.write("src/core/bad.cpp",
+             "#include <cstdlib>\n"
+             "int roll() { return std::rand(); }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("src/core/bad.cpp:2"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[banned-rng]"), std::string::npos) << r.output;
+}
+
+TEST_F(LintToolTest, DetectsRandomDeviceSeedingOutsideRngHeader) {
+  LintFixtureTree tree;
+  tree.write("bench/bad_seed.cpp",
+             "#include <random>\n"
+             "unsigned s() { return std::random_device{}(); }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("[banned-rng]"), std::string::npos) << r.output;
+}
+
+TEST_F(LintToolTest, DetectsUnorderedContainerInResultPathDirs) {
+  LintFixtureTree tree;
+  tree.write("src/gp/bad.hpp",
+             "#include <unordered_map>\n"
+             "std::unordered_map<int, double> cache;\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("[unordered-iteration]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintToolTest, UnorderedContainerAllowedOutsideResultPaths) {
+  LintFixtureTree tree;
+  // data/ is not a result path: unordered containers are fine there.
+  tree.write("src/data/fine.hpp",
+             "#include <unordered_set>\n"
+             "std::unordered_set<int> seen;\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST_F(LintToolTest, DetectsStdoutInLibraryButNotInExamples) {
+  LintFixtureTree tree;
+  tree.write("src/la/bad.cpp",
+             "#include <iostream>\n"
+             "void log() { std::cout << \"x\"; }\n");
+  tree.write("examples/fine.cpp",
+             "#include <iostream>\n"
+             "int main() { std::cout << \"ok\"; }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("src/la/bad.cpp:2"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("examples/fine.cpp"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintToolTest, DetectsNakedNewAndDelete) {
+  LintFixtureTree tree;
+  tree.write("src/core/bad.cpp",
+             "int* make() { return new int(3); }\n"
+             "void unmake(int* p) { delete p; }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("bad.cpp:1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintToolTest, DeletedSpecialMembersAreNotNakedDelete) {
+  LintFixtureTree tree;
+  tree.write("src/core/fine.hpp",
+             "struct NoCopy {\n"
+             "  NoCopy(const NoCopy&) = delete;\n"
+             "  NoCopy& operator=(const NoCopy&) = delete;\n"
+             "};\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST_F(LintToolTest, DetectsUnguardedMutexMember) {
+  LintFixtureTree tree;
+  tree.write("src/common/bad.hpp",
+             "#include <mutex>\n"
+             "class Registry {\n"
+             "  mutable std::mutex mu_;\n"
+             "  int shared_ = 0;\n"
+             "};\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("[guarded-mutex]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad.hpp:3"), std::string::npos) << r.output;
+}
+
+TEST_F(LintToolTest, GuardedMutexMemberPasses) {
+  LintFixtureTree tree;
+  tree.write("src/common/fine.hpp",
+             "#include \"common/thread_annotations.hpp\"\n"
+             "class Registry {\n"
+             "  mutable alperf::Mutex mu_;\n"
+             "  int shared_ ALPERF_GUARDED_BY(mu_) = 0;\n"
+             "};\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST_F(LintToolTest, BannedPatternInCommentOrStringDoesNotFire) {
+  LintFixtureTree tree;
+  tree.write("src/core/fine.cpp",
+             "// std::rand() discussed in a comment\n"
+             "/* std::cout << new int; */\n"
+             "#include <string>\n"
+             "std::string s() { return \"std::rand()\"; }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST_F(LintToolTest, InlineAllowSuppressesSameAndNextCodeLine) {
+  LintFixtureTree tree;
+  tree.write("src/core/fine.cpp",
+             "// alperf-lint: allow(naked-new) singleton leak\n"
+             "int* g = new int(1);\n"
+             "int* h = new int(2);  // alperf-lint: allow(naked-new)\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST_F(LintToolTest, AllowlistFileSuppressesByRuleAndGlob) {
+  LintFixtureTree tree;
+  tree.write("src/core/bad.cpp",
+             "#include <cstdlib>\n"
+             "int roll() { return std::rand(); }\n");
+  tree.write("allow.txt", "banned-rng src/core/*.cpp  # legacy shim\n");
+  const RunResult suppressed =
+      tree.lint("--allowlist \"" + (tree.root() / "allow.txt").string() +
+                "\"");
+  EXPECT_EQ(suppressed.exitCode, 0) << suppressed.output;
+  // The same tree without the allowlist still fails.
+  const RunResult unsuppressed = tree.lint();
+  EXPECT_EQ(unsuppressed.exitCode, 1) << unsuppressed.output;
+}
+
+TEST_F(LintToolTest, MalformedAllowlistIsUsageError) {
+  LintFixtureTree tree;
+  tree.write("src/core/fine.cpp", "int x = 0;\n");
+  tree.write("allow.txt", "just-a-rule-with-no-path\n");
+  const RunResult r = tree.lint(
+      "--allowlist \"" + (tree.root() / "allow.txt").string() + "\"");
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+}
+
+TEST_F(LintToolTest, SelfTestPasses) {
+  const RunResult r = runLint("--self-test");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST_F(LintToolTest, RealRepositoryTreeIsClean) {
+  const RunResult r = runLint("--root \"" + kRepoRoot.string() + "\"");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+}  // namespace
