@@ -8,11 +8,18 @@
 //   alperf_tool learn --data CSV --features A,B --response R
 //                     [--cost C] [--log A,R] [--strategy vr|ce|random]
 //                     [--iterations N] [--noise-lo X] [--seed S]
-//                     [--trace OUT.csv] [--perf] [--health]
+//                     [--trace OUT.csv|OUT.json] [--metrics OUT.jsonl]
+//                     [--perf] [--health]
 //       Run GPR-driven active learning over the job database and report
 //       the learning trace and final model quality; --perf appends the
 //       perf-counter JSON (see docs/PERFORMANCE.md), --health the
-//       numerical-health report (see docs/ROBUSTNESS.md).
+//       numerical-health report (see docs/ROBUSTNESS.md). --trace
+//       dispatches on extension: a .json path arms the structured tracer
+//       and exports a Chrome trace-event timeline of the campaign
+//       (chrome://tracing / Perfetto; docs/OBSERVABILITY.md), anything
+//       else writes the per-iteration learning trace as CSV. --metrics
+//       writes a JSON-lines snapshot of the perf counters and health
+//       incidents after the run.
 //
 //   alperf_tool tradeoff --data CSV --features A,B --response R --cost C
 //                        [--log ...] [--replicates R] [--seed S]
@@ -80,7 +87,8 @@ void usage() {
       "  alperf_tool learn --data CSV --features A,B --response R\n"
       "                    [--cost C] [--log A,R] [--strategy vr|ce|random]\n"
       "                    [--iterations N] [--noise-lo X] [--seed S]\n"
-      "                    [--trace OUT.csv] [--perf] [--health]\n"
+      "                    [--trace OUT.csv|OUT.json (.json = Chrome trace)]\n"
+      "                    [--metrics OUT.jsonl] [--perf] [--health]\n"
       "  alperf_tool tradeoff --data CSV --features A,B --response R\n"
       "                    --cost C [--log ...] [--replicates R] [--seed S]\n");
 }
@@ -142,6 +150,14 @@ int cmdLearn(const Args& args) {
   cfg.maxIterations = std::stoi(args.get("iterations", "50"));
   cfg.amsdWindow = 8;
   cfg.amsdRelTol = 0.01;
+  // --trace dispatches on extension: .json = structured Chrome trace
+  // (armed for the campaign via AlConfig::tracePath), else learning-trace
+  // CSV after the run.
+  const std::string tracePath = args.get("trace", "");
+  const bool chromeTrace =
+      tracePath.size() >= 5 &&
+      tracePath.compare(tracePath.size() - 5, 5, ".json") == 0;
+  if (chromeTrace) cfg.tracePath = tracePath;
   al::ActiveLearner learner(problem, makePrototype(args, problem.dim()),
                             makeStrategy(args.get("strategy", "ce")), cfg);
   Rng rng(std::stoull(args.get("seed", "7")));
@@ -160,8 +176,23 @@ int cmdLearn(const Args& args) {
               result.finalGp.kernel().describe().c_str(),
               result.finalGp.noiseVariance());
   if (args.has("trace")) {
-    data::writeCsv(al::historyToTable(result), args.get("trace", ""));
-    std::printf("trace written to %s\n", args.get("trace", "").c_str());
+    if (chromeTrace) {
+      // The campaign scope already exported on loop exit; just report.
+      std::printf("Chrome trace written to %s (load in chrome://tracing "
+                  "or https://ui.perfetto.dev)\n",
+                  tracePath.c_str());
+    } else {
+      data::writeCsv(al::historyToTable(result), tracePath);
+      std::printf("trace written to %s\n", tracePath.c_str());
+    }
+  }
+  if (args.has("metrics")) {
+    const std::string metricsPath = args.get("metrics", "");
+    if (alperf::trace::writeMetricsSnapshot(metricsPath))
+      std::printf("metrics snapshot written to %s\n", metricsPath.c_str());
+    else
+      std::printf("error: could not write metrics snapshot to %s\n",
+                  metricsPath.c_str());
   }
   if (args.has("perf")) {
     // Dumps every registered counter, which now includes the dense-LA

@@ -32,6 +32,16 @@ This checker enforces them with file:line diagnostics:
                       be annotated ALPERF_GUARDED_BY(<that mutex>).
                       An unused capability usually means shared state
                       was added without annotation coverage.
+  float-compare       Bitwise ==/!= against a floating-point literal.
+                      Exact float equality is only sound for sentinels
+                      (0.0 meaning "disabled"), exact-by-construction
+                      values (sparsity guards, ±1 design matrices) and
+                      the golden/bit-identity determinism tests — every
+                      such site is inventoried in the allowlist with a
+                      reason. Anything else should compare against a
+                      tolerance. (A lexical rule sees literals only;
+                      variable-vs-variable float comparison needs
+                      clang-tidy and code review.)
 
 Suppression:
   * inline: a comment `alperf-lint: allow(<rule>)` suppresses that rule on
@@ -65,6 +75,13 @@ GUARDED_BY_RE = re.compile(r"ALPERF_GUARDED_BY\(\s*(\w+)\s*\)")
 
 def in_dirs(relpath, prefixes):
     return any(relpath.startswith(p + os.sep) for p in prefixes)
+
+
+# A floating-point literal: 1.0, .5, 2., 1e-9, 3.25e2, with optional
+# f/F/l/L suffix. Plain integers are excluded — `x == 0` on a double is
+# invisible to a lexical rule.
+FLOAT_LIT = (r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?"
+             r"|\d+[eE][-+]?\d+)[fFlL]?")
 
 
 # Each simple rule: (id, scope predicate over relpath, [(regex, message)]).
@@ -116,6 +133,24 @@ SIMPLE_RULES = [
              "add an explicit allow for intentional singleton leaks"),
             (re.compile(r"\bdelete\b(?!\s*;)(?!\s*\w+\s*\()"),
              "naked delete: ownership must be RAII-managed"),
+        ],
+    ),
+    (
+        "float-compare",
+        lambda rel: True,
+        [
+            (re.compile(r"(?:==|!=)\s*[-+]?\s*" + FLOAT_LIT),
+             "bitwise ==/!= against a floating-point literal: exact "
+             "equality is only sound for sentinels and exact-by-"
+             "construction values — compare with a tolerance, or "
+             "allowlist the site with a reason "
+             "(scripts/alperf_lint_allow.txt)"),
+            (re.compile(FLOAT_LIT + r"\s*(?:==|!=)"),
+             "bitwise ==/!= against a floating-point literal: exact "
+             "equality is only sound for sentinels and exact-by-"
+             "construction values — compare with a tolerance, or "
+             "allowlist the site with a reason "
+             "(scripts/alperf_lint_allow.txt)"),
         ],
     ),
 ]
@@ -296,6 +331,12 @@ SELF_TEST_CASES = [
     ("src/common/bad_mutex.hpp",
      "#include <mutex>\nstruct S { std::mutex mu; int x = 0; };\n",
      "guarded-mutex"),
+    ("src/gp/bad_eq.cpp",
+     "bool converged(double delta) { return delta == 0.0; }\n",
+     "float-compare"),
+    ("tests/bad_eq_literal_first.cpp",
+     "bool hit(double p) { return 1e-3 != p; }\n",
+     "float-compare"),
 ]
 
 SELF_TEST_CLEAN = (

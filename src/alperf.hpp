@@ -10,6 +10,7 @@
 #include "common/health.hpp"
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 // Substrates.
 #include "la/cholesky.hpp"

@@ -37,6 +37,11 @@
 ///   fit.fallback.prior  rung 4: prior-only posterior
 ///   model.unhealthy     campaign stopped: model persistently degraded
 ///   watchdog            campaign stopped: wall-clock budget exhausted
+///
+/// Incidents also stream into the JSON-lines metrics snapshot
+/// (trace::writeMetricsSnapshot, one {"type":"health",...} line each),
+/// and the structured tracer (common/trace.hpp) places the degraded
+/// iterations on the exported timeline — see docs/OBSERVABILITY.md.
 
 #include <cstdint>
 #include <string>

@@ -17,6 +17,13 @@
 ///
 /// All operations are thread-safe. Overhead is one mutexed map update per
 /// event — instrument phases (a fit, a pool scoring pass), not inner loops.
+///
+/// This registry answers "how much, in total". For the *temporal* view —
+/// when each phase ran and on which thread — the same named phases carry
+/// spans in the structured tracer (common/trace.hpp), and
+/// trace::metricsSnapshotJsonl() serializes this registry plus the
+/// HealthMonitor into one JSON-lines artifact. docs/OBSERVABILITY.md maps
+/// out all three layers.
 
 #include <chrono>
 #include <cstdint>

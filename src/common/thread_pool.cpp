@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_annotations.hpp"
+#include "common/trace.hpp"
 
 namespace alperf {
 
@@ -85,7 +86,7 @@ ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
   requireArg(threads >= 1, "ThreadPool: threads must be >= 1");
   workers_.reserve(static_cast<std::size_t>(threads) - 1);
   for (int i = 1; i < threads; ++i)
-    workers_.emplace_back([this] { workerMain(); });
+    workers_.emplace_back([this, i] { workerMain(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -97,8 +98,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::workerMain() {
+void ThreadPool::workerMain(int index) {
   tlsInsidePool = true;
+  // Lane attribution for exported traces. Cheap when tracing never arms:
+  // the label is stored thread-locally and only becomes an event if this
+  // worker records while a capture is armed.
+  trace::nameCurrentThread("pool.worker." + std::to_string(index));
   Impl& s = *impl_;
   std::uint64_t seen = 0;
   UniqueLock lk(s.mu);

@@ -71,7 +71,9 @@ class ThreadPool {
   std::unique_ptr<Impl> impl_;
   std::vector<std::thread> workers_;
 
-  void workerMain();
+  /// Worker loop. `index` (1-based; 0 is the external calling thread)
+  /// labels the worker's lane in exported traces (common/trace.hpp).
+  void workerMain(int index);
 };
 
 /// Process-global parallelism configuration and pool.

@@ -1,0 +1,502 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/health.hpp"
+#include "common/perf_stats.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace alperf::trace {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+}  // namespace detail
+
+namespace {
+
+std::uint64_t steadyNowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// JSON string escaping: quotes, backslashes and control characters. Keeps
+/// everything else verbatim (names and args are ASCII in practice).
+std::string escapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with millinanosecond precision — the trace-event "ts"
+/// unit. %.3f keeps the JSON compact and locale-independent.
+std::string microsString(std::uint64_t nanos) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(nanos) / 1000.0);
+  return buf;
+}
+
+/// Per-thread event sink. `tid`, `nextSeq` and `buffer` are owned by the
+/// sink's thread between flushes; the central registry only touches them
+/// under the tracer mutex at quiescent points (arm, disarm, snapshot,
+/// thread exit) or after the owning thread handed them over by flushing.
+struct ThreadSink {
+  std::uint32_t tid = 0;
+  bool registered = false;
+  std::uint64_t nextSeq = 0;
+  std::string name;  ///< lane label, re-emitted as metadata on every arm
+  std::vector<TraceEvent> buffer;
+};
+
+/// Queues the thread_name metadata event into `sink`'s buffer. Callers
+/// must either own the sink's thread or hold the tracer mutex at a
+/// quiescent point (arm()).
+void queueThreadName(ThreadSink& sink, std::string_view name);
+
+/// Lane label requested before the sink registered (ThreadPool workers
+/// name themselves at spawn, usually long before any capture is armed).
+thread_local std::string tlsPendingName;  // NOLINT(runtime/string)
+
+}  // namespace
+
+struct Tracer::Impl {
+  Mutex mu;
+  /// Flushed events, in flush order; snapshot() sorts by (tid, id).
+  std::vector<TraceEvent> events ALPERF_GUARDED_BY(mu);
+  /// Registered live sinks (not owned; each thread's handle unregisters
+  /// itself on thread exit).
+  std::vector<ThreadSink*> sinks ALPERF_GUARDED_BY(mu);
+  std::uint32_t nextTid ALPERF_GUARDED_BY(mu) = 0;
+  std::uint64_t dropped ALPERF_GUARDED_BY(mu) = 0;
+  /// Timestamp epoch (steady-clock nanos at arm); atomic because the hot
+  /// record path reads it without the lock.
+  std::atomic<std::uint64_t> epochNanos{0};
+  /// Export path from the ALPERF_TRACE environment variable ("" = unset).
+  /// Written once in the constructor, read by the atexit hook.
+  std::string envPath;
+
+  /// Moves one sink's buffer into `events`, honoring the kMaxEvents cap
+  /// and bumping the trace.* accounting counters.
+  void flushSinkLocked(ThreadSink& sink) ALPERF_REQUIRES(mu) {
+    if (sink.buffer.empty()) return;
+    std::size_t take = sink.buffer.size();
+    if (events.size() + take > Tracer::kMaxEvents) {
+      take = Tracer::kMaxEvents - std::min(events.size(),
+                                           Tracer::kMaxEvents);
+      const std::uint64_t drop =
+          static_cast<std::uint64_t>(sink.buffer.size() - take);
+      dropped += drop;
+      PerfRegistry::instance().increment("trace.dropped", drop);
+    }
+    events.insert(events.end(),
+                  std::make_move_iterator(sink.buffer.begin()),
+                  std::make_move_iterator(sink.buffer.begin() +
+                                          static_cast<std::ptrdiff_t>(take)));
+    PerfRegistry::instance().increment("trace.events",
+                                       static_cast<std::uint64_t>(take));
+    sink.buffer.clear();
+  }
+
+  void flushAllLocked() ALPERF_REQUIRES(mu) {
+    for (ThreadSink* sink : sinks) flushSinkLocked(*sink);
+  }
+};
+
+namespace {
+
+Tracer::Impl* gImpl = nullptr;  ///< set once by Tracer::Tracer
+
+/// RAII handle owning this thread's sink: flushes and unregisters on
+/// thread exit so no buffered event is lost and no dangling pointer
+/// stays in the registry.
+struct SinkHandle {
+  ThreadSink sink;
+
+  ~SinkHandle() {
+    if (!sink.registered || gImpl == nullptr) return;
+    MutexLock lk(gImpl->mu);
+    gImpl->flushSinkLocked(sink);
+    auto& sinks = gImpl->sinks;
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), &sink),
+                sinks.end());
+  }
+};
+
+thread_local SinkHandle tlsSink;
+
+void queueThreadName(ThreadSink& sink, std::string_view name) {
+  TraceEvent meta;
+  meta.kind = EventKind::Meta;
+  meta.name = "thread_name";
+  meta.args = "\"name\":\"" + escapeJson(name) + "\"";
+  meta.tid = sink.tid;
+  meta.id = (static_cast<std::uint64_t>(sink.tid) << 32) |
+            (sink.nextSeq++ & 0xffffffffULL);
+  sink.buffer.push_back(std::move(meta));
+}
+
+/// Find-or-register the calling thread's sink. Registration assigns the
+/// lane id and, when a lane label is pending, queues the thread_name
+/// metadata event so exporters can draw named lanes.
+ThreadSink& localSink(Tracer::Impl& impl) {
+  ThreadSink& sink = tlsSink.sink;
+  if (!sink.registered) {
+    MutexLock lk(impl.mu);
+    sink.tid = impl.nextTid++;
+    impl.sinks.push_back(&sink);
+    sink.registered = true;
+    sink.name = tlsPendingName;
+    if (!sink.name.empty()) queueThreadName(sink, sink.name);
+  }
+  return sink;
+}
+
+void exportEnvTraceAtExit() {
+  Tracer& tracer = Tracer::instance();
+  tracer.disarm();
+  if (gImpl != nullptr && !gImpl->envPath.empty())
+    tracer.writeChromeTrace(gImpl->envPath);
+}
+
+/// Forces the singleton (and therefore the ALPERF_TRACE environment
+/// lookup) to run during static initialization — without this, a program
+/// that never touches the tracer API would silently ignore ALPERF_TRACE
+/// because the disabled fast path never calls instance().
+[[maybe_unused]] const bool gEnvProbe = [] {
+  Tracer::instance();
+  return true;
+}();
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+// alperf-lint: allow(naked-new) — intentionally leaked process-global
+// singleton: worker threads flush into it from thread_local destructors
+// that may run after static destruction would have torn it down.
+Tracer::Tracer() : impl_(new Impl) {
+  gImpl = impl_;
+  const char* env = std::getenv("ALPERF_TRACE");
+  if (env != nullptr && *env != '\0') {
+    impl_->envPath = env;
+    arm();
+    std::atexit(&exportEnvTraceAtExit);
+  }
+}
+
+void Tracer::arm() {
+  if (tlsPendingName.empty()) tlsPendingName = "main";
+  if (tlsSink.sink.registered && tlsSink.sink.name.empty())
+    tlsSink.sink.name = tlsPendingName;
+  {
+    MutexLock lk(impl_->mu);
+    impl_->events.clear();
+    impl_->dropped = 0;
+    for (ThreadSink* sink : impl_->sinks) {
+      sink->buffer.clear();
+      sink->nextSeq = 0;
+      // Lane labels survive re-arms: metadata is per-capture in the
+      // trace-event format, so re-queue it for every known lane.
+      if (!sink->name.empty()) queueThreadName(*sink, sink->name);
+    }
+  }
+  impl_->epochNanos.store(steadyNowNanos(), std::memory_order_relaxed);
+  PerfRegistry::instance().increment("trace.arm");
+  detail::gEnabled.store(true, std::memory_order_release);
+}
+
+void Tracer::disarm() {
+  detail::gEnabled.store(false, std::memory_order_release);
+  MutexLock lk(impl_->mu);
+  impl_->flushAllLocked();
+}
+
+void Tracer::clear() {
+  MutexLock lk(impl_->mu);
+  impl_->events.clear();
+  impl_->dropped = 0;
+  for (ThreadSink* sink : impl_->sinks) {
+    sink->buffer.clear();
+    sink->nextSeq = 0;
+  }
+}
+
+std::uint64_t Tracer::nowNanos() const {
+  const std::uint64_t epoch =
+      impl_->epochNanos.load(std::memory_order_relaxed);
+  const std::uint64_t now = steadyNowNanos();
+  return now >= epoch ? now - epoch : 0;
+}
+
+void Tracer::nameCurrentThread(std::string name) {
+  tlsPendingName = std::move(name);
+  ThreadSink& sink = tlsSink.sink;
+  if (sink.registered) {
+    sink.name = tlsPendingName;
+    if (detail::enabledFast()) queueThreadName(sink, sink.name);
+  }
+}
+
+namespace {
+
+/// Shared push path: stamps lane id and deterministic sequence id, then
+/// buffers; a full buffer flushes under the central lock.
+void pushEvent(Tracer::Impl& impl, TraceEvent ev) {
+  ThreadSink& sink = localSink(impl);
+  ev.tid = sink.tid;
+  ev.id = (static_cast<std::uint64_t>(sink.tid) << 32) |
+          (sink.nextSeq++ & 0xffffffffULL);
+  sink.buffer.push_back(std::move(ev));
+  if (sink.buffer.size() >= Tracer::kFlushBatch) {
+    MutexLock lk(impl.mu);
+    impl.flushSinkLocked(sink);
+  }
+}
+
+}  // namespace
+
+void Tracer::recordSpan(std::string name, std::uint64_t tsNanos,
+                        std::uint64_t durNanos, std::string args) {
+  if (!detail::enabledFast()) return;
+  TraceEvent ev;
+  ev.kind = EventKind::Span;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.tsNanos = tsNanos;
+  ev.durNanos = durNanos;
+  pushEvent(*impl_, std::move(ev));
+}
+
+void Tracer::recordInstant(std::string name, std::string args) {
+  if (!detail::enabledFast()) return;
+  TraceEvent ev;
+  ev.kind = EventKind::Instant;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.tsNanos = nowNanos();
+  pushEvent(*impl_, std::move(ev));
+}
+
+void Tracer::recordCounter(std::string name, double value) {
+  if (!detail::enabledFast()) return;
+  TraceEvent ev;
+  ev.kind = EventKind::Counter;
+  ev.name = std::move(name);
+  ev.tsNanos = nowNanos();
+  ev.value = value;
+  pushEvent(*impl_, std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() {
+  MutexLock lk(impl_->mu);
+  impl_->flushAllLocked();
+  std::vector<TraceEvent> out = impl_->events;
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.tid != b.tid ? a.tid < b.tid : a.id < b.id;
+            });
+  return out;
+}
+
+std::string Tracer::toChromeJson() {
+  const auto events = snapshot();
+  std::string out = "{\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"alperf\"}}";
+  char buf[64];
+  for (const TraceEvent& ev : events) {
+    out += ",\n{";
+    out += "\"name\":\"" + escapeJson(ev.name) + "\",";
+    std::snprintf(buf, sizeof(buf), "\"pid\":1,\"tid\":%u,",
+                  static_cast<unsigned>(ev.tid));
+    out += buf;
+    switch (ev.kind) {
+      case EventKind::Span:
+        out += "\"cat\":\"alperf\",\"ph\":\"X\",\"ts\":" +
+               microsString(ev.tsNanos) +
+               ",\"dur\":" + microsString(ev.durNanos);
+        if (!ev.args.empty()) out += ",\"args\":{" + ev.args + "}";
+        break;
+      case EventKind::Instant:
+        out += "\"cat\":\"alperf\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+               microsString(ev.tsNanos);
+        if (!ev.args.empty()) out += ",\"args\":{" + ev.args + "}";
+        break;
+      case EventKind::Counter:
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      std::isfinite(ev.value) ? ev.value : 0.0);
+        out += "\"cat\":\"alperf\",\"ph\":\"C\",\"ts\":" +
+               microsString(ev.tsNanos) + ",\"args\":{\"value\":";
+        out += buf;
+        out += "}";
+        break;
+      case EventKind::Meta:
+        out += "\"ph\":\"M\"";
+        if (!ev.args.empty()) out += ",\"args\":{" + ev.args + "}";
+        break;
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << toChromeJson();
+  return static_cast<bool>(out);
+}
+
+// ------------------------------------------------------------------ Span
+
+void Span::begin(const char* name) {
+  name_ = name;
+  startNanos_ = Tracer::instance().nowNanos();
+  active_ = true;
+}
+
+void Span::end() {
+  active_ = false;
+  Tracer& tracer = Tracer::instance();
+  const std::uint64_t now = tracer.nowNanos();
+  tracer.recordSpan(name_, startNanos_,
+                    now >= startNanos_ ? now - startNanos_ : 0,
+                    std::move(args_));
+}
+
+void Span::noteInt(const char* key, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += buf;
+}
+
+void Span::noteDouble(const char* key, double v) {
+  char buf[40];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%s\"", v != v ? "nan" : "inf");
+  }
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += buf;
+}
+
+void Span::noteString(const char* key, std::string_view v) {
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":\"";
+  args_ += escapeJson(v);
+  args_ += '"';
+}
+
+void nameCurrentThread(std::string name) {
+  Tracer::instance().nameCurrentThread(std::move(name));
+}
+
+// ------------------------------------------------------- metrics snapshot
+
+std::string metricsSnapshotJsonl() {
+  Tracer& tracer = Tracer::instance();
+  const auto events = tracer.snapshot();
+  char buf[64];
+  std::string out = "{\"type\":\"meta\",\"armed\":";
+  out += tracer.enabled() ? "true" : "false";
+  std::snprintf(buf, sizeof(buf), ",\"traceEvents\":%zu}", events.size());
+  out += buf;
+  out += '\n';
+  for (const PerfEntry& e : PerfRegistry::instance().snapshot()) {
+    out += "{\"type\":\"perf\",\"name\":\"" + escapeJson(e.name) + "\",";
+    std::snprintf(buf, sizeof(buf), "\"count\":%llu,\"millis\":%.3f}",
+                  static_cast<unsigned long long>(e.count),
+                  e.totalMillis());
+    out += buf;
+    out += '\n';
+  }
+  for (const HealthIncident& inc : HealthMonitor::instance().recent()) {
+    out += "{\"type\":\"health\",";
+    std::snprintf(buf, sizeof(buf), "\"seq\":%llu,",
+                  static_cast<unsigned long long>(inc.seq));
+    out += buf;
+    out += "\"kind\":\"" + escapeJson(inc.kind) + "\",\"detail\":\"" +
+           escapeJson(inc.detail) + "\",";
+    std::snprintf(buf, sizeof(buf), "\"iteration\":%lld}", inc.iteration);
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+bool writeMetricsSnapshot(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metricsSnapshotJsonl();
+  return static_cast<bool>(out);
+}
+
+// --------------------------------------------------- CampaignTraceScope
+
+CampaignTraceScope::CampaignTraceScope(std::string path)
+    : path_(std::move(path)) {
+  if (path_.empty()) return;
+  Tracer& tracer = Tracer::instance();
+  if (tracer.enabled()) return;  // never clobber an ambient capture
+  tracer.arm();
+  armedHere_ = true;
+}
+
+CampaignTraceScope::~CampaignTraceScope() {
+  if (!armedHere_) return;
+  Tracer& tracer = Tracer::instance();
+  tracer.disarm();
+  tracer.writeChromeTrace(path_);
+}
+
+}  // namespace alperf::trace

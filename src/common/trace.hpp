@@ -1,0 +1,272 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured tracing: spans, instants and counters with a Chrome
+/// trace-event exporter.
+///
+/// PerfRegistry (perf_stats.hpp) answers "how much time went where, in
+/// total"; HealthMonitor (health.hpp) answers "what degraded". Neither
+/// answers the *temporal* question the paper's cost argument turns on —
+/// within one campaign iteration, how long was the refit vs the pool
+/// scoring vs the oracle, and what ran concurrently on which thread. This
+/// layer records that timeline and exports it in the Chrome trace-event
+/// JSON format, loadable in `chrome://tracing` or https://ui.perfetto.dev
+/// (see docs/OBSERVABILITY.md for a reading guide).
+///
+/// Design contract — the same discipline as FaultInjector:
+///
+///   * When tracing is disabled (the default), every instrumentation site
+///     costs ONE relaxed atomic load: no locks, no allocation, no clock
+///     read, no PerfRegistry counters. The perf-smoke CI job asserts that
+///     a disabled run reports zero `trace.*` counters.
+///   * Recording never touches RNG streams, floating-point state or any
+///     value a computation depends on: AL results are bit-identical with
+///     tracing armed or disarmed, at any thread count.
+///   * Events carry deterministic ids — (thread lane, per-lane sequence
+///     number) — so two armed runs of the same deterministic workload at
+///     one thread produce identical traces modulo timestamps (tested by
+///     tests/test_trace.cpp).
+///   * Each thread appends events to its own buffered sink without
+///     synchronization; buffers are flushed into the central store under
+///     one mutex — when a buffer fills, at thread exit, and at
+///     disarm/export. Exports must happen at quiescent points (no
+///     parallel region in flight), which every shipped call site honors.
+///
+/// Usage:
+///   trace::Tracer::instance().arm();            // or ALPERF_TRACE=out.json
+///   { TRACE_SPAN("gp.fit"); ... }               // anonymous RAII span
+///   { trace::Span s("exec.attempt");            // annotated span
+///     s.note("row", 17); ... s.note("outcome", "ok"); }
+///   trace::counter("al.pool", remaining);       // counter track
+///   trace::Tracer::instance().writeChromeTrace("out.json");
+///
+/// The JSON-lines metrics exporter (metricsSnapshotJsonl) serializes the
+/// PerfRegistry and HealthMonitor state alongside trace totals, so one
+/// artifact carries counters, incidents and the timeline pointer.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alperf::trace {
+
+namespace detail {
+/// The armed flag, exposed so the disabled fast path inlines to a single
+/// relaxed load. Never write it directly — arm()/disarm() pair the store
+/// with the buffer lifecycle.
+extern std::atomic<bool> gEnabled;
+inline bool enabledFast() {
+  return gEnabled.load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Event kinds, mapped to Chrome trace-event phases on export.
+enum class EventKind {
+  Span,     ///< complete event, ph "X" (ts + dur)
+  Instant,  ///< ph "i"
+  Counter,  ///< ph "C"
+  Meta,     ///< ph "M" (thread_name lanes)
+};
+
+/// One recorded event. `id` is deterministic: the owning lane's tid in
+/// the high 32 bits, the per-lane sequence number in the low 32.
+struct TraceEvent {
+  std::uint64_t id = 0;
+  EventKind kind = EventKind::Span;
+  std::string name;
+  /// Pre-serialized JSON object *body* (no braces), e.g. `"iter":3`.
+  /// Empty = no args.
+  std::string args;
+  std::uint32_t tid = 0;
+  std::uint64_t tsNanos = 0;   ///< since the arm() epoch
+  std::uint64_t durNanos = 0;  ///< spans only
+  double value = 0.0;          ///< counters only
+};
+
+/// Process-global tracer singleton. Thread-safe; see the file comment for
+/// the buffering and quiescence contract.
+class Tracer {
+ public:
+  /// Events a thread buffers locally before flushing under the lock.
+  static constexpr std::size_t kFlushBatch = 1024;
+  /// Hard cap on retained events; beyond it new flushes are dropped and
+  /// counted under `trace.dropped` (no silent truncation).
+  static constexpr std::size_t kMaxEvents = 1u << 22;
+
+  static Tracer& instance();
+
+  /// True while armed (one relaxed atomic load).
+  bool enabled() const { return detail::enabledFast(); }
+
+  /// Clears all buffers, restarts the timestamp epoch and lane numbering,
+  /// names the calling thread "main" if it is unnamed, and starts
+  /// capture. Call only at a quiescent point. Bumps `trace.arm`.
+  void arm();
+
+  /// Stops capture and flushes every registered sink; recorded events
+  /// stay available for snapshot()/export until the next arm().
+  void disarm();
+
+  /// Drops all recorded events and lane assignments (does not change the
+  /// armed state's epoch — prefer arm() to restart a capture).
+  void clear();
+
+  /// Nanoseconds since the current epoch (0 when never armed).
+  std::uint64_t nowNanos() const;
+
+  /// Labels the calling thread's lane in exported traces (e.g.
+  /// "pool.worker.3"). Cheap and safe to call when disabled: the name is
+  /// kept thread-locally and attached if the thread ever records.
+  void nameCurrentThread(std::string name);
+
+  /// Record entry points — no-ops when disabled. Instrumentation sites
+  /// should prefer Span / TRACE_SPAN / the free helpers below.
+  void recordSpan(std::string name, std::uint64_t tsNanos,
+                  std::uint64_t durNanos, std::string args);
+  void recordInstant(std::string name, std::string args);
+  void recordCounter(std::string name, double value);
+
+  /// Flushes every sink and returns all retained events sorted by
+  /// (tid, id) — deterministic for a deterministic workload at one
+  /// thread. Quiescent points only.
+  std::vector<TraceEvent> snapshot();
+
+  /// The retained events as a Chrome trace-event JSON document
+  /// ({"traceEvents":[...]}), loadable by chrome://tracing and Perfetto.
+  std::string toChromeJson();
+
+  /// Writes toChromeJson() to `path`. Returns false on I/O failure.
+  bool writeChromeTrace(const std::string& path);
+
+  /// Opaque implementation type (defined in trace.cpp; public only so
+  /// the file-local helper functions there can name it).
+  struct Impl;
+
+ private:
+  Tracer();
+
+  Impl* impl_;  // never destroyed (process-global singleton)
+
+  friend class Span;
+};
+
+/// RAII span. Construction when disabled is a single relaxed atomic load;
+/// when armed it records one clock read at entry and emits a complete
+/// event at scope exit. note() attaches JSON args (deterministic values
+/// only — annotate indices and outcomes, not timings, if you want traces
+/// comparable across runs).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (detail::enabledFast()) begin(name);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (active_) end();
+  }
+
+  Span& note(const char* key, long long v) {
+    if (active_) noteInt(key, v);
+    return *this;
+  }
+  Span& note(const char* key, unsigned long long v) {
+    if (active_) noteInt(key, static_cast<long long>(v));
+    return *this;
+  }
+  Span& note(const char* key, std::size_t v) {
+    if (active_) noteInt(key, static_cast<long long>(v));
+    return *this;
+  }
+  Span& note(const char* key, int v) {
+    if (active_) noteInt(key, v);
+    return *this;
+  }
+  Span& note(const char* key, double v) {
+    if (active_) noteDouble(key, v);
+    return *this;
+  }
+  Span& note(const char* key, std::string_view v) {
+    if (active_) noteString(key, v);
+    return *this;
+  }
+  /// Without this overload a string literal would prefer the bool one
+  /// (pointer-to-bool is a standard conversion; string_view is not).
+  Span& note(const char* key, const char* v) {
+    if (active_) noteString(key, v);
+    return *this;
+  }
+  Span& note(const char* key, bool v) {
+    if (active_) noteString(key, v ? "true" : "false");
+    return *this;
+  }
+
+ private:
+  void begin(const char* name);
+  void end();
+  void noteInt(const char* key, long long v);
+  void noteDouble(const char* key, double v);
+  void noteString(const char* key, std::string_view v);
+
+  const char* name_ = nullptr;
+  std::uint64_t startNanos_ = 0;
+  std::string args_;
+  bool active_ = false;
+};
+
+/// Anonymous RAII span for the common no-annotation case:
+///   TRACE_SPAN("gp.fit");
+#define ALPERF_TRACE_CAT2_(a, b) a##b
+#define ALPERF_TRACE_CAT_(a, b) ALPERF_TRACE_CAT2_(a, b)
+#define TRACE_SPAN(...)                                          \
+  ::alperf::trace::Span ALPERF_TRACE_CAT_(alperfTraceSpan_,      \
+                                          __LINE__) {            \
+    __VA_ARGS__                                                  \
+  }
+
+/// Instant event (ph "i") — a point-in-time marker.
+inline void instant(const char* name) {
+  if (detail::enabledFast()) Tracer::instance().recordInstant(name, {});
+}
+
+/// Counter sample (ph "C") — renders as a value track over time.
+inline void counter(const char* name, double value) {
+  if (detail::enabledFast()) Tracer::instance().recordCounter(name, value);
+}
+
+/// See Tracer::nameCurrentThread. Free-function form for call sites that
+/// must stay cheap when tracing never arms (ThreadPool workers).
+void nameCurrentThread(std::string name);
+
+/// JSON-lines metrics snapshot: one `{"type":"meta",...}` header line
+/// (trace event totals, armed state), one `{"type":"perf",...}` line per
+/// PerfRegistry entry and one `{"type":"health",...}` line per retained
+/// HealthMonitor incident. Each line is a standalone JSON object — the
+/// format streams into jq / pandas without a parser.
+std::string metricsSnapshotJsonl();
+
+/// Writes metricsSnapshotJsonl() to `path`. Returns false on I/O failure.
+bool writeMetricsSnapshot(const std::string& path);
+
+/// Arms the tracer for one campaign and exports on scope exit: used by
+/// ActiveLearner when AlConfig::tracePath is set. If `path` is empty or
+/// the tracer is already armed (e.g. by ALPERF_TRACE or an outer scope),
+/// the scope is a no-op — it never clobbers an ambient capture.
+class CampaignTraceScope {
+ public:
+  explicit CampaignTraceScope(std::string path);
+  ~CampaignTraceScope();
+
+  CampaignTraceScope(const CampaignTraceScope&) = delete;
+  CampaignTraceScope& operator=(const CampaignTraceScope&) = delete;
+
+ private:
+  std::string path_;
+  bool armedHere_ = false;
+};
+
+}  // namespace alperf::trace

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/fault_inject.hpp"
 #include "common/health.hpp"
+#include "common/trace.hpp"
 #include "opt/multistart.hpp"
 
 namespace alperf::al {
@@ -245,6 +246,8 @@ ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
   const auto loopStart = std::chrono::steady_clock::now();
   for (int iter = 0; iter < config.iterations; ++iter) {
     FaultContext::setIteration(iter);
+    trace::Span roundSpan("al.round");
+    roundSpan.note("iter", iter).note("n", gp.numTrainPoints());
     if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       loopStart)
             .count() > config.wallClockBudgetSec) {

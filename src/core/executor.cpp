@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace.hpp"
+
 namespace alperf::al {
 
 void RetryPolicy::validate() const {
@@ -31,8 +33,11 @@ ExperimentExecutor::ExperimentExecutor(RetryPolicy policy) : policy_(policy) {
 ExecutionResult ExperimentExecutor::execute(
     const std::function<Measurement()>& attempt) {
   requireArg(attempt != nullptr, "ExperimentExecutor: null attempt");
+  trace::Span measureSpan("exec.measure");
   ExecutionResult result;
   for (int tryIdx = 0; tryIdx <= policy_.maxRetries; ++tryIdx) {
+    trace::Span attemptSpan("exec.attempt");
+    attemptSpan.note("try", tryIdx);
     Measurement m = attempt();
     // A hand-built "Ok" carrying NaN/Inf is a failed measurement: it must
     // never be fed into the GP's Cholesky.
@@ -40,6 +45,7 @@ ExecutionResult ExperimentExecutor::execute(
       m = Measurement::failed(m.totalCost(), m.attempts);
     if (m.status == MeasurementStatus::Censored && !std::isfinite(m.y))
       m = Measurement::failed(m.totalCost(), m.attempts);
+    attemptSpan.note("outcome", toString(m.status));
 
     result.attempts += m.attempts;
     if (m.usable()) {
@@ -50,6 +56,8 @@ ExecutionResult ExperimentExecutor::execute(
       result.measurement = m;
       totalWastedCost_ += result.wastedCost;
       totalFailedAttempts_ += result.attempts - 1;
+      measureSpan.note("outcome", toString(m.status))
+          .note("attempts", result.attempts);
       return result;
     }
     result.wastedCost += m.totalCost();
@@ -61,6 +69,7 @@ ExecutionResult ExperimentExecutor::execute(
   totalWastedCost_ += result.wastedCost;
   totalFailedAttempts_ += result.attempts;
   ++totalQuarantined_;
+  measureSpan.note("outcome", "quarantined").note("attempts", result.attempts);
   return result;
 }
 

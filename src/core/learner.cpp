@@ -8,6 +8,7 @@
 #include "common/fault_inject.hpp"
 #include "common/health.hpp"
 #include "common/perf_stats.hpp"
+#include "common/trace.hpp"
 #include "stats/descriptive.hpp"
 
 namespace alperf::al {
@@ -218,6 +219,11 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
                                 stats::Rng& rng) const {
   if (state.hasRngState) rng.restoreState(state.rngState);
 
+  // Campaign-scoped tracing: arms on entry and exports the Chrome trace on
+  // exit when config_.tracePath is set; otherwise (and when the tracer is
+  // already armed ambiently) a no-op.
+  trace::CampaignTraceScope traceScope(config_.tracePath);
+
   AlResult result{.history = {},
                   .partition = state.partition,
                   .stopReason = StopReason::PoolExhausted,
@@ -270,6 +276,8 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   const double baseJitterScale = gpPrototype_.config().jitterScaleMax;
   const auto fitWithFallback = [&](bool optimize) {
     ScopedTimer timer("al.fit");
+    trace::Span span("al.fit");
+    span.note("n", state.train.size()).note("optimize", optimize);
     if (!optimize && config_.incrementalPosterior && chainValid &&
         gp.fitted() && gp.numTrainPoints() <= state.train.size()) {
       bool ok = true;
@@ -282,6 +290,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       }
       if (ok) {
         PerfRegistry::instance().increment("al.fit.incremental");
+        span.note("path", "incremental");
         return true;
       }
       chainValid = false;  // degraded extension: refactorize from scratch
@@ -327,6 +336,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       chainValid = true;
       fullFitTrainCount = state.train.size();
       PerfRegistry::instance().increment("al.fit.full");
+      span.note("path", "full");
       return true;
     }
     // Rung 4: prior-only posterior — never fails, but the model is
@@ -336,6 +346,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     ++result.fitFallbacks;
     HealthMonitor::instance().record("fit.fallback.prior",
                                      "prior-only posterior installed");
+    span.note("path", "prior");
     chainValid = false;
     return false;
   };
@@ -384,6 +395,10 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   while (true) {
     // Ambient iteration for fault predicates and health-incident stamps.
     FaultContext::setIteration(state.iteration);
+    trace::Span iterSpan("al.iteration");
+    iterSpan.note("iter", state.iteration)
+        .note("train", state.train.size())
+        .note("pool", state.pool.size());
     if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       loopStart)
             .count() > config_.wallClockBudgetSec) {
@@ -453,24 +468,37 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       const auto row = problem_.x.row(state.pool[i]);
       std::copy(row.begin(), row.end(), poolX.row(i).begin());
     }
-    const auto poolPred = gp.predict(poolX);
-    const auto poolSd = poolPred.stdDev();
-    const double amsd = stats::mean(poolSd);
+    gp::Prediction poolPred;
+    la::Vector poolSd;
+    double amsd = 0.0;
     double rmse = 0.0;
-    if (!state.partition.test.empty()) {
-      const auto testPred = gp.predict(testX);
-      rmse = stats::rmse(testPred.mean, testY);
+    {
+      trace::Span scoreSpan("al.score");
+      scoreSpan.note("pool", state.pool.size())
+          .note("test", state.partition.test.size());
+      poolPred = gp.predict(poolX);
+      poolSd = poolPred.stdDev();
+      amsd = stats::mean(poolSd);
+      if (!state.partition.test.empty()) {
+        const auto testPred = gp.predict(testX);
+        rmse = stats::rmse(testPred.mean, testY);
+      }
     }
 
     // Let the strategy pick.
     const SelectionContext ctx{gp, problem_,
                                std::span<const std::size_t>(state.pool), rng};
     std::vector<std::size_t> picks;
-    if (config_.batchSize == 1) {
-      picks.push_back(strategy_->select(ctx));
-    } else {
-      picks = strategy_->selectBatch(
-          ctx, std::min(config_.batchSize, state.pool.size()));
+    {
+      trace::Span selectSpan("al.select");
+      selectSpan.note("pool", state.pool.size())
+          .note("batch", std::min(config_.batchSize, state.pool.size()));
+      if (config_.batchSize == 1) {
+        picks.push_back(strategy_->select(ctx));
+      } else {
+        picks = strategy_->selectBatch(
+            ctx, std::min(config_.batchSize, state.pool.size()));
+      }
     }
     ALPERF_ASSERT(!picks.empty(), "strategy returned no pick");
 

@@ -70,6 +70,13 @@ struct AlConfig {
   /// infinity disables). A safety net for unattended campaigns, not a
   /// precise budget — the iteration in flight always completes.
   double wallClockBudgetSec = std::numeric_limits<double>::infinity();
+
+  /// When non-empty, the loop arms the structured tracer (common/trace.hpp)
+  /// for the duration of the campaign and writes a Chrome trace-event JSON
+  /// timeline here on exit — fit/score/select/executor spans, per-thread
+  /// lanes. No-op if the tracer is already armed (e.g. via ALPERF_TRACE).
+  /// Tracing never affects results: AL output is bit-identical either way.
+  std::string tracePath;
 };
 
 enum class StopReason {

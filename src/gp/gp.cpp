@@ -9,6 +9,7 @@
 #include "common/health.hpp"
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "opt/gradient.hpp"
 #include "opt/multistart.hpp"
 
@@ -153,6 +154,8 @@ GaussianProcess::LmlResult GaussianProcess::evalLml(
     long long evalIdx, long long startIdx) const {
   const std::size_t p = kernel_->numParams();
   requireArg(thetaFull.size() == p + 1, "evalLml: wrong hyperparameter count");
+  trace::Span span("gp.lml");
+  span.note("n", y_.size()).note("eval", evalIdx).note("grad", wantGrad);
   LmlResult out{kNegInf, {}};
 
   KernelPtr k = kernel_->clone();
@@ -237,6 +240,8 @@ double GaussianProcess::evalLoo(std::span<const double> thetaFull,
                                 long long startIdx) const {
   const std::size_t p = kernel_->numParams();
   requireArg(thetaFull.size() == p + 1, "evalLoo: wrong hyperparameter count");
+  trace::Span span("gp.loo");
+  span.note("n", y_.size()).note("eval", evalIdx);
 
   KernelPtr k = kernel_->clone();
   k->setTheta(thetaFull.subspan(0, p));
@@ -282,6 +287,8 @@ void GaussianProcess::fit(la::Matrix x, la::Vector y, stats::Rng& rng) {
   requireArg(x.rows() == y.size(), "GaussianProcess::fit: X/y size mismatch");
   requireArg(y.size() >= 1, "GaussianProcess::fit: need at least one point");
   ScopedTimer timer("gp.fit");
+  trace::Span span("gp.fit");
+  span.note("n", y.size()).note("optimize", config_.optimize);
   // Ambient flag for fault predicates: `chol.fail@opt=1` fails the
   // hyperparameter-optimizing fit but spares the optimize=false refits the
   // degradation ladder falls back to.
@@ -414,6 +421,8 @@ void GaussianProcess::addObservation(std::span<const double> x, double y) {
         "GaussianProcess::addObservation: prior-only posterior has no "
         "factorization to extend; a full fit() is required");
   ScopedTimer timer("gp.addObservation");
+  trace::Span span("gp.addObservation");
+  span.note("n", x_.rows());
   const std::size_t n = x_.rows();
 
   la::Vector k(n);
@@ -439,6 +448,8 @@ void GaussianProcess::addObservation(std::span<const double> x, double y) {
 }
 
 void GaussianProcess::computePosterior() {
+  trace::Span span("gp.posterior");
+  span.note("n", y_.size());
   la::Matrix ky = trainGram(*kernel_);
   ky.addToDiagonal(noiseVar_);
   chol_ = std::make_unique<la::Cholesky>(std::move(ky), config_.jitterScaleMax);
@@ -474,6 +485,8 @@ Prediction GaussianProcess::predict(const la::Matrix& xStar,
   requireArg(xStar.cols() == x_.cols(),
              "GaussianProcess::predict: dimension mismatch");
   ScopedTimer timer("gp.predict");
+  trace::Span span("gp.predict");
+  span.note("n", x_.rows()).note("queries", xStar.rows());
   if (priorOnly_) {
     // Degraded prior-only posterior: mean 0, variance k(x,x) (+ noise).
     Prediction prior;

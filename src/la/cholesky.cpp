@@ -6,6 +6,7 @@
 #include "common/fault_inject.hpp"
 #include "common/health.hpp"
 #include "common/perf_stats.hpp"
+#include "common/trace.hpp"
 #include "la/blas.hpp"
 
 namespace alperf::la {
@@ -43,6 +44,8 @@ bool choleskyInPlace(Matrix& a) {
 Cholesky::Cholesky(Matrix a, double maxJitterScale, double symTol) {
   requireArg(a.rows() == a.cols(), "Cholesky: matrix must be square");
   PerfRegistry::instance().increment("la.cholesky");
+  trace::Span span("la.chol.factor");
+  span.note("n", a.rows());
   const std::size_t n = a.rows();
 
   // One sweep computes everything the recovery policy needs: NaN/Inf
@@ -263,6 +266,8 @@ Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
 void Cholesky::extend(std::span<const double> k, double kappa) {
   const std::size_t n = dim();
   requireArg(k.size() == n, "Cholesky::extend: cross-covariance size");
+  trace::Span span("la.chol.extend");
+  span.note("n", n);
   bool poisoned = false;
   auto& faults = FaultInjector::instance();
   if (faults.armed()) {

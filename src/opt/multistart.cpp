@@ -4,6 +4,7 @@
 
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace alperf::opt {
 
@@ -59,7 +60,9 @@ MultiStartResult multiStartMinimizeParallel(const StartRunner& runStart,
   requireArg(static_cast<bool>(runStart),
              "multiStartMinimizeParallel: null start runner");
   ScopedTimer timer("opt.multistart");
+  trace::Span span("opt.multistart");
   const std::size_t nStarts = static_cast<std::size_t>(nRestarts) + 1;
+  span.note("starts", nStarts);
   PerfRegistry::instance().increment("opt.multistart.starts", nStarts);
 
   // Draw every start sequentially before any minimization so the RNG
@@ -72,6 +75,10 @@ MultiStartResult multiStartMinimizeParallel(const StartRunner& runStart,
   MultiStartResult out;
   out.all.resize(nStarts);
   parallelFor(nStarts, 1, [&](std::size_t k) {
+    // One span per start: in a trace these render as parallel slices on
+    // the worker lanes that picked the starts up.
+    trace::Span startSpan("opt.start");
+    startSpan.note("start", k);
     out.all[k] = runStart(k, starts[k]);
   });
   out.best = out.all[bestIndex(out.all)];

@@ -206,6 +206,29 @@ TEST_F(LintToolTest, GuardedMutexMemberPasses) {
   EXPECT_EQ(r.exitCode, 0) << r.output;
 }
 
+TEST_F(LintToolTest, DetectsFloatLiteralComparison) {
+  LintFixtureTree tree;
+  tree.write("src/gp/bad.cpp",
+             "bool converged(double delta) { return delta == 0.0; }\n"
+             "bool miss(double p) { return 1e-3 != p; }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("[float-compare]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad.cpp:1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintToolTest, ToleranceComparisonsAndIntLiteralsDoNotFire) {
+  LintFixtureTree tree;
+  tree.write("src/gp/fine.cpp",
+             "#include <cmath>\n"
+             "bool near(double a) { return std::abs(a - 1.5) < 1e-12; }\n"
+             "bool countHit(int n) { return n == 10; }\n"
+             "bool ge(double a) { return a >= 2.0; }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
 TEST_F(LintToolTest, BannedPatternInCommentOrStringDoesNotFire) {
   LintFixtureTree tree;
   tree.write("src/core/fine.cpp",

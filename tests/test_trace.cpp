@@ -1,0 +1,457 @@
+// Contract tests for the structured tracing layer (common/trace.hpp):
+// disabled mode records nothing and bumps no trace.* counters, exported
+// Chrome trace JSON is well-formed (validated by a minimal recursive-
+// descent parser — no JSON library in the tree), span nesting and thread
+// attribution hold, armed traces are deterministic modulo timestamps at
+// one thread, and — the load-bearing invariant — AL results are
+// bit-identical with tracing armed or disarmed.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+namespace trace = alperf::trace;
+using alperf::Parallelism;
+using alperf::PerfRegistry;
+using alperf::stats::Rng;
+
+namespace {
+
+/// Leaves the tracer disarmed and empty, and the thread count automatic,
+/// no matter how the test exits.
+struct TraceGuard {
+  ~TraceGuard() {
+    trace::Tracer::instance().disarm();
+    trace::Tracer::instance().clear();
+    Parallelism::setThreads(0);
+  }
+};
+
+// ------------------------------------------------ minimal JSON validator
+//
+// Just enough of RFC 8259 to assert the exporter's output parses:
+// objects, arrays, strings with escapes, numbers, true/false/null.
+
+void skipWs(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r'))
+    ++i;
+}
+
+bool skipValue(const std::string& s, std::size_t& i);  // forward
+
+bool skipString(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+    }
+    ++i;
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+bool skipNumber(const std::string& s, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+          s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+'))
+    ++i;
+  return i > start;
+}
+
+bool skipObject(const std::string& s, std::size_t& i) {
+  if (s[i] != '{') return false;
+  ++i;
+  skipWs(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (i < s.size()) {
+    skipWs(s, i);
+    if (!skipString(s, i)) return false;  // key
+    skipWs(s, i);
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    if (!skipValue(s, i)) return false;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= s.size() || s[i] != '}') return false;
+  ++i;
+  return true;
+}
+
+bool skipArray(const std::string& s, std::size_t& i) {
+  if (s[i] != '[') return false;
+  ++i;
+  skipWs(s, i);
+  if (i < s.size() && s[i] == ']') {
+    ++i;
+    return true;
+  }
+  while (i < s.size()) {
+    if (!skipValue(s, i)) return false;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= s.size() || s[i] != ']') return false;
+  ++i;
+  return true;
+}
+
+bool skipValue(const std::string& s, std::size_t& i) {
+  skipWs(s, i);
+  if (i >= s.size()) return false;
+  switch (s[i]) {
+    case '{':
+      return skipObject(s, i);
+    case '[':
+      return skipArray(s, i);
+    case '"':
+      return skipString(s, i);
+    case 't':
+      if (s.compare(i, 4, "true") != 0) return false;
+      i += 4;
+      return true;
+    case 'f':
+      if (s.compare(i, 5, "false") != 0) return false;
+      i += 5;
+      return true;
+    case 'n':
+      if (s.compare(i, 4, "null") != 0) return false;
+      i += 4;
+      return true;
+    default:
+      return skipNumber(s, i);
+  }
+}
+
+bool jsonParses(const std::string& s) {
+  std::size_t i = 0;
+  if (!skipValue(s, i)) return false;
+  skipWs(s, i);
+  return i == s.size();
+}
+
+// ----------------------------------------------------- campaign fixture
+
+al::RegressionProblem syntheticProblem(std::size_t n = 40) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(n, 2);
+  p.y.resize(n);
+  p.cost.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    p.x(i, 0) = 10.0 * t;
+    p.x(i, 1) = std::cos(3.0 * t);
+    p.y[i] = std::sin(6.0 * t) + 0.3 * t * t;
+    p.cost[i] = 1.0 + 0.5 * t;
+  }
+  p.featureNames = {"x0", "x1"};
+  p.responseName = "y";
+  return p;
+}
+
+al::AlResult runCampaign(const al::AlConfig& cfg, unsigned seed = 7) {
+  gp::GpConfig gpCfg;
+  gpCfg.nRestarts = 1;
+  gpCfg.noise.lo = 1e-4;
+  gp::GaussianProcess proto(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                            gpCfg);
+  al::AlConfig full = cfg;
+  full.nInitial = 3;
+  if (full.maxIterations < 0) full.maxIterations = 8;
+  al::ActiveLearner learner(syntheticProblem(), std::move(proto),
+                            std::make_unique<al::CostEfficiency>(), full);
+  Rng rng(seed);
+  return learner.run(rng);
+}
+
+}  // namespace
+
+TEST(Trace, DisabledModeEmitsNothingAndBumpsNoCounters) {
+  TraceGuard guard;
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.disarm();
+  tracer.clear();
+  PerfRegistry::instance().reset();
+
+  {
+    TRACE_SPAN("should.not.record");
+    trace::Span annotated("also.not.recorded");
+    annotated.note("k", 1).note("s", "v");
+    trace::instant("nope");
+    trace::counter("nope.counter", 4.0);
+  }
+  runCampaign({});  // the full instrumented hot path, disarmed
+
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(PerfRegistry::instance().count("trace.arm"), 0u);
+  EXPECT_EQ(PerfRegistry::instance().count("trace.events"), 0u);
+  EXPECT_EQ(PerfRegistry::instance().count("trace.dropped"), 0u);
+}
+
+TEST(Trace, ExportedChromeJsonParsesAndCarriesRequiredFields) {
+  TraceGuard guard;
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.arm();
+  {
+    trace::Span outer("outer");
+    outer.note("iter", 3).note("ratio", 0.5).note("label", "a\"b\\c\n");
+    {
+      TRACE_SPAN("inner");
+      trace::instant("marker");
+      trace::counter("pool.remaining", 17.0);
+    }
+  }
+  tracer.disarm();
+
+  const std::string json = tracer.toChromeJson();
+  EXPECT_TRUE(jsonParses(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"iter\":3"), std::string::npos);
+  // The escaped annotation survives round-trip intact.
+  EXPECT_NE(json.find("a\\\"b\\\\c\\n"), std::string::npos);
+
+  const auto events = tracer.snapshot();
+  // Two spans, one instant, one counter, plus the thread_name metadata
+  // queued when the recording lane registered.
+  std::size_t nonMeta = 0;
+  const trace::TraceEvent* outerEv = nullptr;
+  const trace::TraceEvent* innerEv = nullptr;
+  for (const auto& e : events) {
+    if (e.kind != trace::EventKind::Meta) ++nonMeta;
+    if (e.name == "outer") outerEv = &e;
+    if (e.name == "inner") innerEv = &e;
+  }
+  EXPECT_EQ(nonMeta, 4u);
+  ASSERT_NE(outerEv, nullptr);
+  ASSERT_NE(innerEv, nullptr);
+  EXPECT_EQ(outerEv->tid, innerEv->tid);
+  EXPECT_GE(innerEv->tsNanos, outerEv->tsNanos);
+  EXPECT_LE(innerEv->tsNanos + innerEv->durNanos,
+            outerEv->tsNanos + outerEv->durNanos);
+}
+
+TEST(Trace, ThreadAttributionIsWellFormed) {
+  TraceGuard guard;
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.arm();
+
+  // Two explicitly spawned threads (not pool workers, whose chunk
+  // assignment is scheduling-dependent) each record on their own lane.
+  const auto worker = [](const char* lane, const char* spanName) {
+    trace::nameCurrentThread(lane);
+    for (int i = 0; i < 3; ++i) {
+      trace::Span s(spanName);
+      s.note("i", i);
+    }
+  };
+  std::thread a(worker, "lane.a", "work.a");
+  std::thread b(worker, "lane.b", "work.b");
+  a.join();
+  b.join();
+  tracer.disarm();
+
+  const auto events = tracer.snapshot();
+  std::uint32_t tidA = 0, tidB = 0;
+  bool sawA = false, sawB = false;
+  for (const auto& e : events) {
+    if (e.kind != trace::EventKind::Meta) continue;
+    if (e.args.find("lane.a") != std::string::npos) {
+      tidA = e.tid;
+      sawA = true;
+    }
+    if (e.args.find("lane.b") != std::string::npos) {
+      tidB = e.tid;
+      sawB = true;
+    }
+  }
+  ASSERT_TRUE(sawA && sawB);
+  EXPECT_NE(tidA, tidB);
+
+  // Every work.a span sits on lane a, every work.b span on lane b, and
+  // per-lane event ids strictly increase (deterministic sequence).
+  std::uint64_t lastIdA = 0, lastIdB = 0;
+  int spansA = 0, spansB = 0;
+  for (const auto& e : events) {
+    if (e.name == "work.a") {
+      EXPECT_EQ(e.tid, tidA);
+      EXPECT_GT(e.id, lastIdA);
+      lastIdA = e.id;
+      ++spansA;
+    }
+    if (e.name == "work.b") {
+      EXPECT_EQ(e.tid, tidB);
+      EXPECT_GT(e.id, lastIdB);
+      lastIdB = e.id;
+      ++spansB;
+    }
+  }
+  EXPECT_EQ(spansA, 3);
+  EXPECT_EQ(spansB, 3);
+  // id layout: lane in the high 32 bits.
+  EXPECT_EQ(lastIdA >> 32, tidA);
+  EXPECT_EQ(lastIdB >> 32, tidB);
+}
+
+TEST(Trace, ArmedTraceIsDeterministicModuloTimestamps) {
+  TraceGuard guard;
+  Parallelism::setThreads(1);
+  trace::Tracer& tracer = trace::Tracer::instance();
+
+  // The timestamp-free projection of an event stream.
+  struct Shape {
+    std::string name;
+    trace::EventKind kind;
+    std::uint32_t tid;
+    std::uint64_t id;
+    std::string args;
+    bool operator==(const Shape&) const = default;
+  };
+  const auto capture = [&] {
+    tracer.arm();
+    runCampaign({});
+    tracer.disarm();
+    std::vector<Shape> out;
+    for (const auto& e : tracer.snapshot())
+      out.push_back({e.name, e.kind, e.tid, e.id, e.args});
+    return out;
+  };
+
+  const auto first = capture();
+  const auto second = capture();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_TRUE(first[i] == second[i])
+        << "event " << i << ": " << first[i].name << " vs "
+        << second[i].name;
+}
+
+TEST(Trace, AlResultsBitIdenticalWithTracingOnVsOff) {
+  TraceGuard guard;
+  Parallelism::setThreads(2);  // exercise the parallel paths too
+
+  al::AlConfig plain;
+  const auto off = runCampaign(plain);
+
+  al::AlConfig traced;
+  const std::string path =
+      testing::TempDir() + "trace_bit_identity_out.json";
+  traced.tracePath = path;
+  const auto on = runCampaign(traced);
+
+  ASSERT_EQ(off.history.size(), on.history.size());
+  for (std::size_t i = 0; i < off.history.size(); ++i) {
+    EXPECT_EQ(off.history[i].chosenRow, on.history[i].chosenRow) << i;
+    EXPECT_EQ(off.history[i].sigmaAtPick, on.history[i].sigmaAtPick) << i;
+    EXPECT_EQ(off.history[i].muAtPick, on.history[i].muAtPick) << i;
+    EXPECT_EQ(off.history[i].amsd, on.history[i].amsd) << i;
+    EXPECT_EQ(off.history[i].rmse, on.history[i].rmse) << i;
+    EXPECT_EQ(off.history[i].noiseVariance, on.history[i].noiseVariance)
+        << i;
+    EXPECT_EQ(off.history[i].lml, on.history[i].lml) << i;
+    EXPECT_EQ(off.history[i].cumulativeCost, on.history[i].cumulativeCost)
+        << i;
+  }
+  const auto offTheta = off.finalGp.thetaFull();
+  const auto onTheta = on.finalGp.thetaFull();
+  ASSERT_EQ(offTheta.size(), onTheta.size());
+  for (std::size_t i = 0; i < offTheta.size(); ++i)
+    EXPECT_EQ(offTheta[i], onTheta[i]) << i;
+
+  // The campaign scope exported a parseable Chrome trace as a side effect.
+  std::string json;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << path;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      json.append(buf, got);
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+  EXPECT_TRUE(jsonParses(json));
+  EXPECT_NE(json.find("\"name\":\"al.iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"gp.fit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"al.score\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"al.select\""), std::string::npos);
+}
+
+TEST(Trace, CampaignScopeDoesNotClobberAmbientCapture) {
+  TraceGuard guard;
+  trace::Tracer& tracer = trace::Tracer::instance();
+  tracer.arm();
+  {
+    // An inner campaign scope must neither disarm the ambient capture nor
+    // write its file.
+    trace::CampaignTraceScope scope("/nonexistent-dir/never-written.json");
+    EXPECT_TRUE(tracer.enabled());
+  }
+  EXPECT_TRUE(tracer.enabled());
+  tracer.disarm();
+}
+
+TEST(Trace, MetricsSnapshotIsJsonLines) {
+  TraceGuard guard;
+  PerfRegistry::instance().reset();
+  PerfRegistry::instance().increment("demo.counter", 3);
+  PerfRegistry::instance().addTiming("demo.timer", 1500000);
+
+  const std::string jsonl = trace::metricsSnapshotJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  bool sawMeta = false, sawPerf = false;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    if (!line.empty()) {
+      EXPECT_TRUE(jsonParses(line)) << line;
+      if (line.find("\"type\":\"meta\"") != std::string::npos) sawMeta = true;
+      if (line.find("\"demo.counter\"") != std::string::npos) sawPerf = true;
+      ++lines;
+    }
+    start = end + 1;
+  }
+  EXPECT_GE(lines, 3u);
+  EXPECT_TRUE(sawMeta);
+  EXPECT_TRUE(sawPerf);
+}
