@@ -14,6 +14,7 @@
 #include "common/thread_pool.hpp"
 #include "gp/gp.hpp"
 #include "gp/kernels.hpp"
+#include "gp/pool_predict_cache.hpp"
 #include "gp/sparse.hpp"
 #include "hpgmg/multigrid.hpp"
 #include "la/blas.hpp"
@@ -286,6 +287,124 @@ int main(int argc, char** argv) {
         "gp_fit_cache {\"n\":1000,\"seed_millis\":%.1f,"
         "\"optimized_millis\":%.1f,\"speedup\":%.2f}\n",
         seedMs, optMs, seedMs / optMs);
+  }
+  {
+    // Batch-predict A/B for the acceptance number: one blocked multi-RHS
+    // solve over the full n×m cross matrix vs the seed per-column
+    // triangular-solve loop, single thread, blocked LA kernels in both
+    // (the LA mode is PR-4's variable, the prediction engine is this one's).
+    alperf::Parallelism::setThreads(1);
+    Rng rng(21);
+    const la::Matrix x = randomPoints(1000, 4, rng);
+    const la::Vector y = smoothResponse(x, rng);
+    gp::GpConfig cfg;
+    cfg.optimize = false;
+    gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1, 1, 1, 1}),
+                          cfg);
+    Rng fitRng(22);
+    g.fit(x, y, fitRng);
+    const la::Matrix queries = randomPoints(2000, 4, rng);
+    // Seed path as in fitLargeOnce: scalar reference kernels, per-column
+    // triangular solves (the pre-blocked-LA code). The intermediate
+    // "per-column on blocked kernels" time is reported too, to separate
+    // what the LA kernels buy from what the batch engine buys.
+    la::setBlockedKernels(false);
+    g.config().batchPredict = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto seedPred = g.predict(queries);
+    const auto t1 = std::chrono::steady_clock::now();
+    la::setBlockedKernels(true);
+    const auto percolPred = g.predict(queries);
+    const auto t2 = std::chrono::steady_clock::now();
+    g.config().batchPredict = true;
+    const auto batchPred = g.predict(queries);
+    const auto t3 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(seedPred.variance[0] + percolPred.variance[0] +
+                             batchPred.variance[0]);
+    const double seedMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double percolMs =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    const double batchMs =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    std::printf(
+        "gp_predict_batch {\"n\":1000,\"m\":2000,\"seed_millis\":%.1f,"
+        "\"percol_blocked_millis\":%.1f,\"batch_millis\":%.1f,"
+        "\"speedup\":%.2f,\"speedup_vs_percol_blocked\":%.2f}\n",
+        seedMs, percolMs, batchMs, seedMs / batchMs, percolMs / batchMs);
+    alperf::Parallelism::setThreads(0);
+  }
+  {
+    // Pool-cache steady incremental run: fit once, then grow the posterior
+    // one observation at a time, scoring the same pinned pool every step —
+    // the AL loop's refitEvery>1 regime. Counter deltas verify the cache
+    // stays on the O(n·m) append path (one warm-up rebuild, zero after);
+    // the direct loop re-derives K_cross and the O(n²·m) solve each step.
+    auto& perf = alperf::PerfRegistry::instance();
+    Rng rng(31);
+    const std::size_t nTrain = 300;
+    const std::size_t nSteps = 20;
+    const la::Matrix all = randomPoints(nTrain + nSteps, 4, rng);
+    const la::Vector ally = smoothResponse(all, rng);
+    const la::Matrix pool = randomPoints(1500, 4, rng);
+    std::vector<std::size_t> poolRows(pool.rows());
+    for (std::size_t i = 0; i < pool.rows(); ++i) poolRows[i] = i;
+    gp::GpConfig cfg;
+    cfg.optimize = false;
+    const auto freshGp = [&] {
+      gp::GaussianProcess g(gp::makeSquaredExponentialArd(1.0, {1, 1, 1, 1}),
+                            cfg);
+      la::Matrix x0(nTrain, 4);
+      la::Vector y0(nTrain);
+      for (std::size_t i = 0; i < nTrain; ++i) {
+        const auto row = all.row(i);
+        std::copy(row.begin(), row.end(), x0.row(i).begin());
+        y0[i] = ally[i];
+      }
+      Rng fitRng(32);
+      g.fit(std::move(x0), std::move(y0), fitRng);
+      return g;
+    };
+
+    gp::GaussianProcess cachedGp = freshGp();
+    gp::PoolPredictCache cache;
+    cache.pin(pool, poolRows);
+    const auto hit0 = perf.count("gp.poolcache.hit");
+    const auto app0 = perf.count("gp.poolcache.append");
+    const auto reb0 = perf.count("gp.poolcache.rebuild");
+    gp::Prediction out;
+    const auto c0 = std::chrono::steady_clock::now();
+    cache.predict(cachedGp, poolRows, false, out);  // warm-up rebuild
+    for (std::size_t s = 0; s < nSteps; ++s) {
+      cachedGp.addObservation(all.row(nTrain + s), ally[nTrain + s]);
+      cache.predict(cachedGp, poolRows, false, out);
+    }
+    const auto c1 = std::chrono::steady_clock::now();
+
+    gp::GaussianProcess directGp = freshGp();
+    const auto d0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(directGp.predict(pool).variance[0]);
+    for (std::size_t s = 0; s < nSteps; ++s) {
+      directGp.addObservation(all.row(nTrain + s), ally[nTrain + s]);
+      benchmark::DoNotOptimize(directGp.predict(pool).variance[0]);
+    }
+    const auto d1 = std::chrono::steady_clock::now();
+
+    const double cachedMs =
+        std::chrono::duration<double, std::milli>(c1 - c0).count();
+    const double directMs =
+        std::chrono::duration<double, std::milli>(d1 - d0).count();
+    std::printf(
+        "gp_pool_cache {\"train\":%zu,\"pool\":%zu,\"steps\":%zu,"
+        "\"rebuild\":%llu,\"append\":%llu,\"hit\":%llu,"
+        "\"cached_millis\":%.1f,\"direct_millis\":%.1f,\"speedup\":%.2f}\n",
+        nTrain, pool.rows(), nSteps,
+        static_cast<unsigned long long>(perf.count("gp.poolcache.rebuild") -
+                                        reb0),
+        static_cast<unsigned long long>(perf.count("gp.poolcache.append") -
+                                        app0),
+        static_cast<unsigned long long>(perf.count("gp.poolcache.hit") - hit0),
+        cachedMs, directMs, directMs / cachedMs);
   }
   std::printf("perf_stats %s\n",
               alperf::PerfRegistry::instance().toJson().c_str());

@@ -9,7 +9,7 @@
 //                     [--cost C] [--log A,R] [--strategy vr|ce|random]
 //                     [--iterations N] [--noise-lo X] [--seed S]
 //                     [--trace OUT.csv|OUT.json] [--metrics OUT.jsonl]
-//                     [--perf] [--health]
+//                     [--perf] [--health] [--no-pool-cache]
 //       Run GPR-driven active learning over the job database and report
 //       the learning trace and final model quality; --perf appends the
 //       perf-counter JSON (see docs/PERFORMANCE.md), --health the
@@ -89,6 +89,7 @@ void usage() {
       "                    [--iterations N] [--noise-lo X] [--seed S]\n"
       "                    [--trace OUT.csv|OUT.json (.json = Chrome trace)]\n"
       "                    [--metrics OUT.jsonl] [--perf] [--health]\n"
+      "                    [--no-pool-cache]\n"
       "  alperf_tool tradeoff --data CSV --features A,B --response R\n"
       "                    --cost C [--log ...] [--replicates R] [--seed S]\n");
 }
@@ -150,6 +151,9 @@ int cmdLearn(const Args& args) {
   cfg.maxIterations = std::stoi(args.get("iterations", "50"));
   cfg.amsdWindow = 8;
   cfg.amsdRelTol = 0.01;
+  // Pool posterior cache A/B switch (results are bit-identical either
+  // way; --no-pool-cache shows the uncached cost in --perf).
+  cfg.poolPredictCache = !args.has("no-pool-cache");
   // --trace dispatches on extension: .json = structured Chrome trace
   // (armed for the campaign via AlConfig::tracePath), else learning-trace
   // CSV after the run.
@@ -205,6 +209,17 @@ int cmdLearn(const Args& args) {
     if (hits + misses > 0.0)
       std::printf("gram cache hit rate %.1f%% (%.0f hit / %.0f miss)\n",
                   100.0 * hits / (hits + misses), hits, misses);
+    const double pcHit = static_cast<double>(reg.count("gp.poolcache.hit"));
+    const double pcApp =
+        static_cast<double>(reg.count("gp.poolcache.append"));
+    const double pcReb =
+        static_cast<double>(reg.count("gp.poolcache.rebuild"));
+    const double pcTotal = pcHit + pcApp + pcReb;
+    if (pcTotal > 0.0)
+      std::printf(
+          "pool cache served %.1f%% without rebuild "
+          "(%.0f hit / %.0f append / %.0f rebuild)\n",
+          100.0 * (pcHit + pcApp) / pcTotal, pcHit, pcApp, pcReb);
   }
   if (args.has("health")) {
     // Numerical-health report: recovery/containment counter totals plus

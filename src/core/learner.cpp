@@ -390,6 +390,19 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     testY[i] = problem_.y[state.partition.test[i]];
   }
 
+  // Campaign pool posterior cache: pinned to the pool as it stands at loop
+  // entry (every later pool is a subset — picks only shrink it), local to
+  // this runLoop so a checkpoint resume starts cold and revalidates
+  // against the rebuilt factorization chain. Serves pool scoring and the
+  // strategies' main-GP predictions; bit-identical to direct prediction,
+  // so the flag changes counters, never traces.
+  gp::PoolPredictCache poolCache;
+  if (config_.poolPredictCache && !state.pool.empty())
+    poolCache.pin(problem_.x, state.pool);
+  // Reusable predict scratch for the fixed-shape test-set predictions.
+  gp::PredictWorkspace testWs;
+  gp::PredictWorkspace poolWs;
+
   const auto loopStart = std::chrono::steady_clock::now();
   int consecutiveDegraded = 0;
   while (true) {
@@ -463,11 +476,6 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     }
 
     // Progress metrics over the remaining pool and the test set.
-    la::Matrix poolX(state.pool.size(), problem_.dim());
-    for (std::size_t i = 0; i < state.pool.size(); ++i) {
-      const auto row = problem_.x.row(state.pool[i]);
-      std::copy(row.begin(), row.end(), poolX.row(i).begin());
-    }
     gp::Prediction poolPred;
     la::Vector poolSd;
     double amsd = 0.0;
@@ -476,18 +484,33 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       trace::Span scoreSpan("al.score");
       scoreSpan.note("pool", state.pool.size())
           .note("test", state.partition.test.size());
-      poolPred = gp.predict(poolX);
+      // Pool scoring through the campaign cache when it can serve (the
+      // gathered poolX matrix is then never materialized); direct batch
+      // predict otherwise. Both produce bitwise the same Prediction.
+      const bool served =
+          config_.poolPredictCache &&
+          poolCache.predict(gp, state.pool, false, poolPred);
+      if (!served) {
+        la::Matrix poolX(state.pool.size(), problem_.dim());
+        for (std::size_t i = 0; i < state.pool.size(); ++i) {
+          const auto row = problem_.x.row(state.pool[i]);
+          std::copy(row.begin(), row.end(), poolX.row(i).begin());
+        }
+        poolPred = gp.predict(poolX, false, poolWs);
+      }
       poolSd = poolPred.stdDev();
       amsd = stats::mean(poolSd);
       if (!state.partition.test.empty()) {
-        const auto testPred = gp.predict(testX);
+        const auto testPred = gp.predict(testX, false, testWs);
         rmse = stats::rmse(testPred.mean, testY);
       }
     }
 
     // Let the strategy pick.
     const SelectionContext ctx{gp, problem_,
-                               std::span<const std::size_t>(state.pool), rng};
+                               std::span<const std::size_t>(state.pool), rng,
+                               config_.poolPredictCache ? &poolCache
+                                                        : nullptr};
     std::vector<std::size_t> picks;
     {
       trace::Span selectSpan("al.select");

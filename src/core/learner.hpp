@@ -56,6 +56,15 @@ struct AlConfig {
   /// paper's greedy one-at-a-time loop).
   std::size_t batchSize = 1;
 
+  /// Pool posterior cache (gp/pool_predict_cache.hpp): pin the candidate
+  /// pool once per campaign and reuse K_cross / V = L⁻¹·K_cross across
+  /// iterations — pool scoring on the grow-only incremental path drops
+  /// from O(n²·m) to O(n·m) per iteration. Served predictions are bitwise
+  /// identical to direct prediction, so AL traces do not depend on this
+  /// flag (the `gp.poolcache.*` counters do). Requires the GP's batch
+  /// predict engine; falls back to direct prediction when it cannot serve.
+  bool poolPredictCache = true;
+
   /// Numerical self-healing knobs (docs/ROBUSTNESS.md). When a refit
   /// diverges, the loop walks a degradation ladder: retry the fit with
   /// the jitter cap raised to `recoveryJitterScale`, then refit the

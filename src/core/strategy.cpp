@@ -29,6 +29,18 @@ std::size_t argmax(std::span<const double> v) {
       std::max_element(v.begin(), v.end()) - v.begin());
 }
 
+/// Main-GP prediction over ctx.candidates, through the campaign pool
+/// cache when one is attached and can serve (bit-identical either way);
+/// otherwise the direct batch predict over a gathered candidate matrix.
+gp::Prediction poolPredict(const SelectionContext& ctx) {
+  if (ctx.poolCache != nullptr) {
+    gp::Prediction out;
+    if (ctx.poolCache->predict(ctx.gp, ctx.candidates, false, out))
+      return out;
+  }
+  return ctx.gp.predict(candidateMatrix(ctx));
+}
+
 /// Chunk size for elementwise score transforms over the candidate pool.
 /// Each index writes only its own slot, so the parallel result is
 /// bit-identical to the sequential loop.
@@ -48,7 +60,8 @@ std::vector<std::size_t> Strategy::selectBatch(const SelectionContext& ctx,
   std::vector<std::size_t> rows(ctx.candidates.begin(), ctx.candidates.end());
   while (chosen.size() < batchSize) {
     SelectionContext sub{ctx.gp, ctx.problem,
-                         std::span<const std::size_t>(rows), ctx.rng};
+                         std::span<const std::size_t>(rows), ctx.rng,
+                         ctx.poolCache};
     const std::size_t pos = select(sub);
     chosen.push_back(remaining[pos]);
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pos));
@@ -80,12 +93,12 @@ std::vector<std::size_t> ScoredStrategy::selectBatch(
 }
 
 std::vector<double> VarianceReduction::scores(const SelectionContext& ctx) {
-  const auto pred = ctx.gp.predict(candidateMatrix(ctx));
+  const auto pred = poolPredict(ctx);
   return pred.stdDev();
 }
 
 std::vector<double> CostEfficiency::scores(const SelectionContext& ctx) {
-  const auto pred = ctx.gp.predict(candidateMatrix(ctx));
+  const auto pred = poolPredict(ctx);
   std::vector<double> s(pred.mean.size());
   parallelFor(s.size(), kScoreChunk, [&](std::size_t i) {
     s[i] = std::sqrt(pred.variance[i]) - pred.mean[i];
@@ -95,7 +108,7 @@ std::vector<double> CostEfficiency::scores(const SelectionContext& ctx) {
 
 std::vector<double> CostWeightedVariance::scores(
     const SelectionContext& ctx) {
-  const auto pred = ctx.gp.predict(candidateMatrix(ctx));
+  const auto pred = poolPredict(ctx);
   std::vector<double> s(pred.mean.size());
   parallelFor(s.size(), kScoreChunk, [&](std::size_t i) {
     s[i] = std::sqrt(pred.variance[i]) / std::pow(10.0, pred.mean[i]);
@@ -115,7 +128,9 @@ Emcm::Emcm(int ensembleSize) : ensembleSize_(ensembleSize) {
 std::vector<double> Emcm::scores(const SelectionContext& ctx) {
   requireArg(ctx.gp.fitted(), "Emcm: GP must be fitted");
   const la::Matrix cand = candidateMatrix(ctx);
-  const auto mainPred = ctx.gp.predict(cand);
+  // The main prediction can come from the pool cache; the bootstrap weak
+  // learners below predict directly (their posteriors are per-resample).
+  const auto mainPred = poolPredict(ctx);
 
   const la::Matrix& trainX = ctx.gp.trainX();
   const la::Vector& trainY = ctx.gp.trainY();

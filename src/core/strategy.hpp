@@ -22,6 +22,7 @@
 
 #include "core/problem.hpp"
 #include "gp/gp.hpp"
+#include "gp/pool_predict_cache.hpp"
 
 namespace alperf::al {
 
@@ -31,6 +32,12 @@ struct SelectionContext {
   const RegressionProblem& problem;
   std::span<const std::size_t> candidates;  ///< problem-row indices in pool
   stats::Rng& rng;
+  /// Campaign-level pool posterior cache (nullable). When set, scored
+  /// strategies serve their main-GP pool predictions through it instead of
+  /// re-deriving K_cross/V per call; served values are bit-identical to
+  /// direct prediction, so strategies may mix paths freely (fantasy and
+  /// ensemble GPs always predict directly).
+  gp::PoolPredictCache* poolCache = nullptr;
 };
 
 class Strategy {

@@ -1,6 +1,7 @@
 #include "gp/gp.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -10,6 +11,7 @@
 #include "common/perf_stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "la/blas.hpp"
 #include "opt/gradient.hpp"
 #include "opt/multistart.hpp"
 
@@ -36,6 +38,15 @@ double maybePoisonObjective(double value, std::size_t n, long long evalIdx,
   if (faults.fire("lml.inf", attrs))
     return std::numeric_limits<double>::infinity();
   return value;
+}
+
+/// Process-unique posterior-factorization ids (see posteriorVersion()).
+/// Monotonic and never reused, so two factorizations can never alias even
+/// across GP copies; the counter itself carries no information beyond
+/// identity, so it never affects results.
+std::uint64_t nextPosteriorId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 }  // namespace
 
@@ -69,7 +80,8 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
                         : nullptr),
       alpha_(other.alpha_),
       lml_(other.lml_),
-      priorOnly_(other.priorOnly_) {}
+      priorOnly_(other.priorOnly_),
+      posteriorId_(other.posteriorId_) {}
 
 GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
   if (this == &other) return *this;
@@ -458,6 +470,7 @@ void GaussianProcess::computePosterior() {
   lml_ = -0.5 * la::dot(y_, alpha_) - 0.5 * chol_->logDet() -
          0.5 * n * kLog2Pi;
   priorOnly_ = false;
+  posteriorId_ = nextPosteriorId();
 }
 
 void GaussianProcess::fitPriorOnly(la::Matrix x, la::Vector y) {
@@ -471,6 +484,7 @@ void GaussianProcess::fitPriorOnly(la::Matrix x, la::Vector y) {
   alpha_.clear();
   priorOnly_ = true;
   lml_ = kNegInf;
+  posteriorId_ = nextPosteriorId();
   // Keep the cache coherent with x_ so the recovery fit() that follows
   // still takes the append path.
   if (config_.useDistanceCache)
@@ -481,6 +495,13 @@ void GaussianProcess::fitPriorOnly(la::Matrix x, la::Vector y) {
 
 Prediction GaussianProcess::predict(const la::Matrix& xStar,
                                     bool includeNoise) const {
+  PredictWorkspace ws;
+  return predict(xStar, includeNoise, ws);
+}
+
+Prediction GaussianProcess::predict(const la::Matrix& xStar,
+                                    bool includeNoise,
+                                    PredictWorkspace& ws) const {
   requireArg(fitted(), "GaussianProcess::predict: not fitted");
   requireArg(xStar.cols() == x_.cols(),
              "GaussianProcess::predict: dimension mismatch");
@@ -499,28 +520,99 @@ Prediction GaussianProcess::predict(const la::Matrix& xStar,
     }
     return prior;
   }
-  const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
-  Prediction pred;
-  pred.mean = la::matvecTransposed(kCross, alpha_);
-  pred.variance.resize(xStar.rows());
-  // Each query point's variance is independent (its own triangular solve),
-  // so chunks of the loop run on the pool; every thread writes only its own
-  // slots, keeping the result bit-identical to the sequential loop.
-  parallelFor(xStar.rows(), 8, [&](std::size_t j) {
-    const la::Vector v = chol_->solveLower(kCross.col(j));
-    double var = kernel_->eval(xStar.row(j), xStar.row(j)) - la::dot(v, v);
-    if (includeNoise) var += noiseVar_;
-    pred.variance[j] = std::max(var, 0.0);
+  const std::size_t n = x_.rows();
+  const std::size_t m = xStar.rows();
+  if (!config_.batchPredict) {
+    // Seed path, kept for A/B verification: one O(n²) triangular solve per
+    // query column. Each query's variance is independent, so chunks run on
+    // the pool; every thread writes only its own slots.
+    const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
+    Prediction pred;
+    pred.mean = la::matvecTransposed(kCross, alpha_);
+    pred.variance.resize(m);
+    parallelFor(m, 8, [&](std::size_t j) {
+      const la::Vector v = chol_->solveLower(kCross.col(j));
+      double var = kernel_->eval(xStar.row(j), xStar.row(j)) - la::dot(v, v);
+      if (includeNoise) var += noiseVar_;
+      pred.variance[j] = std::max(var, 0.0);
+    });
+    return pred;
+  }
+  // Batch engine: one multi-RHS forward solve over the full n×m cross
+  // matrix, then a tile-wise columnwise variance reduction
+  // var_j = kss_j − ‖V·e_j‖². The workspace buffer is reused across
+  // same-shape predicts (the AL loop's pool/test scoring) so the repeated
+  // hot-path calls are allocation-free.
+  PerfRegistry::instance().increment("gp.predict.batch");
+  if (ws.kCross.rows() != n || ws.kCross.cols() != m)
+    ws.kCross = la::Matrix(n, m);
+  kernel_->crossInto(x_, xStar, ws.kCross);
+  la::Vector kss(m);
+  parallelFor(m, 8, [&](std::size_t j) {
+    kss[j] = kernel_->eval(xStar.row(j), xStar.row(j));
   });
+  Prediction pred;
+  pred.mean = la::matvecTransposed(ws.kCross, alpha_);
+  chol_->solveLowerInPlace(ws.kCross);  // K_cross -> V = L⁻¹·K_cross
+  detail::batchVarianceReduce(ws.kCross, kss, noiseVar_, includeNoise,
+                              pred.variance);
   return pred;
 }
 
+namespace detail {
+void batchVarianceReduce(const la::Matrix& v, std::span<const double> kss,
+                         double noiseVar, bool includeNoise,
+                         la::Vector& outVar) {
+  const std::size_t n = v.rows();
+  const std::size_t m = v.cols();
+  outVar.resize(m);
+  // Column tiles of V are owned by one parallel index each; within a tile
+  // the row sweep accumulates every column's ‖v_j‖² in ascending-i order,
+  // so each column's chain is independent of the tile layout and thread
+  // count.
+  const double* vd = v.data().data();
+  const std::size_t tiles = (m + la::kLaBlock - 1) / la::kLaBlock;
+  parallelFor(tiles, 1, [&](std::size_t tc) {
+    const std::size_t j0 = tc * la::kLaBlock;
+    const std::size_t jw = std::min(la::kLaBlock, m - j0);
+    double acc[la::kLaBlock];
+    std::fill(acc, acc + jw, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* vi = vd + i * m + j0;
+      for (std::size_t j = 0; j < jw; ++j) acc[j] += vi[j] * vi[j];
+    }
+    for (std::size_t j = 0; j < jw; ++j) {
+      double var = kss[j0 + j] - acc[j];
+      if (includeNoise) var += noiseVar;
+      outVar[j0 + j] = std::max(var, 0.0);
+    }
+  });
+}
+}  // namespace detail
+
 std::pair<double, double> GaussianProcess::predictOne(
     std::span<const double> x, bool includeNoise) const {
-  la::Matrix m(1, x.size());
-  std::copy(x.begin(), x.end(), m.row(0).begin());
-  const Prediction p = predict(m, includeNoise);
-  return {p.mean[0], p.variance[0]};
+  requireArg(fitted(), "GaussianProcess::predictOne: not fitted");
+  requireArg(x.size() == x_.cols(),
+             "GaussianProcess::predictOne: dimension mismatch");
+  if (priorOnly_) {
+    double var = kernel_->eval(x, x);
+    if (includeNoise) var += noiseVar_;
+    return {0.0, std::max(var, 0.0)};
+  }
+  // Direct single-point path: no 1×d Matrix, no Prediction round trip —
+  // this is the continuous loop's inner call. The arithmetic is exactly
+  // the seed per-column path's (k-vector dot for the mean, one triangular
+  // solve for the variance), so single-point results are unchanged.
+  const std::size_t n = x_.rows();
+  la::Vector k(n);
+  for (std::size_t i = 0; i < n; ++i) k[i] = kernel_->eval(x_.row(i), x);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += alpha_[i] * k[i];
+  const la::Vector v = chol_->solveLower(k);
+  double var = kernel_->eval(x, x) - la::dot(v, v);
+  if (includeNoise) var += noiseVar_;
+  return {mean, std::max(var, 0.0)};
 }
 
 GaussianProcess::PointGradient GaussianProcess::predictOneWithGradient(
@@ -574,13 +666,18 @@ la::Matrix GaussianProcess::posteriorCovariance(const la::Matrix& xStar) const {
   requireArg(xStar.cols() == x_.cols(),
              "GaussianProcess::posteriorCovariance: dimension mismatch");
   if (priorOnly_) return kernel_->gram(xStar);
-  const la::Matrix kCross = kernel_->cross(x_, xStar);  // n × m
-  const std::size_t m = xStar.rows();
-  // V = L⁻¹ K_cross (n × m), covariance = K(X*,X*) − VᵀV.
-  la::Matrix v(x_.rows(), m);
-  for (std::size_t j = 0; j < m; ++j) {
-    const la::Vector vj = chol_->solveLower(kCross.col(j));
-    for (std::size_t i = 0; i < x_.rows(); ++i) v(i, j) = vj[i];
+  // V = L⁻¹ K_cross (n × m), covariance = K(X*,X*) − VᵀV. One multi-RHS
+  // forward solve; the seed per-column loop is kept for the reference A/B.
+  la::Matrix v = kernel_->cross(x_, xStar);  // n × m
+  if (config_.batchPredict) {
+    chol_->solveLowerInPlace(v);
+  } else {
+    const la::Matrix kCross = v;
+    const std::size_t m = xStar.rows();
+    for (std::size_t j = 0; j < m; ++j) {
+      const la::Vector vj = chol_->solveLower(kCross.col(j));
+      for (std::size_t i = 0; i < x_.rows(); ++i) v(i, j) = vj[i];
+    }
   }
   la::Matrix cov = kernel_->gram(xStar);
   cov -= la::gram(v);
@@ -595,7 +692,7 @@ std::vector<la::Vector> GaussianProcess::samplePosterior(
   // Generous jitter cap: posterior covariances are often near-singular.
   const la::Cholesky chol(std::move(cov), /*maxJitterScale=*/1e-3);
   std::vector<la::Vector> samples;
-  samples.reserve(nSamples);
+  samples.reserve(static_cast<std::size_t>(nSamples));
   for (int s = 0; s < nSamples; ++s) {
     la::Vector z(xStar.rows());
     for (auto& v : z) v = rng.normal();

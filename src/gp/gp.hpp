@@ -14,6 +14,7 @@
 /// parallel chunks; both paths are bit-identical to their sequential
 /// (threads = 1) execution.
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 
@@ -61,6 +62,15 @@ struct GpConfig {
   /// because cached evaluation multiplies by 1/l² instead of dividing
   /// each coordinate difference by l).
   bool useDistanceCache = true;
+  /// Batch prediction engine: score all query points with one blocked
+  /// multi-RHS forward solve (V = L⁻¹·K_cross) plus a tile-wise variance
+  /// reduction, instead of one O(n²) triangular solve per query column.
+  /// Off → the seed per-column loop, kept for A/B verification (mirrors
+  /// useDistanceCache); results agree to ~1e-12 (the multi-RHS trsm and
+  /// the unrolled-dot per-column solve associate sums differently). The
+  /// pool posterior cache (pool_predict_cache.hpp) requires this path and
+  /// falls back to direct prediction when it is off.
+  bool batchPredict = true;
   NoiseConfig noise;
   /// Budget for each local optimizer run.
   opt::StopCriteria optStop{.maxIterations = 80,
@@ -109,6 +119,29 @@ struct Prediction {
   la::Vector stdDev() const;
 };
 
+/// Reusable scratch for GaussianProcess::predict. The AL loop predicts
+/// over the same-shaped pool/test matrices every iteration; passing one
+/// workspace keeps those repeated predicts free of the large n×m
+/// allocations (buffers are only re-allocated when the shape changes).
+struct PredictWorkspace {
+  la::Matrix kCross;  ///< n×m cross covariance, overwritten with V = L⁻¹K
+};
+
+namespace detail {
+/// Columnwise variance reduction of the batch prediction engine:
+/// outVar[j] = max(kss[j] − ‖V·e_j‖² [+ noiseVar], 0) over the n×m solved
+/// matrix V, parallel over kLaBlock-wide column tiles with an ascending
+/// row sweep per tile. Out-of-line and shared between
+/// GaussianProcess::predict and PoolPredictCache so cached and direct
+/// predictions run literally the same compiled reduction — the mechanism
+/// behind the cache's bit-identity contract.
+void batchVarianceReduce(const la::Matrix& v, std::span<const double> kss,
+                         double noiseVar, bool includeNoise,
+                         la::Vector& outVar);
+}  // namespace detail
+
+class PoolPredictCache;
+
 class GaussianProcess {
  public:
   /// Takes ownership of the kernel. The kernel's current hyperparameters
@@ -152,6 +185,13 @@ class GaussianProcess {
   /// (eqs. 5–6). With includeNoise, σ_n² is added to each variance
   /// (predicting an *observation* rather than the latent function).
   Prediction predict(const la::Matrix& xStar, bool includeNoise = false) const;
+
+  /// predict() with caller-owned scratch buffers; bit-identical to the
+  /// overload above (which uses a throwaway workspace internally). Use one
+  /// workspace per repeated same-shape prediction site to stay
+  /// allocation-free across AL iterations.
+  Prediction predict(const la::Matrix& xStar, bool includeNoise,
+                     PredictWorkspace& ws) const;
 
   /// Single-point convenience: {mean, variance}.
   std::pair<double, double> predictOne(std::span<const double> x,
@@ -220,7 +260,20 @@ class GaussianProcess {
   const la::Matrix& trainX() const;
   const la::Vector& trainY() const;
 
+  /// Identity of the current posterior *factorization*. Every full
+  /// posterior computation (computePosterior via fit(), and
+  /// fitPriorOnly()) installs a fresh process-unique value; Cholesky
+  /// extensions via addObservation() keep it — the factor rows they add
+  /// never modify existing ones. Consumers caching posterior products
+  /// (gp::PoolPredictCache) key on this: an unchanged version plus a grown
+  /// training set is exactly the grow-only incremental path, while a new
+  /// version means the whole factorization was rebuilt (even at identical
+  /// hyperparameters a refactorization is bitwise-different from an
+  /// extension chain). 0 = no posterior computed yet.
+  std::uint64_t posteriorVersion() const { return posteriorId_; }
+
  private:
+  friend class PoolPredictCache;
   struct LmlResult {
     double value;
     std::vector<double> grad;
@@ -270,6 +323,8 @@ class GaussianProcess {
   /// Degraded prior-only state (see fitPriorOnly()); cleared by any
   /// successful fit()/computePosterior().
   bool priorOnly_ = false;
+  /// See posteriorVersion().
+  std::uint64_t posteriorId_ = 0;
 };
 
 }  // namespace alperf::gp

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "gp/kernels.hpp"
 
 namespace alperf::gp {
@@ -50,10 +51,25 @@ la::Matrix Kernel::gram(const la::Matrix& x) const {
 
 la::Matrix Kernel::cross(const la::Matrix& x, const la::Matrix& y) const {
   la::Matrix k(x.rows(), y.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i)
-    for (std::size_t j = 0; j < y.rows(); ++j)
-      k(i, j) = eval(x.row(i), y.row(j));
+  crossInto(x, y, k);
   return k;
+}
+
+void Kernel::crossInto(const la::Matrix& x, const la::Matrix& y,
+                       la::Matrix& out) const {
+  ALPERF_ASSERT(out.rows() == x.rows() && out.cols() == y.rows(),
+                "crossInto: output shape");
+  // Rows are independent and each thread writes only its own rows, so the
+  // fill is bit-identical to the sequential double loop.
+  parallelFor(x.rows(), 8, [&](std::size_t i) {
+    crossRow(x.row(i), y, out.row(i));
+  });
+}
+
+void Kernel::crossRow(std::span<const double> a, const la::Matrix& y,
+                      std::span<double> out) const {
+  ALPERF_ASSERT(out.size() == y.rows(), "crossRow: output size");
+  for (std::size_t j = 0; j < y.rows(); ++j) out[j] = eval(a, y.row(j));
 }
 
 la::Vector Kernel::diag(const la::Matrix& x) const {

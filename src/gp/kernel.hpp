@@ -87,6 +87,19 @@ class Kernel {
   /// Cross-covariance K(X, Y) (rows of X vs rows of Y).
   la::Matrix cross(const la::Matrix& x, const la::Matrix& y) const;
 
+  /// Fills a pre-sized `out` (x.rows() × y.rows()) with K(X, Y),
+  /// row-parallel. Entries are pointwise eval() calls, so the result is
+  /// bit-identical to cross() regardless of thread count; the out-param
+  /// form lets the GP batch predict reuse its workspace buffer.
+  void crossInto(const la::Matrix& x, const la::Matrix& y,
+                 la::Matrix& out) const;
+
+  /// One row of K(X, Y): out[j] = k(a, y_j). The O(n·m)-total incremental
+  /// step behind gp::PoolPredictCache — the train point is the first
+  /// argument, matching cross()'s orientation.
+  void crossRow(std::span<const double> a, const la::Matrix& y,
+                std::span<double> out) const;
+
   /// Self-variances k(x_i, x_i) for each row.
   la::Vector diag(const la::Matrix& x) const;
 

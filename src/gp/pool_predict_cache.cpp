@@ -1,0 +1,192 @@
+#include "gp/pool_predict_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "la/blas.hpp"
+
+namespace alperf::gp {
+
+namespace {
+
+enum class SyncPath { Unavailable, Hit, Append, Rebuild };
+
+const char* toString(SyncPath p) {
+  switch (p) {
+    case SyncPath::Hit:
+      return "hit";
+    case SyncPath::Append:
+      return "append";
+    case SyncPath::Rebuild:
+      return "rebuild";
+    default:
+      return "unavailable";
+  }
+}
+
+}  // namespace
+
+void PoolPredictCache::pin(const la::Matrix& x,
+                           std::span<const std::size_t> rows) {
+  rows_.assign(rows.begin(), rows.end());
+  pool_ = la::Matrix(rows_.size(), x.cols());
+  std::size_t maxRow = 0;
+  for (std::size_t c = 0; c < rows_.size(); ++c) {
+    const std::size_t r = rows_[c];
+    requireArg(r < x.rows(), "PoolPredictCache::pin: row id out of range");
+    std::copy(x.row(r).begin(), x.row(r).end(), pool_.row(c).begin());
+    maxRow = std::max(maxRow, r);
+  }
+  rowToCol_.assign(rows_.empty() ? 0 : maxRow + 1, kUnpinned);
+  for (std::size_t c = 0; c < rows_.size(); ++c) rowToCol_[rows_[c]] = c;
+  valid_ = false;
+}
+
+bool PoolPredictCache::sync(const GaussianProcess& gp) {
+  SyncPath path = SyncPath::Unavailable;
+  const std::size_t n = gp.x_.rows();
+  // Identity of the cached products: posterior factorization version,
+  // hyperparameters, la kernel mode, and a bitwise train-prefix snapshot.
+  // The snapshot guards the one hole version+size cannot see: a *different*
+  // GP object sharing the version id (e.g. a fantasy copy) that grew with
+  // its own rows.
+  std::vector<double> theta = gp.thetaFull();
+  const bool blocked = la::blockedKernelsEnabled();
+  const std::size_t d = gp.x_.cols();
+  const bool keyMatches =
+      valid_ && posteriorId_ == gp.posteriorId_ && blocked == builtBlocked_ &&
+      theta == theta_ && n >= n_ &&
+      (n_ == 0 || std::memcmp(xSnapshot_.data(), gp.x_.data().data(),
+                              n_ * d * sizeof(double)) == 0);
+  if (keyMatches && n == n_) {
+    path = SyncPath::Hit;
+    PerfRegistry::instance().increment("gp.poolcache.hit");
+  } else if (keyMatches) {
+    path = SyncPath::Append;
+    PerfRegistry::instance().increment("gp.poolcache.append");
+    appendRows(gp, n);
+  } else {
+    path = SyncPath::Rebuild;
+    PerfRegistry::instance().increment("gp.poolcache.rebuild");
+    theta_ = std::move(theta);
+    builtBlocked_ = blocked;
+    rebuild(gp);
+  }
+  trace::Span span("gp.poolcache");
+  span.note("path", toString(path))
+      .note("n", n)
+      .note("pool", rows_.size());
+  return true;
+}
+
+void PoolPredictCache::rebuild(const GaussianProcess& gp) {
+  ScopedTimer timer("gp.poolcache.build");
+  const std::size_t n = gp.x_.rows();
+  const std::size_t m = rows_.size();
+  posteriorId_ = gp.posteriorId_;
+  n_ = n;
+  kCross_.resize(n * m);
+  kss_.resize(m);
+  // K(train, pool): pointwise kernel evals, row-parallel (each thread owns
+  // whole rows — bit-identical at any thread count).
+  parallelFor(n, 8, [&](std::size_t i) {
+    gp.kernel_->crossRow(gp.x_.row(i), pool_,
+                         std::span<double>(kCross_.data() + i * m, m));
+  });
+  parallelFor(m, 8, [&](std::size_t j) {
+    kss_[j] = gp.kernel_->eval(pool_.row(j), pool_.row(j));
+  });
+  // V = L⁻¹·K_cross through the same multi-RHS forward solve the batch
+  // predict uses, so full-pool columns are bitwise what a direct predict
+  // would compute.
+  la::Matrix v(n, m, la::Vector(kCross_.begin(), kCross_.end()));
+  gp.chol_->solveLowerInPlace(v);
+  v_.assign(v.data().begin(), v.data().end());
+  xSnapshot_.assign(gp.x_.data().begin(), gp.x_.data().end());
+  valid_ = true;
+}
+
+void PoolPredictCache::appendRows(const GaussianProcess& gp,
+                                  std::size_t newN) {
+  ScopedTimer timer("gp.poolcache.build");
+  const std::size_t m = rows_.size();
+  const std::size_t d = gp.x_.cols();
+  kCross_.resize(newN * m);
+  v_.resize(newN * m);
+  for (std::size_t t = n_; t < newN; ++t) {
+    std::span<double> kcRow(kCross_.data() + t * m, m);
+    gp.kernel_->crossRow(gp.x_.row(t), pool_, kcRow);
+    std::span<double> vRow(v_.data() + t * m, m);
+    std::copy(kcRow.begin(), kcRow.end(), vRow.begin());
+    // Forward-substitute just the new row of V against the extended factor:
+    // Cholesky::extend left rows [0, t) of L untouched, and row t of the
+    // multi-RHS solve reads only rows < t, so this replays exactly what a
+    // full solve would compute for row t. O(t·m) per appended row.
+    la::trsmLowerNewRow(gp.chol_->factor().row(t).data(), t, v_.data(), m,
+                        vRow);
+  }
+  xSnapshot_.resize(newN * d);
+  std::copy(gp.x_.data().begin() + static_cast<std::ptrdiff_t>(n_ * d),
+            gp.x_.data().end(),
+            xSnapshot_.begin() + static_cast<std::ptrdiff_t>(n_ * d));
+  n_ = newN;
+}
+
+bool PoolPredictCache::predict(const GaussianProcess& gp,
+                               std::span<const std::size_t> rows,
+                               bool includeNoise, Prediction& out) {
+  if (!pinned() || rows.empty()) return false;
+  if (!gp.fitted() || gp.priorOnly_) {
+    // A prior-only posterior has no factorization to cache; the caller's
+    // direct predict serves the degraded prior. Whatever was cached is for
+    // a dead factorization — drop it.
+    valid_ = false;
+    return false;
+  }
+  if (!gp.config_.batchPredict) return false;  // cache mirrors the batch path
+  if (pool_.cols() != gp.x_.cols()) return false;
+  // Map global row ids to pinned columns; any unpinned id means the caller
+  // is scoring something other than the pinned pool — fall back.
+  colsScratch_.resize(rows.size());
+  for (std::size_t idx = 0; idx < rows.size(); ++idx) {
+    const std::size_t r = rows[idx];
+    if (r >= rowToCol_.size() || rowToCol_[r] == kUnpinned) return false;
+    colsScratch_[idx] = rowToCol_[r];
+  }
+  if (!sync(gp)) return false;
+  ScopedTimer timer("gp.predict");
+  const std::size_t n = n_;
+  const std::size_t m = rows_.size();
+  const std::size_t q = rows.size();
+  // Gather the requested columns of K_cross and V, then run the *same*
+  // reductions as the direct batch predict (la::matvecTransposed and
+  // detail::batchVarianceReduce) over them. Since the gathered entries are
+  // bitwise the entries a direct predict would compute, and the reductions
+  // are the same compiled code over the same shapes, the served Prediction
+  // is bitwise identical to gp.predict over these rows.
+  if (gatherK_.rows() != n || gatherK_.cols() != q) {
+    gatherK_ = la::Matrix(n, q);
+    gatherV_ = la::Matrix(n, q);
+  }
+  la::Vector kssq(q);
+  parallelFor(n, 8, [&](std::size_t i) {
+    const double* kcRow = kCross_.data() + i * m;
+    const double* vRow = v_.data() + i * m;
+    double* gk = gatherK_.row(i).data();
+    double* gv = gatherV_.row(i).data();
+    for (std::size_t idx = 0; idx < q; ++idx) {
+      gk[idx] = kcRow[colsScratch_[idx]];
+      gv[idx] = vRow[colsScratch_[idx]];
+    }
+  });
+  for (std::size_t idx = 0; idx < q; ++idx) kssq[idx] = kss_[colsScratch_[idx]];
+  out.mean = la::matvecTransposed(gatherK_, gp.alpha_);
+  detail::batchVarianceReduce(gatherV_, kssq, gp.noiseVar_, includeNoise,
+                              out.variance);
+  return true;
+}
+
+}  // namespace alperf::gp

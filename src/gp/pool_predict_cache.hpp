@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file pool_predict_cache.hpp
+/// Per-campaign posterior cache over a pinned candidate pool — the
+/// prediction-side sibling of DistanceCache (fit-side).
+///
+/// The AL loop scores the *same* candidate pool against a posterior that
+/// changes in one of two ways per iteration: a full refit (new
+/// factorization, O(n³)) or an incremental addObservation (Cholesky
+/// extension, O(n²)). Direct pool prediction recomputes
+/// K_cross(train, pool) and the forward solve V = L⁻¹·K_cross from
+/// scratch every time — O(n²·m) per iteration. This cache pins the pool
+/// matrix once per campaign and keeps K_cross and V across iterations:
+///
+///  - **hit**: posterior unchanged since the last sync — scoring any
+///    subset of the pool is a gathered O(n·|subset|) reduction over the
+///    cached columns (counter `gp.poolcache.hit`).
+///  - **append**: the grow-only incremental path. The posterior version
+///    (GaussianProcess::posteriorVersion) is unchanged but the training
+///    set grew — Cholesky::extend left rows [0, n) of L bitwise
+///    untouched, and forward substitution of row t reads only rows < t,
+///    so every cached row of V is still exact. Only the new rows of
+///    K_cross (one kernel sweep) and of V (la::trsmLowerNewRow) are
+///    computed: O(n·m) instead of O(n²·m) (counter
+///    `gp.poolcache.append`).
+///  - **rebuild**: anything else — new posterior version (full refit or
+///    prior-only fallback installs a fresh process-unique version),
+///    hyperparameter change, kernel-mode flip
+///    (ALPERF_LA_KERNELS/setBlockedKernels), or a train-prefix mismatch
+///    against the bitwise snapshot (e.g. a fantasy GP copy sharing the
+///    version id) — recompute everything (counter
+///    `gp.poolcache.rebuild`).
+///
+/// **Bit-identity contract**: served predictions are bitwise equal to
+/// GaussianProcess::predict over the same rows with the batch engine, at
+/// any thread count. This holds because (a) K_cross entries are pointwise
+/// kernel evals, (b) the multi-RHS trsm treats columns independently, so
+/// cached full-pool columns equal fresh subset-solve columns, (c) the
+/// appended V row replays exactly the trsm's row arithmetic
+/// (trsmLowerNewRow), and (d) the mean/variance reductions here use the
+/// same ascending per-column chains as the batch predict tiles. The
+/// learner asserts nothing weaker: AL traces must be bit-identical cache
+/// on vs off.
+///
+/// The cache never serves stale data by construction: alpha and the noise
+/// variance are read live from the GP at predict time, and every sync
+/// revalidates version + theta + kernel mode + train prefix. When it
+/// cannot serve (unpinned rows, prior-only GP, batch engine disabled) it
+/// returns false and the caller falls back to direct prediction.
+///
+/// Not thread-safe: one cache per campaign loop, called from the
+/// coordinating thread (the parallelism lives inside, in the kernel
+/// sweeps and the scoring loop).
+
+#include <cstdint>
+#include <vector>
+
+#include "gp/gp.hpp"
+#include "la/matrix.hpp"
+
+namespace alperf::gp {
+
+class PoolPredictCache {
+ public:
+  /// Pins the candidate pool: gathers `x`'s rows listed in `rows` (global
+  /// row ids) into an owned pool matrix and invalidates any cached
+  /// posterior products. Call once per campaign loop (re-pinning after a
+  /// checkpoint resume is what makes resume invalidation automatic).
+  void pin(const la::Matrix& x, std::span<const std::size_t> rows);
+
+  /// True once pin() has been called with a non-empty pool.
+  bool pinned() const { return !rows_.empty(); }
+
+  /// Number of pinned candidate rows.
+  std::size_t poolSize() const { return rows_.size(); }
+
+  /// Drops cached posterior products (the pool stays pinned). The next
+  /// predict() rebuilds. Called by owners on events the version/theta
+  /// fingerprints cannot see (e.g. explicit fault-recovery paths).
+  void invalidate() { valid_ = false; }
+
+  /// Predicts mean and latent-f variance at the pinned pool rows whose
+  /// global ids are `rows`, into `out` (aligned with `rows`). Returns
+  /// false — leaving `out` untouched — when the cache cannot serve:
+  /// unpinned ids, unfitted or prior-only GP, or the GP's batch predict
+  /// engine disabled. On success the result is bitwise identical to
+  /// gp.predict over the same rows.
+  bool predict(const GaussianProcess& gp, std::span<const std::size_t> rows,
+               bool includeNoise, Prediction& out);
+
+ private:
+  /// Revalidates the cached products against the GP's current posterior:
+  /// hit, append, or rebuild (see file comment). Returns false when the
+  /// GP cannot be cached at all.
+  bool sync(const GaussianProcess& gp);
+
+  void rebuild(const GaussianProcess& gp);
+  void appendRows(const GaussianProcess& gp, std::size_t newN);
+
+  static constexpr std::size_t kUnpinned = static_cast<std::size_t>(-1);
+
+  la::Matrix pool_;                    ///< m × d pinned candidate matrix
+  std::vector<std::size_t> rows_;     ///< global row id of each pool row
+  std::vector<std::size_t> rowToCol_; ///< dense global id → pool column
+
+  bool valid_ = false;
+  std::uint64_t posteriorId_ = 0;     ///< GP posterior version at build
+  std::vector<double> theta_;         ///< thetaFull fingerprint at build
+  bool builtBlocked_ = false;         ///< la kernel mode at build
+  std::size_t n_ = 0;                 ///< cached train rows
+  std::vector<double> kCross_;        ///< n_ × m row-major K(train, pool)
+  std::vector<double> v_;             ///< n_ × m row-major L⁻¹·K_cross
+  std::vector<double> kss_;           ///< k(p_j, p_j) per pool row
+  std::vector<double> xSnapshot_;     ///< bitwise copy of train rows [0, n_)
+
+  /// Per-predict scratch (column gather of the requested subset); reused
+  /// across same-shape calls so the hit path is allocation-free.
+  std::vector<std::size_t> colsScratch_;
+  la::Matrix gatherK_;
+  la::Matrix gatherV_;
+};
+
+}  // namespace alperf::gp

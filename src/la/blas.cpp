@@ -314,6 +314,33 @@ void trsmLowerLeft(const Matrix& l, Matrix& b) {
   });
 }
 
+void trsmLowerNewRow(const double* lRow, std::size_t t, const double* x,
+                     std::size_t ldx, std::span<double> b) {
+  const std::size_t m = b.size();
+  if (m == 0) return;
+  const double pivot = lRow[t];
+  if (blockedKernelsEnabled()) {
+    // Row t of trsmLowerLeft sees one rowUpdate per preceding k-tile — full
+    // kB tiles from the trailing-row loop, then the partial in-tile prefix
+    // — before the pivot division. Replaying that tile walk (ascending k0,
+    // jw = m instead of 64-wide column tiles; the inner j loops are
+    // element-wise, so the column tiling never changed per-element
+    // rounding) keeps this row bit-identical to the from-scratch solve.
+    for (std::size_t k0 = 0; k0 < t; k0 += kB) {
+      const std::size_t nb = std::min(kB, t - k0);
+      rowUpdate(b.data(), lRow + k0, x + k0 * ldx, ldx, nb, m, -1.0);
+    }
+    for (std::size_t j = 0; j < m; ++j) b[j] /= pivot;
+    return;
+  }
+  // Reference kernels: the seed per-column forward substitution for row t.
+  for (std::size_t j = 0; j < m; ++j) {
+    double s = b[j];
+    for (std::size_t k = 0; k < t; ++k) s -= lRow[k] * x[k * ldx + j];
+    b[j] = s / pivot;
+  }
+}
+
 void trsmUpperLeft(const Matrix& l, Matrix& b) {
   requireArg(l.rows() == l.cols() && l.rows() == b.rows(),
              "trsmUpperLeft: dimension mismatch");

@@ -89,4 +89,21 @@ void trsmLowerLeft(const Matrix& l, Matrix& b);
 /// column tiles of B.
 void trsmUpperLeft(const Matrix& l, Matrix& b);
 
+/// Forward-substitutes ONE appended row of a multi-RHS lower solve: given
+/// the first `t` already-solved rows of X (`x`, row stride `ldx` >=
+/// b.size()) and row t of L (`lRow`, length t+1 with the pivot at
+/// lRow[t]), transforms `b` (length m) from a row of B into row t of X, in
+/// place. This is the O(t·m) incremental step behind gp::PoolPredictCache:
+/// forward substitution row t depends only on rows < t, so when L grows by
+/// Cholesky::extend() the cached rows stay valid and only this row is new.
+///
+/// Dispatches on the kernel selection like every solve path. The blocked
+/// variant replays trsmLowerLeft's exact arithmetic for row t (ascending
+/// kLaBlock k-tiles of 4-way-unrolled updates, then the pivot division),
+/// and the reference variant replays the per-column naive loop — so the
+/// appended row is bit-identical to a from-scratch multi-RHS solve under
+/// either kernel set.
+void trsmLowerNewRow(const double* lRow, std::size_t t, const double* x,
+                     std::size_t ldx, std::span<double> b);
+
 }  // namespace alperf::la

@@ -194,6 +194,36 @@ Vector Cholesky::solveLower(std::span<const double> b) const {
   return x;
 }
 
+Matrix Cholesky::solveLower(const Matrix& b) const {
+  Matrix x = b;
+  solveLowerInPlace(x);
+  return x;
+}
+
+void Cholesky::solveLowerInPlace(Matrix& b) const {
+  requireArg(b.rows() == dim(), "Cholesky::solveLower: row count mismatch");
+  if (blockedKernelsEnabled()) {
+    PerfRegistry::instance().increment("la.trsm");
+    trsmLowerLeft(l_, b);
+    return;
+  }
+  // Reference kernels: the seed per-column forward substitution, written
+  // columnwise in place (identical arithmetic to solveLower(span) on each
+  // extracted column).
+  const std::size_t n = dim();
+  const std::size_t m = b.cols();
+  const double* ld = l_.data().data();
+  double* bd = b.data().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = ld + i * n;
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = bd[i * m + j];
+      for (std::size_t k = 0; k < i; ++k) s -= li[k] * bd[k * m + j];
+      bd[i * m + j] = s / li[i];
+    }
+  }
+}
+
 Vector Cholesky::solveUpper(std::span<const double> b) const {
   requireArg(b.size() == dim(), "Cholesky::solveUpper: size mismatch");
   const std::size_t n = dim();
@@ -287,7 +317,8 @@ void Cholesky::extend(std::span<const double> k, double kappa) {
   Matrix grown(n + 1, n + 1);
   for (std::size_t i = 0; i < n; ++i) {
     const auto src = l_.row(i);
-    std::copy(src.begin(), src.begin() + i + 1, grown.row(i).begin());
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(i + 1),
+              grown.row(i).begin());
   }
   for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
   grown(n, n) = std::sqrt(pivotSq);

@@ -89,6 +89,19 @@ class Cholesky {
   /// blocked kernels are active).
   Vector solveLower(std::span<const double> b) const;
 
+  /// Solves L·X = B for all columns of B at once (forward substitution
+  /// only — the first half of solve(Matrix)). With the blocked kernels
+  /// active this is one in-place multi-RHS trsm, column-tile parallel;
+  /// with ALPERF_LA_KERNELS=reference it is the seed per-column loop.
+  /// This is the batch-prediction primitive: V = L⁻¹·K_cross in one call
+  /// instead of one O(n²) solve per query column.
+  Matrix solveLower(const Matrix& b) const;
+
+  /// In-place variant of solveLower(Matrix): B is overwritten with X. Lets
+  /// callers that no longer need B (e.g. the GP batch predict, which
+  /// consumes K_cross for the mean first) skip the copy.
+  void solveLowerInPlace(Matrix& b) const;
+
   /// Solves Lᵀ·x = b (backward substitution; blocked with contiguous axpy
   /// panel updates when the blocked kernels are active — the naive loop
   /// walks a column of a row-major matrix, striding by n per element).

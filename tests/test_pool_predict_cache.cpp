@@ -1,0 +1,451 @@
+// Contract tests of gp::PoolPredictCache, the per-campaign pool posterior
+// cache behind AlConfig::poolPredictCache. The load-bearing property is
+// BIT-identity: a campaign with the cache on must produce the exact trace
+// of one with it off (at any thread count), because served predictions are
+// bitwise what a direct batch predict computes. The rest pins down the
+// cache's lifecycle: grow-only appends on the incremental path, rebuilds
+// on refit / theta change / kernel-mode flips, fallback on prior-only
+// posteriors and unpinned rows, and survival of checkpoint resume and
+// fault-injected factorization failures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/fault_inject.hpp"
+#include "common/perf_stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/learner.hpp"
+#include "gp/kernels.hpp"
+#include "gp/pool_predict_cache.hpp"
+#include "la/blas.hpp"
+
+namespace al = alperf::al;
+namespace gp = alperf::gp;
+namespace la = alperf::la;
+using alperf::FaultInjector;
+using alperf::Parallelism;
+using alperf::PerfRegistry;
+using alperf::stats::Rng;
+
+namespace {
+
+struct ThreadGuard {
+  ~ThreadGuard() { Parallelism::setThreads(0); }
+};
+
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    FaultInjector::instance().arm(spec);
+  }
+  ~FaultGuard() { FaultInjector::instance().disarm(); }
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+};
+
+std::uint64_t counter(const std::string& name) {
+  return PerfRegistry::instance().count(name);
+}
+
+al::RegressionProblem syntheticProblem(std::size_t n = 60) {
+  al::RegressionProblem p;
+  p.x = la::Matrix(n, 2);
+  p.y.resize(n);
+  p.cost.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    p.x(i, 0) = 10.0 * t;
+    p.x(i, 1) = std::cos(3.0 * t);
+    p.y[i] = std::sin(6.0 * t) + 0.3 * t * t;
+    p.cost[i] = 1.0 + 0.5 * t;
+  }
+  p.featureNames = {"x0", "x1"};
+  p.responseName = "y";
+  return p;
+}
+
+gp::GaussianProcess smallGp(int nRestarts = 1) {
+  gp::GpConfig cfg;
+  cfg.nRestarts = nRestarts;
+  cfg.noise.lo = 1e-4;
+  return gp::GaussianProcess(gp::makeSquaredExponentialArd(1.0, {1.0, 1.0}),
+                             cfg);
+}
+
+void expectIdenticalHistory(const std::vector<al::IterationRecord>& a,
+                            const std::vector<al::IterationRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].chosenRow, b[i].chosenRow) << "iter " << i;
+    EXPECT_EQ(a[i].sigmaAtPick, b[i].sigmaAtPick) << "iter " << i;
+    EXPECT_EQ(a[i].muAtPick, b[i].muAtPick) << "iter " << i;
+    EXPECT_EQ(a[i].amsd, b[i].amsd) << "iter " << i;
+    EXPECT_EQ(a[i].rmse, b[i].rmse) << "iter " << i;
+    EXPECT_EQ(a[i].noiseVariance, b[i].noiseVariance) << "iter " << i;
+    EXPECT_EQ(a[i].lml, b[i].lml) << "iter " << i;
+  }
+}
+
+al::AlResult runCampaign(unsigned seed, al::AlConfig cfg) {
+  cfg.nInitial = 4;
+  if (cfg.maxIterations < 0) cfg.maxIterations = 12;
+  al::ActiveLearner learner(syntheticProblem(), smallGp(),
+                            std::make_unique<al::CostEfficiency>(), cfg);
+  Rng rng(seed);
+  return learner.run(rng);
+}
+
+/// A fitted GP over the first `nTrain` rows of `p` (no optimization, so
+/// tests control theta and consume no RNG surprises).
+gp::GaussianProcess fittedGp(const al::RegressionProblem& p,
+                             std::size_t nTrain) {
+  gp::GaussianProcess g = smallGp();
+  g.config().optimize = false;
+  la::Matrix x(nTrain, p.x.cols());
+  la::Vector y(nTrain);
+  for (std::size_t i = 0; i < nTrain; ++i) {
+    const auto row = p.x.row(i);
+    std::copy(row.begin(), row.end(), x.row(i).begin());
+    y[i] = p.y[i];
+  }
+  Rng rng(5);
+  g.fit(std::move(x), std::move(y), rng);
+  return g;
+}
+
+la::Matrix gatherRows(const la::Matrix& x,
+                      std::span<const std::size_t> rows) {
+  la::Matrix m(rows.size(), x.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto row = x.row(rows[i]);
+    std::copy(row.begin(), row.end(), m.row(i).begin());
+  }
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- identity
+
+TEST(PoolCache, ServedPredictionBitIdenticalToDirect) {
+  const auto p = syntheticProblem(50);
+  const auto g = fittedGp(p, 20);
+
+  std::vector<std::size_t> pool(25);
+  std::iota(pool.begin(), pool.end(), std::size_t{20});
+  gp::PoolPredictCache cache;
+  cache.pin(p.x, pool);
+
+  // Full pool, then a strict subset, then a reordered subset.
+  const std::vector<std::vector<std::size_t>> queries = {
+      pool,
+      {22, 30, 41},
+      {44, 21, 33, 27},
+  };
+  for (const auto& q : queries) {
+    gp::Prediction served;
+    ASSERT_TRUE(cache.predict(g, q, false, served));
+    const auto direct = g.predict(gatherRows(p.x, q));
+    ASSERT_EQ(served.mean.size(), q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      EXPECT_EQ(served.mean[i], direct.mean[i]) << "row " << q[i];
+      EXPECT_EQ(served.variance[i], direct.variance[i]) << "row " << q[i];
+    }
+  }
+
+  // includeNoise flows through identically.
+  gp::Prediction servedNoise;
+  ASSERT_TRUE(cache.predict(g, pool, true, servedNoise));
+  const auto directNoise = g.predict(gatherRows(p.x, pool), true);
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    EXPECT_EQ(servedNoise.variance[i], directNoise.variance[i]);
+}
+
+TEST(PoolCache, ServedPredictionBitIdenticalAfterExtend) {
+  const auto p = syntheticProblem(50);
+  auto g = fittedGp(p, 20);
+
+  std::vector<std::size_t> pool(20);
+  std::iota(pool.begin(), pool.end(), std::size_t{25});
+  gp::PoolPredictCache cache;
+  cache.pin(p.x, pool);
+
+  gp::Prediction warm;
+  ASSERT_TRUE(cache.predict(g, pool, false, warm));  // rebuild
+
+  // Grow the posterior incrementally; the cache must append, and the
+  // appended rows must reproduce a from-scratch direct predict bitwise.
+  for (std::size_t t = 20; t < 24; ++t) g.addObservation(p.x.row(t), p.y[t]);
+  const auto before = counter("gp.poolcache.rebuild");
+  gp::Prediction served;
+  ASSERT_TRUE(cache.predict(g, pool, false, served));
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), before);  // append, not rebuild
+
+  const auto direct = g.predict(gatherRows(p.x, pool));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(served.mean[i], direct.mean[i]) << i;
+    EXPECT_EQ(served.variance[i], direct.variance[i]) << i;
+  }
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+TEST(PoolCache, SteadyIncrementalRunAppendsWithZeroRebuilds) {
+  const auto p = syntheticProblem(60);
+  auto g = fittedGp(p, 10);
+
+  std::vector<std::size_t> pool(30);
+  std::iota(pool.begin(), pool.end(), std::size_t{30});
+  gp::PoolPredictCache cache;
+  cache.pin(p.x, pool);
+
+  gp::Prediction out;
+  ASSERT_TRUE(cache.predict(g, pool, false, out));  // one rebuild to warm up
+  const auto rebuilds = counter("gp.poolcache.rebuild");
+  const auto appends0 = counter("gp.poolcache.append");
+  const auto hits0 = counter("gp.poolcache.hit");
+
+  for (std::size_t t = 10; t < 26; ++t) {
+    g.addObservation(p.x.row(t), p.y[t]);
+    ASSERT_TRUE(cache.predict(g, pool, false, out));  // append
+    ASSERT_TRUE(cache.predict(g, pool, false, out));  // hit
+  }
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), rebuilds);
+  EXPECT_EQ(counter("gp.poolcache.append"), appends0 + 16);
+  EXPECT_EQ(counter("gp.poolcache.hit"), hits0 + 16);
+}
+
+TEST(PoolCache, RebuildsOnFullRefitAndOnThetaChange) {
+  const auto p = syntheticProblem(40);
+  auto g = fittedGp(p, 15);
+
+  std::vector<std::size_t> pool(20);
+  std::iota(pool.begin(), pool.end(), std::size_t{15});
+  gp::PoolPredictCache cache;
+  cache.pin(p.x, pool);
+
+  gp::Prediction out;
+  ASSERT_TRUE(cache.predict(g, pool, false, out));
+  const auto r0 = counter("gp.poolcache.rebuild");
+
+  // A full posterior recomputation (same data, same theta) installs a new
+  // posterior version: even a bitwise-equal refactorization must rebuild,
+  // because an extension chain is not bitwise a refactorization.
+  {
+    la::Matrix x = g.trainX();
+    la::Vector y = g.trainY();
+    Rng rng(9);
+    g.fit(std::move(x), std::move(y), rng);
+  }
+  ASSERT_TRUE(cache.predict(g, pool, false, out));
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), r0 + 1);
+
+  // Hyperparameter change → rebuild (K_cross depends on theta).
+  auto theta = g.thetaFull();
+  theta[0] += 0.25;
+  g.setThetaFull(theta);
+  {
+    la::Matrix x = g.trainX();
+    la::Vector y = g.trainY();
+    Rng rng(10);
+    g.fit(std::move(x), std::move(y), rng);
+  }
+  ASSERT_TRUE(cache.predict(g, pool, false, out));
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), r0 + 2);
+
+  // Unchanged posterior → pure hit.
+  const auto h0 = counter("gp.poolcache.hit");
+  ASSERT_TRUE(cache.predict(g, pool, false, out));
+  EXPECT_EQ(counter("gp.poolcache.hit"), h0 + 1);
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), r0 + 2);
+}
+
+TEST(PoolCache, PriorOnlyPosteriorFallsBackThenRebuilds) {
+  const auto p = syntheticProblem(40);
+  auto g = fittedGp(p, 15);
+
+  std::vector<std::size_t> pool(20);
+  std::iota(pool.begin(), pool.end(), std::size_t{15});
+  gp::PoolPredictCache cache;
+  cache.pin(p.x, pool);
+
+  gp::Prediction out;
+  ASSERT_TRUE(cache.predict(g, pool, false, out));
+
+  // Degrade to the prior-only rung: the cache must refuse (the caller's
+  // direct predict serves the prior) and drop its dead products.
+  {
+    la::Matrix x = g.trainX();
+    la::Vector y = g.trainY();
+    g.fitPriorOnly(std::move(x), std::move(y));
+  }
+  EXPECT_FALSE(cache.predict(g, pool, false, out));
+
+  // Recovery via a real fit → rebuild, serving again.
+  const auto r0 = counter("gp.poolcache.rebuild");
+  {
+    la::Matrix x = g.trainX();
+    la::Vector y = g.trainY();
+    Rng rng(11);
+    g.config().optimize = false;
+    g.fit(std::move(x), std::move(y), rng);
+  }
+  ASSERT_TRUE(cache.predict(g, pool, false, out));
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), r0 + 1);
+}
+
+TEST(PoolCache, UnpinnedRowsAndDisabledBatchPredictFallBack) {
+  const auto p = syntheticProblem(40);
+  auto g = fittedGp(p, 15);
+
+  std::vector<std::size_t> pool = {20, 21, 22, 23};
+  gp::PoolPredictCache cache;
+  cache.pin(p.x, pool);
+
+  gp::Prediction out;
+  const std::vector<std::size_t> unpinned = {20, 35};
+  EXPECT_FALSE(cache.predict(g, unpinned, false, out));
+
+  // The cache mirrors the batch prediction engine; with the engine off it
+  // must not serve (and must not count anything).
+  const auto hits = counter("gp.poolcache.hit");
+  const auto rebuilds = counter("gp.poolcache.rebuild");
+  g.config().batchPredict = false;
+  EXPECT_FALSE(cache.predict(g, pool, false, out));
+  EXPECT_EQ(counter("gp.poolcache.hit"), hits);
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), rebuilds);
+}
+
+TEST(PoolCache, KernelModeFlipForcesRebuild) {
+  const auto p = syntheticProblem(40);
+  const auto g = fittedGp(p, 15);
+
+  std::vector<std::size_t> pool(20);
+  std::iota(pool.begin(), pool.end(), std::size_t{15});
+  gp::PoolPredictCache cache;
+  cache.pin(p.x, pool);
+
+  gp::Prediction out;
+  ASSERT_TRUE(cache.predict(g, pool, false, out));
+  const auto r0 = counter("gp.poolcache.rebuild");
+
+  // Cached V was produced by the blocked trsm; under reference kernels the
+  // per-column solve associates sums differently, so serving it would break
+  // bit-identity with a direct reference predict. The mode is part of the
+  // cache key.
+  la::setBlockedKernels(false);
+  gp::Prediction ref;
+  ASSERT_TRUE(cache.predict(g, pool, false, ref));
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), r0 + 1);
+  const auto direct = g.predict(gatherRows(p.x, pool));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(ref.mean[i], direct.mean[i]) << i;
+    EXPECT_EQ(ref.variance[i], direct.variance[i]) << i;
+  }
+  la::setBlockedKernels(true);
+}
+
+// ---------------------------------------------------------------- campaigns
+
+TEST(PoolCache, CampaignTraceBitIdenticalCacheOnVsOffAcrossThreads) {
+  ThreadGuard guard;
+  for (const int threads : {1, 2}) {
+    Parallelism::setThreads(static_cast<std::size_t>(threads));
+    al::AlConfig on;
+    on.poolPredictCache = true;
+    al::AlConfig off;
+    off.poolPredictCache = false;
+    const auto a = runCampaign(21, on);
+    const auto b = runCampaign(21, off);
+    expectIdenticalHistory(a.history, b.history);
+    EXPECT_EQ(a.stopReason, b.stopReason);
+    const auto ta = a.finalGp.thetaFull();
+    const auto tb = b.finalGp.thetaFull();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+  }
+}
+
+TEST(PoolCache, IncrementalCampaignTraceBitIdenticalAndAppendHeavy) {
+  ThreadGuard guard;
+  Parallelism::setThreads(2);
+  al::AlConfig cfg;
+  cfg.refitEvery = 5;  // incremental posterior between refits → appends
+  cfg.maxIterations = 15;
+  const auto appends0 = counter("gp.poolcache.append");
+  cfg.poolPredictCache = true;
+  const auto a = runCampaign(33, cfg);
+  EXPECT_GT(counter("gp.poolcache.append"), appends0);
+  cfg.poolPredictCache = false;
+  const auto b = runCampaign(33, cfg);
+  expectIdenticalHistory(a.history, b.history);
+}
+
+TEST(PoolCache, CampaignCountersShowHitsWhenOnAndNothingWhenOff) {
+  al::AlConfig cfg;
+  cfg.poolPredictCache = true;
+  const auto h0 = counter("gp.poolcache.hit");
+  runCampaign(44, cfg);
+  EXPECT_GT(counter("gp.poolcache.hit"), h0);
+
+  const auto h1 = counter("gp.poolcache.hit");
+  const auto a1 = counter("gp.poolcache.append");
+  const auto r1 = counter("gp.poolcache.rebuild");
+  cfg.poolPredictCache = false;
+  runCampaign(44, cfg);
+  EXPECT_EQ(counter("gp.poolcache.hit"), h1);
+  EXPECT_EQ(counter("gp.poolcache.append"), a1);
+  EXPECT_EQ(counter("gp.poolcache.rebuild"), r1);
+}
+
+TEST(PoolCache, ChaosCholFailCampaignStaysBitIdenticalAndRebuilds) {
+  // A mid-campaign factorization failure walks the degradation ladder
+  // (possibly to the prior-only rung); the cache must ride through it —
+  // falling back while degraded, rebuilding on recovery — without
+  // perturbing the trace.
+  const auto r0 = counter("gp.poolcache.rebuild");
+  al::AlConfig on;
+  on.poolPredictCache = true;
+  al::AlConfig off;
+  off.poolPredictCache = false;
+  const auto runWithFault = [&](const al::AlConfig& cfg) {
+    FaultGuard fault("chol.fail@iter=3,attempt=0");
+    return runCampaign(55, cfg);
+  };
+  const auto a = runWithFault(on);
+  const auto b = runWithFault(off);
+  expectIdenticalHistory(a.history, b.history);
+  // The recovery refit installed a new posterior version → at least the
+  // warm-up rebuild plus the post-fault one.
+  EXPECT_GE(counter("gp.poolcache.rebuild"), r0 + 2);
+}
+
+TEST(PoolCache, GoldenResumeHoldsWithCacheOn) {
+  const auto problem = syntheticProblem();
+  al::AlConfig cfg30;
+  cfg30.nInitial = 4;
+  cfg30.maxIterations = 20;
+  cfg30.refitEvery = 4;  // exercise the resume chain-rebuild path
+  al::AlConfig cfg10 = cfg30;
+  cfg10.maxIterations = 10;
+  al::ActiveLearner learner30(problem, smallGp(),
+                              std::make_unique<al::CostEfficiency>(), cfg30);
+  al::ActiveLearner learner10(problem, smallGp(),
+                              std::make_unique<al::CostEfficiency>(), cfg10);
+  Rng partRng(42);
+  const auto partition =
+      alperf::data::triPartition(problem.size(), 4, 0.8, partRng);
+
+  Rng straightRng(7);
+  const auto straight = learner30.runWithPartition(partition, straightRng);
+  Rng halfRng(7);
+  const auto half = learner10.runWithPartition(partition, halfRng);
+
+  Rng resumeRng(123);  // irrelevant: checkpointed state wins
+  const auto resumed = learner30.resume(half.checkpoint, resumeRng);
+  expectIdenticalHistory(straight.history, resumed.history);
+  EXPECT_EQ(straight.stopReason, resumed.stopReason);
+}
