@@ -1,0 +1,134 @@
+// Async dispatch throughput: what bounded in-flight execution buys on a
+// high-latency measurement backend. A simulated oracle sleeps ~100 ms per
+// measurement (a cluster scheduler in miniature); the dispatcher A/B
+// compares maxInFlight = 1 (the synchronous regime: every measurement
+// blocks the loop) against 2/4/8 concurrent slots. With sleeps as the
+// only work, k slots overlap almost perfectly, so the expected speedup at
+// k = 8 is ~8× — CI gates on ≥ 3× to leave headroom for loaded runners.
+// A second section runs a real AL campaign through the same latency to
+// show the end-to-end effect with GP fits and scoring on the loop.
+//
+// Usage: bench_async_dispatch [OUT.json] — also writes the machine-
+// readable summary to OUT.json when given (uploaded as a CI artifact).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dispatch.hpp"
+#include "core/learner.hpp"
+
+namespace bench = alperf::bench;
+namespace al = alperf::al;
+using alperf::Measurement;
+using alperf::stats::Rng;
+
+namespace {
+
+constexpr int kLatencyMs = 100;
+constexpr std::size_t kJobs = 16;
+
+double dispatcherWallClock(const al::RegressionProblem& problem,
+                           int maxInFlight) {
+  const al::Oracle oracle = [&](std::size_t row) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kLatencyMs));
+    return Measurement::ok(problem.y[row], problem.cost[row]);
+  };
+  al::ExecutionConfig exec;
+  exec.maxInFlight = maxInFlight;
+  al::AsyncDispatcher dispatcher(oracle, exec);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t next = 0;
+  std::size_t committed = 0;
+  while (committed < kJobs) {
+    while (next < kJobs && !dispatcher.full()) {
+      dispatcher.submit(next, problem.x.row(next));
+      ++next;
+    }
+    (void)dispatcher.commitNext();
+    ++committed;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double campaignWallClock(const al::RegressionProblem& problem,
+                         int maxInFlight) {
+  al::AlConfig cfg;
+  cfg.nInitial = 3;
+  cfg.maxIterations = 12;
+  cfg.refitEvery = 4;
+  cfg.execution.maxInFlight = maxInFlight;
+  al::ActiveLearner learner(problem, bench::makeGp(problem.dim()),
+                            std::make_unique<al::VarianceReduction>(), cfg);
+  const al::Oracle oracle = [&](std::size_t row) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kLatencyMs / 2));
+    return Measurement::ok(problem.y[row], problem.cost[row]);
+  };
+  Rng rng(7);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = learner.runFallible(oracle, al::RetryPolicy{}, rng);
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("    (%zu records, stop: %s)\n", result.history.size(),
+              al::toString(result.stopReason).c_str());
+  return sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::section("Async dispatch: wall-clock vs maxInFlight");
+  const al::RegressionProblem problem = bench::fig6Problem();
+
+  std::printf("  dispatcher A/B: %zu jobs, %d ms simulated latency\n", kJobs,
+              kLatencyMs);
+  const double k1 = dispatcherWallClock(problem, 1);
+  std::printf("  %-12s %8.3f s\n", "k = 1", k1);
+  std::vector<std::pair<int, double>> widths;
+  for (const int k : {2, 4, 8}) {
+    const double sec = dispatcherWallClock(problem, k);
+    widths.emplace_back(k, sec);
+    std::printf("  %-12s %8.3f s   speedup %.2fx\n",
+                ("k = " + std::to_string(k)).c_str(), sec, k1 / sec);
+  }
+  const double k8 = widths.back().second;
+  const double speedup8 = k1 / k8;
+
+  bench::section("Async dispatch: end-to-end AL campaign");
+  std::printf("  12-pick campaign, %d ms latency, GP fits on the loop\n",
+              kLatencyMs / 2);
+  const double campaign1 = campaignWallClock(problem, 1);
+  std::printf("  %-12s %8.3f s\n", "k = 1", campaign1);
+  const double campaign8 = campaignWallClock(problem, 8);
+  std::printf("  %-12s %8.3f s   speedup %.2fx\n", "k = 8", campaign8,
+              campaign1 / campaign8);
+
+  // Machine-readable summary (greppable line + optional artifact file).
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"async_dispatch\",\"jobs\":%zu,"
+                "\"latency_ms\":%d,\"k1_sec\":%.4f,\"k8_sec\":%.4f,"
+                "\"speedup_k8\":%.3f,\"campaign_k1_sec\":%.4f,"
+                "\"campaign_k8_sec\":%.4f,\"campaign_speedup_k8\":%.3f}",
+                kJobs, kLatencyMs, k1, k8, speedup8, campaign1, campaign8,
+                campaign1 / campaign8);
+  std::printf("\n%s\n", json);
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      std::fprintf(f, "%s\n", json);
+      std::fclose(f);
+      std::printf("summary written to %s\n", argv[1]);
+    } else {
+      std::printf("error: could not write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -89,7 +89,7 @@ void usage() {
       "                    [--iterations N] [--noise-lo X] [--seed S]\n"
       "                    [--trace OUT.csv|OUT.json (.json = Chrome trace)]\n"
       "                    [--metrics OUT.jsonl] [--perf] [--health]\n"
-      "                    [--no-pool-cache]\n"
+      "                    [--no-pool-cache] [--in-flight N]\n"
       "  alperf_tool tradeoff --data CSV --features A,B --response R\n"
       "                    --cost C [--log ...] [--replicates R] [--seed S]\n");
 }
@@ -154,6 +154,11 @@ int cmdLearn(const Args& args) {
   // Pool posterior cache A/B switch (results are bit-identical either
   // way; --no-pool-cache shows the uncached cost in --perf).
   cfg.poolPredictCache = !args.has("no-pool-cache");
+  // Asynchronous dispatch width: N > 1 runs up to N measurements
+  // concurrently through al::AsyncDispatcher, selecting against a fantasy
+  // posterior. The default 1 is the synchronous engine, bit-identical to
+  // previous releases.
+  cfg.execution.maxInFlight = std::stoi(args.get("in-flight", "1"));
   // --trace dispatches on extension: .json = structured Chrome trace
   // (armed for the campaign via AlConfig::tracePath), else learning-trace
   // CSV after the run.

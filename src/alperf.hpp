@@ -45,8 +45,10 @@
 #include "core/calibration.hpp"
 #include "core/checkpoint.hpp"
 #include "core/continuous.hpp"
+#include "core/dispatch.hpp"
 #include "core/executor.hpp"
 #include "core/learner.hpp"
+#include "core/oracle.hpp"
 #include "core/multi.hpp"
 #include "core/optimize.hpp"
 #include "core/problem.hpp"

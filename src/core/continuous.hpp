@@ -68,11 +68,12 @@ ContinuousSuggestion suggestContinuous(const gp::GaussianProcess& gp,
                                        const GradientAcquisition& acq,
                                        int nStarts, stats::Rng& rng);
 
-/// Ground-truth measurement: given x, run the experiment and return y.
-/// Must return a finite value; runContinuousAl throws
-/// std::invalid_argument on NaN/Inf (use the FallibleOracle overload for
-/// backends that can fail).
-using Oracle = std::function<double(std::span<const double>)>;
+// The measurement backend is the al::Oracle class (core/oracle.hpp),
+// shared with the pool-based learner. Plain `double(std::span<const
+// double>)` callables still convert implicitly — the class wraps them and
+// throws std::invalid_argument on a NaN/Inf response; backends that can
+// legitimately fail return Measurement instead and go through the
+// RetryPolicy overload.
 
 /// Loop controls for the online continuous-candidate learner.
 struct ContinuousAlConfig {
@@ -95,6 +96,15 @@ struct ContinuousAlConfig {
   int maxConsecutiveDegraded = 2;
   double recoveryJitterScale = 1e-2;
   double wallClockBudgetSec = std::numeric_limits<double>::infinity();
+
+  /// Execution engine controls (executor.hpp). `execution.maxInFlight > 1`
+  /// routes the fallible loop through the asynchronous dispatch engine
+  /// (core/dispatch.hpp): up to that many measurements run concurrently
+  /// while new suggestions are made against a fantasy posterior
+  /// conditioned on the pending points at their predictive means.
+  /// `execution.retry` is overridden by the RetryPolicy parameter of the
+  /// fallible overload.
+  ExecutionConfig execution;
 };
 
 /// One online iteration: where the learner went and what it measured.
@@ -137,14 +147,17 @@ ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
                                    const ContinuousAlConfig& config,
                                    stats::Rng& rng);
 
-/// Fault-tolerant variant: measurements flow through an
-/// ExperimentExecutor under `policy`. Failed suggestions burn cost but do
-/// not update the GP; censored measurements train on their lower bound; a
-/// refit whose LML diverges falls back to the last good hyperparameters.
+/// Fault-tolerant variant: measurements flow through the retry state
+/// machine under `policy` (which overrides config.execution.retry).
+/// Failed suggestions burn cost but do not update the GP; censored
+/// measurements train on their lower bound; a refit whose LML diverges
+/// falls back to the last good hyperparameters. With
+/// config.execution.maxInFlight > 1 measurements are dispatched
+/// asynchronously; records stay in suggestion order.
 ContinuousAlResult runContinuousAl(gp::GaussianProcess gp, la::Matrix seedX,
                                    la::Vector seedY,
                                    const opt::BoxBounds& bounds,
-                                   const FallibleOracle& oracle,
+                                   const Oracle& oracle,
                                    const RetryPolicy& policy,
                                    const AcquisitionFn& acq,
                                    const ContinuousAlConfig& config,

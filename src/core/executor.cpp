@@ -26,16 +26,18 @@ double RetryPolicy::backoffCost(int retry) const {
   return std::min(surcharge, backoffCostCap);
 }
 
-ExperimentExecutor::ExperimentExecutor(RetryPolicy policy) : policy_(policy) {
-  policy_.validate();
+void ExecutionConfig::validate() const {
+  retry.validate();
+  requireArg(maxInFlight >= 1 && maxInFlight <= 1024,
+             "ExecutionConfig: maxInFlight must be in [1, 1024]");
 }
 
-ExecutionResult ExperimentExecutor::execute(
-    const std::function<Measurement()>& attempt) {
-  requireArg(attempt != nullptr, "ExperimentExecutor: null attempt");
+ExecutionResult runWithRetries(const RetryPolicy& policy,
+                               const std::function<Measurement()>& attempt) {
+  requireArg(attempt != nullptr, "runWithRetries: null attempt");
   trace::Span measureSpan("exec.measure");
   ExecutionResult result;
-  for (int tryIdx = 0; tryIdx <= policy_.maxRetries; ++tryIdx) {
+  for (int tryIdx = 0; tryIdx <= policy.maxRetries; ++tryIdx) {
     trace::Span attemptSpan("exec.attempt");
     attemptSpan.note("try", tryIdx);
     Measurement m = attempt();
@@ -54,22 +56,35 @@ ExecutionResult ExperimentExecutor::execute(
       result.wastedCost += m.wastedCost;
       m.wastedCost = 0.0;
       result.measurement = m;
-      totalWastedCost_ += result.wastedCost;
-      totalFailedAttempts_ += result.attempts - 1;
       measureSpan.note("outcome", toString(m.status))
           .note("attempts", result.attempts);
       return result;
     }
     result.wastedCost += m.totalCost();
-    if (tryIdx < policy_.maxRetries)
-      result.wastedCost += policy_.backoffCost(tryIdx + 1);
+    if (tryIdx < policy.maxRetries)
+      result.wastedCost += policy.backoffCost(tryIdx + 1);
     result.measurement = m;
   }
   result.quarantined = true;
-  totalWastedCost_ += result.wastedCost;
-  totalFailedAttempts_ += result.attempts;
-  ++totalQuarantined_;
   measureSpan.note("outcome", "quarantined").note("attempts", result.attempts);
+  return result;
+}
+
+ExperimentExecutor::ExperimentExecutor(RetryPolicy policy) : policy_(policy) {
+  policy_.validate();
+}
+
+ExecutionResult ExperimentExecutor::execute(
+    const std::function<Measurement()>& attempt) {
+  requireArg(attempt != nullptr, "ExperimentExecutor: null attempt");
+  const ExecutionResult result = runWithRetries(policy_, attempt);
+  totalWastedCost_ += result.wastedCost;
+  if (result.quarantined) {
+    totalFailedAttempts_ += result.attempts;
+    ++totalQuarantined_;
+  } else {
+    totalFailedAttempts_ += result.attempts - 1;
+  }
   return result;
 }
 

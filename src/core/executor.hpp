@@ -22,10 +22,18 @@
 namespace alperf::al {
 
 /// Fallible measurement oracle over a continuous design point.
+///
+/// \deprecated Oracle API v1. Prefer `al::Oracle` (core/oracle.hpp),
+/// which erases this shape (and the row-based and infallible ones) behind
+/// a single capability-probing handle; every loop now takes an Oracle and
+/// converts from this typedef implicitly. Kept for one release so
+/// downstream aliases keep compiling.
 using FallibleOracle = std::function<Measurement(std::span<const double>)>;
 
 /// Fallible oracle over discrete problem rows (pool-based AL): given the
 /// problem-row index of the selected experiment, run it.
+///
+/// \deprecated Oracle API v1 — see FallibleOracle; prefer `al::Oracle`.
 using FallibleRowOracle = std::function<Measurement(std::size_t row)>;
 
 /// Retry behaviour for failed attempts.
@@ -48,6 +56,25 @@ struct RetryPolicy {
   double backoffCost(int retry) const;
 };
 
+/// Everything that governs *how* measurements are executed, as opposed to
+/// what is measured: the retry state machine plus the dispatch-width knob
+/// of the asynchronous engine (core/dispatch.hpp). Embedded in AlConfig
+/// and ContinuousAlConfig as `.execution`; both loops call validate() on
+/// entry. The loops' separate RetryPolicy parameters predate this struct
+/// and remain as aliases for one release — a policy passed there
+/// overrides `retry`.
+struct ExecutionConfig {
+  RetryPolicy retry;
+  /// Measurements allowed in flight concurrently. 1 (the default) is the
+  /// fully synchronous path — bitwise the pre-async behaviour, no
+  /// dispatcher, no extra threads. k > 1 engages AsyncDispatcher with k
+  /// slots and constant-liar fantasy selection for pending points.
+  int maxInFlight = 1;
+
+  /// Throws std::invalid_argument on nonsense values.
+  void validate() const;
+};
+
 /// Aggregate outcome of executing one experiment under a RetryPolicy.
 struct ExecutionResult {
   /// The final attempt's measurement (Failed when quarantined).
@@ -66,6 +93,16 @@ struct ExecutionResult {
     return wastedCost + (quarantined ? 0.0 : measurement.totalCost());
   }
 };
+
+/// The retry state machine, free of any ledger: runs `attempt` until it
+/// yields a usable measurement or `policy`'s retries are exhausted,
+/// demoting non-finite Ok/Censored responses to Failed and accumulating
+/// burned cost plus backoff surcharges into the result. Shared by
+/// ExperimentExecutor::execute (which adds the campaign ledger) and each
+/// AsyncDispatcher slot (which runs it concurrently, one in-flight
+/// measurement per slot, and merges ledgers at commit time).
+ExecutionResult runWithRetries(const RetryPolicy& policy,
+                               const std::function<Measurement()>& attempt);
 
 /// Drives retries for one oracle around a RetryPolicy and keeps a
 /// campaign-level ledger of waste. The executor is deliberately agnostic

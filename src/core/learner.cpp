@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <optional>
 
 #include "common/error.hpp"
+#include "core/dispatch.hpp"
 #include "common/fault_inject.hpp"
 #include "common/health.hpp"
 #include "common/perf_stats.hpp"
@@ -145,7 +148,7 @@ AlResult ActiveLearner::runWithPartition(const data::TriPartition& partition,
   return runLoop(initialState(partition), nullptr, nullptr, rng);
 }
 
-AlResult ActiveLearner::runFallible(const FallibleRowOracle& oracle,
+AlResult ActiveLearner::runFallible(const Oracle& oracle,
                                     const RetryPolicy& policy,
                                     stats::Rng& rng) const {
   const auto partition = data::triPartition(
@@ -154,9 +157,9 @@ AlResult ActiveLearner::runFallible(const FallibleRowOracle& oracle,
 }
 
 AlResult ActiveLearner::runFallibleWithPartition(
-    const FallibleRowOracle& oracle, const RetryPolicy& policy,
+    const Oracle& oracle, const RetryPolicy& policy,
     const data::TriPartition& partition, stats::Rng& rng) const {
-  requireArg(oracle != nullptr, "runFallible: null oracle");
+  requireArg(static_cast<bool>(oracle), "runFallible: null oracle");
   policy.validate();
   return runLoop(initialState(partition), &oracle, &policy, rng);
 }
@@ -168,11 +171,11 @@ AlResult ActiveLearner::resume(const Checkpoint& checkpoint,
 }
 
 AlResult ActiveLearner::resumeFallible(const Checkpoint& checkpoint,
-                                       const FallibleRowOracle& oracle,
+                                       const Oracle& oracle,
                                        const RetryPolicy& policy,
                                        stats::Rng& rng) const {
   validateCheckpoint(checkpoint);
-  requireArg(oracle != nullptr, "resumeFallible: null oracle");
+  requireArg(static_cast<bool>(oracle), "resumeFallible: null oracle");
   policy.validate();
   return runLoop(checkpoint, &oracle, &policy, rng);
 }
@@ -213,47 +216,54 @@ void ActiveLearner::validateCheckpoint(const Checkpoint& cp) const {
              "resume: trainAtLastFit exceeds training-set size");
 }
 
-AlResult ActiveLearner::runLoop(Checkpoint state,
-                                const FallibleRowOracle* oracle,
-                                const RetryPolicy* policy,
-                                stats::Rng& rng) const {
-  if (state.hasRngState) rng.restoreState(state.rngState);
+namespace {
 
-  // Campaign-scoped tracing: arms on entry and exports the Chrome trace on
-  // exit when config_.tracePath is set; otherwise (and when the tracer is
-  // already armed ambiently) a no-op.
-  trace::CampaignTraceScope traceScope(config_.tracePath);
+/// The model-maintenance core shared by both execution loops: training-set
+/// materialization, the four-rung fit degradation ladder
+/// (docs/ROBUSTNESS.md), the incremental-posterior chain bookkeeping, and
+/// the resume-time chain rebuild. Extracted verbatim from the synchronous
+/// loop so the asynchronous loop (runLoopAsync) reuses exactly its fit
+/// behaviour — the maxInFlight=1 bit-identity guarantee hinges on the
+/// synchronous operation sequence not changing.
+struct FitEngine {
+  const RegressionProblem& problem;
+  const AlConfig& config;
+  Checkpoint& state;
+  gp::GaussianProcess& gp;
+  stats::Rng& rng;
+  int& fitFallbacks;
 
-  AlResult result{.history = {},
-                  .partition = state.partition,
-                  .stopReason = StopReason::PoolExhausted,
-                  .finalGp = gpPrototype_,
-                  .checkpoint = {},
-                  .fitFallbacks = 0};
+  /// Hyperparameters of the last healthy fit (rungs 1–3).
+  std::vector<double> lastGoodTheta;
+  const double baseJitterScale;
+  /// Training-set size at the last full posterior factorization —
+  /// checkpointed so resume can rebuild the same incremental chain.
+  std::size_t fullFitTrainCount = 0;
+  /// True while gp holds a factorization of a prefix of state.train at
+  /// the current hyperparameters, so new points can be appended via
+  /// Cholesky extension.
+  bool chainValid = false;
 
-  gp::GaussianProcess gp = gpPrototype_;
-  if (!state.gpTheta.empty()) gp.setThetaFull(state.gpTheta);
-  std::vector<double> lastGoodTheta = gp.thetaFull();
-  const double baseNoiseLo = gpPrototype_.config().noise.lo;
+  FitEngine(const RegressionProblem& problemIn, const AlConfig& configIn,
+            Checkpoint& stateIn, gp::GaussianProcess& gpIn,
+            stats::Rng& rngIn, int& fitFallbacksIn, double baseJitterIn)
+      : problem(problemIn),
+        config(configIn),
+        state(stateIn),
+        gp(gpIn),
+        rng(rngIn),
+        fitFallbacks(fitFallbacksIn),
+        lastGoodTheta(gpIn.thetaFull()),
+        baseJitterScale(baseJitterIn) {}
 
-  ExperimentExecutor executor(policy ? *policy : RetryPolicy{});
-
-  const auto buildTrain = [&](la::Matrix& x, la::Vector& y) {
-    x = la::Matrix(state.train.size(), problem_.dim());
+  void buildTrain(la::Matrix& x, la::Vector& y) const {
+    x = la::Matrix(state.train.size(), problem.dim());
     for (std::size_t i = 0; i < state.train.size(); ++i) {
-      const auto row = problem_.x.row(state.train[i]);
+      const auto row = problem.x.row(state.train[i]);
       std::copy(row.begin(), row.end(), x.row(i).begin());
     }
     y = state.trainY;
-  };
-
-  // Incremental-posterior bookkeeping: `chainValid` means gp currently
-  // holds a factorization of a prefix of state.train at the current
-  // hyperparameters, so new points can be appended via Cholesky extension.
-  // `fullFitTrainCount` is the training-set size at the last full
-  // factorization — checkpointed so resume can rebuild the same chain.
-  std::size_t fullFitTrainCount = 0;
-  bool chainValid = false;
+  }
 
   // Attempts a (re)fit, walking the degradation ladder on divergence
   // (docs/ROBUSTNESS.md): (1) the requested fit; (2) the same fit with
@@ -261,7 +271,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   // posterior-only refit at the last good hyperparameters; (4) a
   // prior-only posterior, which cannot fail. Returns true when the model
   // ended with a genuine GP posterior (rungs 1–3) and false when it is
-  // degraded to the prior — the loop's unhealthy-model stop counts those.
+  // degraded to the prior — the loops' unhealthy-model stops count those.
   // Posterior-only updates (optimize false) extend the existing
   // factorization when incrementalPosterior allows; anything else is a
   // full refactorization.
@@ -273,17 +283,16 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   // gp.addObservation keeps it warm on the incremental path too. Rolling
   // back hyperparameters never invalidates it — distances don't depend on
   // theta.
-  const double baseJitterScale = gpPrototype_.config().jitterScaleMax;
-  const auto fitWithFallback = [&](bool optimize) {
+  bool fitWithFallback(bool optimize) {
     ScopedTimer timer("al.fit");
     trace::Span span("al.fit");
     span.note("n", state.train.size()).note("optimize", optimize);
-    if (!optimize && config_.incrementalPosterior && chainValid &&
+    if (!optimize && config.incrementalPosterior && chainValid &&
         gp.fitted() && gp.numTrainPoints() <= state.train.size()) {
       bool ok = true;
       try {
         for (std::size_t i = gp.numTrainPoints(); i < state.train.size(); ++i)
-          gp.addObservation(problem_.x.row(state.train[i]), state.trainY[i]);
+          gp.addObservation(problem.x.row(state.train[i]), state.trainY[i]);
         ok = std::isfinite(gp.logMarginalLikelihood());
       } catch (const NumericalError&) {
         ok = false;
@@ -316,7 +325,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       HealthMonitor::instance().record("fit.retry",
                                        "refit with escalated jitter cap");
       gp.config().jitterScaleMax =
-          std::max(baseJitterScale, config_.recoveryJitterScale);
+          std::max(baseJitterScale, config.recoveryJitterScale);
       ok = tryFit(optimize);
     }
     if (!ok) {
@@ -325,7 +334,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       gp.setThetaFull(lastGoodTheta);
       ok = tryFit(false);
       if (ok) {
-        ++result.fitFallbacks;
+        ++fitFallbacks;
         HealthMonitor::instance().record(
             "fit.fallback.theta", "posterior refit at last good theta");
       }
@@ -343,13 +352,13 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
     // degraded until a later refit recovers.
     gp.setThetaFull(lastGoodTheta);
     gp.fitPriorOnly(std::move(trainX), std::move(trainY));
-    ++result.fitFallbacks;
+    ++fitFallbacks;
     HealthMonitor::instance().record("fit.fallback.prior",
                                      "prior-only posterior installed");
     span.note("path", "prior");
     chainValid = false;
     return false;
-  };
+  }
 
   // Resuming a campaign whose posterior was maintained incrementally:
   // rebuild the exact factorization chain the uninterrupted run carried —
@@ -358,20 +367,22 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   // resumed run would refactorize the whole set from scratch and drift
   // from the original trace at float precision. Consumes no RNG
   // (optimization stays off).
-  if (config_.incrementalPosterior && state.trainAtLastFit > 0 &&
-      !state.gpTheta.empty()) {
+  void rebuildResumeChain() {
+    if (!config.incrementalPosterior || state.trainAtLastFit == 0 ||
+        state.gpTheta.empty())
+      return;
     try {
-      la::Matrix px(state.trainAtLastFit, problem_.dim());
+      la::Matrix px(state.trainAtLastFit, problem.dim());
       la::Vector py(state.trainAtLastFit);
       for (std::size_t i = 0; i < state.trainAtLastFit; ++i) {
-        const auto row = problem_.x.row(state.train[i]);
+        const auto row = problem.x.row(state.train[i]);
         std::copy(row.begin(), row.end(), px.row(i).begin());
         py[i] = state.trainY[i];
       }
       gp.config().optimize = false;
       gp.fit(std::move(px), std::move(py), rng);
       for (std::size_t i = state.trainAtLastFit; i < state.train.size(); ++i)
-        gp.addObservation(problem_.x.row(state.train[i]), state.trainY[i]);
+        gp.addObservation(problem.x.row(state.train[i]), state.trainY[i]);
       if (std::isfinite(gp.logMarginalLikelihood())) {
         chainValid = true;
         fullFitTrainCount = state.trainAtLastFit;
@@ -380,6 +391,51 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
       chainValid = false;  // the loop's full-fit path will recover
     }
   }
+};
+
+}  // namespace
+
+AlResult ActiveLearner::runLoop(Checkpoint state, const Oracle* oracle,
+                                const RetryPolicy* policy,
+                                stats::Rng& rng) const {
+  // The asynchronous engine is a different loop shape; route k > 1 there.
+  // maxInFlight = 1 (the default) stays on this synchronous path bitwise —
+  // no dispatcher, no slot threads, no exec.async.* counters.
+  {
+    ExecutionConfig exec = config_.execution;
+    if (policy != nullptr) exec.retry = *policy;
+    exec.validate();
+    if (exec.maxInFlight > 1) {
+      requireArg(config_.batchSize == 1,
+                 "ActiveLearner: maxInFlight > 1 requires batchSize == 1 "
+                 "(async dispatch subsumes batch selection)");
+      return runLoopAsync(std::move(state), oracle, exec, rng);
+    }
+  }
+
+  if (state.hasRngState) rng.restoreState(state.rngState);
+
+  // Campaign-scoped tracing: arms on entry and exports the Chrome trace on
+  // exit when config_.tracePath is set; otherwise (and when the tracer is
+  // already armed ambiently) a no-op.
+  trace::CampaignTraceScope traceScope(config_.tracePath);
+
+  AlResult result{.history = {},
+                  .partition = state.partition,
+                  .stopReason = StopReason::PoolExhausted,
+                  .finalGp = gpPrototype_,
+                  .checkpoint = {},
+                  .fitFallbacks = 0};
+
+  gp::GaussianProcess gp = gpPrototype_;
+  if (!state.gpTheta.empty()) gp.setThetaFull(state.gpTheta);
+  const double baseNoiseLo = gpPrototype_.config().noise.lo;
+
+  ExperimentExecutor executor(policy ? *policy : config_.execution.retry);
+
+  FitEngine engine(problem_, config_, state, gp, rng, result.fitFallbacks,
+                   gpPrototype_.config().jitterScaleMax);
+  engine.rebuildResumeChain();
 
   // Test design matrix/response, fixed for the whole run.
   la::Matrix testX(state.partition.test.size(), problem_.dim());
@@ -461,7 +517,7 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
           1.0 / std::sqrt(static_cast<double>(state.train.size())));
       gp.config().noise.lo = std::min(lo, gp.config().noise.hi);
     }
-    if (fitWithFallback((state.iteration % config_.refitEvery) == 0)) {
+    if (engine.fitWithFallback((state.iteration % config_.refitEvery) == 0)) {
       consecutiveDegraded = 0;
     } else {
       // Prior-only rung: the campaign may continue briefly (a later refit
@@ -548,9 +604,10 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
         state.trainY.push_back(problem_.y[row]);
       } else {
         // Fallible path: measure through the executor; quarantine on
-        // retry exhaustion, train on censored lower bounds.
-        const ExecutionResult er =
-            executor.execute([&] { return (*oracle)(row); });
+        // retry exhaustion, train on censored lower bounds. Row-based
+        // oracles get the row id, point-based ones its coordinates.
+        const ExecutionResult er = executor.execute(
+            [&] { return oracle->measureAny(row, problem_.x.row(row)); });
         rec.wastedCost += er.wastedCost;
         if (er.quarantined) {
           rec.failedAttempts += er.attempts;
@@ -579,15 +636,333 @@ AlResult ActiveLearner::runLoop(Checkpoint state,
   // Snapshot the loop state *before* the final fit consumes the RNG, so a
   // resumed run re-enters the loop with the exact stream a straight run
   // would have had.
-  state.gpTheta = lastGoodTheta;
-  state.trainAtLastFit = fullFitTrainCount;
+  state.gpTheta = engine.lastGoodTheta;
+  state.trainAtLastFit = engine.fullFitTrainCount;
   state.rngState = rng.saveState();
   state.hasRngState = true;
   result.history = state.history;
 
   // Final model on everything consumed (fallback as in the loop: a
   // diverged final refit must not discard the campaign).
-  fitWithFallback(true);
+  engine.fitWithFallback(true);
+  result.finalGp = gp;
+  result.checkpoint = std::move(state);
+  return result;
+}
+
+AlResult ActiveLearner::runLoopAsync(Checkpoint state, const Oracle* oracle,
+                                     const ExecutionConfig& exec,
+                                     stats::Rng& rng) const {
+  if (state.hasRngState) rng.restoreState(state.rngState);
+  trace::CampaignTraceScope traceScope(config_.tracePath);
+
+  AlResult result{.history = {},
+                  .partition = state.partition,
+                  .stopReason = StopReason::PoolExhausted,
+                  .finalGp = gpPrototype_,
+                  .checkpoint = {},
+                  .fitFallbacks = 0};
+
+  gp::GaussianProcess gp = gpPrototype_;
+  if (!state.gpTheta.empty()) gp.setThetaFull(state.gpTheta);
+  const double baseNoiseLo = gpPrototype_.config().noise.lo;
+
+  FitEngine engine(problem_, config_, state, gp, rng, result.fitFallbacks,
+                   gpPrototype_.config().jitterScaleMax);
+  engine.rebuildResumeChain();
+
+  // The table-driven path runs through the same dispatch engine as the
+  // oracle path: the problem database acts as an always-usable oracle, so
+  // commit handling below is uniform (cost accounting included — the
+  // measurement carries the row's cost column).
+  const Oracle execOracle =
+      oracle != nullptr
+          ? *oracle
+          : Oracle([this](std::size_t row) {
+              return Measurement::ok(problem_.y[row], problem_.cost[row]);
+            });
+  AsyncDispatcher dispatcher(execOracle, exec);
+
+  // Test design matrix/response, fixed for the whole run.
+  la::Matrix testX(state.partition.test.size(), problem_.dim());
+  la::Vector testY(state.partition.test.size());
+  for (std::size_t i = 0; i < state.partition.test.size(); ++i) {
+    const auto row = problem_.x.row(state.partition.test[i]);
+    std::copy(row.begin(), row.end(), testX.row(i).begin());
+    testY[i] = problem_.y[state.partition.test[i]];
+  }
+
+  // Campaign pool posterior cache, serving the *fantasy* posterior here.
+  // The fantasy GP is the committed-data GP extended with one constant-
+  // liar observation per pending pick via Cholesky extension — which
+  // preserves posteriorVersion and the bitwise train prefix, so the cache
+  // stays on its O(n·m) hit/append paths across fantasy rebuilds: a
+  // commit replaces a liar y with the real y at the *same x*, and L,
+  // K_cross and V depend only on X, never on y (alpha is read live).
+  gp::PoolPredictCache poolCache;
+  if (config_.poolPredictCache && !state.pool.empty())
+    poolCache.pin(problem_.x, state.pool);
+  gp::PredictWorkspace testWs;
+  gp::PredictWorkspace poolWs;
+
+  // One in-flight pick: its row, the constant-liar value the fantasy was
+  // conditioned on, and the submit-time record (selection metrics are
+  // decided at selection time; execution fields are filled at commit).
+  struct PendingPick {
+    std::size_t row = 0;
+    double liar = 0.0;
+    IterationRecord rec;
+  };
+  std::deque<PendingPick> pending;
+
+  gp::GaussianProcess fantasy = gp;
+  bool gpCurrent = false;       // main GP fitted on current state.train
+  bool fantasyStale = true;     // fantasy needs rebuilding from main
+  bool mainHealthy = true;      // last main fit ended non-degraded
+  int consecutiveDegraded = 0;
+
+  const auto rebuildFantasy = [&] {
+    fantasy = gp;
+    for (const auto& p : pending) {
+      try {
+        fantasy.addObservation(problem_.x.row(p.row), p.liar);
+      } catch (const NumericalError&) {
+        // Prior-only or collapsed-pivot main model: score without the
+        // remaining pending extensions rather than aborting the campaign.
+        HealthMonitor::instance().record(
+            "fantasy.extend",
+            "fantasy extension failed; scoring without pending points");
+        break;
+      }
+    }
+    fantasyStale = false;
+  };
+
+  // (Re)fits the main GP lazily — only when committed data arrived since
+  // the last fit and another pick is about to be selected. `s` is the
+  // submit index of that pick (== its eventual IterationRecord::iteration),
+  // so the hyperparameter-refit cadence generalizes the synchronous
+  // `iteration % refitEvery` rule and coincides with it at maxInFlight=1.
+  const auto ensureFitted = [&](std::size_t s) {
+    if (!gpCurrent) {
+      if (config_.dynamicNoiseBound) {
+        const double lo = std::max(
+            baseNoiseLo,
+            1.0 / std::sqrt(static_cast<double>(state.train.size())));
+        gp.config().noise.lo = std::min(lo, gp.config().noise.hi);
+      }
+      mainHealthy = engine.fitWithFallback(
+          (s % static_cast<std::size_t>(config_.refitEvery)) == 0);
+      gpCurrent = true;
+      fantasyStale = true;
+      if (mainHealthy)
+        consecutiveDegraded = 0;
+      else
+        ++consecutiveDegraded;
+    }
+    if (fantasyStale) rebuildFantasy();
+  };
+
+  const auto loopStart = std::chrono::steady_clock::now();
+  std::optional<StopReason> stop;
+  while (true) {
+    // SUBMIT phase: keep the pipeline full while no stop condition holds.
+    // Gates mirror the synchronous loop's order and semantics, evaluated
+    // on *committed* state (maxIterations additionally counts in-flight
+    // picks so the pipeline never overshoots the iteration budget; the
+    // cost budget can overshoot by what was in flight when it tripped —
+    // a real scheduler cannot un-submit a running job).
+    if (!stop && !dispatcher.full()) {
+      const std::size_t s =
+          static_cast<std::size_t>(state.iteration) + pending.size();
+      FaultContext::setIteration(static_cast<int>(s));
+      trace::Span iterSpan("al.iteration");
+      iterSpan.note("iter", s)
+          .note("train", state.train.size())
+          .note("pool", state.pool.size())
+          .note("inflight", pending.size());
+      if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        loopStart)
+              .count() > config_.wallClockBudgetSec) {
+        HealthMonitor::instance().record("watchdog",
+                                         "wall-clock budget exhausted");
+        stop = StopReason::WatchdogExpired;
+        continue;
+      }
+      if (state.pool.empty()) {
+        stop = StopReason::PoolExhausted;  // refined after the drain
+        continue;
+      }
+      if (config_.maxIterations >= 0 &&
+          s >= static_cast<std::size_t>(config_.maxIterations)) {
+        stop = StopReason::MaxIterations;
+        continue;
+      }
+      if (state.cumulativeCost >= config_.costBudget) {
+        stop = StopReason::Budget;
+        continue;
+      }
+      if (config_.amsdWindow > 0 && config_.amsdRelTol > 0.0 &&
+          state.history.size() >
+              static_cast<std::size_t>(config_.amsdWindow)) {
+        bool converged = true;
+        const auto& h = state.history;
+        for (std::size_t i = h.size() - config_.amsdWindow; i < h.size();
+             ++i) {
+          const double prev = h[i - 1].amsd;
+          if (prev <= 0.0 ||
+              std::abs(h[i].amsd - prev) / prev > config_.amsdRelTol) {
+            converged = false;
+            break;
+          }
+        }
+        if (converged) {
+          stop = StopReason::AmsdConverged;
+          continue;
+        }
+      }
+
+      ensureFitted(s);
+      if (consecutiveDegraded > config_.maxConsecutiveDegraded) {
+        HealthMonitor::instance().record(
+            "model.unhealthy", "consecutive degraded-fit limit exceeded");
+        stop = StopReason::ModelUnhealthy;
+        continue;
+      }
+
+      // Score the remaining pool and the test set against the fantasy
+      // posterior (== the main posterior when nothing is in flight).
+      gp::Prediction poolPred;
+      la::Vector poolSd;
+      double amsd = 0.0;
+      double rmse = 0.0;
+      {
+        trace::Span scoreSpan("al.score");
+        scoreSpan.note("pool", state.pool.size())
+            .note("test", state.partition.test.size())
+            .note("inflight", pending.size());
+        const bool served =
+            config_.poolPredictCache &&
+            poolCache.predict(fantasy, state.pool, false, poolPred);
+        if (!served) {
+          la::Matrix poolX(state.pool.size(), problem_.dim());
+          for (std::size_t i = 0; i < state.pool.size(); ++i) {
+            const auto row = problem_.x.row(state.pool[i]);
+            std::copy(row.begin(), row.end(), poolX.row(i).begin());
+          }
+          poolPred = fantasy.predict(poolX, false, poolWs);
+        }
+        poolSd = poolPred.stdDev();
+        amsd = stats::mean(poolSd);
+        if (!state.partition.test.empty()) {
+          const auto testPred = fantasy.predict(testX, false, testWs);
+          rmse = stats::rmse(testPred.mean, testY);
+        }
+      }
+
+      const SelectionContext ctx{fantasy, problem_,
+                                 std::span<const std::size_t>(state.pool),
+                                 rng,
+                                 config_.poolPredictCache ? &poolCache
+                                                          : nullptr,
+                                 pending.size()};
+      std::size_t pick = 0;
+      {
+        trace::Span selectSpan("al.select");
+        selectSpan.note("pool", state.pool.size())
+            .note("inflight", pending.size());
+        pick = strategy_->select(ctx);
+      }
+      ALPERF_ASSERT(pick < state.pool.size(), "pick position out of range");
+      const std::size_t row = state.pool[pick];
+
+      PendingPick p;
+      p.row = row;
+      p.liar = poolPred.mean[pick];
+      p.rec.iteration = static_cast<int>(s);
+      p.rec.chosenRow = row;
+      p.rec.sigmaAtPick = poolSd[pick];
+      p.rec.muAtPick = poolPred.mean[pick];
+      p.rec.amsd = amsd;
+      p.rec.rmse = rmse;
+      // Model-health metrics come from the main (committed-data) GP — the
+      // fantasy shares its hyperparameters, but its LML would include the
+      // liar observations.
+      p.rec.noiseVariance = gp.noiseVariance();
+      p.rec.lml = gp.logMarginalLikelihood();
+
+      dispatcher.submit(row, problem_.x.row(row));
+      try {
+        fantasy.addObservation(problem_.x.row(row), p.liar);
+      } catch (const NumericalError&) {
+        HealthMonitor::instance().record(
+            "fantasy.extend",
+            "fantasy extension failed; scoring without pending points");
+      }
+      pending.push_back(std::move(p));
+      state.pool.erase(state.pool.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+      continue;
+    }
+
+    // COMMIT phase: nothing (more) to submit — retire the oldest
+    // in-flight pick. Commits happen strictly in dispatch order, so
+    // records, training-set growth and RNG consumption are deterministic
+    // at any slot count.
+    if (pending.empty()) break;
+    trace::Span commitSpan("al.commit");
+    const AsyncDispatcher::Committed committed = dispatcher.commitNext();
+    PendingPick p = std::move(pending.front());
+    pending.pop_front();
+    ALPERF_ASSERT(committed.row == p.row,
+                  "async commit order diverged from dispatch order");
+    commitSpan.note("iter", p.rec.iteration).note("row", p.rec.chosenRow);
+
+    IterationRecord rec = p.rec;
+    const ExecutionResult& er = committed.result;
+    rec.wastedCost = er.wastedCost;
+    if (er.quarantined) {
+      rec.failedAttempts = er.attempts;
+      state.quarantined.push_back(p.row);
+      // The fantasy conditioned on a point that never produced data.
+      fantasyStale = true;
+    } else {
+      rec.failedAttempts = er.attempts - 1;
+      rec.pickCost = er.measurement.cost;
+      if (er.measurement.status == MeasurementStatus::Censored)
+        rec.censored = 1.0;
+      state.train.push_back(p.row);
+      state.trainY.push_back(er.measurement.y);
+      gpCurrent = false;  // refit lazily before the next selection
+    }
+    state.cumulativeCost += rec.pickCost + rec.wastedCost;
+    rec.cumulativeCost = state.cumulativeCost;
+    state.history.push_back(rec);
+    ++state.iteration;
+  }
+
+  result.stopReason = stop.value_or(StopReason::PoolExhausted);
+  if (result.stopReason == StopReason::PoolExhausted &&
+      !state.quarantined.empty())
+    result.stopReason = StopReason::OracleExhausted;
+
+  // The final fit below belongs to no campaign iteration: iteration-scoped
+  // fault specs must not hit it, and its health incidents carry no stamp.
+  FaultContext::setIteration(-1);
+
+  // Snapshot the loop state *before* the final fit consumes the RNG. The
+  // pipeline was drained above, so the checkpoint carries no in-flight
+  // state: a resumed async campaign preserves the committed prefix
+  // bit-for-bit and continues deterministically — but with a freshly
+  // refilled pipeline, so its picks may differ from an uninterrupted
+  // run's (unlike the synchronous path's exact-continuation guarantee).
+  state.gpTheta = engine.lastGoodTheta;
+  state.trainAtLastFit = engine.fullFitTrainCount;
+  state.rngState = rng.saveState();
+  state.hasRngState = true;
+  result.history = state.history;
+
+  engine.fitWithFallback(true);
   result.finalGp = gp;
   result.checkpoint = std::move(state);
   return result;

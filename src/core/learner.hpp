@@ -10,13 +10,20 @@
 ///
 /// Two execution paths share one loop: the classic table-driven path
 /// (responses come from the problem's y column) and the fault-tolerant
-/// path, where a FallibleRowOracle measures each pick and may fail or
-/// censor it (executor.hpp). Either path can be checkpointed and resumed
-/// bit-for-bit (checkpoint.hpp).
+/// path, where an Oracle (core/oracle.hpp) measures each pick and may
+/// fail or censor it (executor.hpp). Either path can be checkpointed and
+/// resumed bit-for-bit (checkpoint.hpp).
+///
+/// With AlConfig::execution.maxInFlight > 1 the loop switches to the
+/// asynchronous dispatch engine (core/dispatch.hpp): up to k measurements
+/// run concurrently while selection continues against a constant-liar
+/// fantasy posterior over the pending picks, and results are committed in
+/// deterministic dispatch order.
 
 #include <limits>
 
 #include "core/executor.hpp"
+#include "core/oracle.hpp"
 #include "core/strategy.hpp"
 #include "data/partition.hpp"
 
@@ -79,6 +86,15 @@ struct AlConfig {
   /// infinity disables). A safety net for unattended campaigns, not a
   /// precise budget — the iteration in flight always completes.
   double wallClockBudgetSec = std::numeric_limits<double>::infinity();
+
+  /// Execution engine configuration: the RetryPolicy state machine plus
+  /// the async dispatch width (executor.hpp). maxInFlight = 1 (default)
+  /// keeps the synchronous loop bitwise unchanged; k > 1 runs k
+  /// measurements concurrently with pending-point fantasy selection
+  /// (core/dispatch.hpp; requires batchSize == 1). The RetryPolicy
+  /// arguments of runFallible/resumeFallible predate this field and
+  /// override `execution.retry` when used.
+  ExecutionConfig execution;
 
   /// When non-empty, the loop arms the structured tracer (common/trace.hpp)
   /// for the duration of the campaign and writes a Chrome trace-event JSON
@@ -209,12 +225,15 @@ class ActiveLearner {
                             stats::Rng& rng) const;
 
   /// Fault-tolerant loop: every pick is measured through `oracle` under
-  /// `policy`. Failed attempts charge their burned cost to the budget;
-  /// points whose retries are exhausted are quarantined and never picked
-  /// again; censored measurements train on their lower bound.
-  AlResult runFallible(const FallibleRowOracle& oracle,
-                       const RetryPolicy& policy, stats::Rng& rng) const;
-  AlResult runFallibleWithPartition(const FallibleRowOracle& oracle,
+  /// `policy` (which overrides config().execution.retry). Failed attempts
+  /// charge their burned cost to the budget; points whose retries are
+  /// exhausted are quarantined and never picked again; censored
+  /// measurements train on their lower bound. The oracle may be row-based
+  /// or point-based (the picked row's coordinates are passed); v1
+  /// FallibleRowOracle call sites convert implicitly.
+  AlResult runFallible(const Oracle& oracle, const RetryPolicy& policy,
+                       stats::Rng& rng) const;
+  AlResult runFallibleWithPartition(const Oracle& oracle,
                                     const RetryPolicy& policy,
                                     const data::TriPartition& partition,
                                     stats::Rng& rng) const;
@@ -225,8 +244,7 @@ class ActiveLearner {
   /// checkpoint's RNG state overwrites `rng`. Pass the oracle/policy pair
   /// for campaigns started with runFallible.
   AlResult resume(const Checkpoint& checkpoint, stats::Rng& rng) const;
-  AlResult resumeFallible(const Checkpoint& checkpoint,
-                          const FallibleRowOracle& oracle,
+  AlResult resumeFallible(const Checkpoint& checkpoint, const Oracle& oracle,
                           const RetryPolicy& policy, stats::Rng& rng) const;
 
   const RegressionProblem& problem() const { return problem_; }
@@ -235,8 +253,16 @@ class ActiveLearner {
  private:
   Checkpoint initialState(const data::TriPartition& partition) const;
   void validateCheckpoint(const Checkpoint& cp) const;
-  AlResult runLoop(Checkpoint state, const FallibleRowOracle* oracle,
+  AlResult runLoop(Checkpoint state, const Oracle* oracle,
                    const RetryPolicy* policy, stats::Rng& rng) const;
+  /// The asynchronous loop (execution.maxInFlight > 1): bounded in-flight
+  /// dispatch with constant-liar fantasy selection over pending picks;
+  /// commits (and hence records, training-set growth and RNG use) happen
+  /// in deterministic dispatch order. On any stop the pipeline is drained,
+  /// so checkpoints never carry in-flight state. A null oracle runs the
+  /// table-driven path through the same engine.
+  AlResult runLoopAsync(Checkpoint state, const Oracle* oracle,
+                        const ExecutionConfig& exec, stats::Rng& rng) const;
 
   RegressionProblem problem_;
   gp::GaussianProcess gpPrototype_;
